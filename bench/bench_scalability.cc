@@ -1,0 +1,96 @@
+// Reproduces paper Sec. 4.2: scalability at system level.
+//
+// Paper findings to verify (shape):
+//   * brute force keeps at most two files open regardless of schema size;
+//   * the unbounded single-pass approach opens one file per attribute —
+//     the reason the paper could not run it on the 2,560-attribute PDB
+//     fraction;
+//   * the blockwise extension (proposed as future work in the paper,
+//     implemented here) bounds open files at a configured budget while
+//     producing identical results, at the cost of re-reading referenced
+//     files across blocks.
+
+#include "bench/bench_util.h"
+
+namespace spider::bench {
+namespace {
+
+void BM_OpenFiles(benchmark::State& state, IndApproach approach,
+                  int max_open_files) {
+  Dataset& dataset = PdbFullDataset();
+  for (auto _ : state) {
+    IndRunResult result =
+        RunApproach(dataset, approach, /*sql_budget=*/0, max_open_files);
+    ReportRun(state, dataset, result);
+    state.counters["peak_open_files"] =
+        static_cast<double>(result.counters.peak_open_files);
+    state.counters["files_opened"] =
+        static_cast<double>(result.counters.files_opened);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_OpenFiles, brute_force, IndApproach::kBruteForce, 0)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_OpenFiles, single_pass_unbounded,
+                  IndApproach::kSinglePass, 0)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_OpenFiles, single_pass_block64, IndApproach::kSinglePass,
+                  64)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_OpenFiles, single_pass_block16, IndApproach::kSinglePass,
+                  16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_OpenFiles, single_pass_block4, IndApproach::kSinglePass,
+                  4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Growing schema: peak open files of the unbounded single pass grows with
+// the attribute count while brute force stays at 2.
+void BM_GrowingSchema(benchmark::State& state, IndApproach approach) {
+  const int tables = static_cast<int>(state.range(0));
+  datagen::PdbLikeOptions options;
+  options.entries = 80;
+  options.category_tables = tables;
+  auto catalog = datagen::MakePdbLike(options);
+  SPIDER_CHECK(catalog.ok());
+  Dataset dataset = BuildDataset(std::move(catalog).value());
+  for (auto _ : state) {
+    IndRunResult result = RunApproach(dataset, approach);
+    state.counters["attributes"] =
+        static_cast<double>(dataset.catalog->attribute_count());
+    state.counters["peak_open_files"] =
+        static_cast<double>(result.counters.peak_open_files);
+  }
+}
+BENCHMARK_CAPTURE(BM_GrowingSchema, brute_force, IndApproach::kBruteForce)
+    ->Arg(5)
+    ->Arg(15)
+    ->Arg(25)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK_CAPTURE(BM_GrowingSchema, single_pass, IndApproach::kSinglePass)
+    ->Arg(5)
+    ->Arg(15)
+    ->Arg(25)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace spider::bench
+
+int main(int argc, char** argv) {
+  std::cout << "=== Paper Sec. 4.2: scalability at system level ===\n"
+               "Expected shape: brute force holds peak_open_files at 2; "
+               "unbounded single pass opens one\nfile per attribute; the "
+               "blockwise extension respects its budget with identical "
+               "results.\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

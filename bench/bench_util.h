@@ -1,0 +1,173 @@
+// Shared infrastructure for the paper-reproduction benchmarks.
+//
+// Each bench binary reproduces one table or figure of the paper. Datasets
+// are scaled-down versions of the paper's three databases (see
+// src/datagen/); the *shape* of the results — which approach wins, by
+// roughly what factor, where SQL stops being feasible — is the
+// reproduction target, not the absolute times (the paper used a commercial
+// RDBMS on 2005 hardware).
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/common/temp_dir.h"
+#include "src/datagen/pdb_like.h"
+#include "src/datagen/scop_like.h"
+#include "src/datagen/uniprot_like.h"
+#include "src/ind/bell_brockhausen.h"
+#include "src/ind/brute_force.h"
+#include "src/ind/candidate_generator.h"
+#include "src/ind/de_marchi.h"
+#include "src/ind/profiler.h"
+#include "src/ind/single_pass.h"
+#include "src/ind/spider_merge.h"
+#include "src/ind/sql_algorithms.h"
+
+namespace spider::bench {
+
+/// A generated database plus its IND candidates (cardinality pretest only,
+/// like the paper's base configuration).
+struct Dataset {
+  std::unique_ptr<Catalog> catalog;
+  CandidateSet candidates;
+};
+
+inline Dataset BuildDataset(std::unique_ptr<Catalog> catalog,
+                            bool max_value_pretest = false) {
+  Dataset dataset;
+  dataset.catalog = std::move(catalog);
+  CandidateGeneratorOptions options;
+  options.max_value_pretest = max_value_pretest;
+  auto candidates = CandidateGenerator(options).Generate(*dataset.catalog);
+  SPIDER_CHECK(candidates.ok()) << candidates.status().ToString();
+  dataset.candidates = std::move(candidates).value();
+  return dataset;
+}
+
+/// UniProt-like (paper: 85 attrs / 16 tables / 667MB). Scaled down.
+inline Dataset& UniprotDataset() {
+  static Dataset dataset = [] {
+    datagen::UniprotLikeOptions options;
+    options.bioentries = 500;
+    auto catalog = datagen::MakeUniprotLike(options);
+    SPIDER_CHECK(catalog.ok());
+    return BuildDataset(std::move(catalog).value());
+  }();
+  return dataset;
+}
+
+/// SCOP-like (paper: 22 attrs / 4 tables / 17MB). Scaled down.
+inline Dataset& ScopDataset() {
+  static Dataset dataset = [] {
+    datagen::ScopLikeOptions options;
+    options.domains = 1500;
+    auto catalog = datagen::MakeScopLike(options);
+    SPIDER_CHECK(catalog.ok());
+    return BuildDataset(std::move(catalog).value());
+  }();
+  return dataset;
+}
+
+/// PDB-like, reduced fraction (paper: 541 attrs / 39 tables / 2.6GB).
+inline Dataset& PdbReducedDataset() {
+  static Dataset dataset = [] {
+    datagen::PdbLikeOptions options;
+    options.entries = 250;
+    options.category_tables = 18;
+    auto catalog = datagen::MakePdbLike(options);
+    SPIDER_CHECK(catalog.ok());
+    return BuildDataset(std::move(catalog).value());
+  }();
+  return dataset;
+}
+
+/// PDB-like, larger fraction (paper: 2560 attrs / 167 tables / 2.7GB; the
+/// one whose open-file count broke the unbounded single-pass run).
+inline Dataset& PdbFullDataset() {
+  static Dataset dataset = [] {
+    datagen::PdbLikeOptions options;
+    options.entries = 250;
+    options.category_tables = 30;
+    options.include_atom_site = true;
+    auto catalog = datagen::MakePdbLike(options);
+    SPIDER_CHECK(catalog.ok());
+    return BuildDataset(std::move(catalog).value());
+  }();
+  return dataset;
+}
+
+/// Runs one approach over a dataset, extraction included (the paper's
+/// external-approach timings "summarize all costs — inclusively shipping
+/// the data outside the database").
+inline IndRunResult RunApproach(const Dataset& dataset, IndApproach approach,
+                                double sql_time_budget_seconds = 0,
+                                int max_open_files = 0) {
+  auto dir = TempDir::Make("spider-bench");
+  SPIDER_CHECK(dir.ok());
+  ValueSetExtractor extractor((*dir)->path());
+
+  std::unique_ptr<IndAlgorithm> algorithm;
+  switch (approach) {
+    case IndApproach::kBruteForce: {
+      BruteForceOptions options;
+      options.extractor = &extractor;
+      algorithm = std::make_unique<BruteForceAlgorithm>(options);
+      break;
+    }
+    case IndApproach::kSinglePass: {
+      SinglePassOptions options;
+      options.extractor = &extractor;
+      options.max_open_files = max_open_files;
+      algorithm = std::make_unique<SinglePassAlgorithm>(options);
+      break;
+    }
+    case IndApproach::kSqlJoin:
+      algorithm = std::make_unique<SqlJoinAlgorithm>(
+          SqlAlgorithmOptions{sql_time_budget_seconds});
+      break;
+    case IndApproach::kSqlMinus:
+      algorithm = std::make_unique<SqlMinusAlgorithm>(
+          SqlAlgorithmOptions{sql_time_budget_seconds});
+      break;
+    case IndApproach::kSqlNotIn:
+      algorithm = std::make_unique<SqlNotInAlgorithm>(
+          SqlAlgorithmOptions{sql_time_budget_seconds});
+      break;
+    case IndApproach::kSpiderMerge: {
+      SpiderMergeOptions options;
+      options.extractor = &extractor;
+      algorithm = std::make_unique<SpiderMergeAlgorithm>(options);
+      break;
+    }
+    case IndApproach::kDeMarchi:
+      algorithm = std::make_unique<DeMarchiAlgorithm>();
+      break;
+    case IndApproach::kBellBrockhausen:
+      algorithm = std::make_unique<BellBrockhausenAlgorithm>(
+          BellBrockhausenOptions{true, true, sql_time_budget_seconds});
+      break;
+  }
+  auto result =
+      algorithm->Run(*dataset.catalog, dataset.candidates.candidates);
+  SPIDER_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Attaches the standard counters to a benchmark row.
+inline void ReportRun(benchmark::State& state, const Dataset& dataset,
+                      const IndRunResult& result) {
+  state.counters["candidates"] =
+      static_cast<double>(dataset.candidates.candidates.size());
+  state.counters["satisfied"] = static_cast<double>(result.satisfied.size());
+  state.counters["tuples_read"] =
+      static_cast<double>(result.counters.tuples_read);
+  state.counters["finished"] = result.finished ? 1 : 0;
+  if (!result.finished) state.SetLabel("DNF(budget)");
+}
+
+}  // namespace spider::bench

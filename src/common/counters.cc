@@ -1,0 +1,19 @@
+#include "src/common/counters.h"
+
+#include "src/common/string_util.h"
+
+namespace spider {
+
+std::string RunCounters::ToString() const {
+  std::string out;
+  out += "tuples_read=" + FormatWithCommas(tuples_read);
+  out += " comparisons=" + FormatWithCommas(comparisons);
+  out += " candidates_tested=" + FormatWithCommas(candidates_tested);
+  out += " pretest_pruned=" + FormatWithCommas(candidates_pretest_pruned);
+  out += " engine_rows=" + FormatWithCommas(engine_rows_scanned);
+  out += " files_opened=" + FormatWithCommas(files_opened);
+  out += " peak_open_files=" + FormatWithCommas(peak_open_files);
+  return out;
+}
+
+}  // namespace spider

@@ -1,0 +1,48 @@
+// Counters shared by algorithm implementations so benchmarks can report the
+// paper's I/O metric ("number of items read", Figure 5) and related stats.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spider {
+
+/// \brief Mutable per-run counters. Algorithms increment these; harnesses
+/// read them after a run. Plain (non-atomic) because algorithms are
+/// single-threaded, as in the paper.
+struct RunCounters {
+  /// Attribute values read from sorted value sets ("items read", Fig. 5).
+  int64_t tuples_read = 0;
+  /// Value-to-value comparisons performed.
+  int64_t comparisons = 0;
+  /// IND candidates actually tested (after pretests).
+  int64_t candidates_tested = 0;
+  /// Candidates eliminated by pretests before any data was scanned.
+  int64_t candidates_pretest_pruned = 0;
+  /// Rows produced / scanned by the SQL engine operators.
+  int64_t engine_rows_scanned = 0;
+  /// Sorted-set files opened (Sec. 4.2 scalability metric).
+  int64_t files_opened = 0;
+  /// Peak number of simultaneously open sorted-set files.
+  int64_t peak_open_files = 0;
+
+  void Reset() { *this = RunCounters(); }
+
+  /// Merges another counter set into this one.
+  void Merge(const RunCounters& other) {
+    tuples_read += other.tuples_read;
+    comparisons += other.comparisons;
+    candidates_tested += other.candidates_tested;
+    candidates_pretest_pruned += other.candidates_pretest_pruned;
+    engine_rows_scanned += other.engine_rows_scanned;
+    files_opened += other.files_opened;
+    if (other.peak_open_files > peak_open_files) {
+      peak_open_files = other.peak_open_files;
+    }
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace spider

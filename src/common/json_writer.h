@@ -1,0 +1,84 @@
+// Minimal JSON emission for machine-readable CLI/report output.
+//
+// Write-only, streaming, no DOM: objects and arrays are opened and closed
+// explicitly; values are escaped per RFC 8259. The writer CHECKs basic
+// protocol misuse (closing an unopened scope, keys outside objects).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spider {
+
+/// \brief Streaming JSON writer.
+///
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("inds");
+///   json.BeginArray();
+///   json.String("a.b [= c.d");
+///   json.EndArray();
+///   json.EndObject();
+///   std::cout << json.str();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; the next value belongs to it.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Convenience: Key() + value.
+  void KV(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+  }
+  void KV(std::string_view key, const char* value) {
+    Key(key);
+    String(value);
+  }
+  void KV(std::string_view key, int64_t value) {
+    Key(key);
+    Int(value);
+  }
+  void KV(std::string_view key, int value) {
+    Key(key);
+    Int(value);
+  }
+  void KV(std::string_view key, double value) {
+    Key(key);
+    Double(value);
+  }
+  void KV(std::string_view key, bool value) {
+    Key(key);
+    Bool(value);
+  }
+
+  /// The document so far. Valid once all scopes are closed.
+  const std::string& str() const { return out_; }
+
+  /// Escapes a string per JSON rules (exposed for tests).
+  static std::string Escape(std::string_view s);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace spider

@@ -1,0 +1,12 @@
+#include "src/common/logging.h"
+
+namespace spider {
+namespace internal {
+
+LogLevel& MinLogLevel() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+}  // namespace internal
+}  // namespace spider

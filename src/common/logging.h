@@ -1,0 +1,102 @@
+// Minimal logging and invariant-checking macros.
+//
+// SPIDER_CHECK* abort the process on violated internal invariants (never on
+// user input — user input errors are reported via Status).
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace spider {
+namespace internal {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+/// Returns the process-wide minimum level that is actually emitted.
+LogLevel& MinLogLevel();
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= MinLogLevel()) {
+      stream_ << "\n";
+      std::cerr << stream_.str();
+    }
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarn:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr) {
+    stream_ << "[FATAL " << file << ":" << line << "] Check failed: " << expr
+            << " ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SPIDER_LOG(level)                                                   \
+  ::spider::internal::LogMessage(::spider::internal::LogLevel::k##level,    \
+                                 __FILE__, __LINE__)                        \
+      .stream()
+
+#define SPIDER_CHECK(cond)                                              \
+  if (!(cond))                                                          \
+  ::spider::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define SPIDER_CHECK_EQ(a, b) SPIDER_CHECK((a) == (b))
+#define SPIDER_CHECK_NE(a, b) SPIDER_CHECK((a) != (b))
+#define SPIDER_CHECK_LT(a, b) SPIDER_CHECK((a) < (b))
+#define SPIDER_CHECK_LE(a, b) SPIDER_CHECK((a) <= (b))
+#define SPIDER_CHECK_GT(a, b) SPIDER_CHECK((a) > (b))
+#define SPIDER_CHECK_GE(a, b) SPIDER_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define SPIDER_DCHECK(cond) SPIDER_CHECK(cond)
+#else
+#define SPIDER_DCHECK(cond) \
+  if (false) SPIDER_CHECK(cond)
+#endif
+
+}  // namespace spider

@@ -1,0 +1,99 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace spider {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Random::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Random::Next() {
+  // xoshiro256**
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Random::Uniform(int64_t lo, int64_t hi) {
+  SPIDER_CHECK_LE(lo, hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t value;
+  do {
+    value = Next();
+  } while (value >= limit);
+  return lo + static_cast<int64_t>(value % range);
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+int64_t Random::Zipf(int64_t n, double s) {
+  SPIDER_CHECK_GE(n, 1);
+  if (s <= 0) return Uniform(1, n);
+  // Inverse-CDF over the (approximated) generalized harmonic number.
+  // Accurate enough for workload generation purposes.
+  double h = 0;
+  static thread_local int64_t cached_n = -1;
+  static thread_local double cached_s = -1;
+  static thread_local double cached_h = 0;
+  if (cached_n == n && cached_s == s) {
+    h = cached_h;
+  } else {
+    for (int64_t k = 1; k <= n; ++k) h += 1.0 / std::pow(static_cast<double>(k), s);
+    cached_n = n;
+    cached_s = s;
+    cached_h = h;
+  }
+  double u = NextDouble() * h;
+  double acc = 0;
+  for (int64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    if (acc >= u) return k;
+  }
+  return n;
+}
+
+std::string Random::AlphaString(int min_len, int max_len) {
+  int len = static_cast<int>(Uniform(min_len, max_len));
+  std::string out(static_cast<size_t>(len), 'a');
+  for (auto& c : out) c = static_cast<char>('a' + Uniform(0, 25));
+  return out;
+}
+
+std::string Random::DigitString(int min_len, int max_len) {
+  int len = static_cast<int>(Uniform(min_len, max_len));
+  std::string out(static_cast<size_t>(len), '0');
+  for (auto& c : out) c = static_cast<char>('0' + Uniform(0, 9));
+  return out;
+}
+
+}  // namespace spider

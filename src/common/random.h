@@ -1,0 +1,65 @@
+// Deterministic pseudo-random generation used by the data generators and
+// property-based tests. A fixed seed must always reproduce the same dataset.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spider {
+
+/// \brief Deterministic 64-bit PRNG (splitmix64/xoshiro-style) with
+/// convenience samplers.
+///
+/// Not thread-safe; create one per thread or per generator.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds yield identical streams.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [1, n] with exponent s (s=0 is uniform).
+  /// Used to model skewed value frequencies in generated columns.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Random lowercase ASCII string of length in [min_len, max_len].
+  std::string AlphaString(int min_len, int max_len);
+
+  /// Random digit string of length in [min_len, max_len].
+  std::string DigitString(int min_len, int max_len);
+
+  /// Picks one element uniformly. Requires a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[static_cast<size_t>(Uniform(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i)));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace spider

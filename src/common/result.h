@@ -1,0 +1,76 @@
+// Result<T>: the value-or-Status type used by fallible producers.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace spider {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Mirrors arrow::Result. A Result constructed from a value is ok(); a
+/// Result constructed from a Status must carry a non-OK status.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit on purpose, like arrow::Result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from an error status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The carried status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Accessors. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `alternative` when this holds an error.
+  T ValueOr(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  Status status_;  // OK when value_ engaged
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a Result expression, otherwise assigns its value.
+///   SPIDER_ASSIGN_OR_RETURN(auto reader, SortedSetReader::Open(path));
+#define SPIDER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define SPIDER_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define SPIDER_ASSIGN_OR_RETURN_NAME(a, b) SPIDER_ASSIGN_OR_RETURN_CAT(a, b)
+
+#define SPIDER_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  SPIDER_ASSIGN_OR_RETURN_IMPL(                                            \
+      SPIDER_ASSIGN_OR_RETURN_NAME(_spider_result_, __LINE__), lhs, expr)
+
+}  // namespace spider

@@ -1,0 +1,105 @@
+// Status and error codes for the spider library.
+//
+// spider follows the RocksDB / Arrow convention: fallible operations return
+// a Status (or a Result<T>, see result.h) instead of throwing exceptions.
+// Exceptions never cross the public API boundary.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace spider {
+
+/// Machine-readable category of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kResourceExhausted,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code, e.g. "IOError".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief The result of a fallible operation that produces no value.
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// code plus a free-form message otherwise. Use the factory functions
+/// (Status::OK(), Status::IOError(...), ...) to construct one.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller. Usage:
+///   SPIDER_RETURN_NOT_OK(writer.Append(v));
+#define SPIDER_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::spider::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+}  // namespace spider

@@ -1,0 +1,27 @@
+#include "src/common/stopwatch.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace spider {
+
+std::string Stopwatch::FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 0) seconds = 0;
+  if (seconds < 60) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+    return buf;
+  }
+  int64_t whole = static_cast<int64_t>(seconds);
+  int64_t hours = whole / 3600;
+  int64_t minutes = (whole % 3600) / 60;
+  double secs = seconds - static_cast<double>(hours * 3600 + minutes * 60);
+  if (hours > 0) {
+    std::snprintf(buf, sizeof(buf), "%ldh%02ldm%02.0fs", hours, minutes, secs);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldm%04.1fs", minutes, secs);
+  }
+  return buf;
+}
+
+}  // namespace spider

@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used by the benchmark harnesses and the profiler.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace spider {
+
+/// \brief Measures elapsed wall-clock time on a steady clock.
+class Stopwatch {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  void Start() { start_ = Clock::now(); }
+
+  /// Elapsed time since the last Start(), in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+  /// Formats a duration as the paper's tables do, e.g. "15m03s" or "7.3s".
+  static std::string FormatDuration(double seconds);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_ = Clock::now();
+};
+
+}  // namespace spider

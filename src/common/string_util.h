@@ -1,0 +1,41 @@
+// Small string helpers shared across modules.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spider {
+
+/// Splits `s` on `delim`; empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Joins `parts` with `delim`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLowerAscii(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if every character is an ASCII digit and s is non-empty.
+bool IsAllDigits(std::string_view s);
+
+/// True if `s` contains at least one ASCII letter.
+bool ContainsLetter(std::string_view s);
+
+/// Formats a count with thousands separators, e.g. 139356 -> "139,356"
+/// (matches the paper's table style).
+std::string FormatWithCommas(int64_t n);
+
+/// Formats bytes human-readably, e.g. 2781872128 -> "2.6GB".
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace spider

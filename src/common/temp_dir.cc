@@ -1,0 +1,38 @@
+#include "src/common/temp_dir.h"
+
+#include <atomic>
+#include <chrono>
+#include <system_error>
+
+namespace spider {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<TempDir>> TempDir::Make(const std::string& prefix,
+                                               const std::string& parent) {
+  static std::atomic<uint64_t> counter{0};
+  std::error_code ec;
+  fs::path root = parent.empty() ? fs::temp_directory_path(ec) : fs::path(parent);
+  if (ec) return Status::IOError("cannot resolve temp root: " + ec.message());
+
+  uint64_t stamp = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    uint64_t id = counter.fetch_add(1);
+    fs::path candidate =
+        root / (prefix + "-" + std::to_string(stamp) + "-" + std::to_string(id));
+    if (fs::create_directories(candidate, ec) && !ec) {
+      return std::unique_ptr<TempDir>(new TempDir(std::move(candidate)));
+    }
+  }
+  return Status::IOError("could not create unique temp dir under " +
+                         root.string());
+}
+
+TempDir::~TempDir() {
+  if (keep_) return;
+  std::error_code ec;
+  fs::remove_all(path_, ec);  // best effort
+}
+
+}  // namespace spider

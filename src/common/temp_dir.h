@@ -1,0 +1,49 @@
+// Scoped temporary directories for spill files and sorted value sets.
+
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace spider {
+
+/// \brief A uniquely named directory that is deleted (recursively) on
+/// destruction.
+///
+/// Used for external-sort spill runs and for the sorted attribute value
+/// files that the IND algorithms scan.
+class TempDir {
+ public:
+  /// Creates a fresh directory under the system temp root (or under `parent`
+  /// if non-empty), named `<prefix>-<unique>`.
+  static Result<std::unique_ptr<TempDir>> Make(const std::string& prefix,
+                                               const std::string& parent = "");
+
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  /// Absolute path of the directory.
+  const std::filesystem::path& path() const { return path_; }
+
+  /// Path of a file inside the directory.
+  std::filesystem::path FilePath(const std::string& name) const {
+    return path_ / name;
+  }
+
+  /// Disowns the directory so it is kept on destruction (for debugging).
+  void Keep() { keep_ = true; }
+
+ private:
+  explicit TempDir(std::filesystem::path path) : path_(std::move(path)) {}
+
+  std::filesystem::path path_;
+  bool keep_ = false;
+};
+
+}  // namespace spider

@@ -1,0 +1,144 @@
+#include "src/datagen/pdb_like.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/datagen/words.h"
+
+namespace spider::datagen {
+
+namespace {
+
+Value Int(int64_t v) { return Value::Integer(v); }
+Value Dbl(double v) { return Value::Double(v); }
+Value Str(std::string v) { return Value::String(std::move(v)); }
+
+}  // namespace
+
+Result<std::unique_ptr<Catalog>> MakePdbLike(const PdbLikeOptions& options) {
+  Random rng(options.seed);
+  auto catalog = std::make_unique<Catalog>("pdb_like");
+
+  const int64_t n = options.entries;
+
+  // The pool of entry codes shared by all tables.
+  std::vector<std::string> entry_codes;
+  entry_codes.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) entry_codes.push_back(MakePdbCode(i));
+
+  // ---- pdb_struct: the true primary relation --------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("pdb_struct"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_key", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_id", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("title", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("pdbx_descriptor", TypeId::kString));
+    for (int64_t i = 0; i < n; ++i) {
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(1 + i), Str(entry_codes[static_cast<size_t>(i)]),
+           Str(MakeSentence(&rng, 7)), Str(MakeSentence(&rng, 3))}));
+    }
+  }
+
+  // ---- pdb_exptl: one row for ~90% of the entries ----------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("pdb_exptl"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_key", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_id", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("method", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("crystals_number", TypeId::kInteger));
+    const int64_t rows = n * 9 / 10;
+    for (int64_t i = 0; i < rows; ++i) {
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(1 + i), Str(entry_codes[static_cast<size_t>(i)]),
+           Str(rng.Choice(MethodPool())), Int(rng.Uniform(1, 4))}));
+    }
+  }
+
+  // ---- pdb_struct_keywords: one row for ~95% of the entries ------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t,
+                            catalog->CreateTable("pdb_struct_keywords"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_key", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_id", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("pdbx_keywords", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("text", TypeId::kString));
+    const int64_t rows = n * 19 / 20;
+    for (int64_t i = 0; i < rows; ++i) {
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(1 + i), Str(entry_codes[static_cast<size_t>(i)]),
+           Str(rng.Choice(NounPool())), Str(MakeSentence(&rng, 5))}));
+    }
+  }
+
+  // ---- category tables ---------------------------------------------------
+  // Each has: id (surrogate 1..rows — the false-positive machine),
+  // entry_id (references pdb_struct entries, non-unique), and data columns.
+  static const char* kCategoryNames[] = {
+      "pdb_entity",          "pdb_citation",       "pdb_citation_author",
+      "pdb_cell",            "pdb_symmetry",       "pdb_refine",
+      "pdb_atom_type",       "pdb_chem_comp",      "pdb_entity_poly",
+      "pdb_entity_src_gen",  "pdb_struct_asym",    "pdb_struct_conf",
+      "pdb_struct_sheet",    "pdb_struct_site",    "pdb_database_pdb_rev",
+      "pdb_database_status", "pdb_refine_hist",    "pdb_software",
+      "pdb_diffrn",          "pdb_diffrn_source",  "pdb_exptl_crystal",
+      "pdb_entity_keywords", "pdb_struct_biol",    "pdb_audit_author",
+      "pdb_chem_comp_atom",  "pdb_chem_comp_bond", "pdb_struct_conn",
+      "pdb_struct_ref",      "pdb_refine_ls",      "pdb_pdbx_poly_seq"};
+  const int table_count =
+      std::min<int>(options.category_tables,
+                    static_cast<int>(std::size(kCategoryNames)));
+  for (int k = 0; k < table_count; ++k) {
+    SPIDER_ASSIGN_OR_RETURN(Table * t,
+                            catalog->CreateTable(kCategoryNames[k]));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_id", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("ordinal", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("details", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("value_1", TypeId::kDouble));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("value_2", TypeId::kDouble));
+
+    // Row counts vary across tables so surrogate ranges nest: every table
+    // with fewer rows has its id column included in every larger one.
+    const int64_t rows = n / 2 + (k * n) / 8;
+    const bool dirty_entry_ids = k >= options.clean_entry_id_tables;
+    for (int64_t i = 0; i < rows; ++i) {
+      std::string entry_id = rng.Choice(entry_codes);
+      if (dirty_entry_ids && rng.Bernoulli(0.01)) {
+        // A handful of digit-only values: fails the strict accession rule,
+        // passes the softened one.
+        entry_id = rng.DigitString(4, 4);
+      }
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(1 + i), Str(std::move(entry_id)), Int(rng.Uniform(1, 20)),
+           Str(MakeSentence(&rng, 3)), Dbl(rng.NextDouble() * 100.0),
+           Dbl(rng.NextDouble() * 10.0)}));
+    }
+  }
+
+  // ---- pdb_atom_site (optional, dominating) ------------------------------
+  if (options.include_atom_site) {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("pdb_atom_site"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_id", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("atom_name", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("cartn_x", TypeId::kDouble));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("cartn_y", TypeId::kDouble));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("cartn_z", TypeId::kDouble));
+    static const char* kAtoms[] = {"CA", "CB", "N", "O", "C", "SG"};
+    const int64_t rows = n * 50;
+    for (int64_t i = 0; i < rows; ++i) {
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(1 + i), Str(rng.Choice(entry_codes)),
+           Str(kAtoms[rng.Uniform(0, 5)]), Dbl(rng.NextDouble() * 200 - 100),
+           Dbl(rng.NextDouble() * 200 - 100),
+           Dbl(rng.NextDouble() * 200 - 100)}));
+    }
+  }
+
+  return catalog;
+}
+
+}  // namespace spider::datagen

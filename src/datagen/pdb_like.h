@@ -1,0 +1,49 @@
+// Synthetic PDB stand-in: an OpenMMS-style schema (paper Sec. 1.4 / 5).
+//
+// Reproduces the structural properties behind the paper's PDB findings:
+//  * many category tables, each with a surrogate integer primary key whose
+//    range starts at 1 — INDs hold between almost all of these keys, which
+//    is the source of the paper's ~30,000 spurious satisfied INDs;
+//  * no declared foreign keys (uniqueness must be verified from data);
+//  * 4-character entry codes ("144f") appearing as entry_id columns: unique
+//    in pdb_struct / pdb_exptl / pdb_struct_keywords (the paper's three
+//    primary-relation candidates, with pdb_struct the correct one) and as
+//    non-unique referencing columns in every category table;
+//  * a configurable share of category tables whose entry_id contains a few
+//    digit-only dirty values, so they qualify as accession-number
+//    candidates only under the softened rule (9 strict vs 19 softened in
+//    the paper);
+//  * an optional atom-coordinate table that dwarfs the rest (the part the
+//    paper had to exclude to make SQL feasible at all).
+
+#pragma once
+
+#include <memory>
+
+#include "src/common/result.h"
+#include "src/storage/catalog.h"
+
+namespace spider::datagen {
+
+/// Options for MakePdbLike.
+struct PdbLikeOptions {
+  /// Number of PDB entries (rows of pdb_struct).
+  int64_t entries = 200;
+  /// Number of extra category tables (each with a surrogate id, an
+  /// entry_id and a few data columns).
+  int category_tables = 24;
+  /// Among the category tables, how many get a clean (all-conforming)
+  /// entry_id column; the rest receive ~1% digit-only dirty values and thus
+  /// only qualify as accession candidates under the softened rule.
+  int clean_entry_id_tables = 6;
+  /// Include pdb_atom_site (50 rows per entry) — the dominating table the
+  /// paper excluded from the SQL runs.
+  bool include_atom_site = false;
+  uint64_t seed = 42;
+};
+
+/// Builds the catalog. No constraints are declared (the OpenMMS schema
+/// "does not define any foreign keys").
+Result<std::unique_ptr<Catalog>> MakePdbLike(const PdbLikeOptions& options = {});
+
+}  // namespace spider::datagen

@@ -1,0 +1,159 @@
+#include "src/datagen/schema_spec.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/datagen/words.h"
+
+namespace spider::datagen {
+
+namespace {
+
+TypeId TypeFor(ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kSequentialKey:
+    case ColumnKind::kNumeric:
+      return TypeId::kInteger;
+    case ColumnKind::kReal:
+      return TypeId::kDouble;
+    case ColumnKind::kAccession:
+    case ColumnKind::kForeignKey:  // adopts the parent's type at build time
+    case ColumnKind::kCategory:
+    case ColumnKind::kText:
+      return TypeId::kString;
+  }
+  return TypeId::kString;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Catalog>> GenerateCatalog(const SchemaSpec& spec) {
+  Random rng(spec.seed);
+  auto catalog = std::make_unique<Catalog>(spec.name);
+
+  // Distinct generated values per attribute, for foreign-key draws.
+  std::map<std::pair<std::string, std::string>, std::vector<Value>> produced;
+
+  for (const TableSpec& table_spec : spec.tables) {
+    SPIDER_ASSIGN_OR_RETURN(Table * table,
+                            catalog->CreateTable(table_spec.name));
+
+    // Resolve column types (foreign keys adopt the parent's type).
+    std::vector<TypeId> types;
+    for (const ColumnSpec& column : table_spec.columns) {
+      TypeId type = TypeFor(column.kind);
+      if (column.kind == ColumnKind::kForeignKey) {
+        auto it = produced.find({column.fk_table, column.fk_column});
+        if (it == produced.end()) {
+          return Status::InvalidArgument(
+              "foreign key target " + column.fk_table + "." +
+              column.fk_column + " must be generated before " +
+              table_spec.name + "." + column.name);
+        }
+        type = it->second.empty() || it->second[0].is_integer()
+                   ? TypeId::kInteger
+                   : TypeId::kString;
+        if (column.declare_fk) {
+          catalog->DeclareForeignKey(
+              ForeignKey{{table_spec.name, column.name},
+                         {column.fk_table, column.fk_column}});
+        }
+      }
+      const bool unique = column.kind == ColumnKind::kSequentialKey ||
+                          column.kind == ColumnKind::kAccession;
+      SPIDER_RETURN_NOT_OK(table->AddColumn(column.name, type, unique));
+      types.push_back(type);
+    }
+
+    // Pre-compute per-column foreign-key target pools (a coverage-limited
+    // prefix of the parent's distinct values).
+    std::vector<std::vector<const Value*>> fk_pools(table_spec.columns.size());
+    for (size_t c = 0; c < table_spec.columns.size(); ++c) {
+      const ColumnSpec& column = table_spec.columns[c];
+      if (column.kind != ColumnKind::kForeignKey) continue;
+      const auto& parent = produced.at({column.fk_table, column.fk_column});
+      const size_t usable = std::max<size_t>(
+          1, static_cast<size_t>(static_cast<double>(parent.size()) *
+                                 column.fk_coverage));
+      for (size_t i = 0; i < std::min(usable, parent.size()); ++i) {
+        fk_pools[c].push_back(&parent[i]);
+      }
+    }
+
+    std::vector<std::vector<Value>> column_values(table_spec.columns.size());
+    for (int64_t row = 0; row < table_spec.rows; ++row) {
+      std::vector<Value> out_row;
+      out_row.reserve(table_spec.columns.size());
+      for (size_t c = 0; c < table_spec.columns.size(); ++c) {
+        const ColumnSpec& column = table_spec.columns[c];
+        Value v;
+        const bool keyish = column.kind == ColumnKind::kSequentialKey ||
+                            column.kind == ColumnKind::kAccession;
+        if (!keyish && column.null_fraction > 0 &&
+            rng.Bernoulli(column.null_fraction)) {
+          out_row.push_back(Value::Null());
+          continue;
+        }
+        switch (column.kind) {
+          case ColumnKind::kSequentialKey:
+            v = Value::Integer(column.key_base + row);
+            break;
+          case ColumnKind::kAccession:
+            v = Value::String(MakePdbCode(row));
+            break;
+          case ColumnKind::kForeignKey: {
+            if (column.dangling_fraction > 0 &&
+                rng.Bernoulli(column.dangling_fraction)) {
+              // Out-of-domain value of the parent's type.
+              if (types[c] == TypeId::kInteger) {
+                v = Value::Integer(900000000 + row);
+              } else {
+                v = Value::String("dangling_" + std::to_string(row));
+              }
+            } else {
+              const auto& pool = fk_pools[c];
+              v = *pool[static_cast<size_t>(
+                  rng.Uniform(0, static_cast<int64_t>(pool.size()) - 1))];
+            }
+            break;
+          }
+          case ColumnKind::kCategory:
+            v = Value::String(
+                "cat" + std::to_string(rng.Uniform(0, column.pool_size - 1)));
+            break;
+          case ColumnKind::kNumeric:
+            v = Value::Integer(rng.Uniform(column.min_value, column.max_value));
+            break;
+          case ColumnKind::kReal:
+            v = Value::Double(rng.NextDouble() *
+                              static_cast<double>(column.max_value));
+            break;
+          case ColumnKind::kText:
+            v = Value::String(
+                MakeSentence(&rng, 1 + static_cast<int>(rng.Uniform(0, 6))));
+            break;
+        }
+        column_values[c].push_back(v);
+        out_row.push_back(std::move(v));
+      }
+      SPIDER_RETURN_NOT_OK(table->AppendRow(std::move(out_row)));
+    }
+
+    // Record distinct produced values for downstream foreign keys.
+    for (size_t c = 0; c < table_spec.columns.size(); ++c) {
+      std::set<std::string> seen;
+      std::vector<Value> distinct;
+      for (const Value& v : column_values[c]) {
+        if (v.is_null()) continue;
+        if (seen.insert(v.ToCanonicalString()).second) distinct.push_back(v);
+      }
+      produced[{table_spec.name, table_spec.columns[c].name}] =
+          std::move(distinct);
+    }
+  }
+  return catalog;
+}
+
+}  // namespace spider::datagen

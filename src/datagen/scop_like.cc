@@ -1,0 +1,129 @@
+#include "src/datagen/scop_like.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/datagen/words.h"
+
+namespace spider::datagen {
+
+namespace {
+
+Value Int(int64_t v) { return Value::Integer(v); }
+Value Str(std::string v) { return Value::String(std::move(v)); }
+
+constexpr int64_t kSunidBase = 46456;  // SCOP sunids famously start high
+
+// "d1dlwa_"-style domain identifier: 7 chars, contains letters.
+std::string MakeSid(Random* rng, int64_t ordinal) {
+  std::string sid = "d";
+  sid += MakePdbCode(ordinal);
+  sid += static_cast<char>('a' + rng->Uniform(0, 25));
+  sid += '_';
+  return sid;
+}
+
+// "a.1.1.2"-style classification string.
+std::string MakeSccs(Random* rng) {
+  std::string out(1, static_cast<char>('a' + rng->Uniform(0, 6)));
+  out += "." + std::to_string(rng->Uniform(1, 120));
+  out += "." + std::to_string(rng->Uniform(1, 9));
+  out += "." + std::to_string(rng->Uniform(1, 9));
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Catalog>> MakeScopLike(const ScopLikeOptions& options) {
+  Random rng(options.seed);
+  auto catalog = std::make_unique<Catalog>("scop_like");
+
+  const int64_t n = options.domains;
+  static const char* kEntryTypes[] = {"cl", "cf", "sf", "fa",
+                                      "dm", "sp", "px", "d"};
+
+  // scop_des: one row per classification node. sunid and sid are unique in
+  // the data (verified, not declared); sccs is deliberately duplicated.
+  std::vector<std::string> sids;
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("scop_des"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("sunid", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_type", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("sccs", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("sid", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("description", TypeId::kString));
+    std::string previous_sccs = MakeSccs(&rng);
+    for (int64_t i = 0; i < n; ++i) {
+      // Reuse the previous sccs 20% of the time => non-unique column.
+      if (!rng.Bernoulli(0.2)) previous_sccs = MakeSccs(&rng);
+      std::string sid = MakeSid(&rng, i);
+      sids.push_back(sid);
+      SPIDER_RETURN_NOT_OK(
+          t->AppendRow({Int(kSunidBase + i), Str(kEntryTypes[rng.Uniform(0, 7)]),
+                        Str(previous_sccs), Str(std::move(sid)),
+                        Str(MakeSentence(&rng, 5))}));
+    }
+  }
+
+  // scop_cla: classification lines; every *_id level points at a sunid.
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("scop_cla"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("sid", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("pdb_code", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("chain", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("sccs", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("cl_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("cf_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("sf_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("fa_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("dm_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("sp_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("px_id", TypeId::kInteger));
+    const int64_t rows = n * 3 / 4;
+    for (int64_t i = 0; i < rows; ++i) {
+      auto sunid = [&]() { return Int(kSunidBase + rng.Uniform(0, n - 1)); };
+      // pdb_code repeats across chains => non-unique; chain is 1 char.
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Str(rng.Choice(sids)), Str(MakePdbCode(rng.Uniform(0, n / 2))),
+           Str(std::string(1, static_cast<char>('A' + rng.Uniform(0, 3)))),
+           Str(MakeSccs(&rng)), sunid(), sunid(), sunid(), sunid(), sunid(),
+           sunid(), sunid()}));
+    }
+  }
+
+  // scop_hie: hierarchy over ~90% of the sunids.
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("scop_hie"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("sunid", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("parent_sunid", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("children", TypeId::kString));
+    const int64_t rows = n * 9 / 10;
+    for (int64_t i = 0; i < rows; ++i) {
+      Value parent = i == 0 ? Value::Null()
+                            : Int(kSunidBase + rng.Uniform(0, n - 1));
+      std::string children =
+          rng.DigitString(4, 5) + "," + rng.DigitString(4, 5);
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kSunidBase + i), std::move(parent), Str(std::move(children))}));
+    }
+  }
+
+  // scop_com: comments on a subset of nodes.
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("scop_com"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("sunid", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("comment_text", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("line_num", TypeId::kInteger));
+    const int64_t rows = n / 2;
+    for (int64_t i = 0; i < rows; ++i) {
+      SPIDER_RETURN_NOT_OK(
+          t->AppendRow({Int(kSunidBase + rng.Uniform(0, n - 1)),
+                        Str(MakeSentence(&rng, 6)), Int(rng.Uniform(1, 99))}));
+    }
+  }
+
+  return catalog;
+}
+
+}  // namespace spider::datagen

@@ -1,0 +1,35 @@
+// Synthetic SCOP stand-in (paper Sec. 1.4): a small protein-classification
+// database of 4 tables / 22 attributes, populated from parsed flat files,
+// with no declared constraints and no indexes.
+//
+// By construction exactly 11 INDs are satisfied (the paper's SCOP count):
+//   scop_cla.{cl,cf,sf,fa,dm,sp,px}_id ⊆ scop_des.sunid   (7)
+//   scop_cla.sid                        ⊆ scop_des.sid    (1)
+//   scop_hie.sunid                      ⊆ scop_des.sunid  (1)
+//   scop_hie.parent_sunid               ⊆ scop_des.sunid  (1)
+//   scop_com.sunid                      ⊆ scop_des.sunid  (1)
+// (scop_hie covers only ~90% of sunids, so nothing is included in
+// scop_hie.sunid; scop_des.sccs is deliberately non-unique.)
+
+#pragma once
+
+#include <memory>
+
+#include "src/common/result.h"
+#include "src/storage/catalog.h"
+
+namespace spider::datagen {
+
+/// Options for MakeScopLike.
+struct ScopLikeOptions {
+  /// Number of classification nodes (rows of scop_des).
+  int64_t domains = 400;
+  uint64_t seed = 42;
+};
+
+/// Builds the catalog. No foreign keys are declared and no column is
+/// declared unique — uniqueness must be verified from the data, as in the
+/// paper's undocumented-source scenario.
+Result<std::unique_ptr<Catalog>> MakeScopLike(const ScopLikeOptions& options = {});
+
+}  // namespace spider::datagen

@@ -1,0 +1,413 @@
+#include "src/datagen/uniprot_like.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/datagen/words.h"
+
+namespace spider::datagen {
+
+namespace {
+
+Value Int(int64_t v) { return Value::Integer(v); }
+Value Str(std::string v) { return Value::String(std::move(v)); }
+
+// Key pools; ranges are pairwise disjoint so no coincidental INDs arise
+// between surrogate keys of unrelated tables.
+constexpr int64_t kBiodatabaseBase = 101;
+constexpr int64_t kTaxonBase = 5001;
+constexpr int64_t kNcbiTaxonBase = 300001;
+constexpr int64_t kOntologyBase = 901;
+constexpr int64_t kTermBase = 20001;
+constexpr int64_t kRelationshipBase = 40001;
+constexpr int64_t kDbxrefBase = 60001;
+constexpr int64_t kReferenceBase = 70001;
+constexpr int64_t kSeqfeatureBase = 80001;
+constexpr int64_t kLocationBase = 200001;
+constexpr int64_t kBioentryBase = 1000001;
+constexpr int64_t kPubmedBase = 10000001;
+
+std::string DatePool(Random* rng) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04ld-%02ld-%02ld", rng->Uniform(1998, 2005),
+                rng->Uniform(1, 12), rng->Uniform(1, 28));
+  return buf;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Catalog>> MakeUniprotLike(
+    const UniprotLikeOptions& options) {
+  Random rng(options.seed);
+  auto catalog = std::make_unique<Catalog>("uniprot_like");
+
+  const int64_t n = options.bioentries;
+  const int64_t n_biodatabase = 5;
+  const int64_t n_taxon = std::max<int64_t>(10, n / 5);
+  const int64_t n_taxon_name = n_taxon * 3 / 2;
+  const int64_t n_ontology =
+      std::min<int64_t>(10, static_cast<int64_t>(OntologyNamePool().size()));
+  const int64_t n_term = std::max<int64_t>(20, n * 2 / 5);
+  const int64_t n_term_synonym = n_term * 2 / 3;
+  const int64_t n_relationship = n / 2;
+  const int64_t n_biosequence = n * 9 / 10;
+  const int64_t n_dbxref = n * 4 / 5;
+  const int64_t n_bioentry_dbxref = n * 3 / 2;
+  const int64_t n_reference = n * 3 / 5;
+  const int64_t n_bioentry_reference = n * 6 / 5;
+  const int64_t n_seqfeature = n * 2;
+  const int64_t n_location = n * 12 / 5;
+
+  // ---- sg_biodatabase -------------------------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("sg_biodatabase"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger, /*unique=*/true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("name", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("authority", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("description", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("url", TypeId::kString));
+    static const char* kNames[] = {"swissprot", "trembl", "genbank", "embl",
+                                   "ddbj"};
+    for (int64_t i = 0; i < n_biodatabase; ++i) {
+      // Sentence lengths and URL paths vary widely on purpose: none of
+      // these columns may accidentally satisfy the accession-number length
+      // criterion (the paper finds exactly 3 candidates in BioSQL).
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kBiodatabaseBase + i), Str(kNames[i % 5]),
+           Str(MakeSentence(&rng, 1 + static_cast<int>(i) % 3)),
+           Str(MakeSentence(&rng, 2 + static_cast<int>(rng.Uniform(0, 6)))),
+           Str("http://" + std::string(kNames[i % 5]) + "." +
+               rng.AlphaString(2, 14) + ".org")}));
+    }
+  }
+
+  // ---- sg_taxon --------------------------------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("sg_taxon"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("ncbi_taxon_id", TypeId::kInteger, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("parent_taxon_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("node_rank", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("genetic_code", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("mito_genetic_code", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("common_name", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("full_lineage", TypeId::kString));
+    for (int64_t i = 0; i < n_taxon; ++i) {
+      // Roots (i == 0 and 5% of others) have NULL parents; other parents
+      // point at an earlier taxon.
+      Value parent = Value::Null();
+      if (i > 0 && !rng.Bernoulli(0.05)) {
+        parent = Int(kTaxonBase + rng.Uniform(0, i - 1));
+      }
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kTaxonBase + i), Int(kNcbiTaxonBase + i), std::move(parent),
+           Str(rng.Choice(RankPool())), Int(rng.Uniform(1, 25)),
+           Int(rng.Uniform(1, 25)), Str(rng.Choice(NounPool())),
+           Str(MakeSentence(&rng, 4))}));
+    }
+  }
+
+  // ---- sg_taxon_name ---------------------------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("sg_taxon_name"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("taxon_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("name", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("name_class", TypeId::kString));
+    static const char* kNameClasses[] = {"scientific name", "common name",
+                                         "synonym", "equivalent name"};
+    for (int64_t i = 0; i < n_taxon_name; ++i) {
+      SPIDER_RETURN_NOT_OK(
+          t->AppendRow({Int(kTaxonBase + rng.Uniform(0, n_taxon - 1)),
+                        Str(rng.Choice(OrganismPool())),
+                        Str(kNameClasses[rng.Uniform(0, 3)])}));
+    }
+  }
+
+  // ---- sg_ontology -----------------------------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("sg_ontology"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("name", TypeId::kString, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("definition", TypeId::kString));
+    for (int64_t i = 0; i < n_ontology; ++i) {
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kOntologyBase + i), Str(OntologyNamePool()[static_cast<size_t>(i)]),
+           Str(MakeSentence(&rng, 2 + static_cast<int>(rng.Uniform(0, 8))))}));
+    }
+  }
+
+  // ---- sg_term ---------------------------------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("sg_term"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("name", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("definition", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("identifier", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("is_obsolete", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("ontology_id", TypeId::kInteger));
+    for (int64_t i = 0; i < n_term; ++i) {
+      // ~30% of identifiers are digit-only, so the column fails the
+      // accession letter criterion (mirrors mixed external identifiers).
+      std::string identifier =
+          rng.Bernoulli(0.3)
+              ? rng.DigitString(7, 7)
+              : "GO:" + rng.DigitString(7, 7);
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kTermBase + i),
+           Str(rng.Choice(NounPool()) + "_" + rng.DigitString(1, 4)),
+           Str(MakeSentence(&rng, 10)), Str(std::move(identifier)),
+           Int(rng.Bernoulli(0.1) ? 1 : 0),
+           Int(kOntologyBase + rng.Uniform(0, n_ontology - 1))}));
+    }
+  }
+
+  // ---- sg_term_synonym ---------------------------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("sg_term_synonym"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("synonym", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("term_id", TypeId::kInteger));
+    for (int64_t i = 0; i < n_term_synonym; ++i) {
+      SPIDER_RETURN_NOT_OK(
+          t->AppendRow({Str(rng.Choice(NounPool())),
+                        Int(kTermBase + rng.Uniform(0, n_term - 1))}));
+    }
+  }
+
+  // ---- sg_bioentry (the primary relation) -------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("sg_bioentry"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("biodatabase_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("taxon_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("name", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("accession", TypeId::kString, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("identifier", TypeId::kString, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("division", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("description", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("version", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("created_date", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("updated_date", TypeId::kString));
+    static const char* kDivisions[] = {"PRO", "EUK", "VRL", "BCT"};
+    for (int64_t i = 0; i < n; ++i) {
+      Value taxon = rng.Bernoulli(0.02)
+                        ? Value::Null()
+                        : Int(kTaxonBase + rng.Uniform(0, n_taxon - 1));
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kBioentryBase + i),
+           Int(kBiodatabaseBase + rng.Uniform(0, n_biodatabase - 1)),
+           std::move(taxon),
+           Str(rng.Choice(NounPool()) + "_" + rng.DigitString(1, 3)),
+           Str(MakeUniprotAccession(i)), Str("90" + std::to_string(10000 + i)),
+           Str(kDivisions[rng.Uniform(0, 3)]), Str(MakeSentence(&rng, 7)),
+           Int(rng.Uniform(0, 3)), Str(DatePool(&rng)), Str(DatePool(&rng))}));
+    }
+  }
+
+  // ---- sg_bioentry_relationship -----------------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t,
+                            catalog->CreateTable("sg_bioentry_relationship"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("object_bioentry_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("subject_bioentry_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("term_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("rank", TypeId::kInteger));
+    for (int64_t i = 0; i < n_relationship; ++i) {
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kRelationshipBase + i),
+           Int(kBioentryBase + rng.Uniform(0, n - 1)),
+           Int(kBioentryBase + rng.Uniform(0, n - 1)),
+           Int(kTermBase + rng.Uniform(0, n_term - 1)),
+           Int(rng.Uniform(0, 5))}));
+    }
+  }
+
+  // ---- sg_biosequence (keyed by bioentry_id; covers 90% of bioentries) ---
+  std::vector<int64_t> biosequence_keys;
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("sg_biosequence"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("bioentry_id", TypeId::kInteger, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("version", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("length", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("alphabet", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("seq", TypeId::kLob));
+    static const char* kAlphabets[] = {"protein", "dna", "rna"};
+    for (int64_t i = 0; i < n_biosequence; ++i) {
+      // First n_biosequence bioentries own a sequence (distinct keys).
+      biosequence_keys.push_back(kBioentryBase + i);
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kBioentryBase + i), Int(rng.Uniform(0, 3)),
+           Int(rng.Uniform(50, 2000)), Str(kAlphabets[rng.Uniform(0, 2)]),
+           Str(rng.AlphaString(60, 200))}));
+    }
+  }
+
+  // ---- sg_dbxref ---------------------------------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("sg_dbxref"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("dbname", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("accession", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("version", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("description", TypeId::kString));
+    static const char* kDbNames[] = {"GenBank", "EMBL", "DDBJ", "PDB"};
+    for (int64_t i = 0; i < n_dbxref; ++i) {
+      // External accessions of mixed shape: ~50% digit-only, so the strict
+      // accession letter criterion fails for this column.
+      std::string accession = rng.Bernoulli(0.5)
+                                  ? "12" + rng.DigitString(4, 4)
+                                  : "GO:" + rng.DigitString(7, 7);
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kDbxrefBase + i), Str(kDbNames[rng.Uniform(0, 3)]),
+           Str(std::move(accession)), Int(rng.Uniform(0, 3)),
+           Str(MakeSentence(&rng, 5))}));
+    }
+  }
+
+  // ---- sg_bioentry_dbxref -------------------------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t,
+                            catalog->CreateTable("sg_bioentry_dbxref"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("bioentry_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("dbxref_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("rank", TypeId::kInteger));
+    for (int64_t i = 0; i < n_bioentry_dbxref; ++i) {
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kBioentryBase + rng.Uniform(0, n - 1)),
+           Int(kDbxrefBase + rng.Uniform(0, n_dbxref - 1)),
+           Int(rng.Uniform(0, 5))}));
+    }
+  }
+
+  // ---- sg_reference --------------------------------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("sg_reference"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("dbxref_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("location", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("title", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("authors", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("crc", TypeId::kString, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("pubmed_id", TypeId::kInteger, true));
+    // CRCs must be unique: regenerate on (unlikely) collision.
+    std::set<std::string> used_crcs;
+    for (int64_t i = 0; i < n_reference; ++i) {
+      std::string crc = MakeCrc(&rng);
+      while (used_crcs.contains(crc)) crc = MakeCrc(&rng);
+      used_crcs.insert(crc);
+      Value dbxref = rng.Bernoulli(0.1)
+                         ? Value::Null()
+                         : Int(kDbxrefBase + rng.Uniform(0, n_dbxref - 1));
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kReferenceBase + i), std::move(dbxref),
+           Str("J Mol Biol " + rng.DigitString(1, 3) + "(" +
+               rng.DigitString(1, 2) + "):" + rng.DigitString(1, 6)),
+           Str(MakeSentence(&rng, 9)), Str(MakeSentence(&rng, 4)),
+           Str(std::move(crc)), Int(kPubmedBase + i)}));
+    }
+  }
+
+  // ---- sg_bioentry_reference ------------------------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t,
+                            catalog->CreateTable("sg_bioentry_reference"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("bioentry_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("reference_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("start_pos", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("end_pos", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("rank", TypeId::kInteger));
+    for (int64_t i = 0; i < n_bioentry_reference; ++i) {
+      const int64_t start = rng.Uniform(1, 4000);
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kBioentryBase + rng.Uniform(0, n - 1)),
+           Int(kReferenceBase + rng.Uniform(0, n_reference - 1)), Int(start),
+           Int(start + rng.Uniform(10, 900)), Int(rng.Uniform(0, 5))}));
+    }
+  }
+
+  // ---- sg_seqfeature (bioentry_id drawn from biosequence keys: the FK
+  //      chain sg_seqfeature.bioentry_id → sg_biosequence.bioentry_id →
+  //      sg_bioentry.id) ---------------------------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("sg_seqfeature"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("bioentry_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("type_term_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("source_term_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("display_name", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("rank", TypeId::kInteger));
+    for (int64_t i = 0; i < n_seqfeature; ++i) {
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kSeqfeatureBase + i),
+           Int(biosequence_keys[static_cast<size_t>(rng.Uniform(
+               0, static_cast<int64_t>(biosequence_keys.size()) - 1))]),
+           Int(kTermBase + rng.Uniform(0, n_term - 1)),
+           Int(kTermBase + rng.Uniform(0, n_term - 1)),
+           Str(rng.Choice(NounPool()) + "-" + rng.DigitString(1, 3)),
+           Int(rng.Uniform(0, 5))}));
+    }
+  }
+
+  // ---- sg_location -----------------------------------------------------------
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("sg_location"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("seqfeature_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("start_pos", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("end_pos", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("strand", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("rank", TypeId::kInteger));
+    for (int64_t i = 0; i < n_location; ++i) {
+      const int64_t start = rng.Uniform(1, 4000);
+      SPIDER_RETURN_NOT_OK(t->AppendRow(
+          {Int(kLocationBase + i),
+           Int(kSeqfeatureBase + rng.Uniform(0, n_seqfeature - 1)), Int(start),
+           Int(start + rng.Uniform(5, 500)), Int(rng.Uniform(-1, 1)),
+           Int(rng.Uniform(0, 5))}));
+    }
+  }
+
+  // ---- sg_comment (EMPTY: its declared FKs are undetectable from data) ---
+  {
+    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("sg_comment"));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger, true));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("bioentry_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("term_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("comment_text", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(t->AddColumn("rank", TypeId::kInteger));
+  }
+
+  // ---- declared foreign keys (the gold standard) --------------------------
+  auto fk = [&](const char* dt, const char* dc, const char* rt,
+                const char* rc) {
+    catalog->DeclareForeignKey(ForeignKey{{dt, dc}, {rt, rc}});
+  };
+  fk("sg_taxon", "parent_taxon_id", "sg_taxon", "id");
+  fk("sg_taxon_name", "taxon_id", "sg_taxon", "id");
+  fk("sg_term", "ontology_id", "sg_ontology", "id");
+  fk("sg_term_synonym", "term_id", "sg_term", "id");
+  fk("sg_bioentry", "biodatabase_id", "sg_biodatabase", "id");
+  fk("sg_bioentry", "taxon_id", "sg_taxon", "id");
+  fk("sg_bioentry_relationship", "object_bioentry_id", "sg_bioentry", "id");
+  fk("sg_bioentry_relationship", "subject_bioentry_id", "sg_bioentry", "id");
+  fk("sg_bioentry_relationship", "term_id", "sg_term", "id");
+  fk("sg_biosequence", "bioentry_id", "sg_bioentry", "id");
+  fk("sg_bioentry_dbxref", "bioentry_id", "sg_bioentry", "id");
+  fk("sg_bioentry_dbxref", "dbxref_id", "sg_dbxref", "id");
+  fk("sg_reference", "dbxref_id", "sg_dbxref", "id");
+  fk("sg_bioentry_reference", "bioentry_id", "sg_bioentry", "id");
+  fk("sg_bioentry_reference", "reference_id", "sg_reference", "id");
+  fk("sg_seqfeature", "bioentry_id", "sg_biosequence", "bioentry_id");
+  fk("sg_seqfeature", "type_term_id", "sg_term", "id");
+  fk("sg_seqfeature", "source_term_id", "sg_term", "id");
+  fk("sg_location", "seqfeature_id", "sg_seqfeature", "id");
+  fk("sg_comment", "bioentry_id", "sg_bioentry", "id");  // empty table
+  fk("sg_comment", "term_id", "sg_term", "id");          // empty table
+
+  return catalog;
+}
+
+}  // namespace spider::datagen

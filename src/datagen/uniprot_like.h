@@ -1,0 +1,39 @@
+// Synthetic UniProt stand-in: a BioSQL-style schema (paper Sec. 1.4).
+//
+// Mirrors the structural properties that drive the paper's experiments:
+//  * 16 tables / ~85 attributes with declared foreign keys (gold standard);
+//  * exactly three accession-number candidates (sg_bioentry.accession,
+//    sg_reference.crc, sg_ontology.name) with sg_bioentry as the correct
+//    primary relation;
+//  * two foreign keys declared on an empty table (sg_comment), which no
+//    instance-driven method can detect;
+//  * one FK chain (sg_seqfeature.bioentry_id → sg_biosequence.bioentry_id →
+//    sg_bioentry.id) whose transitive consequence appears as a discovered
+//    IND that is not a declared FK;
+//  * disjoint surrogate-key ranges across tables, so no coincidental INDs
+//    arise between keys (the paper reports zero false positives here).
+
+#pragma once
+
+#include <memory>
+
+#include "src/common/result.h"
+#include "src/storage/catalog.h"
+
+namespace spider::datagen {
+
+/// Options for MakeUniprotLike.
+struct UniprotLikeOptions {
+  /// Number of rows in the central sg_bioentry table; all child-table row
+  /// counts scale with it.
+  int64_t bioentries = 300;
+  /// PRNG seed; identical options yield identical catalogs.
+  uint64_t seed = 42;
+};
+
+/// Builds the catalog. All constraints (unique columns, foreign keys) are
+/// declared so evaluations have a gold standard.
+Result<std::unique_ptr<Catalog>> MakeUniprotLike(
+    const UniprotLikeOptions& options = {});
+
+}  // namespace spider::datagen

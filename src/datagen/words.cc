@@ -1,0 +1,115 @@
+#include "src/datagen/words.h"
+
+#include "src/common/logging.h"
+
+namespace spider::datagen {
+
+const std::vector<std::string>& NounPool() {
+  static const std::vector<std::string> pool = {
+      "kinase",        "receptor",   "binding",     "membrane",  "transport",
+      "domain",        "helix",      "sheet",       "loop",      "motif",
+      "complex",       "subunit",    "chain",       "residue",   "ligand",
+      "enzyme",        "substrate",  "inhibitor",   "activator", "promoter",
+      "operon",        "plasmid",    "vector",      "genome",    "exon",
+      "intron",        "codon",      "ribosome",    "histone",   "chromatin",
+      "polymerase",    "helicase",   "ligase",      "nuclease",  "protease",
+      "phosphatase",   "transferase", "hydrolase",  "oxidase",   "reductase",
+      "cytoplasm",     "nucleus",    "mitochondria", "vesicle",  "lysosome",
+      "signal",        "pathway",    "cascade",     "cycle",     "gradient",
+      "ion",           "atp",        "gtp",         "nad",       "heme",
+      "zinc",          "iron",       "copper",      "calcium",   "sodium"};
+  return pool;
+}
+
+const std::vector<std::string>& OrganismPool() {
+  static const std::vector<std::string> pool = {
+      "homo sapiens",          "mus musculus",
+      "rattus norvegicus",     "danio rerio",
+      "drosophila melanogaster", "caenorhabditis elegans",
+      "saccharomyces cerevisiae", "escherichia coli",
+      "bacillus subtilis",     "arabidopsis thaliana",
+      "oryza sativa",          "gallus gallus",
+      "bos taurus",            "sus scrofa",
+      "xenopus laevis",        "takifugu rubripes"};
+  return pool;
+}
+
+const std::vector<std::string>& RankPool() {
+  static const std::vector<std::string> pool = {
+      "species", "genus",  "family", "order",
+      "class",   "phylum", "kingdom", "superkingdom"};
+  return pool;
+}
+
+const std::vector<std::string>& OntologyNamePool() {
+  // All names 15-18 chars: spread (18-15)/18 = 0.167 <= 0.20, every value
+  // has letters and length >= 4, so the column is an accession-number
+  // candidate by the paper's Heuristic 1 (as sg_ontology.name was).
+  static const std::vector<std::string> pool = {
+      "biological_process",   // 18
+      "molecular_function",   // 18
+      "cellular_component",   // 18
+      "sequence_topology",    // 17
+      "sequence_variant1",    // 17
+      "protein_modifica",     // 16
+      "pathway_ontology",     // 16
+      "anatomy_ontology",     // 16
+      "disease_ontology",     // 16
+      "phenotype_trait0",     // 16
+      "chemical_entity9",     // 16
+      "evidence_code_a1",     // 16
+      "interaction_type",     // 16
+      "genome_component",     // 16
+      "homology_cluster",     // 16
+      "expression_stage"};    // 16
+  return pool;
+}
+
+const std::vector<std::string>& MethodPool() {
+  static const std::vector<std::string> pool = {
+      "x-ray diffraction", "solution nmr", "electron microscopy",
+      "neutron diffraction", "fiber diffraction", "solid-state nmr"};
+  return pool;
+}
+
+std::string MakeSentence(Random* rng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += rng->Choice(NounPool());
+  }
+  return out;
+}
+
+std::string MakeUniprotAccession(int64_t ordinal) {
+  SPIDER_CHECK_GE(ordinal, 0);
+  const char letter = static_cast<char>('A' + ordinal % 26);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%c%05ld", letter, ordinal % 100000);
+  return buf;
+}
+
+std::string MakePdbCode(int64_t ordinal) {
+  SPIDER_CHECK_GE(ordinal, 0);
+  // digit + three letters: "1abc" — always contains a letter, length 4.
+  char buf[5];
+  buf[0] = static_cast<char>('1' + (ordinal / (26 * 26 * 26)) % 9);
+  buf[1] = static_cast<char>('a' + (ordinal / (26 * 26)) % 26);
+  buf[2] = static_cast<char>('a' + (ordinal / 26) % 26);
+  buf[3] = static_cast<char>('a' + ordinal % 26);
+  buf[4] = '\0';
+  return buf;
+}
+
+std::string MakeCrc(Random* rng) {
+  static const char hex[] = "0123456789ABCDEF";
+  std::string out(8, '0');
+  // First char from A-F guarantees a letter.
+  out[0] = static_cast<char>('A' + rng->Uniform(0, 5));
+  for (size_t i = 1; i < out.size(); ++i) {
+    out[i] = hex[rng->Uniform(0, 15)];
+  }
+  return out;
+}
+
+}  // namespace spider::datagen

@@ -1,0 +1,46 @@
+// Word pools for generating realistic life-science-flavoured strings.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace spider::datagen {
+
+/// Lower-case English-ish nouns of varying length (3-14 chars), used for
+/// names, keywords and synonyms. Varying lengths matter: columns built from
+/// these must NOT qualify as accession-number candidates (length spread
+/// exceeds 20%).
+const std::vector<std::string>& NounPool();
+
+/// Species-style binomials ("homo sapiens", ...).
+const std::vector<std::string>& OrganismPool();
+
+/// Taxonomic rank names ("species", "genus", ...).
+const std::vector<std::string>& RankPool();
+
+/// Ontology namespace names, all 15-18 characters long so that the column
+/// DOES qualify as an accession-number candidate (mirrors sg_ontology.name
+/// in the paper's BioSQL findings).
+const std::vector<std::string>& OntologyNamePool();
+
+/// Experimental method names for the PDB-like generator.
+const std::vector<std::string>& MethodPool();
+
+/// A multi-word pseudo-sentence of `words` words.
+std::string MakeSentence(Random* rng, int words);
+
+/// A UniProt-style accession: one upper-case letter + 5 digits ("Q12345").
+/// Deterministic in `ordinal` so values are unique.
+std::string MakeUniprotAccession(int64_t ordinal);
+
+/// A PDB-style 4-character entry code with at least one letter ("1abc").
+/// Deterministic in `ordinal`, unique for ordinal < 26^3 * 9.
+std::string MakePdbCode(int64_t ordinal);
+
+/// An 8-character upper-case hex CRC with a guaranteed letter.
+std::string MakeCrc(Random* rng);
+
+}  // namespace spider::datagen

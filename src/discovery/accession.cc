@@ -1,0 +1,69 @@
+#include "src/discovery/accession.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace spider {
+
+bool AccessionNumberDetector::Evaluate(const Column& column,
+                                       AccessionCandidate* out) const {
+  if (column.non_null_count() < options_.min_values) return false;
+  if (column.type() == TypeId::kLob) return false;
+
+  int64_t conforming = 0;
+  int64_t total = 0;
+  std::vector<int64_t> lengths;
+  for (const Value& v : column.values()) {
+    if (v.is_null()) continue;
+    ++total;
+    const std::string canon = v.ToCanonicalString();
+    const int64_t len = static_cast<int64_t>(canon.size());
+    if (len >= options_.min_length && ContainsLetter(canon)) {
+      ++conforming;
+      lengths.push_back(len);
+    }
+  }
+  if (total == 0 || lengths.empty()) return false;
+
+  const double fraction =
+      static_cast<double>(conforming) / static_cast<double>(total);
+  if (fraction < options_.min_conforming_fraction) return false;
+
+  auto [min_it, max_it] = std::minmax_element(lengths.begin(), lengths.end());
+  const double spread =
+      static_cast<double>(*max_it - *min_it) / static_cast<double>(*max_it);
+  if (spread > options_.max_length_spread) return false;
+
+  if (out != nullptr) {
+    out->conforming_fraction = fraction;
+    out->min_length = *min_it;
+    out->max_length = *max_it;
+  }
+  return true;
+}
+
+Result<bool> AccessionNumberDetector::IsCandidate(
+    const Catalog& catalog, const AttributeRef& attribute) const {
+  SPIDER_ASSIGN_OR_RETURN(const Column* column,
+                          catalog.ResolveAttribute(attribute));
+  return Evaluate(*column, nullptr);
+}
+
+Result<std::vector<AccessionCandidate>> AccessionNumberDetector::Detect(
+    const Catalog& catalog) const {
+  std::vector<AccessionCandidate> out;
+  for (int t = 0; t < catalog.table_count(); ++t) {
+    const Table& table = catalog.table(t);
+    for (int c = 0; c < table.column_count(); ++c) {
+      AccessionCandidate candidate;
+      candidate.attribute = {table.name(), table.column(c).name()};
+      if (Evaluate(table.column(c), &candidate)) {
+        out.push_back(std::move(candidate));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spider

@@ -1,0 +1,64 @@
+// Accession-number candidate detection (paper Sec. 5, Heuristic 1).
+//
+// In life-science databases the identifiers of the primary objects
+// ("accession numbers") follow a recognizable shape: every value is at
+// least four characters long, contains at least one letter, and the value
+// lengths differ by no more than 20%. The paper also uses a softened rule
+// where only a fraction (99.98%) of the values must conform, to tolerate a
+// handful of dirty entries.
+
+#pragma once
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+/// Options for AccessionNumberDetector.
+struct AccessionDetectorOptions {
+  /// Minimum value length.
+  int min_length = 4;
+  /// Maximum relative length spread: (max_len - min_len) / max_len.
+  double max_length_spread = 0.20;
+  /// Fraction of non-NULL values that must satisfy the per-value criteria
+  /// (length and letter). 1.0 is the strict rule; the paper's softened rule
+  /// uses 0.9998. Values failing the per-value criteria are also excluded
+  /// from the length-spread computation.
+  double min_conforming_fraction = 1.0;
+  /// Columns with fewer non-NULL values than this cannot be accession
+  /// candidates (identifiers of primary objects are plentiful).
+  int64_t min_values = 1;
+};
+
+/// One detected accession-number candidate.
+struct AccessionCandidate {
+  AttributeRef attribute;
+  /// Fraction of non-NULL values satisfying the per-value criteria.
+  double conforming_fraction = 0;
+  /// Length extremes among conforming values.
+  int64_t min_length = 0;
+  int64_t max_length = 0;
+};
+
+/// \brief Scans catalog columns for accession-number candidates.
+class AccessionNumberDetector {
+ public:
+  explicit AccessionNumberDetector(AccessionDetectorOptions options = {})
+      : options_(options) {}
+
+  /// Tests one column.
+  Result<bool> IsCandidate(const Catalog& catalog,
+                           const AttributeRef& attribute) const;
+
+  /// Returns all candidates in the catalog, in attribute order.
+  Result<std::vector<AccessionCandidate>> Detect(const Catalog& catalog) const;
+
+ private:
+  bool Evaluate(const Column& column, AccessionCandidate* out) const;
+
+  AccessionDetectorOptions options_;
+};
+
+}  // namespace spider

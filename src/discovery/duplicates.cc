@@ -1,0 +1,76 @@
+#include "src/discovery/duplicates.h"
+
+#include <algorithm>
+#include <set>
+
+namespace spider {
+
+namespace {
+
+Result<std::set<std::string>> DistinctValues(const Catalog& catalog,
+                                             const AttributeRef& attribute) {
+  SPIDER_ASSIGN_OR_RETURN(const Column* column,
+                          catalog.ResolveAttribute(attribute));
+  std::set<std::string> out;
+  for (const Value& v : column->values()) {
+    if (!v.is_null()) out.insert(v.ToCanonicalString());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<DuplicateReport>> DuplicateDetector::Detect(
+    const Catalog& left, const Catalog& right) const {
+  AccessionNumberDetector detector(options_.accession);
+  SPIDER_ASSIGN_OR_RETURN(std::vector<AccessionCandidate> left_candidates,
+                          detector.Detect(left));
+  SPIDER_ASSIGN_OR_RETURN(std::vector<AccessionCandidate> right_candidates,
+                          detector.Detect(right));
+
+  std::vector<DuplicateReport> reports;
+  for (const AccessionCandidate& lc : left_candidates) {
+    SPIDER_ASSIGN_OR_RETURN(std::set<std::string> left_values,
+                            DistinctValues(left, lc.attribute));
+    if (left_values.empty()) continue;
+    for (const AccessionCandidate& rc : right_candidates) {
+      SPIDER_ASSIGN_OR_RETURN(std::set<std::string> right_values,
+                              DistinctValues(right, rc.attribute));
+      if (right_values.empty()) continue;
+
+      DuplicateReport report;
+      report.left = lc.attribute;
+      report.right = rc.attribute;
+      for (const std::string& v : left_values) {
+        if (right_values.contains(v)) {
+          ++report.shared_count;
+          if (options_.max_samples > 0 &&
+              static_cast<int>(report.samples.size()) < options_.max_samples) {
+            report.samples.push_back(v);
+          }
+        }
+      }
+      if (report.shared_count == 0) continue;
+      report.left_overlap = static_cast<double>(report.shared_count) /
+                            static_cast<double>(left_values.size());
+      report.right_overlap = static_cast<double>(report.shared_count) /
+                             static_cast<double>(right_values.size());
+      const double smaller_side_overlap =
+          std::max(report.left_overlap, report.right_overlap);
+      if (smaller_side_overlap >= options_.min_overlap) {
+        reports.push_back(std::move(report));
+      }
+    }
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const DuplicateReport& a, const DuplicateReport& b) {
+              if (a.shared_count != b.shared_count) {
+                return a.shared_count > b.shared_count;
+              }
+              if (!(a.left == b.left)) return a.left < b.left;
+              return a.right < b.right;
+            });
+  return reports;
+}
+
+}  // namespace spider

@@ -1,0 +1,63 @@
+// Duplicate-object detection across data sources (Aladin step 5, paper
+// Sec. 1.1: "In the fifth step duplicate objects are detected and
+// flagged").
+//
+// In the life-science setting the same primary object (a protein, a
+// structure) appears in several databases under the same accession number.
+// Given two catalogs, this module compares the value sets of their
+// accession-number candidates; attribute pairs with substantial overlap
+// indicate duplicated object populations, and the overlapping values
+// identify the duplicated objects themselves.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/discovery/accession.h"
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+/// Options for DuplicateDetector.
+struct DuplicateDetectorOptions {
+  AccessionDetectorOptions accession;
+  /// Minimum overlap fraction (relative to the smaller value set) for a
+  /// pair to be reported.
+  double min_overlap = 0.05;
+  /// At most this many sample duplicate identifiers are materialized per
+  /// pair (0 = none).
+  int max_samples = 10;
+};
+
+/// One detected duplicate population.
+struct DuplicateReport {
+  /// Accession attribute in each catalog.
+  AttributeRef left;
+  AttributeRef right;
+  /// Distinct identifiers occurring on both sides.
+  int64_t shared_count = 0;
+  /// shared / distinct(left) and shared / distinct(right).
+  double left_overlap = 0;
+  double right_overlap = 0;
+  /// Up to max_samples shared identifiers (sorted).
+  std::vector<std::string> samples;
+};
+
+/// \brief Flags duplicated object populations between two catalogs.
+class DuplicateDetector {
+ public:
+  explicit DuplicateDetector(DuplicateDetectorOptions options = {})
+      : options_(options) {}
+
+  /// Compares every accession-candidate pair (left × right); returns
+  /// reports sorted by descending shared count.
+  Result<std::vector<DuplicateReport>> Detect(const Catalog& left,
+                                              const Catalog& right) const;
+
+ private:
+  DuplicateDetectorOptions options_;
+};
+
+}  // namespace spider

@@ -1,0 +1,77 @@
+#include "src/discovery/graph_export.h"
+
+#include <set>
+
+namespace spider {
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string ExportSchemaDot(const SchemaReport& report,
+                            const GraphExportOptions& options) {
+  std::string out;
+  out += "digraph \"" + DotEscape(options.name) + "\" {\n";
+  out += "  rankdir=LR;\n";
+  out += "  node [shape=box, fontname=\"Helvetica\"];\n";
+
+  // Collect every table that participates in the picture.
+  std::set<std::string> tables;
+  for (const KeyCandidate& key : report.key_candidates) {
+    tables.insert(key.attribute.table);
+  }
+  for (const ForeignKey& fk : report.fk_guesses) {
+    tables.insert(fk.referencing.table);
+    tables.insert(fk.referenced.table);
+  }
+  if (options.include_filtered) {
+    for (const Ind& ind : report.surrogate_filtered) {
+      tables.insert(ind.dependent.table);
+      tables.insert(ind.referenced.table);
+    }
+  }
+
+  const std::string primary =
+      report.primary_relations.empty() ? "" : report.primary_relations[0].table;
+  for (const std::string& table : tables) {
+    out += "  \"" + DotEscape(table) + "\"";
+    if (table == primary) {
+      out += " [style=filled, fillcolor=lightgoldenrod, "
+             "xlabel=\"primary relation\"]";
+    }
+    out += ";\n";
+  }
+
+  // Foreign-key guesses: child -> parent, labelled with the column pair.
+  for (const ForeignKey& fk : report.fk_guesses) {
+    out += "  \"" + DotEscape(fk.referencing.table) + "\" -> \"" +
+           DotEscape(fk.referenced.table) + "\" [label=\"" +
+           DotEscape(fk.referencing.column + " -> " + fk.referenced.column) +
+           "\"];\n";
+  }
+
+  if (options.include_filtered) {
+    for (const Ind& ind : report.surrogate_filtered) {
+      out += "  \"" + DotEscape(ind.dependent.table) + "\" -> \"" +
+             DotEscape(ind.referenced.table) +
+             "\" [style=dashed, color=gray, label=\"" +
+             DotEscape(ind.dependent.column + " ~ " + ind.referenced.column) +
+             "\"];\n";
+    }
+  }
+
+  out += "}\n";
+  return out;
+}
+
+}  // namespace spider

@@ -1,0 +1,33 @@
+// Schema-graph export: renders the discovered structure as Graphviz DOT.
+//
+// The end product of schema discovery is a picture of an undocumented
+// database: tables as nodes, foreign-key guesses as edges, the primary
+// relation highlighted. This module turns a SchemaReport into a DOT
+// document that `dot -Tsvg` renders directly.
+
+#pragma once
+
+#include <string>
+
+#include "src/discovery/report.h"
+
+namespace spider {
+
+/// Options controlling the rendering.
+struct GraphExportOptions {
+  /// Graph name (DOT identifier).
+  std::string name = "schema";
+  /// Also draw edges for INDs removed by the surrogate filter (dashed).
+  bool include_filtered = false;
+};
+
+/// Renders the report's tables, foreign-key guesses and primary relation
+/// as a DOT digraph. Attribute labels are escaped for DOT strings.
+std::string ExportSchemaDot(const SchemaReport& report,
+                            const GraphExportOptions& options = {});
+
+/// Escapes a string for use inside a double-quoted DOT string. Exposed for
+/// tests.
+std::string DotEscape(const std::string& s);
+
+}  // namespace spider

@@ -1,0 +1,105 @@
+#include "src/discovery/link_discovery.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace spider {
+
+std::string StripAccessionPrefix(const std::string& value,
+                                 const std::string& separators) {
+  // Find the first separator; the prefix before it must be non-empty and
+  // the remainder non-empty.
+  const size_t pos = value.find_first_of(separators);
+  if (pos == std::string::npos || pos == 0 || pos + 1 >= value.size()) {
+    return value;
+  }
+  return value.substr(pos + 1);
+}
+
+Result<std::vector<DatabaseLink>> LinkDiscovery::FindLinks(
+    const Catalog& source, const Catalog& target) const {
+  std::vector<DatabaseLink> links;
+
+  // Step 1: accession attributes of the target database.
+  AccessionNumberDetector detector(options_.accession);
+  SPIDER_ASSIGN_OR_RETURN(std::vector<AccessionCandidate> accessions,
+                          detector.Detect(target));
+  if (accessions.empty()) return links;
+
+  // Hash the distinct values of each target accession attribute once.
+  struct TargetSet {
+    AttributeRef attribute;
+    std::unordered_set<std::string> values;
+  };
+  std::vector<TargetSet> targets;
+  for (const AccessionCandidate& acc : accessions) {
+    SPIDER_ASSIGN_OR_RETURN(const Column* column,
+                            target.ResolveAttribute(acc.attribute));
+    TargetSet set;
+    set.attribute = acc.attribute;
+    for (const Value& v : column->values()) {
+      if (!v.is_null()) set.values.insert(v.ToCanonicalString());
+    }
+    targets.push_back(std::move(set));
+  }
+
+  // Step 2: test every eligible source attribute against each target set.
+  for (int t = 0; t < source.table_count(); ++t) {
+    const Table& table = source.table(t);
+    for (int c = 0; c < table.column_count(); ++c) {
+      const Column& column = table.column(c);
+      if (!column.has_data() || !IsIndEligibleType(column.type())) continue;
+      const AttributeRef source_attr{table.name(), column.name()};
+
+      // Distinct source values (raw, and optionally prefix-stripped).
+      std::unordered_set<std::string> raw;
+      std::unordered_set<std::string> stripped;
+      bool any_stripped = false;
+      for (const Value& v : column.values()) {
+        if (v.is_null()) continue;
+        std::string canon = v.ToCanonicalString();
+        if (options_.try_prefix_stripping) {
+          std::string s =
+              StripAccessionPrefix(canon, options_.prefix_separators);
+          if (s != canon) any_stripped = true;
+          stripped.insert(std::move(s));
+        }
+        raw.insert(std::move(canon));
+      }
+      if (raw.empty()) continue;
+
+      for (const TargetSet& target_set : targets) {
+        auto coverage_of = [&](const std::unordered_set<std::string>& values) {
+          int64_t hit = 0;
+          for (const std::string& v : values) {
+            if (target_set.values.contains(v)) ++hit;
+          }
+          return static_cast<double>(hit) / static_cast<double>(values.size());
+        };
+
+        const double raw_coverage = coverage_of(raw);
+        if (raw_coverage >= options_.min_coverage) {
+          links.push_back(DatabaseLink{source_attr, target_set.attribute,
+                                       raw_coverage, false});
+          continue;
+        }
+        if (options_.try_prefix_stripping && any_stripped) {
+          const double stripped_coverage = coverage_of(stripped);
+          if (stripped_coverage >= options_.min_coverage) {
+            links.push_back(DatabaseLink{source_attr, target_set.attribute,
+                                         stripped_coverage, true});
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(links.begin(), links.end(),
+            [](const DatabaseLink& a, const DatabaseLink& b) {
+              if (!(a.source == b.source)) return a.source < b.source;
+              return a.target < b.target;
+            });
+  return links;
+}
+
+}  // namespace spider

@@ -1,0 +1,77 @@
+// Cross-database link discovery (Aladin step 4, paper Sec. 1.1 / Sec. 7).
+//
+// Databases in the domain link to each other through accession numbers:
+// attributes in a source database contain the accession numbers of another
+// database's primary objects. Link discovery therefore only tests source
+// attributes against the target database's primary-relation accession
+// attributes — "drastically reducing the search space" (Sec. 1.1).
+//
+// The paper's future work on concatenated values ("PDB-144f" vs "144f") is
+// implemented via an optional prefix-stripping normalizer applied to the
+// source attribute's values before testing.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/temp_dir.h"
+#include "src/discovery/accession.h"
+#include "src/ind/candidate.h"
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+/// Options for LinkDiscovery.
+struct LinkDiscoveryOptions {
+  AccessionDetectorOptions accession;
+  /// Minimum fraction of distinct source values contained in the target
+  /// accession attribute for a link (1.0 = exact IND; lower values find
+  /// partial links on dirty data).
+  double min_coverage = 1.0;
+  /// When true, also test each source attribute with known separator
+  /// prefixes stripped ("PDB-144f" → "144f"). A link found this way is
+  /// reported with `via_prefix_strip = true`.
+  bool try_prefix_stripping = false;
+  /// Separators recognized by the prefix stripper.
+  std::string prefix_separators = ":-/|";
+};
+
+/// One discovered cross-database link.
+struct DatabaseLink {
+  /// Attribute in the source database whose values are accession numbers
+  /// of the target.
+  AttributeRef source;
+  /// Accession attribute in the target database.
+  AttributeRef target;
+  /// Fraction of distinct source values found in the target.
+  double coverage = 0;
+  /// True when the link only holds after stripping a "PREFIX<sep>" from
+  /// source values.
+  bool via_prefix_strip = false;
+};
+
+/// \brief Finds links from a source database into a target database's
+/// primary relation.
+class LinkDiscovery {
+ public:
+  explicit LinkDiscovery(LinkDiscoveryOptions options = {})
+      : options_(options) {}
+
+  /// Tests every eligible source attribute against the target's accession
+  /// attributes (detected by the accession heuristic over `target`).
+  Result<std::vector<DatabaseLink>> FindLinks(const Catalog& source,
+                                              const Catalog& target) const;
+
+ private:
+  LinkDiscoveryOptions options_;
+};
+
+/// Strips one leading "PREFIX<sep>" token ("PDB-144f" → "144f") when the
+/// remainder is non-empty; returns the input unchanged otherwise. Exposed
+/// for testing.
+std::string StripAccessionPrefix(const std::string& value,
+                                 const std::string& separators);
+
+}  // namespace spider

@@ -1,0 +1,40 @@
+#include "src/discovery/primary_relation.h"
+
+#include <algorithm>
+#include <map>
+
+namespace spider {
+
+Result<std::vector<PrimaryRelationCandidate>> PrimaryRelationFinder::Rank(
+    const Catalog& catalog, const std::vector<Ind>& satisfied_inds) const {
+  SPIDER_ASSIGN_OR_RETURN(std::vector<AccessionCandidate> accessions,
+                          detector_.Detect(catalog));
+
+  std::map<std::string, PrimaryRelationCandidate> by_table;
+  for (AccessionCandidate& acc : accessions) {
+    PrimaryRelationCandidate& entry = by_table[acc.attribute.table];
+    entry.table = acc.attribute.table;
+    entry.accession_candidates.push_back(std::move(acc));
+  }
+  if (by_table.empty()) return std::vector<PrimaryRelationCandidate>{};
+
+  for (const Ind& ind : satisfied_inds) {
+    auto it = by_table.find(ind.referenced.table);
+    if (it != by_table.end()) ++it->second.inbound_ind_count;
+  }
+
+  std::vector<PrimaryRelationCandidate> ranked;
+  ranked.reserve(by_table.size());
+  for (auto& [_, entry] : by_table) ranked.push_back(std::move(entry));
+  std::sort(ranked.begin(), ranked.end(),
+            [](const PrimaryRelationCandidate& a,
+               const PrimaryRelationCandidate& b) {
+              if (a.inbound_ind_count != b.inbound_ind_count) {
+                return a.inbound_ind_count > b.inbound_ind_count;
+              }
+              return a.table < b.table;
+            });
+  return ranked;
+}
+
+}  // namespace spider

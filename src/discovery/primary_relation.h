@@ -1,0 +1,45 @@
+// Primary-relation identification (paper Sec. 5, Heuristic 2).
+//
+// Life-science databases hold one major class of objects; its relation (the
+// "primary relation") is the one whose attributes are referenced by the
+// most satisfied INDs, among relations that contain an accession-number
+// candidate.
+
+#pragma once
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/discovery/accession.h"
+#include "src/ind/candidate.h"
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+/// One ranked primary-relation candidate.
+struct PrimaryRelationCandidate {
+  std::string table;
+  /// Satisfied INDs whose referenced attribute lies in this table.
+  int64_t inbound_ind_count = 0;
+  /// Accession-number candidates found in this table.
+  std::vector<AccessionCandidate> accession_candidates;
+};
+
+/// \brief Ranks tables by the primary-relation heuristics.
+class PrimaryRelationFinder {
+ public:
+  explicit PrimaryRelationFinder(AccessionDetectorOptions accession_options = {})
+      : detector_(accession_options) {}
+
+  /// Returns candidates sorted by descending inbound IND count (ties broken
+  /// by table name for determinism). Only tables containing at least one
+  /// accession-number candidate are returned; the first entry is the
+  /// heuristic's primary-relation guess.
+  Result<std::vector<PrimaryRelationCandidate>> Rank(
+      const Catalog& catalog, const std::vector<Ind>& satisfied_inds) const;
+
+ private:
+  AccessionNumberDetector detector_;
+};
+
+}  // namespace spider

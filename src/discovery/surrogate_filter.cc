@@ -1,0 +1,83 @@
+#include "src/discovery/surrogate_filter.h"
+
+#include <charconv>
+#include <map>
+#include <unordered_set>
+
+namespace spider {
+
+namespace {
+
+// Parses an integer out of a value, accepting integer-typed values and
+// all-digit strings (the paper notes integers are often stored as strings
+// in this domain).
+bool AsInteger(const Value& v, int64_t* out) {
+  if (v.is_integer()) {
+    *out = v.integer();
+    return true;
+  }
+  if (v.is_string()) {
+    const std::string& s = v.string();
+    if (s.empty() || s.size() > 18) return false;
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+    return ec == std::errc() && ptr == s.data() + s.size();
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> SurrogateKeyFilter::IsSurrogateRange(
+    const Catalog& catalog, const AttributeRef& attribute) const {
+  SPIDER_ASSIGN_OR_RETURN(const Column* column,
+                          catalog.ResolveAttribute(attribute));
+  if (column->non_null_count() < options_.min_values) return false;
+
+  std::unordered_set<int64_t> distinct;
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  bool first = true;
+  for (const Value& v : column->values()) {
+    if (v.is_null()) continue;
+    int64_t i = 0;
+    if (!AsInteger(v, &i)) return false;  // any non-integer disqualifies
+    if (first) {
+      min_value = max_value = i;
+      first = false;
+    } else {
+      min_value = std::min(min_value, i);
+      max_value = std::max(max_value, i);
+    }
+    distinct.insert(i);
+  }
+  if (min_value > options_.max_start) return false;
+  const double span = static_cast<double>(max_value - min_value + 1);
+  const double density = static_cast<double>(distinct.size()) / span;
+  return density >= options_.min_density;
+}
+
+Result<FilteredInds> SurrogateKeyFilter::Filter(
+    const Catalog& catalog, const std::vector<Ind>& inds) const {
+  FilteredInds out;
+  std::map<AttributeRef, bool> cache;
+  auto is_surrogate = [&](const AttributeRef& attr) -> Result<bool> {
+    auto it = cache.find(attr);
+    if (it != cache.end()) return it->second;
+    SPIDER_ASSIGN_OR_RETURN(bool result, IsSurrogateRange(catalog, attr));
+    cache.emplace(attr, result);
+    return result;
+  };
+
+  for (const Ind& ind : inds) {
+    SPIDER_ASSIGN_OR_RETURN(bool dep_surrogate, is_surrogate(ind.dependent));
+    SPIDER_ASSIGN_OR_RETURN(bool ref_surrogate, is_surrogate(ind.referenced));
+    if (dep_surrogate && ref_surrogate) {
+      out.filtered.push_back(ind);
+    } else {
+      out.kept.push_back(ind);
+    }
+  }
+  return out;
+}
+
+}  // namespace spider

@@ -1,0 +1,62 @@
+// Surrogate-key false-positive filter (paper Sec. 5 / Sec. 7 future work —
+// implemented).
+//
+// The OpenMMS/PDB schema uses semantic-free integer surrogate IDs whose
+// ranges all begin at 1, which makes almost every pair of ID attributes a
+// satisfied IND without being a foreign key (~30,000 false positives in the
+// paper). The proposed remedy — "analyze the ranges of attributes" — is
+// implemented here: an attribute is classified as a surrogate-ID range when
+// its values are integers forming a dense range starting near 1, and INDs
+// between two such attributes are flagged/filtered.
+
+#pragma once
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/ind/candidate.h"
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+/// Options for SurrogateKeyFilter.
+struct SurrogateFilterOptions {
+  /// Values must be integers with minimum <= this to look like a counter.
+  int64_t max_start = 2;
+  /// distinct / (max - min + 1) must be at least this dense.
+  double min_density = 0.8;
+  /// Attributes with fewer non-NULL values are never classified.
+  int64_t min_values = 2;
+};
+
+/// Classification result for one IND.
+struct FilteredInds {
+  /// INDs kept as plausible foreign-key evidence.
+  std::vector<Ind> kept;
+  /// INDs between two surrogate-ID ranges (likely coincidental).
+  std::vector<Ind> filtered;
+};
+
+/// \brief Detects surrogate-ID attributes and filters coincidental INDs
+/// between them.
+class SurrogateKeyFilter {
+ public:
+  explicit SurrogateKeyFilter(SurrogateFilterOptions options = {})
+      : options_(options) {}
+
+  /// True when the attribute's values form a dense integer range starting
+  /// near 1.
+  Result<bool> IsSurrogateRange(const Catalog& catalog,
+                                const AttributeRef& attribute) const;
+
+  /// Splits INDs into kept / filtered. An IND is filtered only when BOTH
+  /// sides are surrogate ranges — an IND into a surrogate key from a
+  /// non-surrogate column is still meaningful.
+  Result<FilteredInds> Filter(const Catalog& catalog,
+                              const std::vector<Ind>& inds) const;
+
+ private:
+  SurrogateFilterOptions options_;
+};
+
+}  // namespace spider

@@ -1,0 +1,72 @@
+// Minimal unique column combination (UCC) discovery — composite
+// primary-key candidates.
+//
+// Aladin's step 2 (paper Sec. 1.1) computes "candidates for primary keys
+// ... using the uniqueness constraint for keys". Single-column uniqueness
+// is covered by ColumnStats; real schemas also use composite keys
+// (OpenMMS-style (entry_id, ordinal) pairs), which requires searching the
+// lattice of column combinations. This module finds all MINIMAL unique
+// column combinations per table, levelwise with Apriori pruning:
+//
+//   * a combination containing NULLs in every row can never be a key;
+//   * any superset of a unique combination is unique but not minimal, so
+//     satisfied nodes are not expanded;
+//   * only combinations whose every (k-1)-subset is non-unique are
+//     candidates at level k.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/counters.h"
+#include "src/common/result.h"
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+/// One minimal unique column combination.
+struct Ucc {
+  std::string table;
+  /// Column names, ascending.
+  std::vector<std::string> columns;
+
+  int arity() const { return static_cast<int>(columns.size()); }
+  std::string ToString() const;
+
+  friend bool operator==(const Ucc& a, const Ucc& b) {
+    return a.table == b.table && a.columns == b.columns;
+  }
+  friend bool operator<(const Ucc& a, const Ucc& b) {
+    if (a.table != b.table) return a.table < b.table;
+    return a.columns < b.columns;
+  }
+};
+
+/// Options for UccDiscovery.
+struct UccOptions {
+  /// Highest combination size considered.
+  int max_arity = 4;
+  /// Rows with a NULL in any combination column are skipped (SQL keys
+  /// must be NULL-free; a combination that skips every row is not unique).
+  bool require_non_null = true;
+};
+
+/// \brief Levelwise minimal-UCC discovery.
+class UccDiscovery {
+ public:
+  explicit UccDiscovery(UccOptions options = {});
+
+  /// Finds all minimal UCCs of one table.
+  Result<std::vector<Ucc>> FindInTable(const Table& table,
+                                       RunCounters* counters = nullptr) const;
+
+  /// Finds all minimal UCCs across the catalog, in table order.
+  Result<std::vector<Ucc>> Find(const Catalog& catalog,
+                                RunCounters* counters = nullptr) const;
+
+ private:
+  UccOptions options_;
+};
+
+}  // namespace spider

@@ -1,0 +1,58 @@
+// Table-scan operator over one column.
+//
+// The engine operators model how an RDBMS executes the paper's SQL
+// statements: every query re-scans base data (no cross-query state), and
+// row counts feed RunCounters::engine_rows_scanned so benchmarks can report
+// how much work the "database" did.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/counters.h"
+#include "src/storage/column.h"
+
+namespace spider::engine {
+
+/// \brief Iterates a column's values in storage order, yielding canonical
+/// strings and skipping NULLs (matching the "is not null" predicates in the
+/// paper's statements).
+class ColumnScan {
+ public:
+  ColumnScan(const Column& column, RunCounters* counters)
+      : column_(column), counters_(counters) {}
+
+  /// True when another non-NULL value is available.
+  bool HasNext() {
+    SkipNulls();
+    return row_ < column_.row_count();
+  }
+
+  /// Returns the canonical string of the next non-NULL value.
+  std::string Next() {
+    SkipNulls();
+    std::string out = column_.value(row_).ToCanonicalString();
+    ++row_;
+    if (counters_ != nullptr) ++counters_->engine_rows_scanned;
+    return out;
+  }
+
+  /// Restarts the scan from the first row (used by nested-loop plans).
+  void Rewind() { row_ = 0; }
+
+ private:
+  void SkipNulls() {
+    while (row_ < column_.row_count() && column_.value(row_).is_null()) {
+      ++row_;
+      // NULL rows are still fetched by the scan node.
+      if (counters_ != nullptr) ++counters_->engine_rows_scanned;
+    }
+  }
+
+  const Column& column_;
+  RunCounters* counters_;
+  int64_t row_ = 0;
+};
+
+}  // namespace spider::engine

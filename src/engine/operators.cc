@@ -1,0 +1,117 @@
+#include "src/engine/operators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/engine/column_scan.h"
+
+namespace spider::engine {
+
+int64_t HashJoinMatchCount(const Column& dependent, const Column& referenced,
+                           RunCounters* counters) {
+  // Build side: referenced column.
+  std::unordered_set<std::string> build;
+  build.reserve(static_cast<size_t>(referenced.non_null_count()));
+  ColumnScan build_scan(referenced, counters);
+  while (build_scan.HasNext()) {
+    build.insert(build_scan.Next());
+  }
+  // Probe side: dependent column. Full probe — no early termination.
+  int64_t matched = 0;
+  ColumnScan probe_scan(dependent, counters);
+  while (probe_scan.HasNext()) {
+    if (counters != nullptr) ++counters->comparisons;
+    if (build.contains(probe_scan.Next())) ++matched;
+  }
+  return matched;
+}
+
+int64_t SortMergeJoinMatchCount(const Column& dependent,
+                                const Column& referenced,
+                                RunCounters* counters) {
+  // Sort both inputs. The dependent side keeps duplicates (the statement
+  // counts joined ROWS); the referenced side is deduplicated (unique in
+  // candidate generation; deduplication keeps the count correct even when
+  // callers pass a non-unique column).
+  std::vector<std::string> dep;
+  dep.reserve(static_cast<size_t>(dependent.non_null_count()));
+  ColumnScan dep_scan(dependent, counters);
+  while (dep_scan.HasNext()) dep.push_back(dep_scan.Next());
+  std::sort(dep.begin(), dep.end());
+  std::vector<std::string> ref = SortDistinct(referenced, counters);
+
+  int64_t matched = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < dep.size() && j < ref.size()) {
+    if (counters != nullptr) ++counters->comparisons;
+    if (dep[i] == ref[j]) {
+      ++matched;
+      ++i;  // ref[j] may match further duplicate dep rows
+    } else if (dep[i] < ref[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return matched;
+}
+
+std::vector<std::string> SortDistinct(const Column& column,
+                                      RunCounters* counters) {
+  std::vector<std::string> values;
+  values.reserve(static_cast<size_t>(column.non_null_count()));
+  ColumnScan scan(column, counters);
+  while (scan.HasNext()) values.push_back(scan.Next());
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+int64_t MinusCount(const Column& dependent, const Column& referenced,
+                   RunCounters* counters) {
+  // The engine sorts both inputs for every query (no reuse across tests).
+  std::vector<std::string> dep = SortDistinct(dependent, counters);
+  std::vector<std::string> ref = SortDistinct(referenced, counters);
+
+  // Complete merge-based set difference.
+  int64_t unmatched = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < dep.size()) {
+    if (counters != nullptr) ++counters->comparisons;
+    if (j >= ref.size() || dep[i] < ref[j]) {
+      ++unmatched;
+      ++i;
+    } else if (dep[i] == ref[j]) {
+      ++i;
+      ++j;
+    } else {
+      ++j;
+    }
+  }
+  return unmatched;
+}
+
+int64_t NotInCount(const Column& dependent, const Column& referenced,
+                   RunCounters* counters) {
+  int64_t unmatched = 0;
+  ColumnScan outer(dependent, counters);
+  while (outer.HasNext()) {
+    const std::string dep_value = outer.Next();
+    bool found = false;
+    // Nested-loop inner scan, restarted for every outer row.
+    ColumnScan inner(referenced, counters);
+    while (inner.HasNext()) {
+      if (counters != nullptr) ++counters->comparisons;
+      if (inner.Next() == dep_value) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) ++unmatched;
+  }
+  return unmatched;
+}
+
+}  // namespace spider::engine

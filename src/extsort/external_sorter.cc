@@ -1,0 +1,179 @@
+#include "src/extsort/external_sorter.h"
+
+#include <algorithm>
+#include <fstream>
+#include <queue>
+
+#include "src/common/logging.h"
+#include "src/extsort/value_codec.h"
+
+namespace spider {
+
+namespace fs = std::filesystem;
+
+ExternalSorter::ExternalSorter(ExternalSorterOptions options)
+    : options_(std::move(options)) {
+  SPIDER_CHECK_GT(options_.memory_budget_bytes, 0);
+}
+
+ExternalSorter::~ExternalSorter() {
+  for (const auto& run : runs_) {
+    std::error_code ec;
+    fs::remove(run, ec);  // best effort
+  }
+}
+
+Status ExternalSorter::Add(std::string value) {
+  if (finished_) return Status::InvalidArgument("sorter already finished");
+  buffer_bytes_ += static_cast<int64_t>(value.size() + sizeof(std::string));
+  buffer_.push_back(std::move(value));
+  if (buffer_bytes_ >= options_.memory_budget_bytes) {
+    return SpillBuffer();
+  }
+  return Status::OK();
+}
+
+Status ExternalSorter::SpillBuffer() {
+  if (buffer_.empty()) return Status::OK();
+  std::sort(buffer_.begin(), buffer_.end());
+  buffer_.erase(std::unique(buffer_.begin(), buffer_.end()), buffer_.end());
+
+  fs::path run_path =
+      options_.spill_dir / ("run-" + std::to_string(runs_.size()) + ".spill");
+  std::ofstream out(run_path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot create spill run " + run_path.string());
+  for (const std::string& v : buffer_) {
+    SPIDER_RETURN_NOT_OK(WriteValueRecord(out, v));
+  }
+  out.close();
+  if (out.fail()) return Status::IOError("failed writing spill run");
+  runs_.push_back(std::move(run_path));
+  buffer_.clear();
+  buffer_bytes_ = 0;
+  return Status::OK();
+}
+
+namespace {
+
+/// One source in the k-way merge: a spill run stream or the in-memory
+/// buffer.
+class MergeSource {
+ public:
+  virtual ~MergeSource() = default;
+  virtual bool HasNext() = 0;
+  virtual const std::string& Peek() = 0;
+  virtual void Advance() = 0;
+};
+
+class RunSource final : public MergeSource {
+ public:
+  explicit RunSource(const fs::path& path) : in_(path, std::ios::binary) {
+    Fill();
+  }
+  bool ok() const { return opened_ok_ && status_.ok(); }
+  const Status& status() const { return status_; }
+
+  bool HasNext() override { return current_.has_value(); }
+  const std::string& Peek() override { return *current_; }
+  void Advance() override {
+    current_.reset();
+    Fill();
+  }
+
+ private:
+  void Fill() {
+    if (!in_ && !eof_) {
+      opened_ok_ = false;
+      return;
+    }
+    std::string value;
+    Status st;
+    if (ReadValueRecord(in_, &value, &st)) {
+      current_ = std::move(value);
+    } else {
+      eof_ = true;
+      status_ = st;
+    }
+  }
+
+  std::ifstream in_;
+  bool opened_ok_ = true;
+  bool eof_ = false;
+  std::optional<std::string> current_;
+  Status status_;
+};
+
+class VectorSource final : public MergeSource {
+ public:
+  explicit VectorSource(const std::vector<std::string>* values)
+      : values_(values) {}
+  bool HasNext() override { return index_ < values_->size(); }
+  const std::string& Peek() override { return (*values_)[index_]; }
+  void Advance() override { ++index_; }
+
+ private:
+  const std::vector<std::string>* values_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<SortedSetInfo> ExternalSorter::WriteSortedSet(const fs::path& path) {
+  if (finished_) return Status::InvalidArgument("sorter already finished");
+  finished_ = true;
+
+  std::sort(buffer_.begin(), buffer_.end());
+  buffer_.erase(std::unique(buffer_.begin(), buffer_.end()), buffer_.end());
+
+  std::vector<std::unique_ptr<MergeSource>> sources;
+  for (const auto& run : runs_) {
+    auto src = std::make_unique<RunSource>(run);
+    if (!src->ok()) {
+      return Status::IOError("cannot reopen spill run " + run.string());
+    }
+    sources.push_back(std::move(src));
+  }
+  if (!buffer_.empty()) {
+    sources.push_back(std::make_unique<VectorSource>(&buffer_));
+  }
+
+  SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<SortedSetWriter> writer,
+                          SortedSetWriter::Create(path));
+
+  // K-way merge with duplicate elimination via a min-heap of source indexes.
+  auto greater = [&sources](size_t a, size_t b) {
+    return sources[a]->Peek() > sources[b]->Peek();
+  };
+  std::priority_queue<size_t, std::vector<size_t>, decltype(greater)> heap(greater);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i]->HasNext()) heap.push(i);
+  }
+
+  SortedSetInfo info;
+  info.path = path;
+  std::optional<std::string> last;
+  while (!heap.empty()) {
+    size_t idx = heap.top();
+    heap.pop();
+    const std::string& value = sources[idx]->Peek();
+    if (!last || *last < value) {
+      SPIDER_RETURN_NOT_OK(writer->Append(value));
+      if (!info.min_value) info.min_value = value;
+      info.max_value = value;
+      ++info.distinct_count;
+      last = value;
+    }
+    sources[idx]->Advance();
+    if (sources[idx]->HasNext()) heap.push(idx);
+  }
+
+  for (const auto& src : sources) {
+    auto* run = dynamic_cast<RunSource*>(src.get());
+    if (run != nullptr && !run->status().ok()) return run->status();
+  }
+
+  SPIDER_RETURN_NOT_OK(writer->Finish());
+  return info;
+}
+
+}  // namespace spider

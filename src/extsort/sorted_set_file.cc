@@ -1,0 +1,77 @@
+#include "src/extsort/sorted_set_file.h"
+
+#include "src/extsort/value_codec.h"
+
+namespace spider {
+
+Result<std::unique_ptr<SortedSetWriter>> SortedSetWriter::Create(
+    const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot create " + path.string());
+  return std::unique_ptr<SortedSetWriter>(new SortedSetWriter(std::move(out)));
+}
+
+Status SortedSetWriter::Append(std::string_view value) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  if (last_ && !(*last_ < value)) {
+    return Status::InvalidArgument(
+        "sorted-set ordering violated: '" + *last_ + "' then '" +
+        std::string(value) + "'");
+  }
+  SPIDER_RETURN_NOT_OK(WriteValueRecord(out_, value));
+  last_ = std::string(value);
+  ++count_;
+  return Status::OK();
+}
+
+Status SortedSetWriter::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  out_.flush();
+  out_.close();
+  if (out_.fail()) return Status::IOError("failed closing sorted set file");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SortedSetReader>> SortedSetReader::Open(
+    const std::filesystem::path& path, RunCounters* counters) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path.string());
+  if (counters != nullptr) {
+    ++counters->files_opened;
+  }
+  return std::unique_ptr<SortedSetReader>(
+      new SortedSetReader(std::move(in), counters));
+}
+
+void SortedSetReader::FillBuffer() {
+  if (buffered_ || eof_ || !status_.ok()) return;
+  std::string value;
+  Status st;
+  if (ReadValueRecord(in_, &value, &st)) {
+    buffered_ = std::move(value);
+  } else {
+    eof_ = true;
+    status_ = st;
+  }
+}
+
+bool SortedSetReader::HasNext() {
+  FillBuffer();
+  return buffered_.has_value();
+}
+
+std::string SortedSetReader::Next() {
+  FillBuffer();
+  std::string out = std::move(*buffered_);
+  buffered_.reset();
+  if (counters_ != nullptr) ++counters_->tuples_read;
+  return out;
+}
+
+const std::string& SortedSetReader::Peek() {
+  FillBuffer();
+  return *buffered_;
+}
+
+}  // namespace spider

@@ -1,0 +1,92 @@
+// Sorted-distinct value set files.
+//
+// These files play the role the paper assigns to the RDBMS export: the
+// sorted set s(a) of distinct values of an attribute, materialized once and
+// reused by every IND test (the paper's optimization #1, Sec. 1.2).
+
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/counters.h"
+#include "src/common/result.h"
+
+namespace spider {
+
+/// \brief Writes a sorted-distinct value file. Enforces strict ordering:
+/// every appended value must be greater than its predecessor.
+class SortedSetWriter {
+ public:
+  static Result<std::unique_ptr<SortedSetWriter>> Create(
+      const std::filesystem::path& path);
+
+  /// Appends `value`; fails with InvalidArgument if ordering is violated.
+  Status Append(std::string_view value);
+
+  /// Flushes and closes the file. Must be called before reading.
+  Status Finish();
+
+  int64_t count() const { return count_; }
+
+ private:
+  explicit SortedSetWriter(std::ofstream out) : out_(std::move(out)) {}
+
+  std::ofstream out_;
+  int64_t count_ = 0;
+  std::optional<std::string> last_;
+  bool finished_ = false;
+};
+
+/// \brief Streaming cursor over a sorted-distinct value file.
+///
+/// Reads count into RunCounters::tuples_read when a counter sink is
+/// attached, which is how the benchmarks measure the paper's Figure 5
+/// "number of items read" metric.
+class SortedSetReader {
+ public:
+  static Result<std::unique_ptr<SortedSetReader>> Open(
+      const std::filesystem::path& path, RunCounters* counters = nullptr);
+
+  /// True when another value is available.
+  bool HasNext();
+
+  /// Returns the next value and advances. HasNext() must be true. Counts
+  /// one tuple read.
+  std::string Next();
+
+  /// The value Next() would return, without consuming it or counting a
+  /// read. HasNext() must be true.
+  const std::string& Peek();
+
+  /// Last I/O error, if any (clean EOF is not an error).
+  const Status& status() const { return status_; }
+
+ private:
+  SortedSetReader(std::ifstream in, RunCounters* counters)
+      : in_(std::move(in)), counters_(counters) {}
+
+  void FillBuffer();
+
+  std::ifstream in_;
+  RunCounters* counters_;
+  std::optional<std::string> buffered_;
+  bool eof_ = false;
+  Status status_;
+};
+
+/// Metadata about a materialized sorted value set.
+struct SortedSetInfo {
+  std::filesystem::path path;
+  /// Number of distinct non-NULL values.
+  int64_t distinct_count = 0;
+  /// Smallest / largest value (canonical form); empty optionals for an
+  /// empty set.
+  std::optional<std::string> min_value;
+  std::optional<std::string> max_value;
+};
+
+}  // namespace spider

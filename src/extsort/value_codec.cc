@@ -1,0 +1,53 @@
+#include "src/extsort/value_codec.h"
+
+namespace spider {
+
+Status WriteValueRecord(std::ostream& out, std::string_view value) {
+  uint64_t len = value.size();
+  unsigned char buf[10];
+  int n = 0;
+  do {
+    unsigned char byte = len & 0x7F;
+    len >>= 7;
+    if (len != 0) byte |= 0x80;
+    buf[n++] = byte;
+  } while (len != 0);
+  out.write(reinterpret_cast<const char*>(buf), n);
+  out.write(value.data(), static_cast<std::streamsize>(value.size()));
+  if (!out) return Status::IOError("failed writing value record");
+  return Status::OK();
+}
+
+bool ReadValueRecord(std::istream& in, std::string* value, Status* status) {
+  *status = Status::OK();
+  uint64_t len = 0;
+  int shift = 0;
+  int first = in.get();
+  if (first == std::char_traits<char>::eof()) return false;  // clean EOF
+  int byte = first;
+  while (true) {
+    len |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) {
+      *status = Status::IOError("corrupt varint in value record");
+      return false;
+    }
+    byte = in.get();
+    if (byte == std::char_traits<char>::eof()) {
+      *status = Status::IOError("truncated varint in value record");
+      return false;
+    }
+  }
+  value->resize(len);
+  if (len > 0) {
+    in.read(value->data(), static_cast<std::streamsize>(len));
+    if (static_cast<uint64_t>(in.gcount()) != len) {
+      *status = Status::IOError("truncated value record");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace spider

@@ -1,0 +1,25 @@
+// On-disk record format for sorted value files and spill runs.
+//
+// Records are canonical value strings, stored length-prefixed (LEB128
+// varint + raw bytes) so values may contain any byte including newlines and
+// NULs. The same codec is used by spill runs and final sorted-set files.
+
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace spider {
+
+/// Appends one record to `out`.
+Status WriteValueRecord(std::ostream& out, std::string_view value);
+
+/// Reads the next record into `*value`. Returns false at clean EOF; a
+/// truncated record yields an IOError through `*status`.
+bool ReadValueRecord(std::istream& in, std::string* value, Status* status);
+
+}  // namespace spider

@@ -1,0 +1,71 @@
+#include "src/extsort/value_set_extractor.h"
+
+namespace spider {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// File-system-safe file name for an attribute ("table.column" with
+// non-alphanumerics replaced).
+std::string SetFileName(const AttributeRef& attr, size_t ordinal) {
+  std::string name = attr.table + "." + attr.column;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' && c != '_') {
+      c = '_';
+    }
+  }
+  return name + "-" + std::to_string(ordinal) + ".set";
+}
+
+}  // namespace
+
+ValueSetExtractor::ValueSetExtractor(fs::path output_dir,
+                                     ValueSetExtractorOptions options)
+    : output_dir_(std::move(output_dir)), options_(options) {}
+
+Result<SortedSetInfo> ValueSetExtractor::Extract(const Catalog& catalog,
+                                                 const AttributeRef& attribute) {
+  auto it = cache_.find(attribute);
+  if (it != cache_.end()) return it->second;
+
+  SPIDER_ASSIGN_OR_RETURN(const Column* column,
+                          catalog.ResolveAttribute(attribute));
+
+  ExternalSorterOptions sorter_options;
+  sorter_options.memory_budget_bytes = options_.sort_memory_budget_bytes;
+  sorter_options.spill_dir = output_dir_;
+  ExternalSorter sorter(sorter_options);
+  for (const Value& v : column->values()) {
+    if (v.is_null()) continue;
+    SPIDER_RETURN_NOT_OK(sorter.Add(v.ToCanonicalString()));
+  }
+
+  fs::path path = output_dir_ / SetFileName(attribute, cache_.size());
+  SPIDER_ASSIGN_OR_RETURN(SortedSetInfo info, sorter.WriteSortedSet(path));
+  cache_.emplace(attribute, info);
+  return info;
+}
+
+Result<std::vector<SortedSetInfo>> ValueSetExtractor::ExtractAll(
+    const Catalog& catalog, const std::vector<AttributeRef>& attributes) {
+  std::vector<SortedSetInfo> infos;
+  infos.reserve(attributes.size());
+  for (const AttributeRef& attr : attributes) {
+    SPIDER_ASSIGN_OR_RETURN(SortedSetInfo info, Extract(catalog, attr));
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+Result<SortedSetInfo> ValueSetExtractor::Lookup(
+    const AttributeRef& attribute) const {
+  auto it = cache_.find(attribute);
+  if (it == cache_.end()) {
+    return Status::NotFound("no extracted value set for " +
+                            attribute.ToString());
+  }
+  return it->second;
+}
+
+}  // namespace spider

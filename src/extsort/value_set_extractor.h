@@ -1,0 +1,56 @@
+// Extracts sorted-distinct value sets from a catalog, one file per
+// attribute.
+//
+// This is the "let the database engine perform sorting" step of the paper's
+// database-external approaches (Sec. 3): each attribute's distinct non-NULL
+// values are materialized once, in canonical lexicographic order, and then
+// shared by every IND test.
+
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/extsort/external_sorter.h"
+#include "src/extsort/sorted_set_file.h"
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+/// Options for value-set extraction.
+struct ValueSetExtractorOptions {
+  /// Memory budget handed to each per-attribute external sort.
+  int64_t sort_memory_budget_bytes = 64LL << 20;
+};
+
+/// \brief Materializes sorted-distinct value sets for catalog attributes.
+class ValueSetExtractor {
+ public:
+  /// `output_dir` must exist; one ".set" file per attribute is created
+  /// inside it (plus transient ".spill" run files during sorting).
+  ValueSetExtractor(std::filesystem::path output_dir,
+                    ValueSetExtractorOptions options = {});
+
+  /// Extracts the given attribute from the catalog. NULLs are dropped
+  /// (inclusion dependencies are defined over non-NULL values). Re-runs for
+  /// the same attribute return the cached file.
+  Result<SortedSetInfo> Extract(const Catalog& catalog,
+                                const AttributeRef& attribute);
+
+  /// Extracts all listed attributes; returns infos in the same order.
+  Result<std::vector<SortedSetInfo>> ExtractAll(
+      const Catalog& catalog, const std::vector<AttributeRef>& attributes);
+
+  /// Info for an already extracted attribute, or NotFound.
+  Result<SortedSetInfo> Lookup(const AttributeRef& attribute) const;
+
+ private:
+  std::filesystem::path output_dir_;
+  ValueSetExtractorOptions options_;
+  std::map<AttributeRef, SortedSetInfo> cache_;
+};
+
+}  // namespace spider

@@ -1,0 +1,45 @@
+// Common interface of the five IND test algorithms.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/counters.h"
+#include "src/common/result.h"
+#include "src/ind/candidate.h"
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+/// Outcome of running an algorithm over a candidate set.
+struct IndRunResult {
+  /// Candidates verified as satisfied INDs.
+  std::vector<Ind> satisfied;
+  /// Work counters (tuples read, comparisons, ...).
+  RunCounters counters;
+  /// Wall-clock seconds spent inside Run().
+  double seconds = 0;
+  /// False when a time budget expired before all candidates were tested
+  /// (mirrors the paper's "> 7 days" entries). `satisfied` is then partial.
+  bool finished = true;
+};
+
+/// \brief Interface implemented by all IND verification approaches: the
+/// three SQL statements (join / minus / not in) and the two database-
+/// external algorithms (brute force / single pass).
+class IndAlgorithm {
+ public:
+  virtual ~IndAlgorithm() = default;
+
+  /// Tests every candidate against the catalog's data and returns the
+  /// satisfied INDs. Candidates must reference existing attributes.
+  virtual Result<IndRunResult> Run(const Catalog& catalog,
+                                   const std::vector<IndCandidate>& candidates) = 0;
+
+  /// Short display name, e.g. "brute-force".
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace spider

@@ -1,0 +1,12 @@
+#include "src/ind/candidate.h"
+
+#include <algorithm>
+
+namespace spider {
+
+std::vector<Ind> SortedInds(std::vector<Ind> inds) {
+  std::sort(inds.begin(), inds.end());
+  return inds;
+}
+
+}  // namespace spider

@@ -1,0 +1,52 @@
+// IND candidates and satisfied INDs.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+/// \brief An unchecked unary IND candidate "dependent ⊆ referenced".
+struct IndCandidate {
+  AttributeRef dependent;
+  AttributeRef referenced;
+
+  std::string ToString() const {
+    return dependent.ToString() + " [= " + referenced.ToString();
+  }
+
+  friend bool operator==(const IndCandidate& a, const IndCandidate& b) {
+    return a.dependent == b.dependent && a.referenced == b.referenced;
+  }
+  friend bool operator<(const IndCandidate& a, const IndCandidate& b) {
+    if (!(a.dependent == b.dependent)) return a.dependent < b.dependent;
+    return a.referenced < b.referenced;
+  }
+};
+
+/// \brief A satisfied unary inclusion dependency: every non-NULL value of
+/// `dependent` occurs in `referenced`.
+struct Ind {
+  AttributeRef dependent;
+  AttributeRef referenced;
+
+  std::string ToString() const {
+    return dependent.ToString() + " [= " + referenced.ToString();
+  }
+
+  friend bool operator==(const Ind& a, const Ind& b) {
+    return a.dependent == b.dependent && a.referenced == b.referenced;
+  }
+  friend bool operator<(const Ind& a, const Ind& b) {
+    if (!(a.dependent == b.dependent)) return a.dependent < b.dependent;
+    return a.referenced < b.referenced;
+  }
+};
+
+/// Sorts and returns INDs (handy for deterministic test assertions).
+std::vector<Ind> SortedInds(std::vector<Ind> inds);
+
+}  // namespace spider

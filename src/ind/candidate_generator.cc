@@ -1,0 +1,142 @@
+#include "src/ind/candidate_generator.h"
+
+#include <unordered_set>
+
+#include "src/common/random.h"
+
+namespace spider {
+
+namespace {
+
+struct AttributeInfo {
+  AttributeRef ref;
+  const Column* column;
+  ColumnStats stats;
+  bool dependent_eligible = false;
+  bool referenced_eligible = false;
+};
+
+bool IsUniqueFor(const Column& column, const ColumnStats& stats,
+                 UniquenessSource source) {
+  switch (source) {
+    case UniquenessSource::kDeclared:
+      return column.declared_unique();
+    case UniquenessSource::kVerified:
+      return stats.verified_unique;
+    case UniquenessSource::kEither:
+      return column.declared_unique() || stats.verified_unique;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<CandidateSet> CandidateGenerator::Generate(const Catalog& catalog) const {
+  CandidateSet result;
+
+  // Pass 1: per-attribute statistics and eligibility.
+  std::vector<AttributeInfo> attributes;
+  for (int t = 0; t < catalog.table_count(); ++t) {
+    const Table& table = catalog.table(t);
+    for (int c = 0; c < table.column_count(); ++c) {
+      const Column& column = table.column(c);
+      AttributeInfo info;
+      info.ref = {table.name(), column.name()};
+      info.column = &column;
+      info.stats = ComputeColumnStats(column);
+      // Dependent attributes: non-empty columns of any type except LOB.
+      info.dependent_eligible =
+          info.stats.non_null_count > 0 && IsIndEligibleType(column.type());
+      // Referenced attributes: non-empty unique columns.
+      info.referenced_eligible =
+          info.stats.non_null_count > 0 && IsIndEligibleType(column.type()) &&
+          IsUniqueFor(column, info.stats, options_.uniqueness_source);
+      result.stats.emplace(info.ref, info.stats);
+      attributes.push_back(std::move(info));
+    }
+  }
+
+  // Sampled dependent values for the sampling pretest, drawn once per
+  // dependent attribute; referenced value sets are hashed once per
+  // referenced attribute on first use.
+  Random rng(options_.sample_seed);
+  std::map<AttributeRef, std::vector<std::string>> samples;
+  if (options_.sampling_pretest) {
+    for (const AttributeInfo& dep : attributes) {
+      if (!dep.dependent_eligible) continue;
+      std::vector<std::string> sample;
+      const auto& values = dep.column->values();
+      for (int i = 0; i < options_.sample_size; ++i) {
+        // Rejection-sample a non-NULL row; the column is non-empty.
+        for (int attempt = 0; attempt < 256; ++attempt) {
+          const Value& v = values[static_cast<size_t>(
+              rng.Uniform(0, static_cast<int64_t>(values.size()) - 1))];
+          if (!v.is_null()) {
+            sample.push_back(v.ToCanonicalString());
+            break;
+          }
+        }
+      }
+      samples.emplace(dep.ref, std::move(sample));
+    }
+  }
+  std::map<AttributeRef, std::unordered_set<std::string>> ref_hashes;
+
+  // Pass 2: enumerate dep × ref pairs and apply pretests in increasing
+  // cost order.
+  for (const AttributeInfo& dep : attributes) {
+    if (!dep.dependent_eligible) continue;
+    for (const AttributeInfo& ref : attributes) {
+      if (!ref.referenced_eligible) continue;
+      if (dep.ref == ref.ref) continue;  // a ⊆ a is trivial
+      ++result.raw_pair_count;
+
+      if (options_.type_pretest && dep.column->type() != ref.column->type()) {
+        ++result.pruned_by_type;
+        continue;
+      }
+      if (options_.cardinality_pretest &&
+          dep.stats.distinct_count > ref.stats.distinct_count) {
+        ++result.pruned_by_cardinality;
+        continue;
+      }
+      if (options_.max_value_pretest && dep.stats.max_value &&
+          ref.stats.max_value && *dep.stats.max_value > *ref.stats.max_value) {
+        ++result.pruned_by_max_value;
+        continue;
+      }
+      if (options_.min_value_pretest && dep.stats.min_value &&
+          ref.stats.min_value && *dep.stats.min_value < *ref.stats.min_value) {
+        ++result.pruned_by_min_value;
+        continue;
+      }
+      if (options_.sampling_pretest) {
+        auto hash_it = ref_hashes.find(ref.ref);
+        if (hash_it == ref_hashes.end()) {
+          std::unordered_set<std::string> values;
+          values.reserve(static_cast<size_t>(ref.stats.non_null_count));
+          for (const Value& v : ref.column->values()) {
+            if (!v.is_null()) values.insert(v.ToCanonicalString());
+          }
+          hash_it = ref_hashes.emplace(ref.ref, std::move(values)).first;
+        }
+        bool refuted = false;
+        for (const std::string& s : samples[dep.ref]) {
+          if (!hash_it->second.contains(s)) {
+            refuted = true;
+            break;
+          }
+        }
+        if (refuted) {
+          ++result.pruned_by_sampling;
+          continue;
+        }
+      }
+
+      result.candidates.push_back(IndCandidate{dep.ref, ref.ref});
+    }
+  }
+  return result;
+}
+
+}  // namespace spider

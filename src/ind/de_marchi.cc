@@ -1,0 +1,92 @@
+#include "src/ind/de_marchi.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+
+namespace spider {
+
+Result<IndRunResult> DeMarchiAlgorithm::Run(
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+  IndRunResult result;
+  Stopwatch watch;
+  watch.Start();
+
+  // Attribute ids for every attribute involved in any candidate.
+  std::map<AttributeRef, int> ids;
+  std::vector<AttributeRef> attrs;
+  auto id_for = [&](const AttributeRef& attr) {
+    auto it = ids.find(attr);
+    if (it != ids.end()) return it->second;
+    int id = static_cast<int>(attrs.size());
+    attrs.push_back(attr);
+    ids.emplace(attr, id);
+    return id;
+  };
+  // cand_refs[d] = referenced attribute ids still viable for dependent d.
+  std::vector<std::vector<int>> cand_refs;
+  for (const IndCandidate& candidate : candidates) {
+    int dep = id_for(candidate.dependent);
+    int ref = id_for(candidate.referenced);
+    if (static_cast<size_t>(dep) >= cand_refs.size() ||
+        static_cast<size_t>(ref) >= cand_refs.size()) {
+      cand_refs.resize(attrs.size());
+    }
+    auto& refs = cand_refs[static_cast<size_t>(dep)];
+    if (std::find(refs.begin(), refs.end(), ref) == refs.end()) {
+      refs.push_back(ref);
+    }
+    ++result.counters.candidates_tested;
+  }
+  cand_refs.resize(attrs.size());
+
+  // Preprocessing: the inverted index value -> sorted attribute-id list.
+  std::unordered_map<std::string, std::vector<int>> index;
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    SPIDER_ASSIGN_OR_RETURN(const Column* column,
+                            catalog.ResolveAttribute(attrs[a]));
+    for (const Value& v : column->values()) {
+      if (v.is_null()) continue;
+      ++result.counters.tuples_read;
+      std::vector<int>& entry = index[v.ToCanonicalString()];
+      if (entry.empty() || entry.back() != static_cast<int>(a)) {
+        entry.push_back(static_cast<int>(a));
+      }
+    }
+  }
+  last_index_entries_ = static_cast<int64_t>(index.size());
+
+  // Per dependent attribute: intersect the candidate set with the index
+  // entry of every value.
+  for (size_t d = 0; d < attrs.size(); ++d) {
+    std::vector<int>& refs = cand_refs[d];
+    if (refs.empty()) continue;
+    SPIDER_ASSIGN_OR_RETURN(const Column* column,
+                            catalog.ResolveAttribute(attrs[d]));
+    for (const Value& v : column->values()) {
+      if (refs.empty() && options_.early_exit) break;
+      if (v.is_null()) continue;
+      const std::vector<int>& containing = index.at(v.ToCanonicalString());
+      ++result.counters.comparisons;
+      // refs := refs ∩ containing (both small; containing is sorted).
+      refs.erase(std::remove_if(refs.begin(), refs.end(),
+                                [&](int r) {
+                                  return !std::binary_search(
+                                      containing.begin(), containing.end(), r);
+                                }),
+                 refs.end());
+    }
+    for (int r : refs) {
+      result.satisfied.push_back(Ind{attrs[d], attrs[static_cast<size_t>(r)]});
+    }
+  }
+
+  std::sort(result.satisfied.begin(), result.satisfied.end());
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace spider

@@ -1,0 +1,220 @@
+#include "src/ind/nary.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+
+namespace spider {
+
+std::string NaryInd::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < dependent.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += dependent[i].ToString();
+  }
+  out += ") [= (";
+  for (size_t i = 0; i < referenced.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += referenced[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<NaryInd> NaryDiscoveryResult::AllNary() const {
+  std::vector<NaryInd> out;
+  for (size_t level = 1; level < by_level.size(); ++level) {
+    out.insert(out.end(), by_level[level].begin(), by_level[level].end());
+  }
+  return out;
+}
+
+std::string EncodeCompositeKey(const std::vector<std::string>& components) {
+  std::string key;
+  for (const std::string& c : components) {
+    key += std::to_string(c.size());
+    key += ':';
+    key += c;
+  }
+  return key;
+}
+
+NaryIndDiscovery::NaryIndDiscovery(NaryDiscoveryOptions options)
+    : options_(options) {
+  SPIDER_CHECK_GE(options_.max_arity, 2);
+}
+
+Result<bool> NaryIndDiscovery::Verify(const Catalog& catalog,
+                                      const NaryInd& candidate,
+                                      RunCounters* counters) const {
+  const int arity = candidate.arity();
+  if (arity == 0 ||
+      candidate.referenced.size() != candidate.dependent.size()) {
+    return Status::InvalidArgument("malformed n-ary candidate");
+  }
+  std::vector<const Column*> dep_columns;
+  std::vector<const Column*> ref_columns;
+  for (int i = 0; i < arity; ++i) {
+    if (candidate.dependent[i].table != candidate.dependent[0].table ||
+        candidate.referenced[i].table != candidate.referenced[0].table) {
+      return Status::InvalidArgument(
+          "n-ary IND sides must each come from one table: " +
+          candidate.ToString());
+    }
+    SPIDER_ASSIGN_OR_RETURN(const Column* dep,
+                            catalog.ResolveAttribute(candidate.dependent[i]));
+    SPIDER_ASSIGN_OR_RETURN(const Column* ref,
+                            catalog.ResolveAttribute(candidate.referenced[i]));
+    dep_columns.push_back(dep);
+    ref_columns.push_back(ref);
+  }
+
+  // Build the referenced composite-tuple set.
+  const Table* ref_table = catalog.FindTable(candidate.referenced[0].table);
+  SPIDER_CHECK(ref_table != nullptr);
+  std::unordered_set<std::string> ref_tuples;
+  std::vector<std::string> components(static_cast<size_t>(arity));
+  for (int64_t row = 0; row < ref_table->row_count(); ++row) {
+    bool has_null = false;
+    for (int i = 0; i < arity; ++i) {
+      const Value& v = ref_columns[static_cast<size_t>(i)]->value(row);
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+      components[static_cast<size_t>(i)] = v.ToCanonicalString();
+    }
+    if (counters != nullptr) ++counters->tuples_read;
+    if (!has_null) ref_tuples.insert(EncodeCompositeKey(components));
+  }
+
+  // Probe with every dependent composite tuple.
+  const Table* dep_table = catalog.FindTable(candidate.dependent[0].table);
+  SPIDER_CHECK(dep_table != nullptr);
+  bool satisfied = true;
+  for (int64_t row = 0; row < dep_table->row_count(); ++row) {
+    bool has_null = false;
+    for (int i = 0; i < arity; ++i) {
+      const Value& v = dep_columns[static_cast<size_t>(i)]->value(row);
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+      components[static_cast<size_t>(i)] = v.ToCanonicalString();
+    }
+    if (counters != nullptr) ++counters->tuples_read;
+    if (has_null) continue;
+    if (counters != nullptr) ++counters->comparisons;
+    if (!ref_tuples.contains(EncodeCompositeKey(components))) {
+      satisfied = false;
+      if (options_.early_stop) break;
+    }
+  }
+  return satisfied;
+}
+
+namespace {
+
+// Canonical (k-1)-subprojections of a candidate, for the Apriori check.
+std::vector<NaryInd> Subprojections(const NaryInd& candidate) {
+  std::vector<NaryInd> out;
+  const int arity = candidate.arity();
+  for (int skip = 0; skip < arity; ++skip) {
+    NaryInd sub;
+    for (int i = 0; i < arity; ++i) {
+      if (i == skip) continue;
+      sub.dependent.push_back(candidate.dependent[static_cast<size_t>(i)]);
+      sub.referenced.push_back(candidate.referenced[static_cast<size_t>(i)]);
+    }
+    out.push_back(std::move(sub));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<NaryDiscoveryResult> NaryIndDiscovery::Run(
+    const Catalog& catalog, const std::vector<Ind>& unary) const {
+  NaryDiscoveryResult result;
+
+  // Level 1: echo the unary INDs in NaryInd form (deduplicated, sorted).
+  std::set<NaryInd> level;
+  for (const Ind& ind : unary) {
+    level.insert(NaryInd{{ind.dependent}, {ind.referenced}});
+  }
+  result.by_level.emplace_back(level.begin(), level.end());
+
+  for (int arity = 2; arity <= options_.max_arity; ++arity) {
+    const std::vector<NaryInd>& previous = result.by_level.back();
+    if (previous.empty()) break;
+    std::set<NaryInd> previous_set(previous.begin(), previous.end());
+
+    // Apriori join: combine INDs sharing tables and the first k-2 pairs,
+    // with the last dependent attribute strictly increasing and no
+    // attribute repeated on either side.
+    std::set<NaryInd> candidates;
+    for (size_t a = 0; a < previous.size(); ++a) {
+      for (size_t b = 0; b < previous.size(); ++b) {
+        const NaryInd& left = previous[a];
+        const NaryInd& right = previous[b];
+        if (left.dependent[0].table != right.dependent[0].table ||
+            left.referenced[0].table != right.referenced[0].table) {
+          continue;
+        }
+        bool prefix_equal = true;
+        for (int i = 0; i + 1 < arity - 1; ++i) {
+          if (!(left.dependent[static_cast<size_t>(i)] ==
+                right.dependent[static_cast<size_t>(i)]) ||
+              !(left.referenced[static_cast<size_t>(i)] ==
+                right.referenced[static_cast<size_t>(i)])) {
+            prefix_equal = false;
+            break;
+          }
+        }
+        if (!prefix_equal) continue;
+        const AttributeRef& left_dep = left.dependent.back();
+        const AttributeRef& right_dep = right.dependent.back();
+        if (!(left_dep < right_dep)) continue;
+
+        NaryInd candidate = left;
+        candidate.dependent.push_back(right_dep);
+        candidate.referenced.push_back(right.referenced.back());
+
+        // No repeated attribute on either side.
+        std::set<AttributeRef> dep_set(candidate.dependent.begin(),
+                                       candidate.dependent.end());
+        std::set<AttributeRef> ref_set(candidate.referenced.begin(),
+                                       candidate.referenced.end());
+        if (static_cast<int>(dep_set.size()) != arity ||
+            static_cast<int>(ref_set.size()) != arity) {
+          continue;
+        }
+        // Downward closure: every subprojection must be satisfied.
+        bool closed = true;
+        for (const NaryInd& sub : Subprojections(candidate)) {
+          if (!previous_set.contains(sub)) {
+            closed = false;
+            break;
+          }
+        }
+        if (closed) candidates.insert(std::move(candidate));
+      }
+    }
+
+    result.candidates_per_level.push_back(
+        static_cast<int64_t>(candidates.size()));
+    std::vector<NaryInd> satisfied;
+    for (const NaryInd& candidate : candidates) {
+      ++result.counters.candidates_tested;
+      SPIDER_ASSIGN_OR_RETURN(bool ok,
+                              Verify(catalog, candidate, &result.counters));
+      if (ok) satisfied.push_back(candidate);
+    }
+    result.by_level.push_back(std::move(satisfied));
+  }
+  return result;
+}
+
+}  // namespace spider

@@ -1,0 +1,62 @@
+// Partial inclusion dependencies on dirty data (paper Sec. 7 future work —
+// implemented here).
+//
+// A candidate dep ⊆ ref is σ-satisfied when at least a fraction σ of the
+// DISTINCT dependent values occur in the referenced set. σ = 1 recovers
+// exact INDs. Real integration scenarios need σ < 1 because dumps contain
+// dangling references, placeholder strings and encoding damage.
+
+#pragma once
+
+#include <vector>
+
+#include "src/common/counters.h"
+#include "src/common/result.h"
+#include "src/extsort/value_set_extractor.h"
+#include "src/ind/candidate.h"
+
+namespace spider {
+
+/// Options for PartialIndFinder.
+struct PartialIndOptions {
+  /// Materializes and caches sorted value sets. Required.
+  ValueSetExtractor* extractor = nullptr;
+
+  /// Minimum fraction of distinct dependent values that must be contained
+  /// in the referenced set, in [0, 1].
+  double min_coverage = 0.95;
+
+  /// Abort a test as soon as the number of unmatched dependent values
+  /// proves the coverage threshold unreachable (the generalization of the
+  /// paper's early stop).
+  bool early_stop = true;
+};
+
+/// Measured result for one candidate.
+struct PartialInd {
+  IndCandidate candidate;
+  /// matched / total over distinct dependent values. When early_stop fired,
+  /// `matched` is a lower bound and `coverage` is computed from the scanned
+  /// prefix — `satisfied` is still exact.
+  int64_t matched = 0;
+  int64_t total = 0;
+  double coverage = 0;
+  bool satisfied = false;
+};
+
+/// \brief Verifies σ-partial IND candidates with merge scans over sorted
+/// value sets.
+class PartialIndFinder {
+ public:
+  explicit PartialIndFinder(PartialIndOptions options);
+
+  /// Measures every candidate; the result vector parallels the input.
+  Result<std::vector<PartialInd>> Run(const Catalog& catalog,
+                                      const std::vector<IndCandidate>& candidates,
+                                      RunCounters* counters = nullptr);
+
+ private:
+  PartialIndOptions options_;
+};
+
+}  // namespace spider

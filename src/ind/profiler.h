@@ -1,0 +1,85 @@
+// One-call facade: generate candidates, pick an algorithm, run, report.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/temp_dir.h"
+#include "src/extsort/value_set_extractor.h"
+#include "src/ind/algorithm.h"
+#include "src/ind/candidate_generator.h"
+
+namespace spider {
+
+/// Which IND verification approach the profiler uses. The first five are
+/// the paper's; the rest are implemented extensions and baselines:
+/// spider-merge is the improved single pass announced as future work,
+/// de-marchi and bell-brockhausen are the related-work comparators
+/// ([10] and [2]).
+enum class IndApproach {
+  kBruteForce,
+  kSinglePass,
+  kSqlJoin,
+  kSqlMinus,
+  kSqlNotIn,
+  kSpiderMerge,
+  kDeMarchi,
+  kBellBrockhausen,
+};
+
+/// All approaches, for sweeps.
+inline constexpr IndApproach kAllIndApproaches[] = {
+    IndApproach::kBruteForce,  IndApproach::kSinglePass,
+    IndApproach::kSqlJoin,     IndApproach::kSqlMinus,
+    IndApproach::kSqlNotIn,    IndApproach::kSpiderMerge,
+    IndApproach::kDeMarchi,    IndApproach::kBellBrockhausen,
+};
+
+std::string_view IndApproachToString(IndApproach approach);
+
+/// Options for IndProfiler.
+struct IndProfilerOptions {
+  IndApproach approach = IndApproach::kBruteForce;
+  CandidateGeneratorOptions generator;
+  /// Memory budget per external sort (database-external approaches).
+  int64_t sort_memory_budget_bytes = 64LL << 20;
+  /// Open-file budget for the single-pass approach; 0 = unlimited.
+  int max_open_files = 0;
+  /// Wall-clock budget for the SQL approaches; 0 = unlimited.
+  double sql_time_budget_seconds = 0;
+  /// Working directory for sorted value sets; a scoped temp dir when empty.
+  std::string work_dir;
+};
+
+/// Everything a profiling run produces.
+struct ProfileReport {
+  CandidateSet candidates;
+  IndRunResult run;
+  /// Seconds spent generating candidates (statistics pass + pretests).
+  double generation_seconds = 0;
+  /// Total including generation.
+  double total_seconds = 0;
+
+  /// Human-readable multi-line summary.
+  std::string ToString() const;
+};
+
+/// \brief High-level entry point: discovers all satisfied unary INDs of a
+/// catalog.
+///
+///   IndProfiler profiler(options);
+///   SPIDER_ASSIGN_OR_RETURN(ProfileReport report, profiler.Profile(catalog));
+class IndProfiler {
+ public:
+  explicit IndProfiler(IndProfilerOptions options = {});
+
+  /// Runs candidate generation and the configured algorithm.
+  Result<ProfileReport> Profile(const Catalog& catalog);
+
+ private:
+  IndProfilerOptions options_;
+};
+
+}  // namespace spider

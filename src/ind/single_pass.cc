@@ -1,0 +1,392 @@
+#include "src/ind/single_pass.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/extsort/sorted_set_file.h"
+
+namespace spider {
+
+namespace {
+
+class DependentObject;
+class ReferencedObject;
+
+// FIFO activation queue (the paper's "monitor"): collects referenced
+// objects whose delivery preconditions hold and activates them in order.
+class Monitor {
+ public:
+  void EnqueueIfReady(ReferencedObject* ref);
+  // Runs deliveries until no referenced object is ready.
+  Status Drain();
+
+ private:
+  std::deque<ReferencedObject*> queue_;
+};
+
+// A referenced attribute: owns the cursor over its sorted value set and the
+// list of dependent objects whose IND candidate is still undecided.
+class ReferencedObject {
+ public:
+  ReferencedObject(AttributeRef attr, std::unique_ptr<SortedSetReader> reader,
+                   Monitor* monitor)
+      : attr_(std::move(attr)), reader_(std::move(reader)), monitor_(monitor) {}
+
+  const AttributeRef& attr() const { return attr_; }
+
+  void Attach(DependentObject* dep) { attached_.insert(dep); }
+
+  // The dependent object requests our next value. Returns false when the
+  // value set is exhausted (the caller then refutes / decides the
+  // candidate and detaches).
+  bool WantNextValue(DependentObject* dep) {
+    SPIDER_DCHECK(attached_.contains(dep));
+    if (!reader_->HasNext()) return false;
+    requests_.insert(dep);
+    monitor_->EnqueueIfReady(this);
+    return true;
+  }
+
+  // The candidate (dep ⊆ this) has been decided; stop considering dep.
+  void Detach(DependentObject* dep) {
+    attached_.erase(dep);
+    requests_.erase(dep);
+    monitor_->EnqueueIfReady(this);
+  }
+
+  // Delivery precondition: some candidate is live and every attached
+  // dependent object has issued a request for a move.
+  bool ReadyToDeliver() const {
+    return !attached_.empty() && requests_.size() == attached_.size();
+  }
+
+  // Reads the next value and hands it to every attached dependent object.
+  void Deliver();
+
+  bool in_queue = false;
+
+  const Status& reader_status() const { return reader_->status(); }
+
+ private:
+  AttributeRef attr_;
+  std::unique_ptr<SortedSetReader> reader_;
+  Monitor* monitor_;
+  std::set<DependentObject*> attached_;
+  std::set<DependentObject*> requests_;
+};
+
+// A dependent attribute: drives the comparison of its current value against
+// delivered referenced values (paper Algorithms 2 and 3).
+class DependentObject {
+ public:
+  DependentObject(AttributeRef attr, std::unique_ptr<SortedSetReader> reader,
+                  std::vector<Ind>* satisfied, int64_t* refuted,
+                  RunCounters* counters)
+      : attr_(std::move(attr)),
+        reader_(std::move(reader)),
+        satisfied_(satisfied),
+        refuted_(refuted),
+        counters_(counters) {}
+
+  const AttributeRef& attr() const { return attr_; }
+
+  // Reads the first dependent value. Returns false when the set is empty
+  // (the caller then decides all its candidates as vacuously satisfied).
+  bool Init() {
+    if (!reader_->HasNext()) return false;
+    current_ = reader_->Next();
+    return true;
+  }
+
+  // Initial registration: request the first value of `ref`. Mirrors the
+  // steady-state request path of Algorithm 2.
+  void Register(ReferencedObject* ref) {
+    ref->Attach(this);
+    if (ref->WantNextValue(this)) {
+      current_waiting_.insert(ref);
+    } else {
+      // Referenced set is empty while this dependent set is not: refuted.
+      ref->Detach(this);
+      ++*refuted_;
+    }
+  }
+
+  // Paper Algorithm 3: called by a referenced object delivering its next
+  // value.
+  void OnDelivery(ReferencedObject* ref, const std::string& value) {
+    // Value to be compared with the NEXT dependent value: stash it.
+    if (next_waiting_.erase(ref) > 0) {
+      next_.emplace_back(ref, value);
+      return;
+    }
+    // Value to be compared with the CURRENT dependent value.
+    current_waiting_.erase(ref);
+    ProcessComparison(ref, value);
+    AdvanceIfPossible();
+  }
+
+ private:
+  // Paper Algorithm 2: compare the current dependent value with a received
+  // referenced value and decide how to proceed for this candidate.
+  void ProcessComparison(ReferencedObject* ref, const std::string& value) {
+    if (counters_ != nullptr) ++counters_->comparisons;
+    if (current_ == value) {
+      if (reader_->HasNext()) {
+        if (ref->WantNextValue(this)) {
+          next_waiting_.insert(ref);
+        } else {
+          // Dependent values remain but the referenced set is exhausted.
+          ref->Detach(this);
+          ++*refuted_;
+        }
+      } else {
+        // Last dependent value matched: IND candidate satisfied.
+        ref->Detach(this);
+        satisfied_->push_back(Ind{attr_, ref->attr()});
+      }
+      return;
+    }
+    if (current_ > value) {
+      if (ref->WantNextValue(this)) {
+        current_waiting_.insert(ref);
+      } else {
+        // current_ cannot appear in the exhausted referenced set.
+        ref->Detach(this);
+        ++*refuted_;
+      }
+      return;
+    }
+    // current_ < value: the referenced stream has moved past current_, so
+    // current_ is not contained in the referenced set.
+    ref->Detach(this);
+    ++*refuted_;
+  }
+
+  // Paper Algorithm 3, second half: once every comparison with the current
+  // dependent value is done, fetch the next dependent value and replay the
+  // stashed referenced values against it.
+  void AdvanceIfPossible() {
+    if (!current_waiting_.empty() || (next_.empty() && next_waiting_.empty())) {
+      return;
+    }
+    // A next dependent value exists by construction: next/nextWaiting are
+    // only filled after a successful reader_->HasNext() check.
+    current_ = reader_->Next();
+    current_waiting_ = std::move(next_waiting_);
+    next_waiting_.clear();
+    auto pending = std::move(next_);
+    next_.clear();
+    for (auto& [ref, value] : pending) {
+      ProcessComparison(ref, value);
+    }
+    // Do we need the (new) current value any longer?
+    if (current_waiting_.empty() && !next_waiting_.empty()) {
+      current_ = reader_->Next();
+      current_waiting_ = std::move(next_waiting_);
+      next_waiting_.clear();
+    }
+  }
+
+  AttributeRef attr_;
+  std::unique_ptr<SortedSetReader> reader_;
+  std::vector<Ind>* satisfied_;
+  int64_t* refuted_;
+  RunCounters* counters_;
+
+  std::string current_;
+  // Referenced objects whose next value must be compared with current_.
+  std::set<ReferencedObject*> current_waiting_;
+  // Referenced objects whose next value must be compared with the next
+  // dependent value and has not yet been delivered.
+  std::set<ReferencedObject*> next_waiting_;
+  // Referenced objects that already delivered the value to compare with the
+  // next dependent value.
+  std::vector<std::pair<ReferencedObject*, std::string>> next_;
+};
+
+void ReferencedObject::Deliver() {
+  SPIDER_DCHECK(ReadyToDeliver());
+  requests_.clear();
+  // Every granted request verified HasNext(); only Deliver consumes values,
+  // so a next value exists.
+  const std::string value = reader_->Next();
+  // Dependent objects may detach during the loop; iterate a snapshot and
+  // skip the ones that left.
+  std::vector<DependentObject*> snapshot(attached_.begin(), attached_.end());
+  for (DependentObject* dep : snapshot) {
+    if (attached_.contains(dep)) dep->OnDelivery(this, value);
+  }
+}
+
+void Monitor::EnqueueIfReady(ReferencedObject* ref) {
+  if (!ref->in_queue && ref->ReadyToDeliver()) {
+    ref->in_queue = true;
+    queue_.push_back(ref);
+  }
+}
+
+Status Monitor::Drain() {
+  while (!queue_.empty()) {
+    ReferencedObject* ref = queue_.front();
+    queue_.pop_front();
+    ref->in_queue = false;
+    // State may have changed since enqueue (detaches); re-verify. Any
+    // change that restores readiness re-enqueues.
+    if (!ref->ReadyToDeliver()) continue;
+    ref->Deliver();
+    SPIDER_RETURN_NOT_OK(ref->reader_status());
+  }
+  return Status::OK();
+}
+
+// Runs one single-pass engine instance over one candidate block.
+Status RunBlock(const Catalog& catalog, ValueSetExtractor* extractor,
+                const std::vector<IndCandidate>& candidates,
+                IndRunResult* result) {
+  Monitor monitor;
+  int64_t refuted = 0;
+  const int64_t satisfied_at_entry =
+      static_cast<int64_t>(result->satisfied.size());
+
+  // Instantiate one object per distinct attribute in each role.
+  std::map<AttributeRef, std::unique_ptr<DependentObject>> deps;
+  std::map<AttributeRef, std::unique_ptr<ReferencedObject>> refs;
+  int64_t open_files = 0;
+  for (const IndCandidate& candidate : candidates) {
+    if (!deps.contains(candidate.dependent)) {
+      SPIDER_ASSIGN_OR_RETURN(SortedSetInfo info,
+                              extractor->Extract(catalog, candidate.dependent));
+      SPIDER_ASSIGN_OR_RETURN(
+          std::unique_ptr<SortedSetReader> reader,
+          SortedSetReader::Open(info.path, &result->counters));
+      ++open_files;
+      deps.emplace(candidate.dependent,
+                   std::make_unique<DependentObject>(
+                       candidate.dependent, std::move(reader),
+                       &result->satisfied, &refuted, &result->counters));
+    }
+    if (!refs.contains(candidate.referenced)) {
+      SPIDER_ASSIGN_OR_RETURN(SortedSetInfo info,
+                              extractor->Extract(catalog, candidate.referenced));
+      SPIDER_ASSIGN_OR_RETURN(
+          std::unique_ptr<SortedSetReader> reader,
+          SortedSetReader::Open(info.path, &result->counters));
+      ++open_files;
+      refs.emplace(candidate.referenced,
+                   std::make_unique<ReferencedObject>(
+                       candidate.referenced, std::move(reader), &monitor));
+    }
+  }
+  if (open_files > result->counters.peak_open_files) {
+    result->counters.peak_open_files = open_files;
+  }
+
+  // Read first dependent values; an empty dependent set satisfies all its
+  // candidates vacuously (cannot occur for candidates from the generator,
+  // which requires non-empty dependents, but callers may hand-craft sets).
+  std::set<AttributeRef> empty_deps;
+  for (auto& [attr, dep] : deps) {
+    if (!dep->Init()) empty_deps.insert(attr);
+  }
+
+  for (const IndCandidate& candidate : candidates) {
+    ++result->counters.candidates_tested;
+    if (empty_deps.contains(candidate.dependent)) {
+      result->satisfied.push_back(
+          Ind{candidate.dependent, candidate.referenced});
+      continue;
+    }
+    deps.at(candidate.dependent)
+        ->Register(refs.at(candidate.referenced).get());
+  }
+
+  SPIDER_RETURN_NOT_OK(monitor.Drain());
+
+  // Theorem 3.1: when the monitor runs dry every candidate is decided —
+  // satisfied INDs recorded plus refutations must add up to the block size.
+  const int64_t satisfied_total = static_cast<int64_t>(result->satisfied.size());
+  const int64_t satisfied_this_block = satisfied_total - satisfied_at_entry;
+  SPIDER_CHECK_EQ(satisfied_this_block + refuted,
+                  static_cast<int64_t>(candidates.size()))
+      << "single-pass left undecided candidates (deadlock?)";
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<std::vector<IndCandidate>> PartitionCandidatesByFileBudget(
+    const std::vector<IndCandidate>& candidates, int max_open_files) {
+  std::vector<std::vector<IndCandidate>> blocks;
+  if (candidates.empty()) return blocks;
+  if (max_open_files <= 0) {
+    blocks.push_back(candidates);
+    return blocks;
+  }
+  SPIDER_CHECK_GE(max_open_files, 2)
+      << "single-pass needs at least one dependent and one referenced file";
+
+  std::vector<IndCandidate> current;
+  std::set<AttributeRef> dep_attrs;
+  std::set<AttributeRef> ref_attrs;
+  for (const IndCandidate& candidate : candidates) {
+    std::set<AttributeRef> new_deps = dep_attrs;
+    std::set<AttributeRef> new_refs = ref_attrs;
+    new_deps.insert(candidate.dependent);
+    new_refs.insert(candidate.referenced);
+    int64_t files = static_cast<int64_t>(new_deps.size() + new_refs.size());
+    if (!current.empty() && files > max_open_files) {
+      blocks.push_back(std::move(current));
+      current.clear();
+      dep_attrs.clear();
+      ref_attrs.clear();
+      dep_attrs.insert(candidate.dependent);
+      ref_attrs.insert(candidate.referenced);
+    } else {
+      dep_attrs = std::move(new_deps);
+      ref_attrs = std::move(new_refs);
+    }
+    current.push_back(candidate);
+  }
+  if (!current.empty()) blocks.push_back(std::move(current));
+  return blocks;
+}
+
+SinglePassAlgorithm::SinglePassAlgorithm(SinglePassOptions options)
+    : options_(options) {
+  SPIDER_CHECK(options_.extractor != nullptr)
+      << "SinglePassOptions::extractor is required";
+}
+
+Result<IndRunResult> SinglePassAlgorithm::Run(
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+  IndRunResult result;
+  Stopwatch watch;
+  watch.Start();
+
+  // Duplicate candidates would register the same observer pair twice;
+  // test each distinct pair once (preserving first-occurrence order).
+  std::vector<IndCandidate> unique_candidates;
+  unique_candidates.reserve(candidates.size());
+  std::set<IndCandidate> seen;
+  for (const IndCandidate& candidate : candidates) {
+    if (seen.insert(candidate).second) unique_candidates.push_back(candidate);
+  }
+
+  std::vector<std::vector<IndCandidate>> blocks =
+      PartitionCandidatesByFileBudget(unique_candidates,
+                                      options_.max_open_files);
+  for (const auto& block : blocks) {
+    SPIDER_RETURN_NOT_OK(
+        RunBlock(catalog, options_.extractor, block, &result));
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace spider

@@ -1,0 +1,140 @@
+#include "src/ind/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/logging.h"
+
+namespace spider {
+
+namespace {
+
+// FNV-1a 64-bit with a splitmix finalizer for better bit diffusion.
+uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+BottomKSketch::BottomKSketch(int k) : k_(k) {
+  SPIDER_CHECK_GT(k, 0);
+  minima_.reserve(static_cast<size_t>(k));
+}
+
+void BottomKSketch::Add(std::string_view value) {
+  const uint64_t h = HashString(value);
+  auto it = std::lower_bound(minima_.begin(), minima_.end(), h);
+  if (it != minima_.end() && *it == h) return;  // duplicate value (or hash)
+  if (static_cast<int>(minima_.size()) < k_) {
+    minima_.insert(it, h);
+    ++distinct_hashes_;
+    return;
+  }
+  if (h < minima_.back()) {
+    minima_.pop_back();
+    minima_.insert(it, h);
+    ++distinct_hashes_;
+  }
+  // Values hashing above the current k-th minimum are still distinct but
+  // cannot enter the sketch; the KMV estimator accounts for them.
+}
+
+int64_t BottomKSketch::distinct_estimate() const {
+  if (static_cast<int>(minima_.size()) < k_) {
+    return static_cast<int64_t>(minima_.size());
+  }
+  const double kth = static_cast<double>(minima_.back());
+  if (kth <= 0) return static_cast<int64_t>(minima_.size());
+  const double estimate =
+      (static_cast<double>(k_) - 1.0) * std::pow(2.0, 64) / kth;
+  return static_cast<int64_t>(estimate);
+}
+
+double BottomKSketch::EstimateJaccard(const BottomKSketch& a,
+                                      const BottomKSketch& b) {
+  SPIDER_CHECK_EQ(a.k_, b.k_);
+  if (a.minima_.empty() && b.minima_.empty()) return 1.0;
+  if (a.minima_.empty() || b.minima_.empty()) return 0.0;
+
+  // Bottom-k of the union = k smallest of the merged minima; count how
+  // many of them lie in both sketches.
+  std::vector<uint64_t> merged;
+  merged.reserve(a.minima_.size() + b.minima_.size());
+  std::merge(a.minima_.begin(), a.minima_.end(), b.minima_.begin(),
+             b.minima_.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  const size_t take = std::min<size_t>(merged.size(), static_cast<size_t>(a.k_));
+
+  size_t in_both = 0;
+  for (size_t i = 0; i < take; ++i) {
+    const uint64_t h = merged[i];
+    const bool in_a =
+        std::binary_search(a.minima_.begin(), a.minima_.end(), h);
+    const bool in_b =
+        std::binary_search(b.minima_.begin(), b.minima_.end(), h);
+    if (in_a && in_b) ++in_both;
+  }
+  return static_cast<double>(in_both) / static_cast<double>(take);
+}
+
+double BottomKSketch::EstimateContainment(const BottomKSketch& a,
+                                          const BottomKSketch& b) {
+  const double n_a = static_cast<double>(a.distinct_estimate());
+  if (n_a <= 0) return 1.0;
+  const double n_b = static_cast<double>(b.distinct_estimate());
+  const double jaccard = EstimateJaccard(a, b);
+  // |A∩B| = J / (1+J) * (|A| + |B|); containment = |A∩B| / |A|.
+  const double intersection = jaccard / (1.0 + jaccard) * (n_a + n_b);
+  return std::clamp(intersection / n_a, 0.0, 1.0);
+}
+
+BottomKSketch SketchColumn(const Column& column, int k) {
+  BottomKSketch sketch(k);
+  for (const Value& v : column.values()) {
+    if (!v.is_null()) sketch.Add(v.ToCanonicalString());
+  }
+  return sketch;
+}
+
+Result<SketchFilterResult> SketchFilterCandidates(
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates,
+    const SketchFilterOptions& options) {
+  SketchFilterResult result;
+  std::map<AttributeRef, BottomKSketch> sketches;
+  auto sketch_for = [&](const AttributeRef& attr) -> Result<const BottomKSketch*> {
+    auto it = sketches.find(attr);
+    if (it == sketches.end()) {
+      SPIDER_ASSIGN_OR_RETURN(const Column* column,
+                              catalog.ResolveAttribute(attr));
+      it = sketches.emplace(attr, SketchColumn(*column, options.k)).first;
+    }
+    return &it->second;
+  };
+
+  for (const IndCandidate& candidate : candidates) {
+    SPIDER_ASSIGN_OR_RETURN(const BottomKSketch* dep,
+                            sketch_for(candidate.dependent));
+    SPIDER_ASSIGN_OR_RETURN(const BottomKSketch* ref,
+                            sketch_for(candidate.referenced));
+    if (BottomKSketch::EstimateContainment(*dep, *ref) >=
+        options.min_containment) {
+      result.kept.push_back(candidate);
+    } else {
+      result.dropped.push_back(candidate);
+    }
+  }
+  return result;
+}
+
+}  // namespace spider

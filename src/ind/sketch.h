@@ -1,0 +1,86 @@
+// Set-resemblance sketches for approximate IND screening (Dasu et al. [5]
+// in the paper: "Mining database structure; or, how to build a data quality
+// browser", SIGMOD 2002).
+//
+// A bottom-k sketch keeps the k smallest hash values of an attribute's
+// distinct values. Two sketches estimate the Jaccard resemblance
+// J = |A∩B| / |A∪B|; combined with the exact distinct counts this yields a
+// containment estimate |A∩B| / |A|, i.e., how much of a (potential)
+// dependent attribute is covered by a referenced attribute. The paper
+// suggests such summaries "to reduce the number of IND candidates"; the
+// screen is probabilistic — unlike the sound pretests it can drop true
+// INDs — so it is exposed as an explicitly approximate filter.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/ind/candidate.h"
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+/// \brief Bottom-k sketch over a set of strings.
+class BottomKSketch {
+ public:
+  /// `k` controls accuracy (error ~ 1/sqrt(k)).
+  explicit BottomKSketch(int k = 128);
+
+  /// Inserts one (not necessarily distinct) value.
+  void Add(std::string_view value);
+
+  /// Estimated number of distinct values: exact while fewer than k
+  /// distinct hashes were seen, the KMV estimator (k-1) * 2^64 / h_(k)
+  /// once the sketch saturates.
+  int64_t distinct_estimate() const;
+
+  /// Estimated Jaccard resemblance |A∩B| / |A∪B| of two sketches built
+  /// with the same k.
+  static double EstimateJaccard(const BottomKSketch& a, const BottomKSketch& b);
+
+  /// Estimated containment |A∩B| / |A| ("how much of a is inside b"),
+  /// using the Jaccard estimate and both distinct estimates. Returns 1.0
+  /// for an empty a.
+  static double EstimateContainment(const BottomKSketch& a,
+                                    const BottomKSketch& b);
+
+  int k() const { return k_; }
+
+  /// The sketch's sorted hash minima (exposed for tests).
+  const std::vector<uint64_t>& minima() const { return minima_; }
+
+ private:
+  int k_;
+  // Sorted ascending; at most k entries; acts as the bottom-k set.
+  std::vector<uint64_t> minima_;
+  int64_t distinct_hashes_ = 0;
+};
+
+/// Builds a sketch over a column's distinct non-NULL canonical values.
+BottomKSketch SketchColumn(const Column& column, int k = 128);
+
+/// Options for the approximate candidate screen.
+struct SketchFilterOptions {
+  int k = 128;
+  /// Candidates whose estimated containment falls below this are dropped.
+  /// 1.0 would demand (estimated) full inclusion; slack absorbs estimation
+  /// error.
+  double min_containment = 0.9;
+};
+
+/// Result of the approximate screen.
+struct SketchFilterResult {
+  std::vector<IndCandidate> kept;
+  std::vector<IndCandidate> dropped;
+};
+
+/// \brief Screens candidates by estimated containment. APPROXIMATE: may
+/// drop true INDs (probability shrinks with k); never invents one (kept
+/// candidates are still verified by a sound algorithm).
+Result<SketchFilterResult> SketchFilterCandidates(
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates,
+    const SketchFilterOptions& options = {});
+
+}  // namespace spider

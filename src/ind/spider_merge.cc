@@ -1,0 +1,185 @@
+#include "src/ind/spider_merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/extsort/sorted_set_file.h"
+
+namespace spider {
+
+namespace {
+
+// Per-attribute state in the merge.
+struct AttributeCursor {
+  AttributeRef attr;
+  std::unique_ptr<SortedSetReader> reader;
+  // Candidate bookkeeping: key = cursor index of a referenced attribute r
+  // with (this ⊆ r) still open; value = unmatched distinct dep values so
+  // far (σ-partial mode tolerates a budget of them).
+  std::map<int, int64_t> open_refs;
+  int ref_use_count = 0;     // number of deps whose open_refs contains this
+  int64_t distinct_count = 0;  // |s(this)|, from extraction
+  int64_t allowed_misses = 0;  // derived from distinct_count and sigma
+  bool exhausted = false;
+  bool closed = false;       // stream dropped (no live candidate needs it)
+
+  bool dep_active() const { return !open_refs.empty(); }
+  bool needed() const { return dep_active() || ref_use_count > 0; }
+};
+
+}  // namespace
+
+SpiderMergeAlgorithm::SpiderMergeAlgorithm(SpiderMergeOptions options)
+    : options_(options) {
+  SPIDER_CHECK(options_.extractor != nullptr)
+      << "SpiderMergeOptions::extractor is required";
+  SPIDER_CHECK_GE(options_.min_coverage, 0.0);
+  SPIDER_CHECK_LE(options_.min_coverage, 1.0);
+}
+
+Result<IndRunResult> SpiderMergeAlgorithm::Run(
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+  IndRunResult result;
+  Stopwatch watch;
+  watch.Start();
+
+  // Deduplicate candidates; assign a cursor to every distinct attribute.
+  std::map<AttributeRef, int> cursor_index;
+  std::vector<AttributeCursor> cursors;
+  auto cursor_for = [&](const AttributeRef& attr) -> Result<int> {
+    auto it = cursor_index.find(attr);
+    if (it != cursor_index.end()) return it->second;
+    SPIDER_ASSIGN_OR_RETURN(SortedSetInfo info,
+                            options_.extractor->Extract(catalog, attr));
+    SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<SortedSetReader> reader,
+                            SortedSetReader::Open(info.path, &result.counters));
+    AttributeCursor cursor;
+    cursor.attr = attr;
+    cursor.reader = std::move(reader);
+    cursor.distinct_count = info.distinct_count;
+    int index = static_cast<int>(cursors.size());
+    cursors.push_back(std::move(cursor));
+    cursor_index.emplace(attr, index);
+    return index;
+  };
+
+  std::set<IndCandidate> seen;
+  for (const IndCandidate& candidate : candidates) {
+    if (!seen.insert(candidate).second) continue;
+    ++result.counters.candidates_tested;
+    SPIDER_ASSIGN_OR_RETURN(int dep, cursor_for(candidate.dependent));
+    SPIDER_ASSIGN_OR_RETURN(int ref, cursor_for(candidate.referenced));
+    if (cursors[static_cast<size_t>(dep)].open_refs.emplace(ref, 0).second) {
+      ++cursors[static_cast<size_t>(ref)].ref_use_count;
+    }
+  }
+  // σ-partial budgets: each dependent tolerates
+  // |s(d)| - ceil(sigma * |s(d)|) unmatched distinct values.
+  for (AttributeCursor& cursor : cursors) {
+    const double sigma = options_.min_coverage;
+    cursor.allowed_misses =
+        cursor.distinct_count -
+        static_cast<int64_t>(
+            std::ceil(sigma * static_cast<double>(cursor.distinct_count)));
+  }
+  if (result.counters.peak_open_files <
+      static_cast<int64_t>(cursors.size())) {
+    result.counters.peak_open_files = static_cast<int64_t>(cursors.size());
+  }
+
+  // Prime the heap with each attribute's first value. An empty dependent
+  // set satisfies all its candidates vacuously.
+  using HeapEntry = std::pair<std::string, int>;  // (current value, cursor)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+
+  // Satisfies every open candidate of dependent cursor `d`.
+  auto satisfy_all = [&](int d) {
+    AttributeCursor& dep = cursors[static_cast<size_t>(d)];
+    for (const auto& [r, misses] : dep.open_refs) {
+      result.satisfied.push_back(
+          Ind{dep.attr, cursors[static_cast<size_t>(r)].attr});
+      --cursors[static_cast<size_t>(r)].ref_use_count;
+    }
+    dep.open_refs.clear();
+  };
+
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    AttributeCursor& cursor = cursors[i];
+    if (cursor.reader->HasNext()) {
+      heap.emplace(cursor.reader->Next(), static_cast<int>(i));
+    } else {
+      cursor.exhausted = true;
+      satisfy_all(static_cast<int>(i));
+    }
+  }
+
+  // Merge loop: pop one group of equal values per iteration.
+  std::vector<int> group;
+  while (!heap.empty()) {
+    const std::string value = heap.top().first;
+    group.clear();
+    while (!heap.empty() && heap.top().first == value) {
+      group.push_back(heap.top().second);
+      heap.pop();
+    }
+    // group is sorted by cursor id (heap tie-break on equal values), which
+    // enables the binary search below.
+    result.counters.comparisons += static_cast<int64_t>(group.size());
+
+    // Charge a miss to candidates whose referenced attribute lacks this
+    // value; refute those whose σ-budget is exhausted.
+    for (int d : group) {
+      AttributeCursor& dep = cursors[static_cast<size_t>(d)];
+      if (!dep.dep_active()) continue;
+      for (auto it = dep.open_refs.begin(); it != dep.open_refs.end();) {
+        if (std::binary_search(group.begin(), group.end(), it->first)) {
+          ++it;
+        } else if (++it->second > dep.allowed_misses) {
+          --cursors[static_cast<size_t>(it->first)].ref_use_count;
+          it = dep.open_refs.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    // Advance group members; drop streams nobody needs any more.
+    for (int index : group) {
+      AttributeCursor& cursor = cursors[static_cast<size_t>(index)];
+      if (!cursor.needed()) {
+        cursor.closed = true;
+        continue;
+      }
+      if (cursor.reader->HasNext()) {
+        heap.emplace(cursor.reader->Next(), index);
+      } else {
+        cursor.exhausted = true;
+        // Every surviving referenced attribute contained all dep values.
+        satisfy_all(index);
+      }
+      SPIDER_RETURN_NOT_OK(cursor.reader->status());
+    }
+  }
+
+  // Consistency: once the heap drains every candidate must be decided —
+  // an exhausted dependent satisfied its survivors, a refuted candidate
+  // was removed at the refuting value, and `needed()` forbids dropping a
+  // stream that still carries candidates.
+  for (const AttributeCursor& cursor : cursors) {
+    SPIDER_CHECK(cursor.open_refs.empty())
+        << "spider-merge left an undecided candidate for "
+        << cursor.attr.ToString();
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace spider

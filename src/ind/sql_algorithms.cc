@@ -1,0 +1,76 @@
+#include "src/ind/sql_algorithms.h"
+
+#include <functional>
+
+#include "src/common/stopwatch.h"
+#include "src/engine/operators.h"
+
+namespace spider {
+
+namespace {
+
+// Shared driver: runs `test_one` per candidate under the time budget.
+Result<IndRunResult> RunSqlApproach(
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates,
+    const SqlAlgorithmOptions& options,
+    const std::function<bool(const Column& dep, const Column& ref,
+                             RunCounters* counters)>& test_one) {
+  IndRunResult result;
+  Stopwatch watch;
+  watch.Start();
+
+  for (const IndCandidate& candidate : candidates) {
+    if (options.time_budget_seconds > 0 &&
+        watch.ElapsedSeconds() > options.time_budget_seconds) {
+      result.finished = false;
+      break;
+    }
+    SPIDER_ASSIGN_OR_RETURN(const Column* dep,
+                            catalog.ResolveAttribute(candidate.dependent));
+    SPIDER_ASSIGN_OR_RETURN(const Column* ref,
+                            catalog.ResolveAttribute(candidate.referenced));
+    ++result.counters.candidates_tested;
+    if (test_one(*dep, *ref, &result.counters)) {
+      result.satisfied.push_back(Ind{candidate.dependent, candidate.referenced});
+    }
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace
+
+Result<IndRunResult> SqlJoinAlgorithm::Run(
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+  const JoinStrategy strategy = strategy_;
+  return RunSqlApproach(
+      catalog, candidates, options_,
+      [strategy](const Column& dep, const Column& ref, RunCounters* counters) {
+        const int64_t matched =
+            strategy == JoinStrategy::kHash
+                ? engine::HashJoinMatchCount(dep, ref, counters)
+                : engine::SortMergeJoinMatchCount(dep, ref, counters);
+        return matched == dep.non_null_count();
+      });
+}
+
+Result<IndRunResult> SqlMinusAlgorithm::Run(
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+  return RunSqlApproach(
+      catalog, candidates, options_,
+      [](const Column& dep, const Column& ref, RunCounters* counters) {
+        return engine::MinusCount(dep, ref, counters) == 0;
+      });
+}
+
+Result<IndRunResult> SqlNotInAlgorithm::Run(
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+  return RunSqlApproach(
+      catalog, candidates, options_,
+      [](const Column& dep, const Column& ref, RunCounters* counters) {
+        return engine::NotInCount(dep, ref, counters) == 0;
+      });
+}
+
+}  // namespace spider

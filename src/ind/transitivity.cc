@@ -1,0 +1,68 @@
+#include "src/ind/transitivity.h"
+
+#include <deque>
+
+namespace spider {
+
+void TransitivityPruner::AddSatisfied(const AttributeRef& dep,
+                                      const AttributeRef& ref) {
+  if (forward_[dep].insert(ref).second) {
+    backward_[ref].insert(dep);
+    ++satisfied_edge_count_;
+  }
+}
+
+void TransitivityPruner::AddRefuted(const AttributeRef& dep,
+                                    const AttributeRef& ref) {
+  refuted_.emplace(dep, ref);
+}
+
+std::set<AttributeRef> TransitivityPruner::ReachableForward(
+    const AttributeRef& start) const {
+  std::set<AttributeRef> seen{start};
+  std::deque<AttributeRef> queue{start};
+  while (!queue.empty()) {
+    AttributeRef node = queue.front();
+    queue.pop_front();
+    auto it = forward_.find(node);
+    if (it == forward_.end()) continue;
+    for (const AttributeRef& next : it->second) {
+      if (seen.insert(next).second) queue.push_back(next);
+    }
+  }
+  return seen;
+}
+
+std::set<AttributeRef> TransitivityPruner::ReachableBackward(
+    const AttributeRef& start) const {
+  std::set<AttributeRef> seen{start};
+  std::deque<AttributeRef> queue{start};
+  while (!queue.empty()) {
+    AttributeRef node = queue.front();
+    queue.pop_front();
+    auto it = backward_.find(node);
+    if (it == backward_.end()) continue;
+    for (const AttributeRef& prev : it->second) {
+      if (seen.insert(prev).second) queue.push_back(prev);
+    }
+  }
+  return seen;
+}
+
+std::optional<bool> TransitivityPruner::Known(const AttributeRef& dep,
+                                              const AttributeRef& ref) const {
+  // Satisfied by transitive closure of satisfied edges?
+  std::set<AttributeRef> from_dep = ReachableForward(dep);
+  if (from_dep.contains(ref)) return true;
+
+  // Refuted by contradiction: x →* dep satisfied, ref →* y satisfied, and
+  // x ⊆ y refuted ⇒ dep ⊆ ref cannot hold.
+  std::set<AttributeRef> to_dep = ReachableBackward(dep);
+  std::set<AttributeRef> from_ref = ReachableForward(ref);
+  for (const auto& [x, y] : refuted_) {
+    if (to_dep.contains(x) && from_ref.contains(y)) return false;
+  }
+  return std::nullopt;
+}
+
+}  // namespace spider

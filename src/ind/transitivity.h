@@ -1,0 +1,59 @@
+// Transitivity-based candidate pruning (paper Sec. 4.1 / Bell &
+// Brockhausen [2]).
+//
+// Inclusion is transitive: A ⊆ B and B ⊆ C imply A ⊆ C, so a candidate
+// whose satisfaction (or refutation) already follows from decided INDs
+// need not be tested against the data. Refutation propagates too: if
+// X →* A is satisfied and R →* Y is satisfied and X ⊆ Y is refuted, then
+// A ⊆ R must be refuted (otherwise X ⊆ Y would follow by transitivity).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/ind/candidate.h"
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+/// \brief Incremental store of decided INDs with closure queries.
+///
+/// Feed every decided candidate via AddSatisfied / AddRefuted; before
+/// testing a candidate, ask Known() — a non-nullopt answer makes the data
+/// test unnecessary.
+class TransitivityPruner {
+ public:
+  /// Records a verified IND dep ⊆ ref.
+  void AddSatisfied(const AttributeRef& dep, const AttributeRef& ref);
+
+  /// Records a refuted candidate dep ⊄ ref.
+  void AddRefuted(const AttributeRef& dep, const AttributeRef& ref);
+
+  /// Returns true / false when the candidate's outcome is already implied
+  /// by recorded decisions, nullopt when it must be tested.
+  std::optional<bool> Known(const AttributeRef& dep,
+                            const AttributeRef& ref) const;
+
+  /// Number of explicit decisions recorded.
+  int64_t satisfied_count() const { return satisfied_edge_count_; }
+  int64_t refuted_count() const { return static_cast<int64_t>(refuted_.size()); }
+
+ private:
+  /// All nodes reachable from `start` through satisfied edges (includes
+  /// `start` itself).
+  std::set<AttributeRef> ReachableForward(const AttributeRef& start) const;
+  /// All nodes that reach `start` through satisfied edges (includes
+  /// `start`).
+  std::set<AttributeRef> ReachableBackward(const AttributeRef& start) const;
+
+  std::map<AttributeRef, std::set<AttributeRef>> forward_;   // dep -> refs
+  std::map<AttributeRef, std::set<AttributeRef>> backward_;  // ref -> deps
+  std::set<std::pair<AttributeRef, AttributeRef>> refuted_;
+  int64_t satisfied_edge_count_ = 0;
+};
+
+}  // namespace spider

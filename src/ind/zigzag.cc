@@ -1,0 +1,238 @@
+#include "src/ind/zigzag.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+
+namespace spider {
+
+namespace {
+
+// One (dependent table, referenced table) pairing context.
+struct TablePair {
+  std::string dep_table;
+  std::string ref_table;
+  // The unary base: satisfied dep-column ⊆ ref-column pairs.
+  std::vector<std::pair<AttributeRef, AttributeRef>> unary;
+
+  friend bool operator<(const TablePair& a, const TablePair& b) {
+    if (a.dep_table != b.dep_table) return a.dep_table < b.dep_table;
+    return a.ref_table < b.ref_table;
+  }
+};
+
+// Canonicalizes: dependent attributes ascending, referenced aligned.
+NaryInd Canonical(std::vector<std::pair<AttributeRef, AttributeRef>> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  NaryInd ind;
+  for (auto& [dep, ref] : pairs) {
+    ind.dependent.push_back(std::move(dep));
+    ind.referenced.push_back(std::move(ref));
+  }
+  return ind;
+}
+
+// True when `sub` is a subprojection of `super` (same positional pairs).
+bool IsSubprojection(const NaryInd& sub, const NaryInd& super) {
+  if (sub.arity() > super.arity()) return false;
+  size_t j = 0;
+  for (int i = 0; i < sub.arity(); ++i) {
+    bool found = false;
+    for (; j < super.dependent.size(); ++j) {
+      if (super.dependent[j] == sub.dependent[static_cast<size_t>(i)] &&
+          super.referenced[j] == sub.referenced[static_cast<size_t>(i)]) {
+        found = true;
+        ++j;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+// All (k-1)-ary children of a candidate.
+std::vector<NaryInd> Children(const NaryInd& candidate) {
+  std::vector<NaryInd> out;
+  for (int skip = 0; skip < candidate.arity(); ++skip) {
+    NaryInd child;
+    for (int i = 0; i < candidate.arity(); ++i) {
+      if (i == skip) continue;
+      child.dependent.push_back(candidate.dependent[static_cast<size_t>(i)]);
+      child.referenced.push_back(candidate.referenced[static_cast<size_t>(i)]);
+    }
+    out.push_back(std::move(child));
+  }
+  return out;
+}
+
+}  // namespace
+
+ZigzagDiscovery::ZigzagDiscovery(ZigzagOptions options) : options_(options) {
+  SPIDER_CHECK_GE(options_.max_arity, 2);
+  SPIDER_CHECK_GE(options_.epsilon, 0.0);
+  SPIDER_CHECK_LE(options_.epsilon, 1.0);
+}
+
+Result<double> ZigzagDiscovery::Error(const Catalog& catalog,
+                                      const NaryInd& candidate,
+                                      RunCounters* counters) const {
+  const int arity = candidate.arity();
+  std::vector<const Column*> dep_columns;
+  std::vector<const Column*> ref_columns;
+  for (int i = 0; i < arity; ++i) {
+    SPIDER_ASSIGN_OR_RETURN(const Column* dep,
+                            catalog.ResolveAttribute(candidate.dependent[i]));
+    SPIDER_ASSIGN_OR_RETURN(const Column* ref,
+                            catalog.ResolveAttribute(candidate.referenced[i]));
+    dep_columns.push_back(dep);
+    ref_columns.push_back(ref);
+  }
+  const Table* dep_table = catalog.FindTable(candidate.dependent[0].table);
+  const Table* ref_table = catalog.FindTable(candidate.referenced[0].table);
+  SPIDER_CHECK(dep_table != nullptr && ref_table != nullptr);
+
+  std::unordered_set<std::string> ref_tuples;
+  std::vector<std::string> components(static_cast<size_t>(arity));
+  for (int64_t row = 0; row < ref_table->row_count(); ++row) {
+    bool has_null = false;
+    for (int i = 0; i < arity; ++i) {
+      const Value& v = ref_columns[static_cast<size_t>(i)]->value(row);
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+      components[static_cast<size_t>(i)] = v.ToCanonicalString();
+    }
+    if (counters != nullptr) ++counters->tuples_read;
+    if (!has_null) ref_tuples.insert(EncodeCompositeKey(components));
+  }
+
+  std::unordered_set<std::string> dep_tuples;
+  std::unordered_set<std::string> missing;
+  for (int64_t row = 0; row < dep_table->row_count(); ++row) {
+    bool has_null = false;
+    for (int i = 0; i < arity; ++i) {
+      const Value& v = dep_columns[static_cast<size_t>(i)]->value(row);
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+      components[static_cast<size_t>(i)] = v.ToCanonicalString();
+    }
+    if (counters != nullptr) ++counters->tuples_read;
+    if (has_null) continue;
+    std::string key = EncodeCompositeKey(components);
+    if (counters != nullptr) ++counters->comparisons;
+    if (!ref_tuples.contains(key)) missing.insert(key);
+    dep_tuples.insert(std::move(key));
+  }
+  if (dep_tuples.empty()) return 0.0;
+  return static_cast<double>(missing.size()) /
+         static_cast<double>(dep_tuples.size());
+}
+
+Result<ZigzagResult> ZigzagDiscovery::Run(const Catalog& catalog,
+                                          const std::vector<Ind>& unary) const {
+  ZigzagResult result;
+
+  // Group the unary base by table pair.
+  std::map<std::pair<std::string, std::string>, TablePair> pairs;
+  for (const Ind& ind : unary) {
+    auto key = std::make_pair(ind.dependent.table, ind.referenced.table);
+    TablePair& pair = pairs[key];
+    pair.dep_table = key.first;
+    pair.ref_table = key.second;
+    pair.unary.emplace_back(ind.dependent, ind.referenced);
+  }
+
+  for (auto& [_, pair] : pairs) {
+    if (pair.unary.size() < 2) continue;
+
+    // Optimistic candidates: greedy maximal bipartite matchings of the
+    // unary base. Each unary IND seeds one matching so different pairings
+    // get a chance (a simplification of the exact optimistic border).
+    std::set<NaryInd> optimistic;
+    for (size_t seed = 0; seed < pair.unary.size(); ++seed) {
+      std::vector<std::pair<AttributeRef, AttributeRef>> matching;
+      std::set<AttributeRef> used_dep;
+      std::set<AttributeRef> used_ref;
+      auto take = [&](const std::pair<AttributeRef, AttributeRef>& edge) {
+        if (used_dep.contains(edge.first) || used_ref.contains(edge.second)) {
+          return;
+        }
+        matching.push_back(edge);
+        used_dep.insert(edge.first);
+        used_ref.insert(edge.second);
+      };
+      take(pair.unary[seed]);
+      for (const auto& edge : pair.unary) take(edge);
+      if (static_cast<int>(matching.size()) < 2) continue;
+      while (static_cast<int>(matching.size()) > options_.max_arity) {
+        matching.pop_back();
+      }
+      optimistic.insert(Canonical(std::move(matching)));
+    }
+
+    // Zigzag over this pair: test optimistic candidates; refine top-down
+    // when the error is small; record maximal satisfied INDs.
+    std::set<NaryInd> tested;
+    std::vector<NaryInd> satisfied_here;
+    std::deque<NaryInd> queue(optimistic.begin(), optimistic.end());
+    while (!queue.empty()) {
+      NaryInd candidate = std::move(queue.front());
+      queue.pop_front();
+      if (candidate.arity() < 2) continue;
+      if (!tested.insert(candidate).second) continue;
+      // Skip candidates already implied by a satisfied superset.
+      bool implied = false;
+      for (const NaryInd& winner : satisfied_here) {
+        if (IsSubprojection(candidate, winner)) {
+          implied = true;
+          break;
+        }
+      }
+      if (implied) continue;
+
+      ++result.tests;
+      SPIDER_ASSIGN_OR_RETURN(double error,
+                              Error(catalog, candidate, &result.counters));
+      if (error == 0.0) {
+        satisfied_here.push_back(candidate);
+        if (candidate.arity() > 2) ++result.optimistic_hits;
+        continue;
+      }
+      if (error <= options_.epsilon) {
+        // Nearly satisfied: its children are promising.
+        for (NaryInd& child : Children(candidate)) {
+          queue.push_back(std::move(child));
+        }
+      }
+      // Badly violated candidates are abandoned (their sub-INDs are only
+      // reached through other, nearly-satisfied branches).
+    }
+
+    // Keep only the maximal satisfied INDs for this pair.
+    for (size_t i = 0; i < satisfied_here.size(); ++i) {
+      bool maximal = true;
+      for (size_t j = 0; j < satisfied_here.size(); ++j) {
+        if (i != j && satisfied_here[i].arity() < satisfied_here[j].arity() &&
+            IsSubprojection(satisfied_here[i], satisfied_here[j])) {
+          maximal = false;
+          break;
+        }
+      }
+      if (maximal) result.maximal.push_back(satisfied_here[i]);
+    }
+  }
+
+  std::sort(result.maximal.begin(), result.maximal.end());
+  return result;
+}
+
+}  // namespace spider

@@ -1,0 +1,78 @@
+// Zigzag-style n-ary IND discovery (De Marchi & Petit, ICDM 2003 — [11] in
+// the paper's related work).
+//
+// Pure levelwise expansion (src/ind/nary.h) needs one pass per arity and
+// suffers when large INDs exist: a k-ary IND forces testing all of its
+// 2^k - 2 sub-INDs level by level. Zigzag alternates directions instead:
+//
+//   1. bottom-up: verify unary (given) and binary INDs levelwise;
+//   2. optimistic jump: for every (dependent table, referenced table) pair,
+//      build maximal candidate INDs compatible with the verified base (a
+//      bipartite matching of unary INDs, filtered against known-unsatisfied
+//      sub-INDs) and test them directly;
+//   3. top-down refinement: a failed optimistic candidate whose error g3'
+//      (fraction of distinct dependent tuples without a match) is at most
+//      `epsilon` is likely "almost right" — its (k-1)-ary children are
+//      tested next; a badly failed candidate is abandoned to the verified
+//      bottom-up base instead of spawning children.
+//
+// The result is the set of MAXIMAL satisfied n-ary INDs (every
+// subprojection of a reported IND is implied). This implementation makes
+// one simplification relative to the published algorithm: optimistic
+// candidates are derived from greedy bipartite matchings of the unary base
+// rather than from minimal-hypergraph-transversal computation of the exact
+// optimistic positive border; DESIGN.md discusses the trade-off.
+
+#pragma once
+
+#include <vector>
+
+#include "src/common/counters.h"
+#include "src/common/result.h"
+#include "src/ind/nary.h"
+
+namespace spider {
+
+/// Options for ZigzagDiscovery.
+struct ZigzagOptions {
+  /// Maximum arity considered.
+  int max_arity = 8;
+  /// A failed optimistic candidate with error g3' <= epsilon refines
+  /// top-down into its children; above the threshold it is abandoned.
+  double epsilon = 0.3;
+};
+
+/// Result of a zigzag run.
+struct ZigzagResult {
+  /// Maximal satisfied INDs of arity >= 2 (none is a subprojection of
+  /// another reported IND).
+  std::vector<NaryInd> maximal;
+  /// Direct data tests performed (the figure to compare against pure
+  /// levelwise expansion).
+  int64_t tests = 0;
+  /// Tests that immediately confirmed an optimistic candidate.
+  int64_t optimistic_hits = 0;
+  RunCounters counters;
+};
+
+/// \brief Optimistic/top-down n-ary IND discovery.
+class ZigzagDiscovery {
+ public:
+  explicit ZigzagDiscovery(ZigzagOptions options = {});
+
+  /// `unary` must be the complete satisfied unary IND set (as for
+  /// NaryIndDiscovery).
+  Result<ZigzagResult> Run(const Catalog& catalog,
+                           const std::vector<Ind>& unary) const;
+
+  /// Measures the g3' error of a candidate: the fraction of distinct
+  /// dependent tuples with no referenced match (0 ⇔ satisfied). Exposed
+  /// for tests.
+  Result<double> Error(const Catalog& catalog, const NaryInd& candidate,
+                       RunCounters* counters) const;
+
+ private:
+  ZigzagOptions options_;
+};
+
+}  // namespace spider

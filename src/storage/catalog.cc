@@ -1,0 +1,70 @@
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+Result<Table*> Catalog::CreateTable(const std::string& name) {
+  if (FindTable(name) != nullptr) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_.push_back(std::make_unique<Table>(name));
+  return tables_.back().get();
+}
+
+Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  if (FindTable(table->name()) != nullptr) {
+    return Status::AlreadyExists("table '" + table->name() +
+                                 "' already exists");
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+const Table* Catalog::FindTable(std::string_view name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+Table* Catalog::FindTable(std::string_view name) {
+  for (auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+Result<const Column*> Catalog::ResolveAttribute(const AttributeRef& ref) const {
+  const Table* table = FindTable(ref.table);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + ref.table);
+  }
+  const Column* column = table->FindColumn(ref.column);
+  if (column == nullptr) {
+    return Status::NotFound("no such column: " + ref.ToString());
+  }
+  return column;
+}
+
+std::vector<AttributeRef> Catalog::AllAttributes() const {
+  std::vector<AttributeRef> out;
+  for (const auto& t : tables_) {
+    for (int c = 0; c < t->column_count(); ++c) {
+      out.push_back({t->name(), t->column(c).name()});
+    }
+  }
+  return out;
+}
+
+int Catalog::attribute_count() const {
+  int n = 0;
+  for (const auto& t : tables_) n += t->column_count();
+  return n;
+}
+
+int64_t Catalog::ApproximateByteSize() const {
+  int64_t bytes = 0;
+  for (const auto& t : tables_) bytes += t->ApproximateByteSize();
+  return bytes;
+}
+
+}  // namespace spider

@@ -1,0 +1,14 @@
+#include "src/storage/column.h"
+
+namespace spider {
+
+int64_t Column::ApproximateByteSize() const {
+  int64_t bytes = 0;
+  for (const Value& v : values_) {
+    bytes += static_cast<int64_t>(sizeof(Value));
+    if (v.is_string()) bytes += static_cast<int64_t>(v.string().size());
+  }
+  return bytes;
+}
+
+}  // namespace spider

@@ -1,0 +1,66 @@
+// Columns: typed, nullable value sequences with declared constraints.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/storage/type.h"
+#include "src/storage/value.h"
+
+namespace spider {
+
+/// \brief A named, typed column of nullable values.
+///
+/// Columns also carry the two declared constraints the paper's candidate
+/// generation consults: uniqueness (referenced attributes must be unique)
+/// and whether the column is a LOB (excluded from dependent attributes).
+class Column {
+ public:
+  Column(std::string name, TypeId type, bool declared_unique = false)
+      : name_(std::move(name)), type_(type), declared_unique_(declared_unique) {}
+
+  const std::string& name() const { return name_; }
+  TypeId type() const { return type_; }
+
+  /// True when the schema declares a UNIQUE (or PRIMARY KEY) constraint.
+  bool declared_unique() const { return declared_unique_; }
+  void set_declared_unique(bool unique) { declared_unique_ = unique; }
+
+  int64_t row_count() const { return static_cast<int64_t>(values_.size()); }
+
+  /// Number of non-NULL values.
+  int64_t non_null_count() const { return non_null_count_; }
+
+  bool empty() const { return values_.empty(); }
+
+  /// True when the column has at least one non-NULL value. Candidate
+  /// generation only considers non-empty columns (paper Sec. 2).
+  bool has_data() const { return non_null_count_ > 0; }
+
+  const Value& value(int64_t row) const {
+    return values_[static_cast<size_t>(row)];
+  }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) {
+    if (!v.is_null()) ++non_null_count_;
+    values_.push_back(std::move(v));
+  }
+
+  void Reserve(int64_t rows) { values_.reserve(static_cast<size_t>(rows)); }
+
+  /// Approximate in-memory footprint in bytes (used to report "database
+  /// size" in benchmark tables).
+  int64_t ApproximateByteSize() const;
+
+ private:
+  std::string name_;
+  TypeId type_;
+  bool declared_unique_;
+  int64_t non_null_count_ = 0;
+  std::vector<Value> values_;
+};
+
+}  // namespace spider

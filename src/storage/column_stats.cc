@@ -1,0 +1,64 @@
+#include "src/storage/column_stats.h"
+
+#include <unordered_set>
+
+#include "src/common/string_util.h"
+
+namespace spider {
+
+ColumnStats ComputeColumnStats(const Column& column) {
+  ColumnStats stats;
+  stats.row_count = column.row_count();
+
+  std::unordered_set<std::string> distinct;
+  int64_t with_letter = 0;
+  int64_t all_digits = 0;
+  bool first = true;
+  for (const Value& v : column.values()) {
+    if (v.is_null()) {
+      ++stats.null_count;
+      continue;
+    }
+    ++stats.non_null_count;
+    std::string canon = v.ToCanonicalString();
+    int64_t len = static_cast<int64_t>(canon.size());
+    if (first) {
+      stats.min_value = canon;
+      stats.max_value = canon;
+      stats.min_length = len;
+      stats.max_length = len;
+      first = false;
+    } else {
+      if (canon < *stats.min_value) stats.min_value = canon;
+      if (canon > *stats.max_value) stats.max_value = canon;
+      if (len < stats.min_length) stats.min_length = len;
+      if (len > stats.max_length) stats.max_length = len;
+    }
+    if (ContainsLetter(canon)) ++with_letter;
+    if (IsAllDigits(canon)) ++all_digits;
+    distinct.insert(std::move(canon));
+  }
+  stats.distinct_count = static_cast<int64_t>(distinct.size());
+  stats.verified_unique =
+      stats.non_null_count > 0 && stats.distinct_count == stats.non_null_count;
+  if (stats.non_null_count > 0) {
+    stats.letter_fraction =
+        static_cast<double>(with_letter) / static_cast<double>(stats.non_null_count);
+    stats.digit_fraction =
+        static_cast<double>(all_digits) / static_cast<double>(stats.non_null_count);
+  }
+  return stats;
+}
+
+std::string ColumnStats::ToString() const {
+  std::string out;
+  out += "rows=" + FormatWithCommas(row_count);
+  out += " nulls=" + FormatWithCommas(null_count);
+  out += " distinct=" + FormatWithCommas(distinct_count);
+  out += verified_unique ? " unique" : "";
+  if (min_value) out += " min='" + *min_value + "'";
+  if (max_value) out += " max='" + *max_value + "'";
+  return out;
+}
+
+}  // namespace spider

@@ -1,0 +1,244 @@
+#include "src/storage/csv.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/common/string_util.h"
+
+namespace spider {
+
+namespace fs = std::filesystem;
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current += c;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty()) {
+        return Status::InvalidArgument("quote inside unquoted field: " +
+                                       std::string(line));
+      }
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    current += c;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote: " + std::string(line));
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+namespace {
+
+// Infers the narrowest type that parses every non-NULL sample:
+// integer ⊂ double ⊂ string.
+TypeId InferType(const std::vector<std::vector<std::string>>& rows, size_t col,
+                 const CsvOptions& options) {
+  bool can_int = true;
+  bool can_double = true;
+  bool saw_value = false;
+  for (const auto& row : rows) {
+    if (col >= row.size()) continue;
+    const std::string& text = row[col];
+    if (text.empty() || text == options.null_literal) continue;
+    saw_value = true;
+    if (can_int && !Value::Parse(text, TypeId::kInteger).ok()) can_int = false;
+    if (can_double && !Value::Parse(text, TypeId::kDouble).ok()) can_double = false;
+    if (!can_int && !can_double) break;
+  }
+  if (!saw_value) return TypeId::kString;
+  if (can_int) return TypeId::kInteger;
+  if (can_double) return TypeId::kDouble;
+  return TypeId::kString;
+}
+
+std::string EscapeCsvField(const std::string& field, char delimiter) {
+  bool needs_quotes =
+      field.find(delimiter) != std::string::npos ||
+      field.find('"') != std::string::npos || field.find('\n') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Table>> ReadCsvTable(const fs::path& path,
+                                            const CsvOptions& options,
+                                            const std::string& table_name) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path.string());
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV file: " + path.string());
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  SPIDER_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                          ParseCsvLine(line, options.delimiter));
+  if (header.empty()) {
+    return Status::InvalidArgument("CSV header has no columns: " + path.string());
+  }
+
+  // Optional "#types:" line.
+  std::vector<TypeId> types;
+  std::vector<std::vector<std::string>> raw_rows;
+  bool have_types = false;
+  std::streampos after_header = in.tellg();
+  if (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (StartsWith(line, "#types:")) {
+      for (const std::string& t :
+           SplitString(std::string_view(line).substr(7), ',')) {
+        SPIDER_ASSIGN_OR_RETURN(TypeId type, TypeIdFromString(TrimWhitespace(t)));
+        types.push_back(type);
+      }
+      if (types.size() != header.size()) {
+        return Status::InvalidArgument("#types arity mismatch in " +
+                                       path.string());
+      }
+      have_types = true;
+    } else {
+      in.seekg(after_header);
+    }
+  }
+
+  // Read all records (memory-resident tables; the profiled databases in the
+  // benchmarks are generated at laptop scale).
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // An empty line is a NULL row for single-column tables (one empty
+    // field); for wider tables it cannot be a valid record and is skipped.
+    if (line.empty() && header.size() != 1) continue;
+    auto fields = ParseCsvLine(line, options.delimiter);
+    if (!fields.ok()) {
+      if (options.strict) return fields.status();
+      continue;
+    }
+    if (fields->size() != header.size()) {
+      if (options.strict) {
+        return Status::InvalidArgument("row arity mismatch in " +
+                                       path.string() + ": " + line);
+      }
+      continue;
+    }
+    raw_rows.push_back(std::move(fields).value());
+  }
+
+  if (!have_types) {
+    types.reserve(header.size());
+    for (size_t c = 0; c < header.size(); ++c) {
+      types.push_back(InferType(raw_rows, c, options));
+    }
+  }
+
+  std::string name = table_name.empty() ? path.stem().string() : table_name;
+  auto table = std::make_unique<Table>(name);
+  for (size_t c = 0; c < header.size(); ++c) {
+    SPIDER_RETURN_NOT_OK(
+        table->AddColumn(std::string(TrimWhitespace(header[c])), types[c]));
+  }
+  for (auto& raw : raw_rows) {
+    std::vector<Value> row;
+    row.reserve(raw.size());
+    for (size_t c = 0; c < raw.size(); ++c) {
+      if (raw[c].empty() ||
+          (!options.null_literal.empty() && raw[c] == options.null_literal)) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      SPIDER_ASSIGN_OR_RETURN(Value v, Value::Parse(raw[c], types[c]));
+      row.push_back(std::move(v));
+    }
+    SPIDER_RETURN_NOT_OK(table->AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+Result<std::unique_ptr<Catalog>> ReadCsvDirectory(const fs::path& dir,
+                                                  const CsvOptions& options) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::InvalidArgument("not a directory: " + dir.string());
+  }
+  auto catalog = std::make_unique<Catalog>(dir.filename().string());
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& file : files) {
+    SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
+                            ReadCsvTable(file, options));
+    SPIDER_RETURN_NOT_OK(catalog->AddTable(std::move(table)));
+  }
+  return catalog;
+}
+
+Status WriteCsvTable(const Table& table, const fs::path& path,
+                     const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path.string());
+
+  for (int c = 0; c < table.column_count(); ++c) {
+    if (c > 0) out << options.delimiter;
+    out << EscapeCsvField(table.column(c).name(), options.delimiter);
+  }
+  out << '\n';
+  out << "#types:";
+  for (int c = 0; c < table.column_count(); ++c) {
+    if (c > 0) out << ',';
+    out << TypeIdToString(table.column(c).type());
+  }
+  out << '\n';
+  for (int64_t r = 0; r < table.row_count(); ++r) {
+    for (int c = 0; c < table.column_count(); ++c) {
+      if (c > 0) out << options.delimiter;
+      const Value& v = table.column(c).value(r);
+      if (!v.is_null()) {
+        out << EscapeCsvField(v.ToCanonicalString(), options.delimiter);
+      }
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path.string());
+  return Status::OK();
+}
+
+}  // namespace spider

@@ -1,0 +1,50 @@
+// CSV import/export so users can profile real data dumps.
+//
+// Format: RFC-4180-style quoting ('"' quotes fields, '""' escapes a quote),
+// first line is the header. An optional second header line of the form
+// "#types:integer,string,..." pins column types; otherwise types are
+// inferred from the data (integer ⊂ double ⊂ string).
+
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/storage/catalog.h"
+#include "src/storage/table.h"
+
+namespace spider {
+
+/// Options controlling CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Text that denotes NULL in addition to the empty field.
+  std::string null_literal = "";
+  /// When true, a malformed line aborts the load; otherwise it is skipped.
+  bool strict = true;
+};
+
+/// \brief Reads one table from a CSV file. The table is named after the file
+/// stem unless `table_name` is given.
+Result<std::unique_ptr<Table>> ReadCsvTable(const std::filesystem::path& path,
+                                            const CsvOptions& options = {},
+                                            const std::string& table_name = "");
+
+/// \brief Loads every "*.csv" file in `dir` into a catalog named after the
+/// directory. This is the quickstart entry point: point it at a dump of an
+/// undocumented database and run discovery.
+Result<std::unique_ptr<Catalog>> ReadCsvDirectory(
+    const std::filesystem::path& dir, const CsvOptions& options = {});
+
+/// Writes `table` as CSV with a "#types:" line (round-trips through
+/// ReadCsvTable losslessly).
+Status WriteCsvTable(const Table& table, const std::filesystem::path& path,
+                     const CsvOptions& options = {});
+
+/// Parses one CSV record (handles quoting). Exposed for testing.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char delimiter);
+
+}  // namespace spider

@@ -1,0 +1,72 @@
+#include "src/storage/table.h"
+
+namespace spider {
+
+Status Table::AddColumn(std::string name, TypeId type, bool declared_unique) {
+  if (row_count_ > 0) {
+    return Status::InvalidArgument("cannot add column '" + name +
+                                   "' to non-empty table '" + name_ + "'");
+  }
+  if (FindColumn(name) != nullptr) {
+    return Status::AlreadyExists("column '" + name + "' already exists in '" +
+                                 name_ + "'");
+  }
+  columns_.push_back(
+      std::make_unique<Column>(std::move(name), type, declared_unique));
+  return Status::OK();
+}
+
+const Column* Table::FindColumn(std::string_view name) const {
+  for (const auto& col : columns_) {
+    if (col->name() == name) return col.get();
+  }
+  return nullptr;
+}
+
+Column* Table::FindColumn(std::string_view name) {
+  for (auto& col : columns_) {
+    if (col->name() == name) return col.get();
+  }
+  return nullptr;
+}
+
+int Table::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i]->name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (static_cast<int>(row.size()) != column_count()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table '" +
+        name_ + "' with " + std::to_string(column_count()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    TypeId t = columns_[i]->type();
+    bool matches = (t == TypeId::kInteger && v.is_integer()) ||
+                   (t == TypeId::kDouble && v.is_double()) ||
+                   ((t == TypeId::kString || t == TypeId::kLob) && v.is_string());
+    if (!matches) {
+      return Status::InvalidArgument("value type mismatch in column '" +
+                                     columns_[i]->name() + "' of table '" +
+                                     name_ + "'");
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i]->Append(std::move(row[i]));
+  }
+  ++row_count_;
+  return Status::OK();
+}
+
+int64_t Table::ApproximateByteSize() const {
+  int64_t bytes = 0;
+  for (const auto& col : columns_) bytes += col->ApproximateByteSize();
+  return bytes;
+}
+
+}  // namespace spider

@@ -1,0 +1,52 @@
+// Tables: named collections of equally long columns.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/column.h"
+
+namespace spider {
+
+/// \brief A relational table. All columns have the same number of rows.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a column. Fails if a column with the same name exists or if the
+  /// table already holds rows (schema must be fixed before data loads).
+  Status AddColumn(std::string name, TypeId type, bool declared_unique = false);
+
+  int column_count() const { return static_cast<int>(columns_.size()); }
+  int64_t row_count() const { return row_count_; }
+  bool empty() const { return row_count_ == 0; }
+
+  const Column& column(int index) const { return *columns_[static_cast<size_t>(index)]; }
+  Column& column(int index) { return *columns_[static_cast<size_t>(index)]; }
+
+  /// Looks a column up by name; returns nullptr when absent.
+  const Column* FindColumn(std::string_view name) const;
+  Column* FindColumn(std::string_view name);
+
+  /// Index of the named column, or -1.
+  int ColumnIndex(std::string_view name) const;
+
+  /// Appends one row. `row` must have exactly column_count() values whose
+  /// types match the column types (NULL is allowed everywhere).
+  Status AppendRow(std::vector<Value> row);
+
+  /// Approximate in-memory footprint in bytes.
+  int64_t ApproximateByteSize() const;
+
+ private:
+  std::string name_;
+  int64_t row_count_ = 0;
+  std::vector<std::unique_ptr<Column>> columns_;
+};
+
+}  // namespace spider

@@ -1,0 +1,39 @@
+#include "src/storage/type.h"
+
+#include "src/common/string_util.h"
+
+namespace spider {
+
+std::string_view TypeIdToString(TypeId type) {
+  switch (type) {
+    case TypeId::kInteger:
+      return "integer";
+    case TypeId::kDouble:
+      return "double";
+    case TypeId::kString:
+      return "string";
+    case TypeId::kLob:
+      return "lob";
+  }
+  return "unknown";
+}
+
+Result<TypeId> TypeIdFromString(std::string_view name) {
+  std::string lower = ToLowerAscii(name);
+  if (lower == "integer" || lower == "int" || lower == "bigint") {
+    return TypeId::kInteger;
+  }
+  if (lower == "double" || lower == "float" || lower == "real") {
+    return TypeId::kDouble;
+  }
+  if (lower == "string" || lower == "varchar" || lower == "text" ||
+      lower == "char") {
+    return TypeId::kString;
+  }
+  if (lower == "lob" || lower == "clob" || lower == "blob") {
+    return TypeId::kLob;
+  }
+  return Status::InvalidArgument("unknown type name: " + std::string(name));
+}
+
+}  // namespace spider

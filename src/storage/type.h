@@ -1,0 +1,37 @@
+// Column type system.
+//
+// The paper profiles undocumented relational schemas, so the type system is
+// deliberately small: integers, doubles, strings, and LOBs. LOB columns are
+// excluded from IND candidate generation (Sec. 2 of the paper); everything
+// else is compared through a canonical lexicographic string form (Sec. 3.2:
+// "we can use lexicographic sorting for all values including numeric values,
+// because the actual order of values is irrelevant as long as it is
+// consistent over all sets").
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace spider {
+
+/// Storage type of a column.
+enum class TypeId {
+  kInteger = 0,  ///< 64-bit signed integer
+  kDouble,       ///< IEEE double
+  kString,       ///< variable-length character data
+  kLob,          ///< large object; excluded from IND discovery
+};
+
+/// Stable lower-case name, e.g. "integer".
+std::string_view TypeIdToString(TypeId type);
+
+/// Parses a type name produced by TypeIdToString (case-insensitive).
+Result<TypeId> TypeIdFromString(std::string_view name);
+
+/// True for types that may appear as (potentially) dependent attributes.
+inline bool IsIndEligibleType(TypeId type) { return type != TypeId::kLob; }
+
+}  // namespace spider

@@ -1,0 +1,72 @@
+#include "src/storage/value.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/string_util.h"
+
+namespace spider {
+
+namespace {
+
+// Renders a double without trailing zeros so that e.g. 4.0 and "4" coming
+// from different columns of nominally different types still compare
+// distinctly but deterministically.
+std::string RenderDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Value::ToCanonicalString() const {
+  switch (payload_.index()) {
+    case 0:
+      return "";
+    case 1:
+      return std::to_string(std::get<1>(payload_));
+    case 2:
+      return RenderDouble(std::get<2>(payload_));
+    default:
+      return std::get<3>(payload_);
+  }
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  return ToCanonicalString();
+}
+
+Result<Value> Value::Parse(std::string_view text, TypeId type) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case TypeId::kInteger: {
+      int64_t out = 0;
+      auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Status::InvalidArgument("not an integer: '" + std::string(text) +
+                                       "'");
+      }
+      return Value::Integer(out);
+    }
+    case TypeId::kDouble: {
+      // std::from_chars for double is available in gcc 12.
+      double out = 0;
+      auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+      if (ec != std::errc() || ptr != text.data() + text.size() ||
+          !std::isfinite(out)) {
+        return Status::InvalidArgument("not a double: '" + std::string(text) +
+                                       "'");
+      }
+      return Value::Double(out);
+    }
+    case TypeId::kString:
+    case TypeId::kLob:
+      return Value::String(std::string(text));
+  }
+  return Status::InvalidArgument("unknown type");
+}
+
+}  // namespace spider

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "src/discovery/accession.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+bool IsCandidate(const std::vector<std::string>& values,
+                 AccessionDetectorOptions options = {}) {
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "t", "c", values);
+  AccessionNumberDetector detector(options);
+  auto result = detector.IsCandidate(catalog, {"t", "c"});
+  EXPECT_TRUE(result.ok());
+  return *result;
+}
+
+TEST(AccessionTest, UniformAlphanumericIdsQualify) {
+  EXPECT_TRUE(IsCandidate({"Q12345", "P54321", "O11111"}));
+}
+
+TEST(AccessionTest, ShortValuesDisqualify) {
+  // "ab" is below the 4-character minimum.
+  EXPECT_FALSE(IsCandidate({"Q12345", "ab"}));
+}
+
+TEST(AccessionTest, DigitOnlyValuesDisqualify) {
+  EXPECT_FALSE(IsCandidate({"123456", "654321"}));
+}
+
+TEST(AccessionTest, MixedDigitOnlyValueDisqualifiesStrict) {
+  EXPECT_FALSE(IsCandidate({"Q12345", "123456"}));
+}
+
+TEST(AccessionTest, LengthSpreadOver20PercentDisqualifies) {
+  // Lengths 4 and 10: spread (10-4)/10 = 0.6.
+  EXPECT_FALSE(IsCandidate({"abcd", "abcdefghij"}));
+}
+
+TEST(AccessionTest, LengthSpreadWithin20PercentQualifies) {
+  // Lengths 8..9: spread 1/9 ≈ 0.11.
+  EXPECT_TRUE(IsCandidate({"abcdefgh", "abcdefghi"}));
+}
+
+TEST(AccessionTest, SoftenedRuleToleratesFewDirtyValues) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 999; ++i) values.push_back("ACC" + std::to_string(1000 + i));
+  values.push_back("1234");  // one digit-only outlier
+
+  EXPECT_FALSE(IsCandidate(values));  // strict fails
+  AccessionDetectorOptions softened;
+  softened.min_conforming_fraction = 0.998;
+  EXPECT_TRUE(IsCandidate(values, softened));
+}
+
+TEST(AccessionTest, SoftenedRuleExcludesOutliersFromSpread) {
+  // One very long dirty value must not wreck the spread computation once
+  // the conforming fraction admits it... it conforms (letters, length>=4),
+  // so it DOES count toward spread and disqualifies.
+  std::vector<std::string> values;
+  for (int i = 0; i < 200; ++i) values.push_back("ACC" + std::to_string(1000 + i));
+  values.push_back("averyveryverylongaccessionvalue");
+  AccessionDetectorOptions softened;
+  softened.min_conforming_fraction = 0.99;
+  EXPECT_FALSE(IsCandidate(values, softened));
+}
+
+TEST(AccessionTest, NullsAreIgnored) {
+  EXPECT_TRUE(IsCandidate({"Q12345", "", "P54321", ""}));
+}
+
+TEST(AccessionTest, EmptyColumnNotACandidate) {
+  EXPECT_FALSE(IsCandidate({}));
+  EXPECT_FALSE(IsCandidate({"", ""}));
+}
+
+TEST(AccessionTest, MinValuesOptionFiltersTinyColumns) {
+  AccessionDetectorOptions options;
+  options.min_values = 10;
+  EXPECT_FALSE(IsCandidate({"Q12345", "P54321"}, options));
+}
+
+TEST(AccessionTest, LobColumnsExcluded) {
+  Catalog catalog;
+  Table* t = *catalog.CreateTable("t");
+  ASSERT_TRUE(t->AddColumn("seq", TypeId::kLob).ok());
+  ASSERT_TRUE(t->AppendRow({Value::String("ABCDE")}).ok());
+  AccessionNumberDetector detector;
+  auto result = detector.IsCandidate(catalog, {"t", "seq"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST(AccessionTest, DetectScansWholeCatalog) {
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "good", "acc", {"Q12345", "P54321"});
+  testing::AddStringColumn(&catalog, "bad", "num", {"111111", "222222"});
+  AccessionNumberDetector detector;
+  auto candidates = detector.Detect(catalog);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_EQ(candidates->size(), 1u);
+  EXPECT_EQ((*candidates)[0].attribute.ToString(), "good.acc");
+  EXPECT_DOUBLE_EQ((*candidates)[0].conforming_fraction, 1.0);
+  EXPECT_EQ((*candidates)[0].min_length, 6);
+  EXPECT_EQ((*candidates)[0].max_length, 6);
+}
+
+TEST(AccessionTest, IntegerColumnNeverQualifies) {
+  // Canonical integer strings contain no letters.
+  Catalog catalog;
+  Table* t = *catalog.CreateTable("t");
+  ASSERT_TRUE(t->AddColumn("n", TypeId::kInteger).ok());
+  for (int64_t i = 10000; i < 10020; ++i) {
+    ASSERT_TRUE(t->AppendRow({Value::Integer(i)}).ok());
+  }
+  AccessionNumberDetector detector;
+  auto result = detector.IsCandidate(catalog, {"t", "n"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,108 @@
+// Whole-system property test: random schema-spec databases are profiled by
+// every one of the eight algorithms and all results must equal an
+// independent hash-set oracle. This is the strongest agreement check in
+// the suite — it exercises candidate generation, external sorting, the
+// merge engines, the SQL operators, and the baselines on one input.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/datagen/schema_spec.h"
+#include "src/ind/profiler.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+using datagen::ColumnKind;
+using datagen::ColumnSpec;
+using datagen::GenerateCatalog;
+using datagen::SchemaSpec;
+using datagen::TableSpec;
+
+// A randomized spec: a parent table with keys, plus several child tables
+// with FKs of varying coverage, dirt and NULLs, plus filler columns.
+SchemaSpec RandomSpec(uint64_t seed) {
+  Random rng(seed);
+  SchemaSpec spec;
+  spec.seed = seed * 7919 + 13;
+  spec.name = "random";
+
+  TableSpec parent;
+  parent.name = "parent";
+  parent.rows = rng.Uniform(20, 120);
+  {
+    ColumnSpec id;
+    id.name = "id";
+    id.kind = ColumnKind::kSequentialKey;
+    id.key_base = rng.Uniform(1, 1000);
+    parent.columns.push_back(id);
+    ColumnSpec code;
+    code.name = "code";
+    code.kind = ColumnKind::kAccession;
+    parent.columns.push_back(code);
+    ColumnSpec note;
+    note.name = "note";
+    note.kind = ColumnKind::kText;
+    parent.columns.push_back(note);
+  }
+  spec.tables.push_back(parent);
+
+  const int children = static_cast<int>(rng.Uniform(1, 3));
+  for (int i = 0; i < children; ++i) {
+    TableSpec child;
+    child.name = "child" + std::to_string(i);
+    child.rows = rng.Uniform(10, 200);
+    ColumnSpec fk;
+    fk.name = "parent_id";
+    fk.kind = ColumnKind::kForeignKey;
+    fk.fk_table = "parent";
+    fk.fk_column = "id";
+    fk.fk_coverage = 0.5 + rng.NextDouble() * 0.5;
+    fk.dangling_fraction = rng.Bernoulli(0.5) ? 0.0 : rng.NextDouble() * 0.1;
+    fk.null_fraction = rng.Bernoulli(0.5) ? 0.0 : 0.05;
+    child.columns.push_back(fk);
+    ColumnSpec cat;
+    cat.name = "kind";
+    cat.kind = ColumnKind::kCategory;
+    cat.pool_size = static_cast<int>(rng.Uniform(2, 8));
+    child.columns.push_back(cat);
+    ColumnSpec num;
+    num.name = "rank";
+    num.kind = ColumnKind::kNumeric;
+    num.min_value = 0;
+    num.max_value = rng.Uniform(3, 30);
+    child.columns.push_back(num);
+    spec.tables.push_back(child);
+  }
+  return spec;
+}
+
+class CrossAlgorithmPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossAlgorithmPropertyTest, AllEightAlgorithmsMatchTheOracle) {
+  auto catalog = GenerateCatalog(RandomSpec(static_cast<uint64_t>(GetParam())));
+  ASSERT_TRUE(catalog.ok());
+
+  // One shared candidate set (default pretests).
+  CandidateGenerator generator;
+  auto candidates = generator.Generate(**catalog);
+  ASSERT_TRUE(candidates.ok());
+  auto oracle = testing::NaiveSatisfiedSet(**catalog, candidates->candidates);
+
+  for (IndApproach approach : kAllIndApproaches) {
+    IndProfilerOptions options;
+    options.approach = approach;
+    IndProfiler profiler(options);
+    auto report = profiler.Profile(**catalog);
+    ASSERT_TRUE(report.ok()) << IndApproachToString(approach);
+    EXPECT_EQ(testing::ToSet(report->run.satisfied), oracle)
+        << IndApproachToString(approach);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrossAlgorithmPropertyTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace spider

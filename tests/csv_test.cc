@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/common/temp_dir.h"
+#include "src/storage/csv.h"
+
+namespace spider {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Make("spider-csv-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::move(dir).value();
+  }
+
+  std::filesystem::path WriteFile(const std::string& name,
+                                  const std::string& content) {
+    std::filesystem::path path = dir_->FilePath(name);
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST(ParseCsvLineTest, PlainFields) {
+  auto fields = ParseCsvLine("a,b,c", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  EXPECT_EQ(*ParseCsvLine(",,", ','), (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithDelimiter) {
+  EXPECT_EQ(*ParseCsvLine("\"a,b\",c", ','),
+            (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(ParseCsvLineTest, EscapedQuote) {
+  EXPECT_EQ(*ParseCsvLine("\"say \"\"hi\"\"\",x", ','),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(ParseCsvLineTest, UnterminatedQuoteFails) {
+  EXPECT_TRUE(ParseCsvLine("\"abc", ',').status().IsInvalidArgument());
+}
+
+TEST(ParseCsvLineTest, QuoteInsideUnquotedFieldFails) {
+  EXPECT_TRUE(ParseCsvLine("ab\"c", ',').status().IsInvalidArgument());
+}
+
+TEST(ParseCsvLineTest, AlternateDelimiter) {
+  EXPECT_EQ(*ParseCsvLine("a;b", ';'), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(CsvTest, ReadsWithTypeInference) {
+  auto path = WriteFile("t.csv", "id,score,name\n1,2.5,alice\n2,3.5,bob\n");
+  auto table = ReadCsvTable(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->name(), "t");
+  EXPECT_EQ((*table)->row_count(), 2);
+  EXPECT_EQ((*table)->column(0).type(), TypeId::kInteger);
+  EXPECT_EQ((*table)->column(1).type(), TypeId::kDouble);
+  EXPECT_EQ((*table)->column(2).type(), TypeId::kString);
+  EXPECT_EQ((*table)->column(2).value(1).string(), "bob");
+}
+
+TEST_F(CsvTest, IntegerNarrowerThanDouble) {
+  auto path = WriteFile("t.csv", "a\n1\n2\n3\n");
+  auto table = ReadCsvTable(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->column(0).type(), TypeId::kInteger);
+}
+
+TEST_F(CsvTest, MixedNumericFallsBackToDouble) {
+  auto path = WriteFile("t.csv", "a\n1\n2.5\n");
+  auto table = ReadCsvTable(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->column(0).type(), TypeId::kDouble);
+}
+
+TEST_F(CsvTest, TypesLinePinsTypes) {
+  auto path = WriteFile("t.csv", "a,b\n#types:string,integer\n1,2\n");
+  auto table = ReadCsvTable(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->column(0).type(), TypeId::kString);
+  EXPECT_EQ((*table)->column(0).value(0).string(), "1");
+  EXPECT_EQ((*table)->column(1).value(0).integer(), 2);
+}
+
+TEST_F(CsvTest, TypesLineArityMismatchFails) {
+  auto path = WriteFile("t.csv", "a,b\n#types:string\n1,2\n");
+  EXPECT_TRUE(ReadCsvTable(path).status().IsInvalidArgument());
+}
+
+TEST_F(CsvTest, EmptyFieldIsNull) {
+  auto path = WriteFile("t.csv", "a,b\n1,\n,x\n");
+  auto table = ReadCsvTable(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE((*table)->column(1).value(0).is_null());
+  EXPECT_TRUE((*table)->column(0).value(1).is_null());
+}
+
+TEST_F(CsvTest, NullLiteralOption) {
+  CsvOptions options;
+  options.null_literal = "\\N";
+  auto path = WriteFile("t.csv", "a\nx\n\\N\n");
+  auto table = ReadCsvTable(path, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE((*table)->column(0).value(1).is_null());
+}
+
+TEST_F(CsvTest, StrictModeRejectsArityMismatch) {
+  auto path = WriteFile("t.csv", "a,b\n1,2\n3\n");
+  EXPECT_TRUE(ReadCsvTable(path).status().IsInvalidArgument());
+}
+
+TEST_F(CsvTest, LenientModeSkipsBadRows) {
+  CsvOptions options;
+  options.strict = false;
+  auto path = WriteFile("t.csv", "a,b\n1,2\n3\n4,5\n");
+  auto table = ReadCsvTable(path, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->row_count(), 2);
+}
+
+TEST_F(CsvTest, MissingFileFails) {
+  EXPECT_TRUE(ReadCsvTable(dir_->FilePath("nope.csv")).status().IsIOError());
+}
+
+TEST_F(CsvTest, EmptyFileFails) {
+  auto path = WriteFile("t.csv", "");
+  EXPECT_TRUE(ReadCsvTable(path).status().IsInvalidArgument());
+}
+
+TEST_F(CsvTest, CrLfLineEndings) {
+  auto path = WriteFile("t.csv", "a,b\r\n1,x\r\n");
+  auto table = ReadCsvTable(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->row_count(), 1);
+  EXPECT_EQ((*table)->column(1).value(0).string(), "x");
+}
+
+TEST_F(CsvTest, WriteReadRoundTrip) {
+  Table original("round");
+  ASSERT_TRUE(original.AddColumn("id", TypeId::kInteger).ok());
+  ASSERT_TRUE(original.AddColumn("note", TypeId::kString).ok());
+  ASSERT_TRUE(original
+                  .AppendRow({Value::Integer(1),
+                              Value::String("with, comma and \"quote\"")})
+                  .ok());
+  ASSERT_TRUE(original.AppendRow({Value::Null(), Value::String("x")}).ok());
+
+  auto path = dir_->FilePath("round.csv");
+  ASSERT_TRUE(WriteCsvTable(original, path).ok());
+  auto loaded = ReadCsvTable(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->row_count(), 2);
+  EXPECT_EQ((*loaded)->column(0).type(), TypeId::kInteger);
+  EXPECT_EQ((*loaded)->column(1).value(0).string(), "with, comma and \"quote\"");
+  EXPECT_TRUE((*loaded)->column(0).value(1).is_null());
+}
+
+TEST_F(CsvTest, ReadDirectoryLoadsAllCsvFiles) {
+  WriteFile("alpha.csv", "x\n1\n");
+  WriteFile("beta.csv", "y\nfoo\n");
+  WriteFile("ignored.txt", "not,a,csv\n");
+  auto catalog = ReadCsvDirectory(dir_->path());
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ((*catalog)->table_count(), 2);
+  EXPECT_NE((*catalog)->FindTable("alpha"), nullptr);
+  EXPECT_NE((*catalog)->FindTable("beta"), nullptr);
+  EXPECT_EQ((*catalog)->FindTable("ignored"), nullptr);
+}
+
+TEST_F(CsvTest, ReadDirectoryRejectsFile) {
+  auto path = WriteFile("t.csv", "a\n1\n");
+  EXPECT_TRUE(ReadCsvDirectory(path).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace spider

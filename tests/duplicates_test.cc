@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "src/discovery/duplicates.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+class DuplicateDetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Left database: accessions A0001..A0009.
+    std::vector<std::string> left_values;
+    for (int i = 1; i < 10; ++i) {
+      left_values.push_back("A000" + std::to_string(i));
+    }
+    testing::AddStringColumn(&left_, "proteins", "acc", left_values);
+    // Right database: accessions A0005..A0014 (5 shared).
+    std::vector<std::string> right_values;
+    for (int i = 5; i < 15; ++i) {
+      right_values.push_back(i < 10 ? "A000" + std::to_string(i)
+                                    : "A00" + std::to_string(i));
+    }
+    testing::AddStringColumn(&right_, "entries", "code", right_values);
+  }
+
+  Catalog left_{"left_db"};
+  Catalog right_{"right_db"};
+};
+
+TEST_F(DuplicateDetectorTest, FindsSharedAccessionPopulation) {
+  DuplicateDetector detector;
+  auto reports = detector.Detect(left_, right_);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 1u);
+  const DuplicateReport& report = (*reports)[0];
+  EXPECT_EQ(report.left.ToString(), "proteins.acc");
+  EXPECT_EQ(report.right.ToString(), "entries.code");
+  EXPECT_EQ(report.shared_count, 5);
+  EXPECT_DOUBLE_EQ(report.left_overlap, 5.0 / 9.0);
+  EXPECT_DOUBLE_EQ(report.right_overlap, 5.0 / 10.0);
+}
+
+TEST_F(DuplicateDetectorTest, SamplesAreSharedValues) {
+  DuplicateDetector detector;
+  auto reports = detector.Detect(left_, right_);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 1u);
+  ASSERT_EQ((*reports)[0].samples.size(), 5u);
+  for (const std::string& s : (*reports)[0].samples) {
+    EXPECT_GE(s, "A0005");
+    EXPECT_LE(s, "A0009");
+  }
+}
+
+TEST_F(DuplicateDetectorTest, SampleCountIsBounded) {
+  DuplicateDetectorOptions options;
+  options.max_samples = 2;
+  DuplicateDetector detector(options);
+  auto reports = detector.Detect(left_, right_);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 1u);
+  EXPECT_EQ((*reports)[0].samples.size(), 2u);
+  EXPECT_EQ((*reports)[0].shared_count, 5);  // counting is unaffected
+}
+
+TEST_F(DuplicateDetectorTest, MinOverlapFiltersWeakPairs) {
+  DuplicateDetectorOptions options;
+  options.min_overlap = 0.9;  // 5/9 and 5/10 both below
+  DuplicateDetector detector(options);
+  auto reports = detector.Detect(left_, right_);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_TRUE(reports->empty());
+}
+
+TEST_F(DuplicateDetectorTest, DisjointDatabasesYieldNothing) {
+  Catalog other("other_db");
+  testing::AddStringColumn(&other, "t", "acc", {"ZZZZ1", "ZZZZ2"});
+  DuplicateDetector detector;
+  auto reports = detector.Detect(left_, other);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_TRUE(reports->empty());
+}
+
+TEST_F(DuplicateDetectorTest, NonAccessionColumnsAreIgnored) {
+  // Shared digit-only values do not count: only accession candidates are
+  // compared.
+  Catalog a("a");
+  Catalog b("b");
+  testing::AddStringColumn(&a, "t", "num", {"12345", "23456"});
+  testing::AddStringColumn(&b, "t", "num", {"12345", "23456"});
+  DuplicateDetector detector;
+  auto reports = detector.Detect(a, b);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_TRUE(reports->empty());
+}
+
+TEST_F(DuplicateDetectorTest, ReportsSortedByDescendingOverlapCount) {
+  // Add a second, smaller-overlap accession column to the right catalog.
+  testing::AddStringColumn(&right_, "aliases", "alias", {"A0005", "B9999"});
+  DuplicateDetector detector;
+  auto reports = detector.Detect(left_, right_);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 2u);
+  EXPECT_GE((*reports)[0].shared_count, (*reports)[1].shared_count);
+  EXPECT_EQ((*reports)[1].shared_count, 1);
+}
+
+}  // namespace
+}  // namespace spider

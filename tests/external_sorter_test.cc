@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/common/temp_dir.h"
+#include "src/extsort/external_sorter.h"
+#include "src/extsort/sorted_set_file.h"
+
+namespace spider {
+namespace {
+
+class ExternalSorterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Make("spider-sort-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::move(dir).value();
+  }
+
+  ExternalSorterOptions Options(int64_t budget) {
+    ExternalSorterOptions options;
+    options.memory_budget_bytes = budget;
+    options.spill_dir = dir_->path();
+    return options;
+  }
+
+  std::vector<std::string> ReadAll(const std::filesystem::path& path) {
+    auto reader = SortedSetReader::Open(path);
+    EXPECT_TRUE(reader.ok());
+    std::vector<std::string> out;
+    while ((*reader)->HasNext()) out.push_back((*reader)->Next());
+    return out;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(ExternalSorterTest, InMemorySortAndDedup) {
+  ExternalSorter sorter(Options(1 << 20));
+  for (const char* v : {"pear", "apple", "pear", "fig", "apple"}) {
+    ASSERT_TRUE(sorter.Add(v).ok());
+  }
+  EXPECT_EQ(sorter.spill_count(), 0);
+  auto info = sorter.WriteSortedSet(dir_->FilePath("out.set"));
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->distinct_count, 3);
+  EXPECT_EQ(*info->min_value, "apple");
+  EXPECT_EQ(*info->max_value, "pear");
+  EXPECT_EQ(ReadAll(info->path),
+            (std::vector<std::string>{"apple", "fig", "pear"}));
+}
+
+TEST_F(ExternalSorterTest, EmptyInput) {
+  ExternalSorter sorter(Options(1 << 20));
+  auto info = sorter.WriteSortedSet(dir_->FilePath("empty.set"));
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->distinct_count, 0);
+  EXPECT_FALSE(info->min_value.has_value());
+  EXPECT_TRUE(ReadAll(info->path).empty());
+}
+
+TEST_F(ExternalSorterTest, SpillPathProducesSameResult) {
+  // Budget of 64 bytes forces a spill every couple of values.
+  ExternalSorter spilling(Options(64));
+  ExternalSorter in_memory(Options(1 << 20));
+  Random rng(99);
+  for (int i = 0; i < 500; ++i) {
+    std::string v = rng.AlphaString(1, 6);
+    ASSERT_TRUE(spilling.Add(v).ok());
+    ASSERT_TRUE(in_memory.Add(v).ok());
+  }
+  EXPECT_GT(spilling.spill_count(), 1);
+  auto a = spilling.WriteSortedSet(dir_->FilePath("spill.set"));
+  auto b = in_memory.WriteSortedSet(dir_->FilePath("mem.set"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->distinct_count, b->distinct_count);
+  EXPECT_EQ(ReadAll(a->path), ReadAll(b->path));
+}
+
+TEST_F(ExternalSorterTest, DuplicatesAcrossSpillRunsAreMerged) {
+  ExternalSorter sorter(Options(48));
+  // "dup" appears in several runs; output must contain it once.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(sorter.Add("dup").ok());
+    ASSERT_TRUE(sorter.Add("val" + std::to_string(i)).ok());
+  }
+  ASSERT_GT(sorter.spill_count(), 1);
+  auto info = sorter.WriteSortedSet(dir_->FilePath("d.set"));
+  ASSERT_TRUE(info.ok());
+  auto values = ReadAll(info->path);
+  EXPECT_EQ(std::count(values.begin(), values.end(), "dup"), 1);
+  EXPECT_EQ(info->distinct_count, 51);
+}
+
+TEST_F(ExternalSorterTest, AddAfterFinishFails) {
+  ExternalSorter sorter(Options(1 << 20));
+  ASSERT_TRUE(sorter.Add("x").ok());
+  ASSERT_TRUE(sorter.WriteSortedSet(dir_->FilePath("x.set")).ok());
+  EXPECT_TRUE(sorter.Add("y").IsInvalidArgument());
+  EXPECT_TRUE(
+      sorter.WriteSortedSet(dir_->FilePath("y.set")).status().IsInvalidArgument());
+}
+
+// Property sweep: external sort output equals a std::set reference for
+// many (seed, size, budget) combinations.
+class ExternalSorterPropertyTest
+    : public ExternalSorterTest,
+      public ::testing::WithParamInterface<std::tuple<int, int, int>> {};
+
+TEST_P(ExternalSorterPropertyTest, MatchesReferenceSet) {
+  auto [seed, count, budget] = GetParam();
+  Random rng(static_cast<uint64_t>(seed));
+  ExternalSorter sorter(Options(budget));
+  std::set<std::string> reference;
+  for (int i = 0; i < count; ++i) {
+    std::string v = rng.AlphaString(0, 8);
+    reference.insert(v);
+    ASSERT_TRUE(sorter.Add(std::move(v)).ok());
+  }
+  auto info = sorter.WriteSortedSet(dir_->FilePath("p.set"));
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->distinct_count, static_cast<int64_t>(reference.size()));
+  EXPECT_EQ(ReadAll(info->path),
+            std::vector<std::string>(reference.begin(), reference.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExternalSorterPropertyTest,
+    ::testing::Combine(::testing::Values(1, 7, 42),
+                       ::testing::Values(0, 1, 100, 2000),
+                       ::testing::Values(64, 4096, 1 << 20)));
+
+}  // namespace
+}  // namespace spider

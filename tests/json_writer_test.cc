@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/json_writer.h"
+
+namespace spider {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainText) {
+  EXPECT_EQ(JsonWriter::Escape("hello world"), "hello world");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::Escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::Escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::Escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+}
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  JsonWriter obj;
+  obj.BeginObject();
+  obj.EndObject();
+  EXPECT_EQ(obj.str(), "{}");
+
+  JsonWriter arr;
+  arr.BeginArray();
+  arr.EndArray();
+  EXPECT_EQ(arr.str(), "[]");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("name", "spider");
+  json.KV("count", 42);
+  json.KV("ratio", 0.5);
+  json.KV("ok", true);
+  json.Key("missing");
+  json.Null();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"spider\",\"count\":42,\"ratio\":0.5,\"ok\":true,"
+            "\"missing\":null}");
+}
+
+TEST(JsonWriterTest, ArrayCommas) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.String("three");
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[1,2,\"three\"]");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("inds");
+  json.BeginArray();
+  json.BeginObject();
+  json.KV("dep", "a.x");
+  json.KV("ref", "b.y");
+  json.EndObject();
+  json.BeginObject();
+  json.KV("dep", "c.z");
+  json.KV("ref", "b.y");
+  json.EndObject();
+  json.EndArray();
+  json.KV("total", 2);
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"inds\":[{\"dep\":\"a.x\",\"ref\":\"b.y\"},"
+            "{\"dep\":\"c.z\",\"ref\":\"b.y\"}],\"total\":2}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(std::numeric_limits<double>::infinity());
+  json.Double(std::nan(""));
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, KeyEscaping) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("we\"ird", 1);
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"we\\\"ird\":1}");
+}
+
+}  // namespace
+}  // namespace spider

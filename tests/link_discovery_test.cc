@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "src/discovery/link_discovery.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+TEST(StripAccessionPrefixTest, StripsFirstToken) {
+  EXPECT_EQ(StripAccessionPrefix("PDB-144f", "-"), "144f");
+  EXPECT_EQ(StripAccessionPrefix("GO:0001234", ":"), "0001234");
+  EXPECT_EQ(StripAccessionPrefix("a/b/c", "/"), "b/c");
+}
+
+TEST(StripAccessionPrefixTest, LeavesUnprefixedValues) {
+  EXPECT_EQ(StripAccessionPrefix("144f", ":-/|"), "144f");
+  EXPECT_EQ(StripAccessionPrefix("", ":-"), "");
+}
+
+TEST(StripAccessionPrefixTest, RejectsDegenerateSplits) {
+  // Leading separator or trailing separator: no meaningful prefix/suffix.
+  EXPECT_EQ(StripAccessionPrefix("-abc", "-"), "-abc");
+  EXPECT_EQ(StripAccessionPrefix("abc-", "-"), "abc-");
+}
+
+class LinkDiscoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Target database: primary relation with accession codes.
+    testing::AddStringColumn(&target_, "entry", "code",
+                             {"144f", "2abc", "3xyz", "4qrs"});
+    // Source database: one column of raw codes, one of prefixed codes, one
+    // unrelated.
+    testing::AddStringColumn(&source_, "annot", "pdb_ref", {"144f", "2abc"});
+    testing::AddStringColumn(&source_, "annot2", "xref",
+                             {"PDB-144f", "PDB-3xyz"});
+    testing::AddStringColumn(&source_, "junk", "words",
+                             {"kinase", "receptor"});
+  }
+
+  Catalog source_{"source"};
+  Catalog target_{"target"};
+};
+
+TEST_F(LinkDiscoveryTest, FindsDirectLinks) {
+  LinkDiscovery discovery;
+  auto links = discovery.FindLinks(source_, target_);
+  ASSERT_TRUE(links.ok());
+  ASSERT_EQ(links->size(), 1u);
+  EXPECT_EQ((*links)[0].source.ToString(), "annot.pdb_ref");
+  EXPECT_EQ((*links)[0].target.ToString(), "entry.code");
+  EXPECT_DOUBLE_EQ((*links)[0].coverage, 1.0);
+  EXPECT_FALSE((*links)[0].via_prefix_strip);
+}
+
+TEST_F(LinkDiscoveryTest, PrefixStrippingFindsConcatenatedLinks) {
+  LinkDiscoveryOptions options;
+  options.try_prefix_stripping = true;
+  LinkDiscovery discovery(options);
+  auto links = discovery.FindLinks(source_, target_);
+  ASSERT_TRUE(links.ok());
+  ASSERT_EQ(links->size(), 2u);
+  // Sorted by source attribute: annot.pdb_ref then annot2.xref.
+  EXPECT_FALSE((*links)[0].via_prefix_strip);
+  EXPECT_TRUE((*links)[1].via_prefix_strip);
+  EXPECT_EQ((*links)[1].source.ToString(), "annot2.xref");
+}
+
+TEST_F(LinkDiscoveryTest, PartialCoverageThreshold) {
+  Catalog source;
+  // 3 of 4 distinct values are target codes.
+  testing::AddStringColumn(&source, "annot", "ref",
+                           {"144f", "2abc", "3xyz", "zzzz9"});
+  LinkDiscoveryOptions options;
+  options.min_coverage = 0.7;
+  LinkDiscovery discovery(options);
+  auto links = discovery.FindLinks(source, target_);
+  ASSERT_TRUE(links.ok());
+  ASSERT_EQ(links->size(), 1u);
+  EXPECT_DOUBLE_EQ((*links)[0].coverage, 0.75);
+
+  options.min_coverage = 0.9;
+  auto none = LinkDiscovery(options).FindLinks(source, target_);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(LinkDiscoveryTest, NoAccessionInTargetMeansNoLinks) {
+  Catalog target;
+  testing::AddStringColumn(&target, "t", "num", {"123456", "234567"});
+  LinkDiscovery discovery;
+  auto links = discovery.FindLinks(source_, target);
+  ASSERT_TRUE(links.ok());
+  EXPECT_TRUE(links->empty());
+}
+
+TEST_F(LinkDiscoveryTest, LobAndEmptySourceColumnsSkipped) {
+  Catalog source;
+  Table* t = *source.CreateTable("s");
+  ASSERT_TRUE(t->AddColumn("blob", TypeId::kLob).ok());
+  ASSERT_TRUE(t->AddColumn("code", TypeId::kString).ok());
+  ASSERT_TRUE(
+      t->AppendRow({Value::String("144f"), Value::String("144f")}).ok());
+  LinkDiscovery discovery;
+  auto links = discovery.FindLinks(source, target_);
+  ASSERT_TRUE(links.ok());
+  ASSERT_EQ(links->size(), 1u);
+  EXPECT_EQ((*links)[0].source.ToString(), "s.code");
+}
+
+}  // namespace
+}  // namespace spider

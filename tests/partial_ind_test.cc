@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "src/common/temp_dir.h"
+#include "src/ind/partial_ind.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+class PartialIndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Make("spider-partial-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::move(dir).value();
+  }
+
+  PartialInd Measure(const std::vector<std::string>& dep,
+                     const std::vector<std::string>& ref, double min_coverage,
+                     bool early_stop = true) {
+    Catalog catalog;
+    testing::AddStringColumn(&catalog, "d", "c", dep);
+    testing::AddStringColumn(&catalog, "r", "c", ref);
+    ValueSetExtractor extractor(dir_->path());
+    PartialIndOptions options;
+    options.extractor = &extractor;
+    options.min_coverage = min_coverage;
+    options.early_stop = early_stop;
+    PartialIndFinder finder(options);
+    auto results = finder.Run(catalog, {{{"d", "c"}, {"r", "c"}}});
+    EXPECT_TRUE(results.ok());
+    EXPECT_EQ(results->size(), 1u);
+    return (*results)[0];
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(PartialIndTest, FullInclusionHasCoverageOne) {
+  PartialInd p = Measure({"a", "b"}, {"a", "b", "c"}, 1.0);
+  EXPECT_TRUE(p.satisfied);
+  EXPECT_EQ(p.matched, 2);
+  EXPECT_EQ(p.total, 2);
+  EXPECT_DOUBLE_EQ(p.coverage, 1.0);
+}
+
+TEST_F(PartialIndTest, ExactCoverageWithoutEarlyStop) {
+  // 3 of 4 distinct values covered -> 0.75.
+  PartialInd p = Measure({"a", "b", "c", "x"}, {"a", "b", "c"}, 0.5,
+                         /*early_stop=*/false);
+  EXPECT_TRUE(p.satisfied);
+  EXPECT_EQ(p.matched, 3);
+  EXPECT_EQ(p.total, 4);
+  EXPECT_DOUBLE_EQ(p.coverage, 0.75);
+}
+
+TEST_F(PartialIndTest, ThresholdBoundaryIsInclusive) {
+  // Coverage exactly at the threshold satisfies.
+  PartialInd p = Measure({"a", "b", "c", "x"}, {"a", "b", "c"}, 0.75, false);
+  EXPECT_TRUE(p.satisfied);
+  PartialInd q = Measure({"a", "b", "x", "y"}, {"a", "b"}, 0.75, false);
+  EXPECT_FALSE(q.satisfied);
+  EXPECT_DOUBLE_EQ(q.coverage, 0.5);
+}
+
+TEST_F(PartialIndTest, SigmaOneEqualsExactInd) {
+  EXPECT_TRUE(Measure({"a", "b"}, {"a", "b"}, 1.0).satisfied);
+  EXPECT_FALSE(Measure({"a", "b", "z"}, {"a", "b"}, 1.0).satisfied);
+}
+
+TEST_F(PartialIndTest, EarlyStopSameVerdictAsFullScan) {
+  const std::vector<std::vector<std::string>> deps = {
+      {"a", "b", "c", "d"}, {"a", "x", "y", "z"}, {"q"}, {}};
+  const std::vector<std::vector<std::string>> refs = {
+      {"a", "b", "c"}, {"a"}, {}};
+  for (double sigma : {1.0, 0.9, 0.75, 0.5, 0.25}) {
+    for (const auto& dep : deps) {
+      for (const auto& ref : refs) {
+        EXPECT_EQ(Measure(dep, ref, sigma, true).satisfied,
+                  Measure(dep, ref, sigma, false).satisfied)
+            << "sigma=" << sigma;
+      }
+    }
+  }
+}
+
+TEST_F(PartialIndTest, EarlyStopReadsFewer) {
+  std::vector<std::string> dep;
+  for (int i = 0; i < 100; ++i) dep.push_back("dep" + std::to_string(i));
+  std::vector<std::string> ref{"other"};
+
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "d", "c", dep);
+  testing::AddStringColumn(&catalog, "r", "c", ref);
+
+  auto run = [&](bool early_stop) {
+    ValueSetExtractor extractor(dir_->path());
+    PartialIndOptions options;
+    options.extractor = &extractor;
+    options.min_coverage = 0.9;
+    options.early_stop = early_stop;
+    RunCounters counters;
+    PartialIndFinder finder(options);
+    auto results = finder.Run(catalog, {{{"d", "c"}, {"r", "c"}}}, &counters);
+    EXPECT_TRUE(results.ok());
+    EXPECT_FALSE((*results)[0].satisfied);
+    return counters.tuples_read;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST_F(PartialIndTest, EmptyDependentIsSatisfied) {
+  PartialInd p = Measure({}, {"a"}, 0.9);
+  EXPECT_TRUE(p.satisfied);
+  EXPECT_EQ(p.total, 0);
+  EXPECT_DOUBLE_EQ(p.coverage, 1.0);
+}
+
+TEST_F(PartialIndTest, DuplicatesCountOnceInCoverage) {
+  // Distinct dep values: {a, x}. Coverage = 0.5 despite "a" repeating.
+  PartialInd p = Measure({"a", "a", "a", "x"}, {"a"}, 0.4, false);
+  EXPECT_TRUE(p.satisfied);
+  EXPECT_EQ(p.total, 2);
+  EXPECT_DOUBLE_EQ(p.coverage, 0.5);
+}
+
+TEST_F(PartialIndTest, ZeroThresholdAlwaysSatisfied) {
+  EXPECT_TRUE(Measure({"p", "q"}, {"zzz"}, 0.0, false).satisfied);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "src/ind/profiler.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+// A small catalog with one true FK-style inclusion and one decoy.
+void FillCatalog(Catalog* catalog) {
+  testing::AddStringColumn(catalog, "child", "fk", {"a", "b", "a", "b"});
+  testing::AddStringColumn(catalog, "parent", "pk", {"a", "b", "c"}, true);
+  testing::AddStringColumn(catalog, "decoy", "pk", {"x", "y", "z"}, true);
+}
+
+TEST(ProfilerTest, ApproachNames) {
+  EXPECT_EQ(IndApproachToString(IndApproach::kBruteForce), "brute-force");
+  EXPECT_EQ(IndApproachToString(IndApproach::kSinglePass), "single-pass");
+  EXPECT_EQ(IndApproachToString(IndApproach::kSqlJoin), "sql-join");
+  EXPECT_EQ(IndApproachToString(IndApproach::kSqlMinus), "sql-minus");
+  EXPECT_EQ(IndApproachToString(IndApproach::kSqlNotIn), "sql-not-in");
+}
+
+TEST(ProfilerTest, AllApproachesFindTheSameInds) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  std::set<Ind> reference;
+  bool first = true;
+  for (IndApproach approach : kAllIndApproaches) {
+    IndProfilerOptions options;
+    options.approach = approach;
+    IndProfiler profiler(options);
+    auto report = profiler.Profile(catalog);
+    ASSERT_TRUE(report.ok()) << IndApproachToString(approach);
+    EXPECT_TRUE(report->run.finished);
+    auto found = testing::ToSet(report->run.satisfied);
+    if (first) {
+      reference = found;
+      first = false;
+      EXPECT_TRUE(reference.contains(Ind{{"child", "fk"}, {"parent", "pk"}}));
+    } else {
+      EXPECT_EQ(found, reference) << IndApproachToString(approach);
+    }
+  }
+}
+
+TEST(ProfilerTest, ReportContainsTimingAndCounts) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  IndProfiler profiler;
+  auto report = profiler.Profile(catalog);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->candidates.raw_pair_count, 0);
+  EXPECT_GE(report->total_seconds, report->run.seconds);
+  std::string text = report->ToString();
+  EXPECT_NE(text.find("satisfied INDs"), std::string::npos);
+  EXPECT_NE(text.find("candidates"), std::string::npos);
+}
+
+TEST(ProfilerTest, WorkDirOptionIsUsed) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  auto dir = TempDir::Make("spider-profiler-work");
+  ASSERT_TRUE(dir.ok());
+  IndProfilerOptions options;
+  options.work_dir = (*dir)->path().string();
+  IndProfiler profiler(options);
+  auto report = profiler.Profile(catalog);
+  ASSERT_TRUE(report.ok());
+  // Sorted sets were materialized into the provided directory.
+  bool any_set_file = false;
+  for (const auto& entry :
+       std::filesystem::directory_iterator((*dir)->path())) {
+    if (entry.path().extension() == ".set") any_set_file = true;
+  }
+  EXPECT_TRUE(any_set_file);
+}
+
+TEST(ProfilerTest, MaxValuePretestReducesCandidates) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  IndProfilerOptions plain;
+  auto baseline = IndProfiler(plain).Profile(catalog);
+  ASSERT_TRUE(baseline.ok());
+
+  IndProfilerOptions pruned;
+  pruned.generator.max_value_pretest = true;
+  auto improved = IndProfiler(pruned).Profile(catalog);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_LT(improved->candidates.candidates.size(),
+            baseline->candidates.candidates.size());
+  // Pruning must not lose INDs.
+  EXPECT_EQ(testing::ToSet(improved->run.satisfied),
+            testing::ToSet(baseline->run.satisfied));
+}
+
+TEST(ProfilerTest, EmptyCatalog) {
+  Catalog catalog;
+  IndProfiler profiler;
+  auto report = profiler.Profile(catalog);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->run.satisfied.empty());
+  EXPECT_EQ(report->candidates.raw_pair_count, 0);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/ind/sketch.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+TEST(BottomKSketchTest, SmallSetsAreExact) {
+  BottomKSketch sketch(64);
+  for (int i = 0; i < 40; ++i) sketch.Add("v" + std::to_string(i));
+  // Duplicates do not change the estimate.
+  for (int i = 0; i < 40; ++i) sketch.Add("v" + std::to_string(i));
+  EXPECT_EQ(sketch.distinct_estimate(), 40);
+}
+
+TEST(BottomKSketchTest, MinimaStaySortedAndBounded) {
+  BottomKSketch sketch(16);
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) sketch.Add(rng.AlphaString(2, 10));
+  EXPECT_LE(sketch.minima().size(), 16u);
+  EXPECT_TRUE(std::is_sorted(sketch.minima().begin(), sketch.minima().end()));
+}
+
+TEST(BottomKSketchTest, SaturatedEstimateWithinTolerance) {
+  BottomKSketch sketch(256);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sketch.Add("value-" + std::to_string(i));
+  const double estimate = static_cast<double>(sketch.distinct_estimate());
+  EXPECT_GT(estimate, n * 0.8);
+  EXPECT_LT(estimate, n * 1.2);
+}
+
+TEST(BottomKSketchTest, IdenticalSetsHaveJaccardOne) {
+  BottomKSketch a(64);
+  BottomKSketch b(64);
+  for (int i = 0; i < 500; ++i) {
+    a.Add("v" + std::to_string(i));
+    b.Add("v" + std::to_string(i));
+  }
+  EXPECT_DOUBLE_EQ(BottomKSketch::EstimateJaccard(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(BottomKSketch::EstimateContainment(a, b), 1.0);
+}
+
+TEST(BottomKSketchTest, DisjointSetsHaveJaccardZero) {
+  BottomKSketch a(64);
+  BottomKSketch b(64);
+  for (int i = 0; i < 500; ++i) {
+    a.Add("a" + std::to_string(i));
+    b.Add("b" + std::to_string(i));
+  }
+  EXPECT_DOUBLE_EQ(BottomKSketch::EstimateJaccard(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(BottomKSketch::EstimateContainment(a, b), 0.0);
+}
+
+TEST(BottomKSketchTest, EmptySketchEdgeCases) {
+  BottomKSketch empty(64);
+  BottomKSketch full(64);
+  full.Add("x");
+  EXPECT_DOUBLE_EQ(BottomKSketch::EstimateJaccard(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(BottomKSketch::EstimateJaccard(empty, full), 0.0);
+  EXPECT_DOUBLE_EQ(BottomKSketch::EstimateContainment(empty, full), 1.0);
+}
+
+// Property sweep: containment estimates track true containment within a
+// tolerance that shrinks with k.
+class SketchAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SketchAccuracyTest, ContainmentWithinTolerance) {
+  auto [seed, overlap_percent] = GetParam();
+  Random rng(static_cast<uint64_t>(seed));
+  const int k = 256;
+  const int n = 4000;
+  BottomKSketch dep(k);
+  BottomKSketch ref(k);
+  // dep: n values; ref: the first overlap% of dep's values plus its own.
+  const int shared = n * overlap_percent / 100;
+  for (int i = 0; i < n; ++i) dep.Add("shared-or-dep-" + std::to_string(i));
+  for (int i = 0; i < shared; ++i) ref.Add("shared-or-dep-" + std::to_string(i));
+  for (int i = 0; i < n - shared; ++i) ref.Add("ref-only-" + std::to_string(i));
+
+  const double truth = static_cast<double>(shared) / n;
+  const double estimate = BottomKSketch::EstimateContainment(dep, ref);
+  EXPECT_NEAR(estimate, truth, 0.15) << "k=" << k << " overlap=" << overlap_percent;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SketchAccuracyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(0, 25, 50, 75, 100)));
+
+TEST(SketchFilterTest, KeepsTrueIndsDropsDisjointCandidates) {
+  Catalog catalog;
+  std::vector<std::string> included;
+  std::vector<std::string> superset;
+  std::vector<std::string> disjoint;
+  for (int i = 0; i < 500; ++i) {
+    included.push_back("v" + std::to_string(i));
+    superset.push_back("v" + std::to_string(i));
+    superset.push_back("w" + std::to_string(i));
+    disjoint.push_back("x" + std::to_string(i));
+  }
+  testing::AddStringColumn(&catalog, "dep", "c", included);
+  testing::AddStringColumn(&catalog, "sup", "c", superset);
+  testing::AddStringColumn(&catalog, "dis", "c", disjoint);
+
+  std::vector<IndCandidate> candidates = {
+      {{"dep", "c"}, {"sup", "c"}},
+      {{"dep", "c"}, {"dis", "c"}},
+  };
+  auto result = SketchFilterCandidates(catalog, candidates);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->kept.size(), 1u);
+  EXPECT_EQ(result->kept[0].referenced.table, "sup");
+  ASSERT_EQ(result->dropped.size(), 1u);
+  EXPECT_EQ(result->dropped[0].referenced.table, "dis");
+}
+
+TEST(SketchFilterTest, ThresholdControlsStrictness) {
+  Catalog catalog;
+  std::vector<std::string> dep;
+  std::vector<std::string> half;
+  for (int i = 0; i < 400; ++i) {
+    dep.push_back("v" + std::to_string(i));
+    if (i % 2 == 0) half.push_back("v" + std::to_string(i));
+    half.push_back("other" + std::to_string(i));
+  }
+  testing::AddStringColumn(&catalog, "dep", "c", dep);
+  testing::AddStringColumn(&catalog, "half", "c", half);
+  std::vector<IndCandidate> candidates = {{{"dep", "c"}, {"half", "c"}}};
+
+  SketchFilterOptions strict;
+  strict.min_containment = 0.9;
+  auto dropped = SketchFilterCandidates(catalog, candidates, strict);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->dropped.size(), 1u);
+
+  SketchFilterOptions lenient;
+  lenient.min_containment = 0.3;
+  auto kept = SketchFilterCandidates(catalog, candidates, lenient);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->kept.size(), 1u);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "src/common/temp_dir.h"
+#include "src/extsort/sorted_set_file.h"
+
+namespace spider {
+namespace {
+
+class SortedSetFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Make("spider-set-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::move(dir).value();
+  }
+
+  std::filesystem::path WriteSet(const std::vector<std::string>& values,
+                                 const std::string& name = "a.set") {
+    auto path = dir_->FilePath(name);
+    auto writer = SortedSetWriter::Create(path);
+    EXPECT_TRUE(writer.ok());
+    for (const auto& v : values) EXPECT_TRUE((*writer)->Append(v).ok());
+    EXPECT_TRUE((*writer)->Finish().ok());
+    return path;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(SortedSetFileTest, WriteAndReadBack) {
+  auto path = WriteSet({"apple", "banana", "cherry"});
+  auto reader = SortedSetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> got;
+  while ((*reader)->HasNext()) got.push_back((*reader)->Next());
+  EXPECT_EQ(got, (std::vector<std::string>{"apple", "banana", "cherry"}));
+  EXPECT_TRUE((*reader)->status().ok());
+}
+
+TEST_F(SortedSetFileTest, WriterRejectsOutOfOrder) {
+  auto writer = SortedSetWriter::Create(dir_->FilePath("bad.set"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("b").ok());
+  EXPECT_TRUE((*writer)->Append("a").IsInvalidArgument());
+}
+
+TEST_F(SortedSetFileTest, WriterRejectsDuplicates) {
+  auto writer = SortedSetWriter::Create(dir_->FilePath("dup.set"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("a").ok());
+  EXPECT_TRUE((*writer)->Append("a").IsInvalidArgument());
+}
+
+TEST_F(SortedSetFileTest, WriterCountsValues) {
+  auto writer = SortedSetWriter::Create(dir_->FilePath("c.set"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("x").ok());
+  ASSERT_TRUE((*writer)->Append("y").ok());
+  EXPECT_EQ((*writer)->count(), 2);
+}
+
+TEST_F(SortedSetFileTest, AppendAfterFinishFails) {
+  auto writer = SortedSetWriter::Create(dir_->FilePath("f.set"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  EXPECT_TRUE((*writer)->Append("x").IsInvalidArgument());
+  // Finish is idempotent.
+  EXPECT_TRUE((*writer)->Finish().ok());
+}
+
+TEST_F(SortedSetFileTest, EmptySet) {
+  auto path = WriteSet({});
+  auto reader = SortedSetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE((*reader)->HasNext());
+  EXPECT_TRUE((*reader)->status().ok());
+}
+
+TEST_F(SortedSetFileTest, PeekDoesNotConsumeOrCount) {
+  RunCounters counters;
+  auto path = WriteSet({"a", "b"});
+  auto reader = SortedSetReader::Open(path, &counters);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE((*reader)->HasNext());
+  EXPECT_EQ((*reader)->Peek(), "a");
+  EXPECT_EQ((*reader)->Peek(), "a");
+  EXPECT_EQ(counters.tuples_read, 0);
+  EXPECT_EQ((*reader)->Next(), "a");
+  EXPECT_EQ(counters.tuples_read, 1);
+  EXPECT_EQ((*reader)->Next(), "b");
+  EXPECT_EQ(counters.tuples_read, 2);
+  EXPECT_FALSE((*reader)->HasNext());
+}
+
+TEST_F(SortedSetFileTest, OpenCountsFiles) {
+  RunCounters counters;
+  auto path = WriteSet({"a"});
+  auto r1 = SortedSetReader::Open(path, &counters);
+  auto r2 = SortedSetReader::Open(path, &counters);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(counters.files_opened, 2);
+}
+
+TEST_F(SortedSetFileTest, OpenMissingFileFails) {
+  EXPECT_TRUE(SortedSetReader::Open(dir_->FilePath("missing.set"))
+                  .status()
+                  .IsIOError());
+}
+
+TEST_F(SortedSetFileTest, ValuesWithEmbeddedNewlines) {
+  auto path = WriteSet({"a\nb", "c"});
+  auto reader = SortedSetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->Next(), "a\nb");
+  EXPECT_EQ((*reader)->Next(), "c");
+}
+
+}  // namespace
+}  // namespace spider

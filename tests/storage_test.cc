@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/catalog.h"
+#include "src/storage/table.h"
+
+namespace spider {
+namespace {
+
+TEST(ColumnTest, TracksNonNullCount) {
+  Column col("c", TypeId::kInteger);
+  col.Append(Value::Integer(1));
+  col.Append(Value::Null());
+  col.Append(Value::Integer(2));
+  EXPECT_EQ(col.row_count(), 3);
+  EXPECT_EQ(col.non_null_count(), 2);
+  EXPECT_TRUE(col.has_data());
+  EXPECT_FALSE(col.empty());
+}
+
+TEST(ColumnTest, AllNullColumnHasNoData) {
+  Column col("c", TypeId::kString);
+  col.Append(Value::Null());
+  EXPECT_FALSE(col.has_data());
+  EXPECT_FALSE(col.empty());
+}
+
+TEST(ColumnTest, ByteSizeGrowsWithStrings) {
+  Column col("c", TypeId::kString);
+  int64_t empty_size = col.ApproximateByteSize();
+  col.Append(Value::String(std::string(100, 'x')));
+  EXPECT_GT(col.ApproximateByteSize(), empty_size + 100);
+}
+
+TEST(TableTest, AddColumnRejectsDuplicates) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", TypeId::kInteger).ok());
+  EXPECT_TRUE(t.AddColumn("a", TypeId::kString).IsAlreadyExists());
+}
+
+TEST(TableTest, AddColumnRejectedAfterRows) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", TypeId::kInteger).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Integer(1)}).ok());
+  EXPECT_TRUE(t.AddColumn("b", TypeId::kInteger).IsInvalidArgument());
+}
+
+TEST(TableTest, AppendRowChecksArity) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", TypeId::kInteger).ok());
+  ASSERT_TRUE(t.AddColumn("b", TypeId::kString).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Integer(1)}).IsInvalidArgument());
+  EXPECT_TRUE(t.AppendRow({Value::Integer(1), Value::String("x"),
+                           Value::Integer(2)})
+                  .IsInvalidArgument());
+  EXPECT_EQ(t.row_count(), 0);
+}
+
+TEST(TableTest, AppendRowChecksTypes) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", TypeId::kInteger).ok());
+  EXPECT_TRUE(t.AppendRow({Value::String("not-an-int")}).IsInvalidArgument());
+  // NULL is allowed in any column.
+  EXPECT_TRUE(t.AppendRow({Value::Null()}).ok());
+  EXPECT_EQ(t.row_count(), 1);
+}
+
+TEST(TableTest, TypeMismatchLeavesNoPartialRow) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", TypeId::kInteger).ok());
+  ASSERT_TRUE(t.AddColumn("b", TypeId::kInteger).ok());
+  EXPECT_FALSE(t.AppendRow({Value::Integer(1), Value::String("x")}).ok());
+  EXPECT_EQ(t.column(0).row_count(), 0);
+  EXPECT_EQ(t.column(1).row_count(), 0);
+}
+
+TEST(TableTest, LobColumnAcceptsStringValues) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("seq", TypeId::kLob).ok());
+  EXPECT_TRUE(t.AppendRow({Value::String("MSKGEELFT")}).ok());
+}
+
+TEST(TableTest, FindColumnAndIndex) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", TypeId::kInteger).ok());
+  ASSERT_TRUE(t.AddColumn("b", TypeId::kString).ok());
+  EXPECT_NE(t.FindColumn("b"), nullptr);
+  EXPECT_EQ(t.FindColumn("z"), nullptr);
+  EXPECT_EQ(t.ColumnIndex("a"), 0);
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("z"), -1);
+}
+
+TEST(CatalogTest, CreateAndFindTables) {
+  Catalog catalog("db");
+  auto t = catalog.CreateTable("orders");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(catalog.CreateTable("orders").status().IsAlreadyExists());
+  EXPECT_NE(catalog.FindTable("orders"), nullptr);
+  EXPECT_EQ(catalog.FindTable("missing"), nullptr);
+  EXPECT_EQ(catalog.table_count(), 1);
+}
+
+TEST(CatalogTest, ResolveAttribute) {
+  Catalog catalog;
+  Table* t = *catalog.CreateTable("t");
+  ASSERT_TRUE(t->AddColumn("c", TypeId::kInteger).ok());
+  auto col = catalog.ResolveAttribute({"t", "c"});
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->name(), "c");
+  EXPECT_TRUE(catalog.ResolveAttribute({"x", "c"}).status().IsNotFound());
+  EXPECT_TRUE(catalog.ResolveAttribute({"t", "x"}).status().IsNotFound());
+}
+
+TEST(CatalogTest, AllAttributesInTableOrder) {
+  Catalog catalog;
+  Table* a = *catalog.CreateTable("a");
+  ASSERT_TRUE(a->AddColumn("x", TypeId::kInteger).ok());
+  ASSERT_TRUE(a->AddColumn("y", TypeId::kInteger).ok());
+  Table* b = *catalog.CreateTable("b");
+  ASSERT_TRUE(b->AddColumn("z", TypeId::kString).ok());
+  auto attrs = catalog.AllAttributes();
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(attrs[0].ToString(), "a.x");
+  EXPECT_EQ(attrs[1].ToString(), "a.y");
+  EXPECT_EQ(attrs[2].ToString(), "b.z");
+  EXPECT_EQ(catalog.attribute_count(), 3);
+}
+
+TEST(CatalogTest, DeclaredForeignKeys) {
+  Catalog catalog;
+  catalog.DeclareForeignKey(ForeignKey{{"a", "x"}, {"b", "y"}});
+  ASSERT_EQ(catalog.declared_foreign_keys().size(), 1u);
+  EXPECT_EQ(catalog.declared_foreign_keys()[0].ToString(), "a.x -> b.y");
+}
+
+TEST(AttributeRefTest, OrderingAndEquality) {
+  AttributeRef a{"t1", "a"};
+  AttributeRef b{"t1", "b"};
+  AttributeRef c{"t2", "a"};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a == AttributeRef({"t1", "a"}));
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.ToString(), "t1.a");
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "src/discovery/surrogate_filter.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+void AddIntColumn(Catalog* catalog, const std::string& table,
+                  const std::string& column, const std::vector<int64_t>& values) {
+  Table* t = catalog->FindTable(table);
+  if (t == nullptr) t = *catalog->CreateTable(table);
+  ASSERT_TRUE(t->AddColumn(column, TypeId::kInteger).ok());
+  for (int64_t v : values) {
+    ASSERT_TRUE(t->AppendRow({Value::Integer(v)}).ok());
+  }
+}
+
+std::vector<int64_t> Iota(int64_t from, int64_t count) {
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < count; ++i) out.push_back(from + i);
+  return out;
+}
+
+TEST(SurrogateFilterTest, DenseRangeFromOneIsSurrogate) {
+  Catalog catalog;
+  AddIntColumn(&catalog, "t", "id", Iota(1, 50));
+  SurrogateKeyFilter filter;
+  auto result = filter.IsSurrogateRange(catalog, {"t", "id"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+}
+
+TEST(SurrogateFilterTest, HighStartIsNotSurrogate) {
+  Catalog catalog;
+  AddIntColumn(&catalog, "t", "id", Iota(5000, 50));
+  SurrogateKeyFilter filter;
+  EXPECT_FALSE(*filter.IsSurrogateRange(catalog, {"t", "id"}));
+}
+
+TEST(SurrogateFilterTest, SparseRangeIsNotSurrogate) {
+  Catalog catalog;
+  // min 1, max 1000, but only 10 values: density 0.01.
+  std::vector<int64_t> sparse;
+  for (int64_t i = 0; i < 10; ++i) sparse.push_back(1 + i * 111);
+  AddIntColumn(&catalog, "t", "id", sparse);
+  SurrogateKeyFilter filter;
+  EXPECT_FALSE(*filter.IsSurrogateRange(catalog, {"t", "id"}));
+}
+
+TEST(SurrogateFilterTest, StringEncodedIntegersAreRecognized) {
+  // The paper notes integers are often stored as strings in this domain.
+  Catalog catalog;
+  std::vector<std::string> values;
+  for (int i = 1; i <= 40; ++i) values.push_back(std::to_string(i));
+  testing::AddStringColumn(&catalog, "t", "id", values);
+  SurrogateKeyFilter filter;
+  EXPECT_TRUE(*filter.IsSurrogateRange(catalog, {"t", "id"}));
+}
+
+TEST(SurrogateFilterTest, LetteredValuesDisqualify) {
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "t", "id", {"1", "2", "x3"});
+  SurrogateKeyFilter filter;
+  EXPECT_FALSE(*filter.IsSurrogateRange(catalog, {"t", "id"}));
+}
+
+TEST(SurrogateFilterTest, TooFewValuesDisqualify) {
+  Catalog catalog;
+  AddIntColumn(&catalog, "t", "id", {1});
+  SurrogateKeyFilter filter;  // min_values = 2 by default
+  EXPECT_FALSE(*filter.IsSurrogateRange(catalog, {"t", "id"}));
+}
+
+TEST(SurrogateFilterTest, FiltersOnlySurrogateToSurrogateInds) {
+  Catalog catalog;
+  AddIntColumn(&catalog, "small", "id", Iota(1, 30));
+  AddIntColumn(&catalog, "large", "id", Iota(1, 60));
+  testing::AddStringColumn(&catalog, "entry", "code",
+                           {"1abc", "2def", "3ghi"});
+  testing::AddStringColumn(&catalog, "child", "code", {"1abc", "2def"});
+
+  std::vector<Ind> inds = {
+      {{"small", "id"}, {"large", "id"}},   // surrogate-to-surrogate: drop
+      {{"child", "code"}, {"entry", "code"}},  // real link: keep
+  };
+  SurrogateKeyFilter filter;
+  auto result = filter.Filter(catalog, inds);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->filtered.size(), 1u);
+  EXPECT_EQ(result->filtered[0].ToString(), "small.id [= large.id");
+  ASSERT_EQ(result->kept.size(), 1u);
+  EXPECT_EQ(result->kept[0].ToString(), "child.code [= entry.code");
+}
+
+TEST(SurrogateFilterTest, IndIntoSurrogateFromRealColumnIsKept) {
+  Catalog catalog;
+  AddIntColumn(&catalog, "parent", "id", Iota(1, 30));
+  // A genuine FK column: draws from the surrogate range but is itself
+  // sparse, so it is not classified as a surrogate range.
+  AddIntColumn(&catalog, "child", "parent_id", {2, 2, 29, 29, 29, 7});
+  std::vector<Ind> inds = {{{"child", "parent_id"}, {"parent", "id"}}};
+  SurrogateKeyFilter filter;
+  auto result = filter.Filter(catalog, inds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->kept.size(), 1u);
+  EXPECT_TRUE(result->filtered.empty());
+}
+
+TEST(SurrogateFilterTest, CustomThresholds) {
+  Catalog catalog;
+  AddIntColumn(&catalog, "t", "id", Iota(10, 50));
+  SurrogateFilterOptions options;
+  options.max_start = 10;
+  SurrogateKeyFilter filter(options);
+  EXPECT_TRUE(*filter.IsSurrogateRange(catalog, {"t", "id"}));
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,73 @@
+// Shared helpers for spider tests.
+
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/storage/catalog.h"
+#include "src/ind/candidate.h"
+
+namespace spider::testing {
+
+/// Builds a single-column table "t<index>" with column "c" holding the given
+/// string values ("" becomes NULL) and appends it to the catalog.
+inline Table* AddStringColumn(Catalog* catalog, const std::string& table_name,
+                              const std::string& column_name,
+                              const std::vector<std::string>& values,
+                              bool unique = false) {
+  auto table = catalog->CreateTable(table_name);
+  if (!table.ok()) {
+    Table* existing = catalog->FindTable(table_name);
+    if (existing == nullptr) return nullptr;
+    if (!existing->AddColumn(column_name, TypeId::kString, unique).ok()) {
+      return nullptr;
+    }
+    return existing;  // NOTE: only valid for empty tables
+  }
+  Table* t = *table;
+  if (!t->AddColumn(column_name, TypeId::kString, unique).ok()) return nullptr;
+  for (const std::string& v : values) {
+    std::vector<Value> row;
+    row.push_back(v.empty() ? Value::Null() : Value::String(v));
+    if (!t->AppendRow(std::move(row)).ok()) return nullptr;
+  }
+  return t;
+}
+
+/// Ground-truth IND check via hash sets (independent of all the algorithms
+/// under test): true iff every distinct non-NULL value of dep occurs in ref.
+inline bool NaiveIncluded(const Column& dep, const Column& ref) {
+  std::unordered_set<std::string> ref_values;
+  for (const Value& v : ref.values()) {
+    if (!v.is_null()) ref_values.insert(v.ToCanonicalString());
+  }
+  for (const Value& v : dep.values()) {
+    if (v.is_null()) continue;
+    if (!ref_values.contains(v.ToCanonicalString())) return false;
+  }
+  return true;
+}
+
+/// Computes the ground-truth satisfied set for a candidate list.
+inline std::set<Ind> NaiveSatisfiedSet(const Catalog& catalog,
+                                       const std::vector<IndCandidate>& candidates) {
+  std::set<Ind> out;
+  for (const IndCandidate& c : candidates) {
+    auto dep = catalog.ResolveAttribute(c.dependent);
+    auto ref = catalog.ResolveAttribute(c.referenced);
+    if (!dep.ok() || !ref.ok()) continue;
+    if (NaiveIncluded(**dep, **ref)) out.insert(Ind{c.dependent, c.referenced});
+  }
+  return out;
+}
+
+/// Set-ifies a result vector for order-insensitive comparison.
+inline std::set<Ind> ToSet(const std::vector<Ind>& inds) {
+  return std::set<Ind>(inds.begin(), inds.end());
+}
+
+}  // namespace spider::testing

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "src/ind/transitivity.h"
+
+namespace spider {
+namespace {
+
+const AttributeRef A{"t", "a"};
+const AttributeRef B{"t", "b"};
+const AttributeRef C{"t", "c"};
+const AttributeRef D{"t", "d"};
+
+TEST(TransitivityTest, UnknownWithoutDecisions) {
+  TransitivityPruner pruner;
+  EXPECT_FALSE(pruner.Known(A, B).has_value());
+}
+
+TEST(TransitivityTest, DirectSatisfiedIsKnown) {
+  TransitivityPruner pruner;
+  pruner.AddSatisfied(A, B);
+  ASSERT_TRUE(pruner.Known(A, B).has_value());
+  EXPECT_TRUE(*pruner.Known(A, B));
+  // The converse remains unknown.
+  EXPECT_FALSE(pruner.Known(B, A).has_value());
+}
+
+TEST(TransitivityTest, TwoHopClosure) {
+  TransitivityPruner pruner;
+  pruner.AddSatisfied(A, B);
+  pruner.AddSatisfied(B, C);
+  ASSERT_TRUE(pruner.Known(A, C).has_value());
+  EXPECT_TRUE(*pruner.Known(A, C));
+}
+
+TEST(TransitivityTest, LongChainClosure) {
+  TransitivityPruner pruner;
+  pruner.AddSatisfied(A, B);
+  pruner.AddSatisfied(B, C);
+  pruner.AddSatisfied(C, D);
+  EXPECT_TRUE(*pruner.Known(A, D));
+  EXPECT_FALSE(pruner.Known(D, A).has_value());
+}
+
+TEST(TransitivityTest, DirectRefutedIsKnown) {
+  TransitivityPruner pruner;
+  pruner.AddRefuted(A, B);
+  ASSERT_TRUE(pruner.Known(A, B).has_value());
+  EXPECT_FALSE(*pruner.Known(A, B));
+}
+
+TEST(TransitivityTest, RefutationPropagatesThroughSatisfiedEdges) {
+  // A ⊆ B satisfied, A ⊄ C refuted. If B ⊆ C held, then A ⊆ C would follow
+  // — contradiction, so B ⊆ C must be refuted.
+  TransitivityPruner pruner;
+  pruner.AddSatisfied(A, B);
+  pruner.AddRefuted(A, C);
+  ASSERT_TRUE(pruner.Known(B, C).has_value());
+  EXPECT_FALSE(*pruner.Known(B, C));
+}
+
+TEST(TransitivityTest, RefutationPropagatesOnReferencedSide) {
+  // C ⊆ D satisfied, A ⊄ D refuted ⇒ A ⊆ C impossible.
+  TransitivityPruner pruner;
+  pruner.AddSatisfied(C, D);
+  pruner.AddRefuted(A, D);
+  ASSERT_TRUE(pruner.Known(A, C).has_value());
+  EXPECT_FALSE(*pruner.Known(A, C));
+}
+
+TEST(TransitivityTest, NoFalseInference) {
+  TransitivityPruner pruner;
+  pruner.AddSatisfied(A, B);
+  pruner.AddRefuted(C, D);
+  // Unrelated pair stays unknown.
+  EXPECT_FALSE(pruner.Known(A, D).has_value());
+  EXPECT_FALSE(pruner.Known(B, C).has_value());
+}
+
+TEST(TransitivityTest, CycleOfSatisfiedEdges) {
+  // Set equality: A ⊆ B ⊆ A. Closure over the cycle must terminate and
+  // answer membership queries.
+  TransitivityPruner pruner;
+  pruner.AddSatisfied(A, B);
+  pruner.AddSatisfied(B, A);
+  EXPECT_TRUE(*pruner.Known(A, B));
+  EXPECT_TRUE(*pruner.Known(B, A));
+}
+
+TEST(TransitivityTest, CountsDecisions) {
+  TransitivityPruner pruner;
+  pruner.AddSatisfied(A, B);
+  pruner.AddSatisfied(A, B);  // duplicate not double-counted
+  pruner.AddRefuted(C, D);
+  EXPECT_EQ(pruner.satisfied_count(), 1);
+  EXPECT_EQ(pruner.refuted_count(), 1);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/discovery/ucc.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+// Builds a table from rows of string literals (nullptr = NULL).
+std::unique_ptr<Table> MakeTable(
+    const std::vector<std::string>& columns,
+    const std::vector<std::vector<const char*>>& rows) {
+  auto table = std::make_unique<Table>("t");
+  for (const std::string& c : columns) {
+    EXPECT_TRUE(table->AddColumn(c, TypeId::kString).ok());
+  }
+  for (const auto& row : rows) {
+    std::vector<Value> values;
+    for (const char* v : row) {
+      values.push_back(v == nullptr ? Value::Null() : Value::String(v));
+    }
+    EXPECT_TRUE(table->AppendRow(std::move(values)).ok());
+  }
+  return table;
+}
+
+std::vector<std::string> Render(const std::vector<Ucc>& uccs) {
+  std::vector<std::string> out;
+  for (const Ucc& ucc : uccs) out.push_back(ucc.ToString());
+  return out;
+}
+
+TEST(UccTest, SingleUniqueColumn) {
+  auto table = MakeTable({"id", "name"},
+                         {{"1", "a"}, {"2", "a"}, {"3", "b"}});
+  UccDiscovery discovery;
+  auto uccs = discovery.FindInTable(*table);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_EQ(Render(*uccs), (std::vector<std::string>{"t(id)"}));
+}
+
+TEST(UccTest, CompositeKeyWhenNoSingleColumnIsUnique) {
+  // (a, b) unique together, neither alone.
+  auto table = MakeTable({"a", "b"},
+                         {{"x", "1"}, {"x", "2"}, {"y", "1"}, {"y", "2"}});
+  UccDiscovery discovery;
+  auto uccs = discovery.FindInTable(*table);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_EQ(Render(*uccs), (std::vector<std::string>{"t(a, b)"}));
+}
+
+TEST(UccTest, MinimalityExcludesSupersets) {
+  // id unique alone: (id, x) must not be reported.
+  auto table = MakeTable({"id", "x"}, {{"1", "q"}, {"2", "q"}});
+  UccDiscovery discovery;
+  auto uccs = discovery.FindInTable(*table);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_EQ(Render(*uccs), (std::vector<std::string>{"t(id)"}));
+}
+
+TEST(UccTest, MultipleMinimalUccs) {
+  // Both id and code are unique individually.
+  auto table = MakeTable({"id", "code", "x"},
+                         {{"1", "aa", "q"}, {"2", "bb", "q"}});
+  UccDiscovery discovery;
+  auto uccs = discovery.FindInTable(*table);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_EQ(Render(*uccs),
+            (std::vector<std::string>{"t(code)", "t(id)"}));
+}
+
+TEST(UccTest, NullDisqualifiesKeyColumns) {
+  auto table = MakeTable({"id"}, {{"1"}, {nullptr}});
+  UccDiscovery discovery;
+  auto uccs = discovery.FindInTable(*table);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_TRUE(uccs->empty());
+}
+
+TEST(UccTest, NullTolerantModeSkipsNullRows) {
+  auto table = MakeTable({"id"}, {{"1"}, {nullptr}, {"2"}});
+  UccOptions options;
+  options.require_non_null = false;
+  UccDiscovery discovery(options);
+  auto uccs = discovery.FindInTable(*table);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_EQ(Render(*uccs), (std::vector<std::string>{"t(id)"}));
+}
+
+TEST(UccTest, EmptyTableHasNoKeys) {
+  auto table = MakeTable({"id"}, {});
+  UccDiscovery discovery;
+  auto uccs = discovery.FindInTable(*table);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_TRUE(uccs->empty());
+}
+
+TEST(UccTest, NoUniqueCombinationAtAll) {
+  auto table = MakeTable({"a", "b"}, {{"x", "y"}, {"x", "y"}});
+  UccDiscovery discovery;
+  auto uccs = discovery.FindInTable(*table);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_TRUE(uccs->empty());
+}
+
+TEST(UccTest, MaxArityBoundsSearch) {
+  // Only the full (a, b, c) combination is unique.
+  auto table = MakeTable({"a", "b", "c"}, {{"x", "1", "p"},
+                                           {"x", "1", "q"},
+                                           {"x", "2", "p"},
+                                           {"y", "1", "p"}});
+  UccOptions shallow;
+  shallow.max_arity = 2;
+  auto limited = UccDiscovery(shallow).FindInTable(*table);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_TRUE(limited->empty());
+
+  UccOptions deep;
+  deep.max_arity = 3;
+  auto full = UccDiscovery(deep).FindInTable(*table);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(Render(*full), (std::vector<std::string>{"t(a, b, c)"}));
+}
+
+TEST(UccTest, LobColumnsExcluded) {
+  auto table = std::make_unique<Table>("t");
+  ASSERT_TRUE(table->AddColumn("seq", TypeId::kLob).ok());
+  ASSERT_TRUE(table->AppendRow({Value::String("AAA")}).ok());
+  ASSERT_TRUE(table->AppendRow({Value::String("BBB")}).ok());
+  UccDiscovery discovery;
+  auto uccs = discovery.FindInTable(*table);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_TRUE(uccs->empty());
+}
+
+TEST(UccTest, FindScansWholeCatalog) {
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "t1", "id", {"a", "b"});
+  testing::AddStringColumn(&catalog, "t2", "x", {"q", "q"});
+  UccDiscovery discovery;
+  RunCounters counters;
+  auto uccs = discovery.Find(catalog, &counters);
+  ASSERT_TRUE(uccs.ok());
+  EXPECT_EQ(Render(*uccs), (std::vector<std::string>{"t1(id)"}));
+  EXPECT_GT(counters.candidates_tested, 0);
+}
+
+// Property sweep: reported UCCs are unique projections, and every reported
+// UCC is minimal (each proper subset has duplicates).
+class UccPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UccPropertyTest, SoundAndMinimal) {
+  Random rng(static_cast<uint64_t>(GetParam()));
+  auto table = std::make_unique<Table>("t");
+  const int cols = 4;
+  for (int c = 0; c < cols; ++c) {
+    ASSERT_TRUE(
+        table->AddColumn("c" + std::to_string(c), TypeId::kString).ok());
+  }
+  for (int r = 0; r < 25; ++r) {
+    std::vector<Value> row;
+    for (int c = 0; c < cols; ++c) {
+      row.push_back(Value::String("v" + std::to_string(rng.Uniform(0, 4))));
+    }
+    ASSERT_TRUE(table->AppendRow(std::move(row)).ok());
+  }
+  UccOptions options;
+  options.max_arity = cols;
+  UccDiscovery discovery(options);
+  auto uccs = discovery.FindInTable(*table);
+  ASSERT_TRUE(uccs.ok());
+
+  auto projection_unique = [&](const std::vector<std::string>& columns) {
+    std::set<std::vector<std::string>> seen;
+    for (int64_t r = 0; r < table->row_count(); ++r) {
+      std::vector<std::string> key;
+      for (const std::string& c : columns) {
+        key.push_back(table->FindColumn(c)->value(r).ToCanonicalString());
+      }
+      if (!seen.insert(std::move(key)).second) return false;
+    }
+    return true;
+  };
+
+  for (const Ucc& ucc : *uccs) {
+    EXPECT_TRUE(projection_unique(ucc.columns)) << ucc.ToString();
+    // Minimality: dropping any column loses uniqueness.
+    for (size_t drop = 0; drop < ucc.columns.size(); ++drop) {
+      std::vector<std::string> subset;
+      for (size_t i = 0; i < ucc.columns.size(); ++i) {
+        if (i != drop) subset.push_back(ucc.columns[i]);
+      }
+      if (!subset.empty()) {
+        EXPECT_FALSE(projection_unique(subset)) << ucc.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UccPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/extsort/value_codec.h"
+
+namespace spider {
+namespace {
+
+std::vector<std::string> RoundTrip(const std::vector<std::string>& values) {
+  std::stringstream buffer;
+  for (const std::string& v : values) {
+    EXPECT_TRUE(WriteValueRecord(buffer, v).ok());
+  }
+  std::vector<std::string> out;
+  std::string value;
+  Status st;
+  while (ReadValueRecord(buffer, &value, &st)) out.push_back(value);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+TEST(ValueCodecTest, SimpleRoundTrip) {
+  std::vector<std::string> values{"a", "bc", "def"};
+  EXPECT_EQ(RoundTrip(values), values);
+}
+
+TEST(ValueCodecTest, EmptyStringRecord) {
+  std::vector<std::string> values{"", "x", ""};
+  EXPECT_EQ(RoundTrip(values), values);
+}
+
+TEST(ValueCodecTest, BinarySafeContent) {
+  std::string nasty("with\nnewline\tand\0nul", 20);
+  std::vector<std::string> values{nasty, "plain"};
+  EXPECT_EQ(RoundTrip(values), values);
+}
+
+TEST(ValueCodecTest, LongRecordExercisesMultiByteVarint) {
+  std::string big(300, 'z');          // needs 2 varint bytes
+  std::string bigger(70000, 'q');     // needs 3 varint bytes
+  std::vector<std::string> values{big, bigger};
+  EXPECT_EQ(RoundTrip(values), values);
+}
+
+TEST(ValueCodecTest, CleanEofReturnsFalseWithoutError) {
+  std::stringstream empty;
+  std::string value;
+  Status st;
+  EXPECT_FALSE(ReadValueRecord(empty, &value, &st));
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(ValueCodecTest, TruncatedPayloadIsIOError) {
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteValueRecord(buffer, "abcdef").ok());
+  std::string data = buffer.str();
+  std::stringstream truncated(data.substr(0, data.size() - 2));
+  std::string value;
+  Status st;
+  EXPECT_FALSE(ReadValueRecord(truncated, &value, &st));
+  EXPECT_TRUE(st.IsIOError());
+}
+
+TEST(ValueCodecTest, TruncatedVarintIsIOError) {
+  // 0x80 promises a continuation byte that never comes.
+  std::stringstream buffer(std::string(1, static_cast<char>(0x80)));
+  std::string value;
+  Status st;
+  EXPECT_FALSE(ReadValueRecord(buffer, &value, &st));
+  EXPECT_TRUE(st.IsIOError());
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/common/temp_dir.h"
+#include "src/extsort/sorted_set_file.h"
+#include "src/extsort/value_set_extractor.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+class ValueSetExtractorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Make("spider-extract-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::move(dir).value();
+  }
+
+  std::vector<std::string> ReadAll(const std::filesystem::path& path) {
+    auto reader = SortedSetReader::Open(path);
+    EXPECT_TRUE(reader.ok());
+    std::vector<std::string> out;
+    while ((*reader)->HasNext()) out.push_back((*reader)->Next());
+    return out;
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(ValueSetExtractorTest, SortsDedupsAndDropsNulls) {
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "t", "c", {"b", "", "a", "b", "c", ""});
+  ValueSetExtractor extractor(dir_->path());
+  auto info = extractor.Extract(catalog, {"t", "c"});
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->distinct_count, 3);
+  EXPECT_EQ(*info->min_value, "a");
+  EXPECT_EQ(*info->max_value, "c");
+  EXPECT_EQ(ReadAll(info->path), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(ValueSetExtractorTest, IntegerColumnsUseCanonicalStrings) {
+  Catalog catalog;
+  Table* t = *catalog.CreateTable("t");
+  ASSERT_TRUE(t->AddColumn("n", TypeId::kInteger).ok());
+  for (int64_t v : {9, 10, 100}) {
+    ASSERT_TRUE(t->AppendRow({Value::Integer(v)}).ok());
+  }
+  ValueSetExtractor extractor(dir_->path());
+  auto info = extractor.Extract(catalog, {"t", "n"});
+  ASSERT_TRUE(info.ok());
+  // Lexicographic order: "10" < "100" < "9".
+  EXPECT_EQ(ReadAll(info->path), (std::vector<std::string>{"10", "100", "9"}));
+}
+
+TEST_F(ValueSetExtractorTest, CachesRepeatedExtraction) {
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "t", "c", {"a"});
+  ValueSetExtractor extractor(dir_->path());
+  auto first = extractor.Extract(catalog, {"t", "c"});
+  auto second = extractor.Extract(catalog, {"t", "c"});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->path, second->path);
+}
+
+TEST_F(ValueSetExtractorTest, LookupBeforeExtractFails) {
+  ValueSetExtractor extractor(dir_->path());
+  EXPECT_TRUE(extractor.Lookup({"t", "c"}).status().IsNotFound());
+}
+
+TEST_F(ValueSetExtractorTest, LookupAfterExtractSucceeds) {
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "t", "c", {"a"});
+  ValueSetExtractor extractor(dir_->path());
+  ASSERT_TRUE(extractor.Extract(catalog, {"t", "c"}).ok());
+  EXPECT_TRUE(extractor.Lookup({"t", "c"}).ok());
+}
+
+TEST_F(ValueSetExtractorTest, UnknownAttributeFails) {
+  Catalog catalog;
+  ValueSetExtractor extractor(dir_->path());
+  EXPECT_TRUE(extractor.Extract(catalog, {"x", "y"}).status().IsNotFound());
+}
+
+TEST_F(ValueSetExtractorTest, ExtractAllPreservesOrder) {
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "t1", "c", {"a"});
+  testing::AddStringColumn(&catalog, "t2", "c", {"b", "c"});
+  ValueSetExtractor extractor(dir_->path());
+  auto infos = extractor.ExtractAll(catalog, {{"t2", "c"}, {"t1", "c"}});
+  ASSERT_TRUE(infos.ok());
+  ASSERT_EQ(infos->size(), 2u);
+  EXPECT_EQ((*infos)[0].distinct_count, 2);
+  EXPECT_EQ((*infos)[1].distinct_count, 1);
+}
+
+TEST_F(ValueSetExtractorTest, EmptyColumnYieldsEmptySet) {
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "t", "c", {"", ""});
+  ValueSetExtractor extractor(dir_->path());
+  auto info = extractor.Extract(catalog, {"t", "c"});
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->distinct_count, 0);
+}
+
+TEST_F(ValueSetExtractorTest, SpillsUnderTinyBudget) {
+  Catalog catalog;
+  std::vector<std::string> values;
+  for (int i = 0; i < 300; ++i) values.push_back("v" + std::to_string(i));
+  testing::AddStringColumn(&catalog, "t", "c", values);
+  ValueSetExtractorOptions options;
+  options.sort_memory_budget_bytes = 128;
+  ValueSetExtractor extractor(dir_->path(), options);
+  auto info = extractor.Extract(catalog, {"t", "c"});
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->distinct_count, 300);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/type.h"
+#include "src/storage/value.h"
+
+namespace spider {
+namespace {
+
+TEST(TypeTest, NamesRoundTrip) {
+  for (TypeId t : {TypeId::kInteger, TypeId::kDouble, TypeId::kString,
+                   TypeId::kLob}) {
+    auto parsed = TypeIdFromString(TypeIdToString(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(TypeTest, AcceptsSqlAliases) {
+  EXPECT_EQ(*TypeIdFromString("BIGINT"), TypeId::kInteger);
+  EXPECT_EQ(*TypeIdFromString("VarChar"), TypeId::kString);
+  EXPECT_EQ(*TypeIdFromString("REAL"), TypeId::kDouble);
+  EXPECT_EQ(*TypeIdFromString("CLOB"), TypeId::kLob);
+  EXPECT_TRUE(TypeIdFromString("geometry").status().IsInvalidArgument());
+}
+
+TEST(TypeTest, LobExcludedFromIndEligibility) {
+  EXPECT_TRUE(IsIndEligibleType(TypeId::kInteger));
+  EXPECT_TRUE(IsIndEligibleType(TypeId::kDouble));
+  EXPECT_TRUE(IsIndEligibleType(TypeId::kString));
+  EXPECT_FALSE(IsIndEligibleType(TypeId::kLob));
+}
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_EQ(v.ToCanonicalString(), "");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value::Integer(3).is_integer());
+  EXPECT_EQ(Value::Integer(3).integer(), 3);
+  EXPECT_TRUE(Value::Double(2.5).is_double());
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).number(), 2.5);
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_EQ(Value::String("x").string(), "x");
+}
+
+TEST(ValueTest, CanonicalStrings) {
+  EXPECT_EQ(Value::Integer(-42).ToCanonicalString(), "-42");
+  EXPECT_EQ(Value::String("abc").ToCanonicalString(), "abc");
+  EXPECT_EQ(Value::Double(0.5).ToCanonicalString(), "0.5");
+}
+
+TEST(ValueTest, CanonicalDistinguishesIntAndPaddedString) {
+  // "007" as a string and 7 as an integer are different values in the
+  // lexicographic canonical order.
+  EXPECT_NE(Value::String("007").ToCanonicalString(),
+            Value::Integer(7).ToCanonicalString());
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Integer(4), Value::Integer(4));
+  EXPECT_FALSE(Value::Integer(4) == Value::Integer(5));
+  EXPECT_FALSE(Value::Integer(4) == Value::String("4"));
+  EXPECT_FALSE(Value::Null() == Value::Integer(0));
+}
+
+TEST(ValueParseTest, Integers) {
+  auto v = Value::Parse("123", TypeId::kInteger);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->integer(), 123);
+  EXPECT_EQ(Value::Parse("-9", TypeId::kInteger)->integer(), -9);
+  EXPECT_TRUE(Value::Parse("12x", TypeId::kInteger).status().IsInvalidArgument());
+  EXPECT_TRUE(Value::Parse("1.5", TypeId::kInteger).status().IsInvalidArgument());
+}
+
+TEST(ValueParseTest, Doubles) {
+  EXPECT_DOUBLE_EQ(Value::Parse("2.75", TypeId::kDouble)->number(), 2.75);
+  EXPECT_DOUBLE_EQ(Value::Parse("-1e3", TypeId::kDouble)->number(), -1000.0);
+  EXPECT_TRUE(Value::Parse("abc", TypeId::kDouble).status().IsInvalidArgument());
+  EXPECT_TRUE(Value::Parse("inf", TypeId::kDouble).status().IsInvalidArgument());
+}
+
+TEST(ValueParseTest, StringsAndLobs) {
+  EXPECT_EQ(Value::Parse("hello", TypeId::kString)->string(), "hello");
+  EXPECT_EQ(Value::Parse("blob", TypeId::kLob)->string(), "blob");
+}
+
+TEST(ValueParseTest, EmptyTextIsNull) {
+  for (TypeId t : {TypeId::kInteger, TypeId::kDouble, TypeId::kString}) {
+    auto v = Value::Parse("", t);
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v->is_null());
+  }
+}
+
+TEST(ValueParseTest, RoundTripThroughCanonical) {
+  for (int64_t i : {0L, 1L, -1L, 1234567890L}) {
+    Value v = Value::Integer(i);
+    auto parsed = Value::Parse(v.ToCanonicalString(), TypeId::kInteger);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, v);
+  }
+  for (double d : {0.25, -3.5, 1e10}) {
+    Value v = Value::Double(d);
+    auto parsed = Value::Parse(v.ToCanonicalString(), TypeId::kDouble);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_DOUBLE_EQ(parsed->number(), d);
+  }
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,247 @@
+// spider — command-line schema discovery for CSV dumps.
+//
+// Usage:
+//   spider profile <csv_dir> [--approach=NAME] [--max-value-pretest]
+//                            [--sampling-pretest] [--sigma=S]
+//   spider discover <csv_dir> [--approach=NAME] [--no-surrogate-filter]
+//   spider links <source_csv_dir> <target_csv_dir> [--strip-prefixes]
+//                [--min-coverage=C]
+//
+// `profile` prints the satisfied INDs (σ < 1 switches to partial INDs);
+// `discover` runs the whole Aladin-style pipeline and prints the report;
+// `links` finds cross-database links into the target's accession columns.
+//
+// Approaches: brute-force (default), single-pass, spider-merge, sql-join,
+// sql-minus, sql-not-in, de-marchi, bell-brockhausen.
+
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "src/common/json_writer.h"
+#include "src/common/temp_dir.h"
+#include "src/discovery/graph_export.h"
+#include "src/discovery/link_discovery.h"
+#include "src/discovery/report.h"
+#include "src/ind/partial_ind.h"
+#include "src/ind/profiler.h"
+#include "src/storage/csv.h"
+
+namespace {
+
+using namespace spider;
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  spider profile <csv_dir> [--approach=NAME] [--max-value-pretest]\n"
+         "                           [--sampling-pretest] [--sigma=S] [--json]\n"
+         "  spider discover <csv_dir> [--approach=NAME] "
+         "[--no-surrogate-filter] [--dot=FILE]\n"
+         "  spider links <source_dir> <target_dir> [--strip-prefixes]\n"
+         "               [--min-coverage=C]\n";
+  return 2;
+}
+
+std::optional<IndApproach> ParseApproach(const std::string& name) {
+  for (IndApproach approach : kAllIndApproaches) {
+    if (name == IndApproachToString(approach)) return approach;
+  }
+  return std::nullopt;
+}
+
+struct Flags {
+  std::vector<std::string> positional;
+  IndApproach approach = IndApproach::kBruteForce;
+  bool max_value_pretest = false;
+  bool sampling_pretest = false;
+  bool surrogate_filter = true;
+  bool strip_prefixes = false;
+  bool json = false;
+  std::string dot_path;
+  double sigma = 1.0;
+  double min_coverage = 1.0;
+  bool ok = true;
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--approach=", 0) == 0) {
+      auto approach = ParseApproach(arg.substr(11));
+      if (!approach) {
+        std::cerr << "unknown approach: " << arg.substr(11) << "\n";
+        flags.ok = false;
+        return flags;
+      }
+      flags.approach = *approach;
+    } else if (arg == "--max-value-pretest") {
+      flags.max_value_pretest = true;
+    } else if (arg == "--sampling-pretest") {
+      flags.sampling_pretest = true;
+    } else if (arg == "--no-surrogate-filter") {
+      flags.surrogate_filter = false;
+    } else if (arg == "--strip-prefixes") {
+      flags.strip_prefixes = true;
+    } else if (arg == "--json") {
+      flags.json = true;
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      flags.dot_path = arg.substr(6);
+    } else if (arg.rfind("--sigma=", 0) == 0) {
+      flags.sigma = std::atof(arg.substr(8).c_str());
+    } else if (arg.rfind("--min-coverage=", 0) == 0) {
+      flags.min_coverage = std::atof(arg.substr(15).c_str());
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag: " << arg << "\n";
+      flags.ok = false;
+      return flags;
+    } else {
+      flags.positional.push_back(arg);
+    }
+  }
+  return flags;
+}
+
+IndProfilerOptions MakeProfilerOptions(const Flags& flags) {
+  IndProfilerOptions options;
+  options.approach = flags.approach;
+  options.generator.max_value_pretest = flags.max_value_pretest;
+  options.generator.sampling_pretest = flags.sampling_pretest;
+  return options;
+}
+
+int RunProfile(const Flags& flags) {
+  if (flags.positional.size() != 1) return Usage();
+  auto catalog = ReadCsvDirectory(flags.positional[0]);
+  if (!catalog.ok()) return Fail(catalog.status());
+  std::cout << "loaded " << (*catalog)->table_count() << " tables, "
+            << (*catalog)->attribute_count() << " attributes\n\n";
+
+  IndProfilerOptions options = MakeProfilerOptions(flags);
+
+  if (flags.sigma >= 1.0) {
+    auto report = IndProfiler(options).Profile(**catalog);
+    if (!report.ok()) return Fail(report.status());
+    if (flags.json) {
+      JsonWriter json;
+      json.BeginObject();
+      json.KV("approach", IndApproachToString(flags.approach));
+      json.KV("tables", static_cast<int64_t>((*catalog)->table_count()));
+      json.KV("attributes", static_cast<int64_t>((*catalog)->attribute_count()));
+      json.KV("raw_pairs", report->candidates.raw_pair_count);
+      json.KV("candidates",
+              static_cast<int64_t>(report->candidates.candidates.size()));
+      json.KV("pretest_pruned", report->candidates.total_pruned());
+      json.KV("finished", report->run.finished);
+      json.KV("seconds", report->total_seconds);
+      json.KV("tuples_read", report->run.counters.tuples_read);
+      json.Key("satisfied_inds");
+      json.BeginArray();
+      for (const Ind& ind : report->run.satisfied) {
+        json.BeginObject();
+        json.KV("dependent", ind.dependent.ToString());
+        json.KV("referenced", ind.referenced.ToString());
+        json.EndObject();
+      }
+      json.EndArray();
+      json.EndObject();
+      std::cout << json.str() << "\n";
+      return 0;
+    }
+    std::cout << report->ToString() << "\nsatisfied INDs:\n";
+    for (const Ind& ind : report->run.satisfied) {
+      std::cout << "  " << ind.ToString() << "\n";
+    }
+    return 0;
+  }
+
+  // Partial-IND mode: generate candidates, then measure coverage.
+  CandidateGenerator generator(options.generator);
+  auto candidates = generator.Generate(**catalog);
+  if (!candidates.ok()) return Fail(candidates.status());
+  auto dir = TempDir::Make("spider-cli");
+  if (!dir.ok()) return Fail(dir.status());
+  ValueSetExtractor extractor((*dir)->path());
+  PartialIndOptions partial_options;
+  partial_options.extractor = &extractor;
+  partial_options.min_coverage = flags.sigma;
+  PartialIndFinder finder(partial_options);
+  auto results = finder.Run(**catalog, candidates->candidates);
+  if (!results.ok()) return Fail(results.status());
+  std::cout << "partial INDs with sigma=" << flags.sigma << ":\n";
+  for (const PartialInd& p : *results) {
+    if (p.satisfied) {
+      std::cout << "  " << p.candidate.ToString() << "  (coverage "
+                << p.coverage << ")\n";
+    }
+  }
+  return 0;
+}
+
+int RunDiscover(const Flags& flags) {
+  if (flags.positional.size() != 1) return Usage();
+  auto catalog = ReadCsvDirectory(flags.positional[0]);
+  if (!catalog.ok()) return Fail(catalog.status());
+
+  SchemaReportOptions options;
+  options.profiler = MakeProfilerOptions(flags);
+  options.filter_surrogates = flags.surrogate_filter;
+  auto report = BuildSchemaReport(**catalog, options);
+  if (!report.ok()) return Fail(report.status());
+  std::cout << report->ToString();
+  if (!flags.dot_path.empty()) {
+    GraphExportOptions dot_options;
+    dot_options.name = (*catalog)->name();
+    std::ofstream out(flags.dot_path);
+    out << ExportSchemaDot(*report, dot_options);
+    if (!out) return Fail(Status::IOError("cannot write " + flags.dot_path));
+    std::cout << "\nschema graph written to " << flags.dot_path << "\n";
+  }
+  return 0;
+}
+
+int RunLinks(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  auto source = ReadCsvDirectory(flags.positional[0]);
+  if (!source.ok()) return Fail(source.status());
+  auto target = ReadCsvDirectory(flags.positional[1]);
+  if (!target.ok()) return Fail(target.status());
+
+  LinkDiscoveryOptions options;
+  options.try_prefix_stripping = flags.strip_prefixes;
+  options.min_coverage = flags.min_coverage;
+  auto links = LinkDiscovery(options).FindLinks(**source, **target);
+  if (!links.ok()) return Fail(links.status());
+  std::cout << "links from " << (*source)->name() << " into "
+            << (*target)->name() << ":\n";
+  for (const DatabaseLink& link : *links) {
+    std::cout << "  " << link.source.ToString() << " -> "
+              << link.target.ToString() << "  (coverage " << link.coverage
+              << (link.via_prefix_strip ? ", via stripped prefix" : "")
+              << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags = ParseFlags(argc, argv, 2);
+  if (!flags.ok) return 2;
+  if (command == "profile") return RunProfile(flags);
+  if (command == "discover") return RunDiscover(flags);
+  if (command == "links") return RunLinks(flags);
+  return Usage();
+}
