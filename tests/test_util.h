@@ -20,19 +20,16 @@ inline Table* AddStringColumn(Catalog* catalog, const std::string& table_name,
                               const std::vector<std::string>& values,
                               bool unique = false) {
   auto table = catalog->CreateTable(table_name);
-  if (!table.ok()) {
-    Table* existing = catalog->FindTable(table_name);
-    if (existing == nullptr) return nullptr;
-    if (!existing->AddColumn(column_name, TypeId::kString, unique).ok()) {
-      return nullptr;
-    }
-    return existing;  // NOTE: only valid for empty tables
-  }
-  Table* t = *table;
+  Table* t = table.ok() ? *table : catalog->FindTable(table_name);
+  if (t == nullptr) return nullptr;
+  // AddColumn rejects non-empty tables, so when the table pre-exists it is
+  // guaranteed empty here and appending the values below stays valid.
   if (!t->AddColumn(column_name, TypeId::kString, unique).ok()) return nullptr;
+  const int arity = t->column_count();
+  const int col = t->ColumnIndex(column_name);
   for (const std::string& v : values) {
-    std::vector<Value> row;
-    row.push_back(v.empty() ? Value::Null() : Value::String(v));
+    std::vector<Value> row(static_cast<size_t>(arity));  // NULL-padded
+    row[static_cast<size_t>(col)] = v.empty() ? Value::Null() : Value::String(v);
     if (!t->AppendRow(std::move(row)).ok()) return nullptr;
   }
   return t;

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, run the full ctest suite (38 unit suites
+# + example smoke tests). Exits nonzero on the first failing step.
+#
+# Usage:
+#   tools/verify.sh              # Release, build dir ./build
+#   tools/verify.sh asan        # ASan+UBSan, build dir ./build/asan
+#   BUILD_DIR=out tools/verify.sh
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+config="${1:-release}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+case "$config" in
+  release)
+    build_dir="${BUILD_DIR:-build}"
+    cmake_args=(-DCMAKE_BUILD_TYPE=Release)
+    ;;
+  debug)
+    build_dir="${BUILD_DIR:-build/debug}"
+    cmake_args=(-DCMAKE_BUILD_TYPE=Debug)
+    ;;
+  asan)
+    build_dir="${BUILD_DIR:-build/asan}"
+    cmake_args=(-DCMAKE_BUILD_TYPE=Debug -DSPIDER_SANITIZE=ON)
+    ;;
+  *)
+    echo "usage: $0 [release|debug|asan]" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B "$build_dir" -S . "${cmake_args[@]}"
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
