@@ -6,6 +6,7 @@
 //   (4) transitivity-based pruning (from Bell & Brockhausen [2]).
 
 #include "bench/bench_util.h"
+#include "src/ind/brute_force.h"
 #include "src/ind/transitivity.h"
 
 namespace spider::bench {

@@ -24,7 +24,7 @@ namespace {
 void BM_UniprotFkQuality(benchmark::State& state) {
   Dataset& dataset = UniprotDataset();
   for (auto _ : state) {
-    IndRunResult result = RunApproach(dataset, IndApproach::kBruteForce);
+    IndRunResult result = RunApproach(dataset, "brute-force");
     FkEvaluation eval =
         EvaluateForeignKeys(*dataset.catalog, result.satisfied);
     state.counters["true_positives"] =
@@ -67,7 +67,7 @@ BENCHMARK_CAPTURE(BM_AccessionCandidates, pdb_softened, &PdbReducedDataset,
 void BM_PrimaryRelation(benchmark::State& state, Dataset& (*dataset_fn)(),
                         bool surrogate_filter) {
   Dataset& dataset = dataset_fn();
-  IndRunResult result = RunApproach(dataset, IndApproach::kBruteForce);
+  IndRunResult result = RunApproach(dataset, "brute-force");
   for (auto _ : state) {
     std::vector<Ind> inds = result.satisfied;
     if (surrogate_filter) {

@@ -11,84 +11,62 @@
 //     reduction ahead of a sound verifier;
 //   * levelwise n-ary expansion seeded with the unary result.
 
+#include <cstring>
+
 #include "bench/bench_util.h"
 #include "src/common/random.h"
 #include "src/datagen/words.h"
-#include "src/ind/bell_brockhausen.h"
+#include "src/ind/brute_force.h"
 #include "src/ind/clique_nary.h"
 #include "src/ind/de_marchi.h"
 #include "src/ind/nary.h"
 #include "src/ind/sketch.h"
-#include "src/ind/spider_merge.h"
 #include "src/ind/zigzag.h"
 
 namespace spider::bench {
 namespace {
 
 // Head-to-head on the same dataset: the two paper algorithms, the improved
-// merge, and the two baselines.
+// merge, and the two baselines — all resolved through the registry.
 void BM_Shootout(benchmark::State& state, Dataset& (*dataset_fn)(),
-                 int which) {
+                 const char* approach) {
   Dataset& dataset = dataset_fn();
   for (auto _ : state) {
     auto dir = TempDir::Make("spider-bench-ext");
     SPIDER_CHECK(dir.ok());
     ValueSetExtractor extractor((*dir)->path());
-    std::unique_ptr<IndAlgorithm> algorithm;
-    switch (which) {
-      case 0: {
-        BruteForceOptions options;
-        options.extractor = &extractor;
-        algorithm = std::make_unique<BruteForceAlgorithm>(options);
-        break;
-      }
-      case 1: {
-        SinglePassOptions options;
-        options.extractor = &extractor;
-        algorithm = std::make_unique<SinglePassAlgorithm>(options);
-        break;
-      }
-      case 2: {
-        SpiderMergeOptions options;
-        options.extractor = &extractor;
-        algorithm = std::make_unique<SpiderMergeAlgorithm>(options);
-        break;
-      }
-      case 3:
-        algorithm = std::make_unique<DeMarchiAlgorithm>();
-        break;
-      default:
-        algorithm = std::make_unique<BellBrockhausenAlgorithm>();
-        break;
-    }
+    AlgorithmConfig config;
+    config.extractor = &extractor;
+    auto algorithm = AlgorithmRegistry::Global().Create(approach, config);
+    SPIDER_CHECK(algorithm.ok()) << algorithm.status().ToString();
     auto result =
-        algorithm->Run(*dataset.catalog, dataset.candidates.candidates);
+        (*algorithm)->Run(*dataset.catalog, dataset.candidates.candidates);
     SPIDER_CHECK(result.ok());
     ReportRun(state, dataset, *result);
-    if (which == 3) {
-      auto* dm = static_cast<DeMarchiAlgorithm*>(algorithm.get());
+    if (std::strcmp(approach, "de-marchi") == 0) {
+      auto* dm = static_cast<DeMarchiAlgorithm*>(algorithm->get());
       state.counters["index_entries"] =
           static_cast<double>(dm->last_index_entries());
     }
   }
 }
 
-#define SHOOTOUT(dataset, label, which)                                 \
+#define SHOOTOUT(dataset, label, approach)                              \
   BENCHMARK_CAPTURE(BM_Shootout, dataset##_##label, &dataset##Dataset,  \
-                    which)                                              \
+                    approach)                                           \
       ->Unit(benchmark::kMillisecond)                                   \
       ->Iterations(1)
 
-SHOOTOUT(Uniprot, brute_force, 0);
-SHOOTOUT(Uniprot, single_pass, 1);
-SHOOTOUT(Uniprot, spider_merge, 2);
-SHOOTOUT(Uniprot, de_marchi, 3);
-SHOOTOUT(Uniprot, bell_brockhausen, 4);
-SHOOTOUT(PdbReduced, brute_force, 0);
-SHOOTOUT(PdbReduced, single_pass, 1);
-SHOOTOUT(PdbReduced, spider_merge, 2);
-SHOOTOUT(PdbReduced, de_marchi, 3);
-SHOOTOUT(PdbReduced, bell_brockhausen, 4);
+SHOOTOUT(Uniprot, brute_force, "brute-force");
+SHOOTOUT(Uniprot, single_pass, "single-pass");
+SHOOTOUT(Uniprot, spider_merge, "spider-merge");
+SHOOTOUT(Uniprot, de_marchi, "de-marchi");
+SHOOTOUT(Uniprot, bell_brockhausen, "bell-brockhausen");
+SHOOTOUT(PdbReduced, brute_force, "brute-force");
+SHOOTOUT(PdbReduced, single_pass, "single-pass");
+SHOOTOUT(PdbReduced, spider_merge, "spider-merge");
+SHOOTOUT(PdbReduced, de_marchi, "de-marchi");
+SHOOTOUT(PdbReduced, bell_brockhausen, "bell-brockhausen");
 
 // Sketch screening ahead of brute-force verification.
 void BM_SketchScreen(benchmark::State& state, bool screen) {

@@ -32,7 +32,7 @@ std::vector<IndCandidate> RestrictCandidates(const Dataset& dataset,
   return out;
 }
 
-void BM_Figure5(benchmark::State& state, IndApproach approach) {
+void BM_Figure5(benchmark::State& state, const char* approach) {
   Dataset& dataset = UniprotDataset();
   const int attribute_count = static_cast<int>(state.range(0));
   std::vector<IndCandidate> candidates =
@@ -42,17 +42,11 @@ void BM_Figure5(benchmark::State& state, IndApproach approach) {
     auto dir = TempDir::Make("spider-bench-fig5");
     SPIDER_CHECK(dir.ok());
     ValueSetExtractor extractor((*dir)->path());
-    std::unique_ptr<IndAlgorithm> algorithm;
-    if (approach == IndApproach::kBruteForce) {
-      BruteForceOptions options;
-      options.extractor = &extractor;
-      algorithm = std::make_unique<BruteForceAlgorithm>(options);
-    } else {
-      SinglePassOptions options;
-      options.extractor = &extractor;
-      algorithm = std::make_unique<SinglePassAlgorithm>(options);
-    }
-    auto result = algorithm->Run(*dataset.catalog, candidates);
+    AlgorithmConfig config;
+    config.extractor = &extractor;
+    auto algorithm = AlgorithmRegistry::Global().Create(approach, config);
+    SPIDER_CHECK(algorithm.ok()) << algorithm.status().ToString();
+    auto result = (*algorithm)->Run(*dataset.catalog, candidates);
     SPIDER_CHECK(result.ok());
     state.counters["attributes"] = attribute_count;
     state.counters["candidates"] = static_cast<double>(candidates.size());
@@ -63,11 +57,11 @@ void BM_Figure5(benchmark::State& state, IndApproach approach) {
   }
 }
 
-BENCHMARK_CAPTURE(BM_Figure5, brute_force, IndApproach::kBruteForce)
+BENCHMARK_CAPTURE(BM_Figure5, brute_force, "brute-force")
     ->DenseRange(10, 85, 15)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
-BENCHMARK_CAPTURE(BM_Figure5, single_pass, IndApproach::kSinglePass)
+BENCHMARK_CAPTURE(BM_Figure5, single_pass, "single-pass")
     ->DenseRange(10, 85, 15)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);

@@ -38,7 +38,7 @@ Dataset& PdbPruned() {
 }
 
 void BM_Pruning(benchmark::State& state, Dataset& (*dataset_fn)(),
-                IndApproach approach, double budget) {
+                const char* approach, double budget) {
   Dataset& dataset = dataset_fn();
   for (auto _ : state) {
     IndRunResult result = RunApproach(dataset, approach, budget);
@@ -49,27 +49,26 @@ void BM_Pruning(benchmark::State& state, Dataset& (*dataset_fn)(),
 }
 
 #define PRUNING_CELL(name, fn, approach, budget)                         \
-  BENCHMARK_CAPTURE(BM_Pruning, name, fn, IndApproach::k##approach,      \
-                    budget)                                              \
+  BENCHMARK_CAPTURE(BM_Pruning, name, fn, approach, budget)              \
       ->Unit(benchmark::kMillisecond)                                    \
       ->Iterations(1)
 
 // UniProt-like: all five approaches, raw vs pruned candidate sets.
-PRUNING_CELL(uniprot_raw_SqlJoin, &UniprotDataset, SqlJoin, 0);
-PRUNING_CELL(uniprot_pruned_SqlJoin, &UniprotPruned, SqlJoin, 0);
-PRUNING_CELL(uniprot_raw_SqlMinus, &UniprotDataset, SqlMinus, 0);
-PRUNING_CELL(uniprot_pruned_SqlMinus, &UniprotPruned, SqlMinus, 0);
-PRUNING_CELL(uniprot_raw_SqlNotIn, &UniprotDataset, SqlNotIn, 0);
-PRUNING_CELL(uniprot_pruned_SqlNotIn, &UniprotPruned, SqlNotIn, 0);
-PRUNING_CELL(uniprot_raw_BruteForce, &UniprotDataset, BruteForce, 0);
-PRUNING_CELL(uniprot_pruned_BruteForce, &UniprotPruned, BruteForce, 0);
-PRUNING_CELL(uniprot_raw_SinglePass, &UniprotDataset, SinglePass, 0);
-PRUNING_CELL(uniprot_pruned_SinglePass, &UniprotPruned, SinglePass, 0);
+PRUNING_CELL(uniprot_raw_SqlJoin, &UniprotDataset, "sql-join", 0);
+PRUNING_CELL(uniprot_pruned_SqlJoin, &UniprotPruned, "sql-join", 0);
+PRUNING_CELL(uniprot_raw_SqlMinus, &UniprotDataset, "sql-minus", 0);
+PRUNING_CELL(uniprot_pruned_SqlMinus, &UniprotPruned, "sql-minus", 0);
+PRUNING_CELL(uniprot_raw_SqlNotIn, &UniprotDataset, "sql-not-in", 0);
+PRUNING_CELL(uniprot_pruned_SqlNotIn, &UniprotPruned, "sql-not-in", 0);
+PRUNING_CELL(uniprot_raw_BruteForce, &UniprotDataset, "brute-force", 0);
+PRUNING_CELL(uniprot_pruned_BruteForce, &UniprotPruned, "brute-force", 0);
+PRUNING_CELL(uniprot_raw_SinglePass, &UniprotDataset, "single-pass", 0);
+PRUNING_CELL(uniprot_pruned_SinglePass, &UniprotPruned, "single-pass", 0);
 // PDB-like: the external approaches (SQL DNFs here, as in the paper).
-PRUNING_CELL(pdb_raw_BruteForce, &PdbReducedDataset, BruteForce, 0);
-PRUNING_CELL(pdb_pruned_BruteForce, &PdbPruned, BruteForce, 0);
-PRUNING_CELL(pdb_raw_SinglePass, &PdbReducedDataset, SinglePass, 0);
-PRUNING_CELL(pdb_pruned_SinglePass, &PdbPruned, SinglePass, 0);
+PRUNING_CELL(pdb_raw_BruteForce, &PdbReducedDataset, "brute-force", 0);
+PRUNING_CELL(pdb_pruned_BruteForce, &PdbPruned, "brute-force", 0);
+PRUNING_CELL(pdb_raw_SinglePass, &PdbReducedDataset, "single-pass", 0);
+PRUNING_CELL(pdb_pruned_SinglePass, &PdbPruned, "single-pass", 0);
 
 }  // namespace
 }  // namespace spider::bench

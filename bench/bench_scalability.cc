@@ -15,12 +15,12 @@
 namespace spider::bench {
 namespace {
 
-void BM_OpenFiles(benchmark::State& state, IndApproach approach,
+void BM_OpenFiles(benchmark::State& state, const char* approach,
                   int max_open_files) {
   Dataset& dataset = PdbFullDataset();
   for (auto _ : state) {
     IndRunResult result =
-        RunApproach(dataset, approach, /*sql_budget=*/0, max_open_files);
+        RunApproach(dataset, approach, /*time_budget=*/0, max_open_files);
     ReportRun(state, dataset, result);
     state.counters["peak_open_files"] =
         static_cast<double>(result.counters.peak_open_files);
@@ -29,29 +29,25 @@ void BM_OpenFiles(benchmark::State& state, IndApproach approach,
   }
 }
 
-BENCHMARK_CAPTURE(BM_OpenFiles, brute_force, IndApproach::kBruteForce, 0)
+BENCHMARK_CAPTURE(BM_OpenFiles, brute_force, "brute-force", 0)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
-BENCHMARK_CAPTURE(BM_OpenFiles, single_pass_unbounded,
-                  IndApproach::kSinglePass, 0)
+BENCHMARK_CAPTURE(BM_OpenFiles, single_pass_unbounded, "single-pass", 0)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
-BENCHMARK_CAPTURE(BM_OpenFiles, single_pass_block64, IndApproach::kSinglePass,
-                  64)
+BENCHMARK_CAPTURE(BM_OpenFiles, single_pass_block64, "single-pass", 64)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
-BENCHMARK_CAPTURE(BM_OpenFiles, single_pass_block16, IndApproach::kSinglePass,
-                  16)
+BENCHMARK_CAPTURE(BM_OpenFiles, single_pass_block16, "single-pass", 16)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
-BENCHMARK_CAPTURE(BM_OpenFiles, single_pass_block4, IndApproach::kSinglePass,
-                  4)
+BENCHMARK_CAPTURE(BM_OpenFiles, single_pass_block4, "single-pass", 4)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
 // Growing schema: peak open files of the unbounded single pass grows with
 // the attribute count while brute force stays at 2.
-void BM_GrowingSchema(benchmark::State& state, IndApproach approach) {
+void BM_GrowingSchema(benchmark::State& state, const char* approach) {
   const int tables = static_cast<int>(state.range(0));
   datagen::PdbLikeOptions options;
   options.entries = 80;
@@ -67,13 +63,13 @@ void BM_GrowingSchema(benchmark::State& state, IndApproach approach) {
         static_cast<double>(result.counters.peak_open_files);
   }
 }
-BENCHMARK_CAPTURE(BM_GrowingSchema, brute_force, IndApproach::kBruteForce)
+BENCHMARK_CAPTURE(BM_GrowingSchema, brute_force, "brute-force")
     ->Arg(5)
     ->Arg(15)
     ->Arg(25)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
-BENCHMARK_CAPTURE(BM_GrowingSchema, single_pass, IndApproach::kSinglePass)
+BENCHMARK_CAPTURE(BM_GrowingSchema, single_pass, "single-pass")
     ->Arg(5)
     ->Arg(15)
     ->Arg(25)

@@ -13,20 +13,15 @@
 
 #include <iostream>
 #include <memory>
+#include <string_view>
 
 #include "src/common/logging.h"
 #include "src/common/temp_dir.h"
 #include "src/datagen/pdb_like.h"
 #include "src/datagen/scop_like.h"
 #include "src/datagen/uniprot_like.h"
-#include "src/ind/bell_brockhausen.h"
-#include "src/ind/brute_force.h"
 #include "src/ind/candidate_generator.h"
-#include "src/ind/de_marchi.h"
-#include "src/ind/profiler.h"
-#include "src/ind/single_pass.h"
-#include "src/ind/spider_merge.h"
-#include "src/ind/sql_algorithms.h"
+#include "src/ind/registry.h"
 
 namespace spider::bench {
 
@@ -101,59 +96,28 @@ inline Dataset& PdbFullDataset() {
   return dataset;
 }
 
-/// Runs one approach over a dataset, extraction included (the paper's
-/// external-approach timings "summarize all costs — inclusively shipping
-/// the data outside the database").
-inline IndRunResult RunApproach(const Dataset& dataset, IndApproach approach,
-                                double sql_time_budget_seconds = 0,
+/// Runs one approach (resolved by registry name) over a dataset,
+/// extraction included (the paper's external-approach timings "summarize
+/// all costs — inclusively shipping the data outside the database"). The
+/// time budget applies uniformly to every approach via RunContext.
+inline IndRunResult RunApproach(const Dataset& dataset,
+                                std::string_view approach,
+                                double time_budget_seconds = 0,
                                 int max_open_files = 0) {
   auto dir = TempDir::Make("spider-bench");
   SPIDER_CHECK(dir.ok());
   ValueSetExtractor extractor((*dir)->path());
 
-  std::unique_ptr<IndAlgorithm> algorithm;
-  switch (approach) {
-    case IndApproach::kBruteForce: {
-      BruteForceOptions options;
-      options.extractor = &extractor;
-      algorithm = std::make_unique<BruteForceAlgorithm>(options);
-      break;
-    }
-    case IndApproach::kSinglePass: {
-      SinglePassOptions options;
-      options.extractor = &extractor;
-      options.max_open_files = max_open_files;
-      algorithm = std::make_unique<SinglePassAlgorithm>(options);
-      break;
-    }
-    case IndApproach::kSqlJoin:
-      algorithm = std::make_unique<SqlJoinAlgorithm>(
-          SqlAlgorithmOptions{sql_time_budget_seconds});
-      break;
-    case IndApproach::kSqlMinus:
-      algorithm = std::make_unique<SqlMinusAlgorithm>(
-          SqlAlgorithmOptions{sql_time_budget_seconds});
-      break;
-    case IndApproach::kSqlNotIn:
-      algorithm = std::make_unique<SqlNotInAlgorithm>(
-          SqlAlgorithmOptions{sql_time_budget_seconds});
-      break;
-    case IndApproach::kSpiderMerge: {
-      SpiderMergeOptions options;
-      options.extractor = &extractor;
-      algorithm = std::make_unique<SpiderMergeAlgorithm>(options);
-      break;
-    }
-    case IndApproach::kDeMarchi:
-      algorithm = std::make_unique<DeMarchiAlgorithm>();
-      break;
-    case IndApproach::kBellBrockhausen:
-      algorithm = std::make_unique<BellBrockhausenAlgorithm>(
-          BellBrockhausenOptions{true, true, sql_time_budget_seconds});
-      break;
-  }
-  auto result =
-      algorithm->Run(*dataset.catalog, dataset.candidates.candidates);
+  AlgorithmConfig config;
+  config.extractor = &extractor;
+  config.max_open_files = max_open_files;
+  auto algorithm = AlgorithmRegistry::Global().Create(approach, config);
+  SPIDER_CHECK(algorithm.ok()) << algorithm.status().ToString();
+
+  RunContext context;
+  context.time_budget_seconds = time_budget_seconds;
+  auto result = (*algorithm)->Run(*dataset.catalog,
+                                  dataset.candidates.candidates, context);
   SPIDER_CHECK(result.ok()) << result.status().ToString();
   return std::move(result).value();
 }

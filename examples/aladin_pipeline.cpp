@@ -39,8 +39,8 @@ int main() {
 
   // ---- steps 2 + 3: keys, INDs, foreign keys, primary relation ---------
   SchemaReportOptions report_options;
-  report_options.profiler.approach = IndApproach::kSpiderMerge;
-  report_options.profiler.generator.max_value_pretest = true;
+  report_options.ind.approach = "spider-merge";
+  report_options.ind.generator.max_value_pretest = true;
   auto report = BuildSchemaReport(**primary, report_options);
   if (!report.ok()) {
     std::cerr << report.status().ToString() << "\n";

@@ -13,7 +13,7 @@
 #include "src/common/random.h"
 #include "src/common/temp_dir.h"
 #include "src/ind/partial_ind.h"
-#include "src/ind/profiler.h"
+#include "src/ind/session.h"
 
 int main(int argc, char** argv) {
   using namespace spider;
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
             << "% of distinct values)\n\n";
 
   // Exact IND discovery misses the dirty relationship.
-  auto exact = IndProfiler().Profile(catalog);
+  auto exact = SpiderSession(catalog).Run();
   if (!exact.ok()) {
     std::cerr << exact.status().ToString() << "\n";
     return 1;

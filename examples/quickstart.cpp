@@ -12,7 +12,7 @@
 
 #include "src/common/temp_dir.h"
 #include "src/discovery/foreign_key.h"
-#include "src/ind/profiler.h"
+#include "src/ind/session.h"
 #include "src/storage/csv.h"
 
 namespace {
@@ -82,12 +82,13 @@ int main(int argc, char** argv) {
   std::cout << "loaded " << (*catalog)->table_count() << " tables, "
             << (*catalog)->attribute_count() << " attributes\n";
 
-  // 3. Discover all satisfied unary INDs with the brute-force algorithm.
-  IndProfilerOptions options;
-  options.approach = IndApproach::kBruteForce;
+  // 3. Discover all satisfied unary INDs with the brute-force algorithm
+  // (any registered approach name works: see `spider approaches`).
+  SpiderSession session(**catalog);
+  RunOptions options;
+  options.approach = "brute-force";
   options.generator.max_value_pretest = true;  // Sec. 4.1 pruning
-  IndProfiler profiler(options);
-  auto report = profiler.Profile(**catalog);
+  auto report = session.Run(options);
   if (!report.ok()) {
     std::cerr << "profiling failed: " << report.status().ToString() << "\n";
     return 1;

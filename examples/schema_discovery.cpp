@@ -15,7 +15,7 @@
 #include "src/discovery/accession.h"
 #include "src/discovery/foreign_key.h"
 #include "src/discovery/primary_relation.h"
-#include "src/ind/profiler.h"
+#include "src/ind/session.h"
 
 int main(int argc, char** argv) {
   using namespace spider;
@@ -33,16 +33,16 @@ int main(int argc, char** argv) {
             << (*catalog)->attribute_count() << " attributes\n\n";
 
   // Aladin step 3: discover intra-source INDs.
-  IndProfilerOptions options;
-  options.approach = IndApproach::kSinglePass;
+  SpiderSession session(**catalog);
+  RunOptions options;
+  options.approach = "single-pass";
   options.generator.max_value_pretest = true;
-  auto report = IndProfiler(options).Profile(**catalog);
+  auto report = session.Run(options);
   if (!report.ok()) {
     std::cerr << report.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "IND discovery (" << IndApproachToString(options.approach)
-            << "):\n"
+  std::cout << "IND discovery (" << report->approach << "):\n"
             << report->ToString() << "\n";
 
   // Evaluate against the schema's declared foreign keys (gold standard).

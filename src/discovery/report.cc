@@ -36,9 +36,9 @@ Result<SchemaReport> BuildSchemaReport(const Catalog& catalog,
     }
   }
 
-  // Aladin step 3: IND discovery.
-  IndProfiler profiler(options.profiler);
-  SPIDER_ASSIGN_OR_RETURN(report.profile, profiler.Profile(catalog));
+  // Aladin step 3: IND discovery through a registry-driven session.
+  SpiderSession session(catalog);
+  SPIDER_ASSIGN_OR_RETURN(report.profile, session.Run(options.ind));
 
   // Optional surrogate filtering before the downstream heuristics.
   std::vector<Ind> working_inds = report.profile.run.satisfied;

@@ -13,13 +13,15 @@
 #include "src/discovery/primary_relation.h"
 #include "src/discovery/surrogate_filter.h"
 #include "src/discovery/ucc.h"
-#include "src/ind/profiler.h"
+#include "src/ind/session.h"
 
 namespace spider {
 
 /// Options for BuildSchemaReport.
 struct SchemaReportOptions {
-  IndProfilerOptions profiler;
+  /// IND discovery controls: approach (by registry name), pretests,
+  /// budgets, progress.
+  RunOptions ind;
   AccessionDetectorOptions accession;
   SurrogateFilterOptions surrogate;
   /// Apply the surrogate filter before guessing foreign keys and ranking
@@ -45,7 +47,7 @@ struct SchemaReport {
   /// arity >= 2).
   std::vector<Ucc> composite_keys;
   /// Aladin step 3: the IND profile (candidates, satisfied INDs, timings).
-  ProfileReport profile;
+  SessionReport profile;
   /// INDs removed as surrogate-to-surrogate coincidences.
   std::vector<Ind> surrogate_filtered;
   /// Foreign-key guesses from the (filtered) INDs.

@@ -1,4 +1,4 @@
-// Common interface of the five IND test algorithms.
+// Common interface of the IND test algorithms.
 
 #pragma once
 
@@ -9,6 +9,7 @@
 #include "src/common/counters.h"
 #include "src/common/result.h"
 #include "src/ind/candidate.h"
+#include "src/ind/run_context.h"
 #include "src/storage/catalog.h"
 
 namespace spider {
@@ -21,22 +22,36 @@ struct IndRunResult {
   RunCounters counters;
   /// Wall-clock seconds spent inside Run().
   double seconds = 0;
-  /// False when a time budget expired before all candidates were tested
-  /// (mirrors the paper's "> 7 days" entries). `satisfied` is then partial.
+  /// False when a time budget expired or the run was cancelled before all
+  /// candidates were tested (mirrors the paper's "> 7 days" entries).
+  /// `satisfied` is then partial: every listed IND is confirmed, the
+  /// remaining candidates are undecided.
   bool finished = true;
 };
 
 /// \brief Interface implemented by all IND verification approaches: the
-/// three SQL statements (join / minus / not in) and the two database-
-/// external algorithms (brute force / single pass).
+/// three SQL statements (join / minus / not in), the two database-
+/// external algorithms (brute force / single pass), and the implemented
+/// extensions (spider-merge, de-marchi, bell-brockhausen).
 class IndAlgorithm {
  public:
   virtual ~IndAlgorithm() = default;
 
   /// Tests every candidate against the catalog's data and returns the
-  /// satisfied INDs. Candidates must reference existing attributes.
+  /// satisfied INDs. Candidates must reference existing attributes. The
+  /// context carries the unified run controls — time budget, cancellation
+  /// and progress — which every implementation honors.
   virtual Result<IndRunResult> Run(const Catalog& catalog,
-                                   const std::vector<IndCandidate>& candidates) = 0;
+                                   const std::vector<IndCandidate>& candidates,
+                                   RunContext& context) = 0;
+
+  /// Convenience overload: unbounded run with no callbacks. Derived
+  /// classes re-expose it with `using IndAlgorithm::Run;`.
+  Result<IndRunResult> Run(const Catalog& catalog,
+                           const std::vector<IndCandidate>& candidates) {
+    RunContext context;
+    return Run(catalog, candidates, context);
+  }
 
   /// Short display name, e.g. "brute-force".
   virtual std::string_view name() const = 0;

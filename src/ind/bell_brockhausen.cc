@@ -2,18 +2,22 @@
 
 #include <map>
 
+#include "src/common/logging.h"
 #include "src/common/stopwatch.h"
 #include "src/engine/operators.h"
+#include "src/ind/registry.h"
 #include "src/ind/transitivity.h"
 #include "src/storage/column_stats.h"
 
 namespace spider {
 
 Result<IndRunResult> BellBrockhausenAlgorithm::Run(
-    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates,
+    RunContext& context) {
   IndRunResult result;
   Stopwatch watch;
   watch.Start();
+  context.Begin(static_cast<int64_t>(candidates.size()));
 
   std::map<AttributeRef, ColumnStats> stats;
   auto stats_for = [&](const AttributeRef& attr) -> Result<const ColumnStats*> {
@@ -28,8 +32,7 @@ Result<IndRunResult> BellBrockhausenAlgorithm::Run(
 
   TransitivityPruner pruner;
   for (const IndCandidate& candidate : candidates) {
-    if (options_.time_budget_seconds > 0 &&
-        watch.ElapsedSeconds() > options_.time_budget_seconds) {
+    if (context.ShouldStop(options_.time_budget_seconds)) {
       result.finished = false;
       break;
     }
@@ -44,6 +47,7 @@ Result<IndRunResult> BellBrockhausenAlgorithm::Run(
           result.satisfied.push_back(
               Ind{candidate.dependent, candidate.referenced});
         }
+        context.Step();
         continue;
       }
     }
@@ -64,6 +68,7 @@ Result<IndRunResult> BellBrockhausenAlgorithm::Run(
         if (options_.use_transitivity) {
           pruner.AddRefuted(candidate.dependent, candidate.referenced);
         }
+        context.Step();
         continue;
       }
     }
@@ -86,10 +91,26 @@ Result<IndRunResult> BellBrockhausenAlgorithm::Run(
     } else if (options_.use_transitivity) {
       pruner.AddRefuted(candidate.dependent, candidate.referenced);
     }
+    context.Step();
   }
 
   result.seconds = watch.ElapsedSeconds();
   return result;
+}
+
+void RegisterBellBrockhausenAlgorithm(AlgorithmRegistry& registry) {
+  AlgorithmCapabilities capabilities;
+  capabilities.database_internal = true;
+  capabilities.summary =
+      "sequential SQL-join testing with range and transitivity pruning "
+      "(Bell & Brockhausen [2])";
+  Status status = registry.Register(
+      "bell-brockhausen", capabilities,
+      [](const AlgorithmConfig&) {
+        return Result<std::unique_ptr<IndAlgorithm>>(
+            std::make_unique<BellBrockhausenAlgorithm>());
+      });
+  SPIDER_CHECK(status.ok()) << status.ToString();
 }
 
 }  // namespace spider

@@ -18,6 +18,8 @@
 
 namespace spider {
 
+class AlgorithmRegistry;
+
 /// Options for BellBrockhausenAlgorithm.
 struct BellBrockhausenOptions {
   /// Apply the min/max range pretests before any SQL test.
@@ -25,6 +27,8 @@ struct BellBrockhausenOptions {
   /// Use decided INDs to skip implied candidates.
   bool use_transitivity = true;
   /// Abort after this many seconds (0 = unlimited), like the SQL runners.
+  /// Deprecated: prefer RunContext::time_budget_seconds; when both are set
+  /// the tighter bound wins.
   double time_budget_seconds = 0;
 };
 
@@ -35,13 +39,19 @@ class BellBrockhausenAlgorithm final : public IndAlgorithm {
   explicit BellBrockhausenAlgorithm(BellBrockhausenOptions options = {})
       : options_(options) {}
 
+  using IndAlgorithm::Run;
   Result<IndRunResult> Run(const Catalog& catalog,
-                           const std::vector<IndCandidate>& candidates) override;
+                           const std::vector<IndCandidate>& candidates,
+                           RunContext& context) override;
 
   std::string_view name() const override { return "bell-brockhausen"; }
 
  private:
   BellBrockhausenOptions options_;
 };
+
+/// Registers "bell-brockhausen" (called once from
+/// AlgorithmRegistry::Global()).
+void RegisterBellBrockhausenAlgorithm(AlgorithmRegistry& registry);
 
 }  // namespace spider

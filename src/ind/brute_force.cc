@@ -3,6 +3,7 @@
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
 #include "src/extsort/sorted_set_file.h"
+#include "src/ind/registry.h"
 
 namespace spider {
 
@@ -58,12 +59,18 @@ Result<bool> TestCandidateBruteForce(const SortedSetInfo& dep,
 }
 
 Result<IndRunResult> BruteForceAlgorithm::Run(
-    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates,
+    RunContext& context) {
   IndRunResult result;
   Stopwatch watch;
   watch.Start();
+  context.Begin(static_cast<int64_t>(candidates.size()));
 
   for (const IndCandidate& candidate : candidates) {
+    if (context.ShouldStop()) {
+      result.finished = false;
+      break;
+    }
     if (options_.transitivity != nullptr) {
       std::optional<bool> known = options_.transitivity->Known(
           candidate.dependent, candidate.referenced);
@@ -73,6 +80,7 @@ Result<IndRunResult> BruteForceAlgorithm::Run(
           result.satisfied.push_back(
               Ind{candidate.dependent, candidate.referenced});
         }
+        context.Step();
         continue;
       }
     }
@@ -99,10 +107,28 @@ Result<IndRunResult> BruteForceAlgorithm::Run(
       options_.transitivity->AddRefuted(candidate.dependent,
                                         candidate.referenced);
     }
+    context.Step();
   }
 
   result.seconds = watch.ElapsedSeconds();
   return result;
+}
+
+void RegisterBruteForceAlgorithm(AlgorithmRegistry& registry) {
+  AlgorithmCapabilities capabilities;
+  capabilities.needs_extractor = true;
+  capabilities.summary =
+      "one merge scan per candidate over sorted value sets (Sec. 3.1)";
+  Status status = registry.Register(
+      "brute-force", capabilities,
+      [](const AlgorithmConfig& config)
+          -> Result<std::unique_ptr<IndAlgorithm>> {
+        BruteForceOptions options;
+        options.extractor = config.extractor;
+        return std::unique_ptr<IndAlgorithm>(
+            std::make_unique<BruteForceAlgorithm>(options));
+      });
+  SPIDER_CHECK(status.ok()) << status.ToString();
 }
 
 }  // namespace spider

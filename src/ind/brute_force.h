@@ -18,6 +18,8 @@
 
 namespace spider {
 
+class AlgorithmRegistry;
+
 /// Options for BruteForceAlgorithm.
 struct BruteForceOptions {
   /// Materializes and caches sorted value sets. Required.
@@ -39,14 +41,19 @@ class BruteForceAlgorithm final : public IndAlgorithm {
  public:
   explicit BruteForceAlgorithm(BruteForceOptions options);
 
+  using IndAlgorithm::Run;
   Result<IndRunResult> Run(const Catalog& catalog,
-                           const std::vector<IndCandidate>& candidates) override;
+                           const std::vector<IndCandidate>& candidates,
+                           RunContext& context) override;
 
   std::string_view name() const override { return "brute-force"; }
 
  private:
   BruteForceOptions options_;
 };
+
+/// Registers "brute-force" (called once from AlgorithmRegistry::Global()).
+void RegisterBruteForceAlgorithm(AlgorithmRegistry& registry);
 
 /// \brief Tests a single candidate given two already-extracted sorted sets.
 /// Exposed for unit tests and for the partial-IND checker. Returns true iff

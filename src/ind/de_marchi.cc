@@ -5,15 +5,19 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/common/stopwatch.h"
+#include "src/ind/registry.h"
 
 namespace spider {
 
 Result<IndRunResult> DeMarchiAlgorithm::Run(
-    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates,
+    RunContext& context) {
   IndRunResult result;
   Stopwatch watch;
   watch.Start();
+  context.Begin(static_cast<int64_t>(candidates.size()));
 
   // Attribute ids for every attribute involved in any candidate.
   std::map<AttributeRef, int> ids;
@@ -44,8 +48,13 @@ Result<IndRunResult> DeMarchiAlgorithm::Run(
   cand_refs.resize(attrs.size());
 
   // Preprocessing: the inverted index value -> sorted attribute-id list.
+  // A stop during indexing decides nothing: finished=false, no INDs.
   std::unordered_map<std::string, std::vector<int>> index;
   for (size_t a = 0; a < attrs.size(); ++a) {
+    if (context.ShouldStop()) {
+      result.finished = false;
+      break;
+    }
     SPIDER_ASSIGN_OR_RETURN(const Column* column,
                             catalog.ResolveAttribute(attrs[a]));
     for (const Value& v : column->values()) {
@@ -60,10 +69,18 @@ Result<IndRunResult> DeMarchiAlgorithm::Run(
   last_index_entries_ = static_cast<int64_t>(index.size());
 
   // Per dependent attribute: intersect the candidate set with the index
-  // entry of every value.
-  for (size_t d = 0; d < attrs.size(); ++d) {
+  // entry of every value. A dependent's survivors are confirmed only once
+  // all its values are scanned, so the budget is polled between dependents.
+  for (size_t d = 0; result.finished && d < attrs.size(); ++d) {
     std::vector<int>& refs = cand_refs[d];
     if (refs.empty()) continue;
+    if (context.ShouldStop()) {
+      result.finished = false;
+      break;
+    }
+    // All of this dependent's candidates are decided below, whether they
+    // survive the intersections (satisfied) or get erased (refuted).
+    const int64_t decided_here = static_cast<int64_t>(refs.size());
     SPIDER_ASSIGN_OR_RETURN(const Column* column,
                             catalog.ResolveAttribute(attrs[d]));
     for (const Value& v : column->values()) {
@@ -82,11 +99,26 @@ Result<IndRunResult> DeMarchiAlgorithm::Run(
     for (int r : refs) {
       result.satisfied.push_back(Ind{attrs[d], attrs[static_cast<size_t>(r)]});
     }
+    context.Step(decided_here);
   }
 
   std::sort(result.satisfied.begin(), result.satisfied.end());
   result.seconds = watch.ElapsedSeconds();
   return result;
+}
+
+void RegisterDeMarchiAlgorithm(AlgorithmRegistry& registry) {
+  AlgorithmCapabilities capabilities;
+  capabilities.summary =
+      "inverted-index discovery (De Marchi et al. [10]); large "
+      "preprocessing footprint, no extractor needed";
+  Status status = registry.Register(
+      "de-marchi", capabilities,
+      [](const AlgorithmConfig&) {
+        return Result<std::unique_ptr<IndAlgorithm>>(
+            std::make_unique<DeMarchiAlgorithm>());
+      });
+  SPIDER_CHECK(status.ok()) << status.ToString();
 }
 
 }  // namespace spider

@@ -16,6 +16,8 @@
 
 namespace spider {
 
+class AlgorithmRegistry;
+
 /// Options for DeMarchiAlgorithm.
 struct DeMarchiOptions {
   /// Stop intersecting a dependent attribute's candidate set once it is
@@ -29,8 +31,10 @@ class DeMarchiAlgorithm final : public IndAlgorithm {
   explicit DeMarchiAlgorithm(DeMarchiOptions options = {})
       : options_(options) {}
 
+  using IndAlgorithm::Run;
   Result<IndRunResult> Run(const Catalog& catalog,
-                           const std::vector<IndCandidate>& candidates) override;
+                           const std::vector<IndCandidate>& candidates,
+                           RunContext& context) override;
 
   std::string_view name() const override { return "de-marchi"; }
 
@@ -42,5 +46,8 @@ class DeMarchiAlgorithm final : public IndAlgorithm {
   DeMarchiOptions options_;
   int64_t last_index_entries_ = 0;
 };
+
+/// Registers "de-marchi" (called once from AlgorithmRegistry::Global()).
+void RegisterDeMarchiAlgorithm(AlgorithmRegistry& registry);
 
 }  // namespace spider

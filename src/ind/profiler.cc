@@ -1,14 +1,5 @@
 #include "src/ind/profiler.h"
 
-#include "src/common/stopwatch.h"
-#include "src/common/string_util.h"
-#include "src/ind/bell_brockhausen.h"
-#include "src/ind/brute_force.h"
-#include "src/ind/de_marchi.h"
-#include "src/ind/single_pass.h"
-#include "src/ind/spider_merge.h"
-#include "src/ind/sql_algorithms.h"
-
 namespace spider {
 
 std::string_view IndApproachToString(IndApproach approach) {
@@ -37,96 +28,17 @@ IndProfiler::IndProfiler(IndProfilerOptions options)
     : options_(std::move(options)) {}
 
 Result<ProfileReport> IndProfiler::Profile(const Catalog& catalog) {
-  ProfileReport report;
-  Stopwatch total_watch;
-  total_watch.Start();
+  SessionOptions session_options;
+  session_options.work_dir = options_.work_dir;
+  session_options.sort_memory_budget_bytes = options_.sort_memory_budget_bytes;
+  SpiderSession session(catalog, std::move(session_options));
 
-  Stopwatch generation_watch;
-  generation_watch.Start();
-  CandidateGenerator generator(options_.generator);
-  SPIDER_ASSIGN_OR_RETURN(report.candidates, generator.Generate(catalog));
-  report.generation_seconds = generation_watch.ElapsedSeconds();
-
-  // Working directory for sorted value sets.
-  std::unique_ptr<TempDir> temp_dir;
-  std::filesystem::path work_dir;
-  if (options_.work_dir.empty()) {
-    SPIDER_ASSIGN_OR_RETURN(temp_dir, TempDir::Make("spider-profile"));
-    work_dir = temp_dir->path();
-  } else {
-    work_dir = options_.work_dir;
-  }
-
-  ValueSetExtractorOptions extractor_options;
-  extractor_options.sort_memory_budget_bytes = options_.sort_memory_budget_bytes;
-  ValueSetExtractor extractor(work_dir, extractor_options);
-
-  std::unique_ptr<IndAlgorithm> algorithm;
-  switch (options_.approach) {
-    case IndApproach::kBruteForce: {
-      BruteForceOptions bf;
-      bf.extractor = &extractor;
-      algorithm = std::make_unique<BruteForceAlgorithm>(bf);
-      break;
-    }
-    case IndApproach::kSinglePass: {
-      SinglePassOptions sp;
-      sp.extractor = &extractor;
-      sp.max_open_files = options_.max_open_files;
-      algorithm = std::make_unique<SinglePassAlgorithm>(sp);
-      break;
-    }
-    case IndApproach::kSqlJoin:
-      algorithm = std::make_unique<SqlJoinAlgorithm>(
-          SqlAlgorithmOptions{options_.sql_time_budget_seconds});
-      break;
-    case IndApproach::kSqlMinus:
-      algorithm = std::make_unique<SqlMinusAlgorithm>(
-          SqlAlgorithmOptions{options_.sql_time_budget_seconds});
-      break;
-    case IndApproach::kSqlNotIn:
-      algorithm = std::make_unique<SqlNotInAlgorithm>(
-          SqlAlgorithmOptions{options_.sql_time_budget_seconds});
-      break;
-    case IndApproach::kSpiderMerge: {
-      SpiderMergeOptions sm;
-      sm.extractor = &extractor;
-      algorithm = std::make_unique<SpiderMergeAlgorithm>(sm);
-      break;
-    }
-    case IndApproach::kDeMarchi:
-      algorithm = std::make_unique<DeMarchiAlgorithm>();
-      break;
-    case IndApproach::kBellBrockhausen: {
-      BellBrockhausenOptions bb;
-      bb.time_budget_seconds = options_.sql_time_budget_seconds;
-      algorithm = std::make_unique<BellBrockhausenAlgorithm>(bb);
-      break;
-    }
-  }
-
-  SPIDER_ASSIGN_OR_RETURN(report.run,
-                          algorithm->Run(catalog, report.candidates.candidates));
-  report.total_seconds = total_watch.ElapsedSeconds();
-  return report;
-}
-
-std::string ProfileReport::ToString() const {
-  std::string out;
-  out += "raw pairs:       " + FormatWithCommas(candidates.raw_pair_count) + "\n";
-  out += "pretest pruned:  " + FormatWithCommas(candidates.total_pruned()) + "\n";
-  out += "candidates:      " +
-         FormatWithCommas(static_cast<int64_t>(candidates.candidates.size())) +
-         "\n";
-  out += "satisfied INDs:  " +
-         FormatWithCommas(static_cast<int64_t>(run.satisfied.size())) + "\n";
-  out += "finished:        " + std::string(run.finished ? "yes" : "NO (budget)") +
-         "\n";
-  out += "generation time: " + Stopwatch::FormatDuration(generation_seconds) + "\n";
-  out += "test time:       " + Stopwatch::FormatDuration(run.seconds) + "\n";
-  out += "total time:      " + Stopwatch::FormatDuration(total_seconds) + "\n";
-  out += "counters:        " + run.counters.ToString() + "\n";
-  return out;
+  RunOptions run_options;
+  run_options.approach = std::string(IndApproachToString(options_.approach));
+  run_options.generator = options_.generator;
+  run_options.max_open_files = options_.max_open_files;
+  run_options.time_budget_seconds = options_.sql_time_budget_seconds;
+  return session.Run(run_options);
 }
 
 }  // namespace spider

@@ -1,4 +1,11 @@
-// One-call facade: generate candidates, pick an algorithm, run, report.
+// DEPRECATED one-call facade, kept as a thin shim over SpiderSession.
+//
+// New code should use SpiderSession + RunOptions (src/ind/session.h) and
+// resolve approaches by registry name (src/ind/registry.h): the session
+// shares its extractor cache across runs and gives every approach the
+// unified time-budget / cancellation / progress / σ-partial controls.
+// This header remains so existing callers keep compiling; it adds nothing
+// over the session API.
 
 #pragma once
 
@@ -6,18 +13,13 @@
 #include <string>
 
 #include "src/common/result.h"
-#include "src/common/temp_dir.h"
-#include "src/extsort/value_set_extractor.h"
-#include "src/ind/algorithm.h"
-#include "src/ind/candidate_generator.h"
+#include "src/ind/session.h"
 
 namespace spider {
 
 /// Which IND verification approach the profiler uses. The first five are
-/// the paper's; the rest are implemented extensions and baselines:
-/// spider-merge is the improved single pass announced as future work,
-/// de-marchi and bell-brockhausen are the related-work comparators
-/// ([10] and [2]).
+/// the paper's; the rest are implemented extensions and baselines.
+/// Deprecated: new code addresses approaches by registry name.
 enum class IndApproach {
   kBruteForce,
   kSinglePass,
@@ -29,7 +31,8 @@ enum class IndApproach {
   kBellBrockhausen,
 };
 
-/// All approaches, for sweeps.
+/// All approaches, for sweeps. Deprecated: use
+/// AlgorithmRegistry::Global().Names().
 inline constexpr IndApproach kAllIndApproaches[] = {
     IndApproach::kBruteForce,  IndApproach::kSinglePass,
     IndApproach::kSqlJoin,     IndApproach::kSqlMinus,
@@ -37,9 +40,10 @@ inline constexpr IndApproach kAllIndApproaches[] = {
     IndApproach::kDeMarchi,    IndApproach::kBellBrockhausen,
 };
 
+/// Maps the legacy enum to the registry name, e.g. "brute-force".
 std::string_view IndApproachToString(IndApproach approach);
 
-/// Options for IndProfiler.
+/// Options for IndProfiler. Deprecated: use SessionOptions + RunOptions.
 struct IndProfilerOptions {
   IndApproach approach = IndApproach::kBruteForce;
   CandidateGeneratorOptions generator;
@@ -47,27 +51,18 @@ struct IndProfilerOptions {
   int64_t sort_memory_budget_bytes = 64LL << 20;
   /// Open-file budget for the single-pass approach; 0 = unlimited.
   int max_open_files = 0;
-  /// Wall-clock budget for the SQL approaches; 0 = unlimited.
+  /// Wall-clock budget; 0 = unlimited. Historically only the SQL
+  /// approaches honored it — through the session it now bounds every
+  /// approach.
   double sql_time_budget_seconds = 0;
   /// Working directory for sorted value sets; a scoped temp dir when empty.
   std::string work_dir;
 };
 
-/// Everything a profiling run produces.
-struct ProfileReport {
-  CandidateSet candidates;
-  IndRunResult run;
-  /// Seconds spent generating candidates (statistics pass + pretests).
-  double generation_seconds = 0;
-  /// Total including generation.
-  double total_seconds = 0;
+/// The legacy report type is the session report.
+using ProfileReport = SessionReport;
 
-  /// Human-readable multi-line summary.
-  std::string ToString() const;
-};
-
-/// \brief High-level entry point: discovers all satisfied unary INDs of a
-/// catalog.
+/// \brief Deprecated high-level entry point; forwards to SpiderSession.
 ///
 ///   IndProfiler profiler(options);
 ///   SPIDER_ASSIGN_OR_RETURN(ProfileReport report, profiler.Profile(catalog));

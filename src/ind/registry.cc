@@ -1,0 +1,93 @@
+#include "src/ind/registry.h"
+
+#include "src/common/logging.h"
+#include "src/ind/bell_brockhausen.h"
+#include "src/ind/brute_force.h"
+#include "src/ind/de_marchi.h"
+#include "src/ind/single_pass.h"
+#include "src/ind/spider_merge.h"
+#include "src/ind/sql_algorithms.h"
+
+namespace spider {
+
+AlgorithmRegistry& AlgorithmRegistry::Global() {
+  // Each algorithm's registration code lives next to its implementation;
+  // calling the hooks here (instead of via static initializers) keeps the
+  // order deterministic and survives static-library dead-stripping.
+  static AlgorithmRegistry* registry = [] {
+    auto* r = new AlgorithmRegistry();
+    RegisterBruteForceAlgorithm(*r);
+    RegisterSinglePassAlgorithm(*r);
+    RegisterSqlAlgorithms(*r);
+    RegisterSpiderMergeAlgorithm(*r);
+    RegisterDeMarchiAlgorithm(*r);
+    RegisterBellBrockhausenAlgorithm(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status AlgorithmRegistry::Register(std::string name,
+                                   AlgorithmCapabilities capabilities,
+                                   Factory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("algorithm name must be non-empty");
+  }
+  if (Find(name) != nullptr) {
+    return Status::AlreadyExists("algorithm already registered: " + name);
+  }
+  SPIDER_CHECK(factory != nullptr) << "null factory for " << name;
+  entries_.push_back(
+      Entry{std::move(name), capabilities, std::move(factory)});
+  return Status::OK();
+}
+
+const AlgorithmRegistry::Entry* AlgorithmRegistry::Find(
+    std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+bool AlgorithmRegistry::Contains(std::string_view name) const {
+  return Find(name) != nullptr;
+}
+
+Result<AlgorithmCapabilities> AlgorithmRegistry::GetCapabilities(
+    std::string_view name) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown algorithm: " + std::string(name));
+  }
+  return entry->capabilities;
+}
+
+Result<std::unique_ptr<IndAlgorithm>> AlgorithmRegistry::Create(
+    std::string_view name, const AlgorithmConfig& config) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown algorithm: " + std::string(name));
+  }
+  if (entry->capabilities.needs_extractor && config.extractor == nullptr) {
+    return Status::InvalidArgument(entry->name +
+                                   " requires a value-set extractor");
+  }
+  if (config.min_coverage <= 0 || config.min_coverage > 1.0) {
+    return Status::InvalidArgument("min_coverage must be in (0, 1]");
+  }
+  if (config.min_coverage < 1.0 && !entry->capabilities.supports_partial) {
+    return Status::InvalidArgument(
+        entry->name + " does not support partial (sigma < 1) coverage");
+  }
+  return entry->factory(config);
+}
+
+std::vector<std::string> AlgorithmRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace spider

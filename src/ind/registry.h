@@ -1,0 +1,95 @@
+// Name-based registry of IND verification algorithms.
+//
+// Every approach registers a factory plus a Capabilities descriptor under
+// its display name ("brute-force", "sql-join", ...). Consumers — the
+// SpiderSession, the CLI, the benchmarks — resolve approaches by string,
+// so adding an algorithm means one registration call instead of touching
+// an enum, a name table and every switch over it.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/extsort/value_set_extractor.h"
+#include "src/ind/algorithm.h"
+
+namespace spider {
+
+/// What an approach needs and what it can do. Consumers use this to
+/// validate configurations up front (e.g. σ < 1 with an approach that has
+/// no partial-coverage semantics) and to pick defaults.
+struct AlgorithmCapabilities {
+  /// Reads sorted value sets materialized by a ValueSetExtractor; creating
+  /// the algorithm without one fails.
+  bool needs_extractor = false;
+  /// Understands σ-partial coverage (AlgorithmConfig::min_coverage < 1).
+  bool supports_partial = false;
+  /// Honors RunContext::time_budget_seconds mid-run (all built-ins do).
+  bool supports_time_budget = true;
+  /// Runs inside the database engine (the paper's SQL statements) rather
+  /// than over externally sorted value sets.
+  bool database_internal = false;
+  /// One-line description for usage strings and listings. Owned, so
+  /// registrants may build it dynamically.
+  std::string summary;
+};
+
+/// Unified construction-time knobs. Factories read only what applies to
+/// their algorithm; the registry rejects combinations the capabilities
+/// rule out.
+struct AlgorithmConfig {
+  /// Sorted-set materializer, required by external approaches. Not owned;
+  /// must outlive the created algorithm.
+  ValueSetExtractor* extractor = nullptr;
+  /// Open-file budget for blockwise single-pass; 0 = unlimited.
+  int max_open_files = 0;
+  /// σ-partial coverage threshold in (0, 1]; 1 = exact INDs.
+  double min_coverage = 1.0;
+};
+
+/// \brief String-keyed algorithm registry. Thread-compatible: all built-in
+/// registrations happen inside Global()'s first use; later lookups are
+/// read-only.
+class AlgorithmRegistry {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<IndAlgorithm>>(
+      const AlgorithmConfig&)>;
+
+  /// The process-wide registry, with all built-in approaches registered.
+  static AlgorithmRegistry& Global();
+
+  /// Registers an approach. Fails with AlreadyExists on a duplicate name.
+  Status Register(std::string name, AlgorithmCapabilities capabilities,
+                  Factory factory);
+
+  bool Contains(std::string_view name) const;
+
+  /// Capabilities for a registered name, or NotFound.
+  Result<AlgorithmCapabilities> GetCapabilities(std::string_view name) const;
+
+  /// Builds an algorithm instance after validating `config` against the
+  /// approach's capabilities (extractor present, σ supported).
+  Result<std::unique_ptr<IndAlgorithm>> Create(
+      std::string_view name, const AlgorithmConfig& config = {}) const;
+
+  /// All registered names, in registration order (deterministic).
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    AlgorithmCapabilities capabilities;
+    Factory factory;
+  };
+
+  const Entry* Find(std::string_view name) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace spider

@@ -1,0 +1,96 @@
+// Cross-cutting run controls shared by every IND verification approach:
+// wall-clock budget, cooperative cancellation and progress reporting.
+//
+// The paper aborts runs that exceed a time limit ("> 7 days"); originally
+// only the SQL approaches implemented that. RunContext gives all
+// algorithms the same semantics: when the budget expires or the caller
+// cancels, Run() returns a *partial* IndRunResult with finished = false —
+// every IND already in `satisfied` is confirmed, the remaining candidates
+// are simply undecided.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "src/common/stopwatch.h"
+
+namespace spider {
+
+/// \brief Thread-safe cancellation flag. The owner keeps it alive for the
+/// duration of the run; any thread may call Cancel() while an algorithm
+/// polls cancelled() between candidates (or value groups).
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Snapshot handed to progress callbacks.
+struct RunProgress {
+  /// Units of work completed so far (candidates for the per-candidate
+  /// algorithms, blocks / value groups for the streaming ones).
+  int64_t done = 0;
+  /// Total units of work, 0 when unknown up front.
+  int64_t total = 0;
+  /// Wall-clock seconds since Begin().
+  double elapsed_seconds = 0;
+};
+
+using ProgressCallback = std::function<void(const RunProgress&)>;
+
+/// \brief Per-run controls passed to IndAlgorithm::Run. A default-built
+/// context is unbounded and silent, matching the old behaviour.
+class RunContext {
+ public:
+  /// Wall-clock budget in seconds; 0 = unlimited. The clock starts at
+  /// Begin(), which every algorithm calls on entry.
+  double time_budget_seconds = 0;
+
+  /// Optional cancellation flag, polled cooperatively. Not owned.
+  const CancellationToken* cancel = nullptr;
+
+  /// Optional progress sink; invoked from the algorithm thread, so it must
+  /// be cheap and non-reentrant.
+  ProgressCallback progress;
+
+  /// (Re)starts the budget clock and records the expected work size.
+  void Begin(int64_t total_work) {
+    watch_.Start();
+    total_ = total_work;
+    done_ = 0;
+  }
+
+  /// True when the run should end early: the caller cancelled, the
+  /// context's budget expired, or a (legacy, per-algorithm)
+  /// `extra_budget_seconds` expired. Either budget being 0 means that
+  /// bound is unlimited.
+  bool ShouldStop(double extra_budget_seconds = 0) const {
+    if (cancel != nullptr && cancel->cancelled()) return true;
+    if (time_budget_seconds <= 0 && extra_budget_seconds <= 0) return false;
+    const double elapsed = watch_.ElapsedSeconds();
+    if (time_budget_seconds > 0 && elapsed > time_budget_seconds) return true;
+    return extra_budget_seconds > 0 && elapsed > extra_budget_seconds;
+  }
+
+  /// Marks `units` of work done and fires the progress callback if set.
+  void Step(int64_t units = 1) {
+    done_ += units;
+    if (progress) {
+      progress(RunProgress{done_, total_, watch_.ElapsedSeconds()});
+    }
+  }
+
+  double elapsed_seconds() const { return watch_.ElapsedSeconds(); }
+
+ private:
+  Stopwatch watch_;
+  int64_t total_ = 0;
+  int64_t done_ = 0;
+};
+
+}  // namespace spider

@@ -1,0 +1,92 @@
+#include "src/ind/session.h"
+
+#include "src/common/stopwatch.h"
+#include "src/common/string_util.h"
+
+namespace spider {
+
+SpiderSession::SpiderSession(const Catalog& catalog, SessionOptions options)
+    : catalog_(&catalog), options_(std::move(options)) {}
+
+SpiderSession::SpiderSession(std::unique_ptr<Catalog> catalog,
+                             SessionOptions options)
+    : catalog_(catalog.get()),
+      owned_catalog_(std::move(catalog)),
+      options_(std::move(options)) {}
+
+Result<ValueSetExtractor*> SpiderSession::extractor() {
+  if (extractor_ == nullptr) {
+    std::filesystem::path work_dir;
+    if (options_.work_dir.empty()) {
+      SPIDER_ASSIGN_OR_RETURN(temp_dir_, TempDir::Make("spider-session"));
+      work_dir = temp_dir_->path();
+    } else {
+      work_dir = options_.work_dir;
+    }
+    ValueSetExtractorOptions extractor_options;
+    extractor_options.sort_memory_budget_bytes =
+        options_.sort_memory_budget_bytes;
+    extractor_ =
+        std::make_unique<ValueSetExtractor>(work_dir, extractor_options);
+  }
+  return extractor_.get();
+}
+
+Result<SessionReport> SpiderSession::Run(const RunOptions& options) {
+  SessionReport report;
+  report.approach = options.approach;
+  Stopwatch total_watch;
+  total_watch.Start();
+
+  // Resolve the approach first so a bad name fails before any work. The
+  // extractor is only materialized for approaches that need it.
+  AlgorithmConfig config;
+  config.max_open_files = options.max_open_files;
+  config.min_coverage = options.min_coverage;
+  SPIDER_ASSIGN_OR_RETURN(
+      AlgorithmCapabilities capabilities,
+      AlgorithmRegistry::Global().GetCapabilities(options.approach));
+  if (capabilities.needs_extractor) {
+    SPIDER_ASSIGN_OR_RETURN(config.extractor, extractor());
+  }
+  SPIDER_ASSIGN_OR_RETURN(
+      std::unique_ptr<IndAlgorithm> algorithm,
+      AlgorithmRegistry::Global().Create(options.approach, config));
+
+  Stopwatch generation_watch;
+  generation_watch.Start();
+  CandidateGenerator generator(options.generator);
+  SPIDER_ASSIGN_OR_RETURN(report.candidates, generator.Generate(*catalog_));
+  report.generation_seconds = generation_watch.ElapsedSeconds();
+
+  RunContext context;
+  context.time_budget_seconds = options.time_budget_seconds;
+  context.cancel = options.cancel;
+  context.progress = options.progress;
+  SPIDER_ASSIGN_OR_RETURN(
+      report.run,
+      algorithm->Run(*catalog_, report.candidates.candidates, context));
+  report.total_seconds = total_watch.ElapsedSeconds();
+  return report;
+}
+
+std::string SessionReport::ToString() const {
+  std::string out;
+  out += "approach:        " + approach + "\n";
+  out += "raw pairs:       " + FormatWithCommas(candidates.raw_pair_count) + "\n";
+  out += "pretest pruned:  " + FormatWithCommas(candidates.total_pruned()) + "\n";
+  out += "candidates:      " +
+         FormatWithCommas(static_cast<int64_t>(candidates.candidates.size())) +
+         "\n";
+  out += "satisfied INDs:  " +
+         FormatWithCommas(static_cast<int64_t>(run.satisfied.size())) + "\n";
+  out += "finished:        " + std::string(run.finished ? "yes" : "NO (budget)") +
+         "\n";
+  out += "generation time: " + Stopwatch::FormatDuration(generation_seconds) + "\n";
+  out += "test time:       " + Stopwatch::FormatDuration(run.seconds) + "\n";
+  out += "total time:      " + Stopwatch::FormatDuration(total_seconds) + "\n";
+  out += "counters:        " + run.counters.ToString() + "\n";
+  return out;
+}
+
+}  // namespace spider

@@ -1,0 +1,103 @@
+// SpiderSession: the registry-driven profiling entry point.
+//
+// A session binds one catalog to a sorted-value-set workspace. Each Run()
+// resolves an approach by registry name, generates candidates and executes
+// the algorithm under one unified set of controls (time budget,
+// cancellation, progress, σ-partial coverage, memory/file budgets). The
+// extractor cache lives in the session, so sweeping several approaches
+// over the same catalog extracts and sorts each attribute only once —
+// exactly the reuse the paper's database-external approaches are built on.
+//
+//   SpiderSession session(catalog);
+//   RunOptions options;
+//   options.approach = "spider-merge";
+//   options.time_budget_seconds = 60;
+//   SPIDER_ASSIGN_OR_RETURN(SessionReport report, session.Run(options));
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/temp_dir.h"
+#include "src/extsort/value_set_extractor.h"
+#include "src/ind/candidate_generator.h"
+#include "src/ind/registry.h"
+
+namespace spider {
+
+/// Per-session knobs: where sorted value sets live and how much memory
+/// each external sort may use.
+struct SessionOptions {
+  /// Working directory for sorted value sets; a scoped temp dir when empty.
+  std::string work_dir;
+  /// Memory budget per external sort.
+  int64_t sort_memory_budget_bytes = 64LL << 20;
+};
+
+/// Per-run knobs, honored uniformly across all registered approaches.
+struct RunOptions {
+  /// Registry name of the verification approach.
+  std::string approach = "brute-force";
+  /// Candidate generation and pretests.
+  CandidateGeneratorOptions generator;
+  /// Wall-clock budget for the verification phase; 0 = unlimited. On
+  /// expiry the run returns finished=false with a partial satisfied set.
+  double time_budget_seconds = 0;
+  /// Optional cancellation flag, polled cooperatively mid-run. Not owned.
+  const CancellationToken* cancel = nullptr;
+  /// Optional progress sink (called from the running thread).
+  ProgressCallback progress;
+  /// σ-partial coverage in (0, 1]; 1 = exact INDs. Requires an approach
+  /// whose capabilities advertise supports_partial.
+  double min_coverage = 1.0;
+  /// Open-file budget for blockwise single-pass; 0 = unlimited.
+  int max_open_files = 0;
+};
+
+/// Everything one session run produces.
+struct SessionReport {
+  /// Registry name of the approach that ran.
+  std::string approach;
+  CandidateSet candidates;
+  IndRunResult run;
+  /// Seconds spent generating candidates (statistics pass + pretests).
+  double generation_seconds = 0;
+  /// Total including generation.
+  double total_seconds = 0;
+
+  /// Human-readable multi-line summary.
+  std::string ToString() const;
+};
+
+/// \brief Owns the catalog binding, workspace and extractor cache for any
+/// number of profiling runs over one database instance.
+class SpiderSession {
+ public:
+  /// Binds to a caller-owned catalog; it must outlive the session.
+  explicit SpiderSession(const Catalog& catalog, SessionOptions options = {});
+  /// Takes ownership of the catalog.
+  explicit SpiderSession(std::unique_ptr<Catalog> catalog,
+                         SessionOptions options = {});
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Generates candidates and runs the named approach. Value-set
+  /// extraction is cached across calls.
+  Result<SessionReport> Run(const RunOptions& options = {});
+
+  /// The session's sorted-set extractor (created on first use). Exposed
+  /// for callers that mix session runs with direct algorithm use, e.g.
+  /// the partial-IND finder.
+  Result<ValueSetExtractor*> extractor();
+
+ private:
+  const Catalog* catalog_;
+  std::unique_ptr<Catalog> owned_catalog_;
+  SessionOptions options_;
+  std::unique_ptr<TempDir> temp_dir_;
+  std::unique_ptr<ValueSetExtractor> extractor_;
+};
+
+}  // namespace spider

@@ -9,6 +9,7 @@
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
 #include "src/extsort/sorted_set_file.h"
+#include "src/ind/registry.h"
 
 namespace spider {
 
@@ -22,8 +23,10 @@ class ReferencedObject;
 class Monitor {
  public:
   void EnqueueIfReady(ReferencedObject* ref);
-  // Runs deliveries until no referenced object is ready.
-  Status Drain();
+  // Runs deliveries until no referenced object is ready. Returns false
+  // when the run context stopped the drain early (budget / cancellation);
+  // undecided candidates then stay undecided.
+  Result<bool> Drain(RunContext& context);
 
  private:
   std::deque<ReferencedObject*> queue_;
@@ -230,8 +233,15 @@ void Monitor::EnqueueIfReady(ReferencedObject* ref) {
   }
 }
 
-Status Monitor::Drain() {
+Result<bool> Monitor::Drain(RunContext& context) {
+  // Budget/cancellation polls are throttled: one clock read per
+  // kStopPollInterval deliveries keeps the hot loop cheap.
+  constexpr int64_t kStopPollInterval = 64;
+  int64_t deliveries = 0;
   while (!queue_.empty()) {
+    if (deliveries++ % kStopPollInterval == 0 && context.ShouldStop()) {
+      return false;
+    }
     ReferencedObject* ref = queue_.front();
     queue_.pop_front();
     ref->in_queue = false;
@@ -241,13 +251,14 @@ Status Monitor::Drain() {
     ref->Deliver();
     SPIDER_RETURN_NOT_OK(ref->reader_status());
   }
-  return Status::OK();
+  return true;
 }
 
-// Runs one single-pass engine instance over one candidate block.
-Status RunBlock(const Catalog& catalog, ValueSetExtractor* extractor,
-                const std::vector<IndCandidate>& candidates,
-                IndRunResult* result) {
+// Runs one single-pass engine instance over one candidate block. Returns
+// false when the run context stopped the block early.
+Result<bool> RunBlock(const Catalog& catalog, ValueSetExtractor* extractor,
+                      const std::vector<IndCandidate>& candidates,
+                      RunContext& context, IndRunResult* result) {
   Monitor monitor;
   int64_t refuted = 0;
   const int64_t satisfied_at_entry =
@@ -305,7 +316,8 @@ Status RunBlock(const Catalog& catalog, ValueSetExtractor* extractor,
         ->Register(refs.at(candidate.referenced).get());
   }
 
-  SPIDER_RETURN_NOT_OK(monitor.Drain());
+  SPIDER_ASSIGN_OR_RETURN(bool drained, monitor.Drain(context));
+  if (!drained) return false;
 
   // Theorem 3.1: when the monitor runs dry every candidate is decided —
   // satisfied INDs recorded plus refutations must add up to the block size.
@@ -314,7 +326,7 @@ Status RunBlock(const Catalog& catalog, ValueSetExtractor* extractor,
   SPIDER_CHECK_EQ(satisfied_this_block + refuted,
                   static_cast<int64_t>(candidates.size()))
       << "single-pass left undecided candidates (deadlock?)";
-  return Status::OK();
+  return true;
 }
 
 }  // namespace
@@ -363,7 +375,8 @@ SinglePassAlgorithm::SinglePassAlgorithm(SinglePassOptions options)
 }
 
 Result<IndRunResult> SinglePassAlgorithm::Run(
-    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates,
+    RunContext& context) {
   IndRunResult result;
   Stopwatch watch;
   watch.Start();
@@ -380,13 +393,43 @@ Result<IndRunResult> SinglePassAlgorithm::Run(
   std::vector<std::vector<IndCandidate>> blocks =
       PartitionCandidatesByFileBudget(unique_candidates,
                                       options_.max_open_files);
+  context.Begin(static_cast<int64_t>(blocks.size()));
   for (const auto& block : blocks) {
-    SPIDER_RETURN_NOT_OK(
-        RunBlock(catalog, options_.extractor, block, &result));
+    if (context.ShouldStop()) {
+      result.finished = false;
+      break;
+    }
+    SPIDER_ASSIGN_OR_RETURN(
+        bool block_finished,
+        RunBlock(catalog, options_.extractor, block, context, &result));
+    if (!block_finished) {
+      result.finished = false;
+      break;
+    }
+    context.Step();
   }
 
   result.seconds = watch.ElapsedSeconds();
   return result;
+}
+
+void RegisterSinglePassAlgorithm(AlgorithmRegistry& registry) {
+  AlgorithmCapabilities capabilities;
+  capabilities.needs_extractor = true;
+  capabilities.summary =
+      "all candidates in one pass, every value read once (Sec. 3.2); "
+      "max_open_files enables the blockwise extension";
+  Status status = registry.Register(
+      "single-pass", capabilities,
+      [](const AlgorithmConfig& config)
+          -> Result<std::unique_ptr<IndAlgorithm>> {
+        SinglePassOptions options;
+        options.extractor = config.extractor;
+        options.max_open_files = config.max_open_files;
+        return std::unique_ptr<IndAlgorithm>(
+            std::make_unique<SinglePassAlgorithm>(options));
+      });
+  SPIDER_CHECK(status.ok()) << status.ToString();
 }
 
 }  // namespace spider

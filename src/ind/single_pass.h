@@ -24,6 +24,8 @@
 
 namespace spider {
 
+class AlgorithmRegistry;
+
 /// Options for SinglePassAlgorithm.
 struct SinglePassOptions {
   /// Materializes and caches sorted value sets. Required.
@@ -41,14 +43,19 @@ class SinglePassAlgorithm final : public IndAlgorithm {
  public:
   explicit SinglePassAlgorithm(SinglePassOptions options);
 
+  using IndAlgorithm::Run;
   Result<IndRunResult> Run(const Catalog& catalog,
-                           const std::vector<IndCandidate>& candidates) override;
+                           const std::vector<IndCandidate>& candidates,
+                           RunContext& context) override;
 
   std::string_view name() const override { return "single-pass"; }
 
  private:
   SinglePassOptions options_;
 };
+
+/// Registers "single-pass" (called once from AlgorithmRegistry::Global()).
+void RegisterSinglePassAlgorithm(AlgorithmRegistry& registry);
 
 /// \brief Partitions candidates into blocks whose distinct dependent +
 /// referenced attribute count does not exceed `max_open_files` (>= 2).

@@ -11,6 +11,7 @@
 #include "src/common/logging.h"
 #include "src/common/stopwatch.h"
 #include "src/extsort/sorted_set_file.h"
+#include "src/ind/registry.h"
 
 namespace spider {
 
@@ -45,10 +46,12 @@ SpiderMergeAlgorithm::SpiderMergeAlgorithm(SpiderMergeOptions options)
 }
 
 Result<IndRunResult> SpiderMergeAlgorithm::Run(
-    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates,
+    RunContext& context) {
   IndRunResult result;
   Stopwatch watch;
   watch.Start();
+  context.Begin(static_cast<int64_t>(candidates.size()));
 
   // Deduplicate candidates; assign a cursor to every distinct attribute.
   std::map<AttributeRef, int> cursor_index;
@@ -106,6 +109,7 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
       result.satisfied.push_back(
           Ind{dep.attr, cursors[static_cast<size_t>(r)].attr});
       --cursors[static_cast<size_t>(r)].ref_use_count;
+      context.Step();
     }
     dep.open_refs.clear();
   };
@@ -120,9 +124,17 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
     }
   }
 
-  // Merge loop: pop one group of equal values per iteration.
+  // Merge loop: pop one group of equal values per iteration. Budget and
+  // cancellation are polled once per kStopPollInterval groups so the hot
+  // loop stays free of clock reads.
+  constexpr int64_t kStopPollInterval = 256;
+  int64_t groups_since_poll = 0;
   std::vector<int> group;
   while (!heap.empty()) {
+    if (groups_since_poll++ % kStopPollInterval == 0 && context.ShouldStop()) {
+      result.finished = false;
+      break;
+    }
     const std::string value = heap.top().first;
     group.clear();
     while (!heap.empty() && heap.top().first == value) {
@@ -144,6 +156,7 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
         } else if (++it->second > dep.allowed_misses) {
           --cursors[static_cast<size_t>(it->first)].ref_use_count;
           it = dep.open_refs.erase(it);
+          context.Step();
         } else {
           ++it;
         }
@@ -171,15 +184,38 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
   // Consistency: once the heap drains every candidate must be decided —
   // an exhausted dependent satisfied its survivors, a refuted candidate
   // was removed at the refuting value, and `needed()` forbids dropping a
-  // stream that still carries candidates.
-  for (const AttributeCursor& cursor : cursors) {
-    SPIDER_CHECK(cursor.open_refs.empty())
-        << "spider-merge left an undecided candidate for "
-        << cursor.attr.ToString();
+  // stream that still carries candidates. (Not applicable after an early
+  // stop, which legitimately leaves candidates undecided.)
+  if (result.finished) {
+    for (const AttributeCursor& cursor : cursors) {
+      SPIDER_CHECK(cursor.open_refs.empty())
+          << "spider-merge left an undecided candidate for "
+          << cursor.attr.ToString();
+    }
   }
 
   result.seconds = watch.ElapsedSeconds();
   return result;
+}
+
+void RegisterSpiderMergeAlgorithm(AlgorithmRegistry& registry) {
+  AlgorithmCapabilities capabilities;
+  capabilities.needs_extractor = true;
+  capabilities.supports_partial = true;
+  capabilities.summary =
+      "heap-merged single pass (the paper's announced improvement); "
+      "verifies sigma-partial INDs in the same scan";
+  Status status = registry.Register(
+      "spider-merge", capabilities,
+      [](const AlgorithmConfig& config)
+          -> Result<std::unique_ptr<IndAlgorithm>> {
+        SpiderMergeOptions options;
+        options.extractor = config.extractor;
+        options.min_coverage = config.min_coverage;
+        return std::unique_ptr<IndAlgorithm>(
+            std::make_unique<SpiderMergeAlgorithm>(options));
+      });
+  SPIDER_CHECK(status.ok()) << status.ToString();
 }
 
 }  // namespace spider

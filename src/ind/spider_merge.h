@@ -19,6 +19,8 @@
 
 namespace spider {
 
+class AlgorithmRegistry;
+
 /// Options for SpiderMergeAlgorithm.
 struct SpiderMergeOptions {
   /// Materializes and caches sorted value sets. Required.
@@ -38,13 +40,18 @@ class SpiderMergeAlgorithm final : public IndAlgorithm {
  public:
   explicit SpiderMergeAlgorithm(SpiderMergeOptions options);
 
+  using IndAlgorithm::Run;
   Result<IndRunResult> Run(const Catalog& catalog,
-                           const std::vector<IndCandidate>& candidates) override;
+                           const std::vector<IndCandidate>& candidates,
+                           RunContext& context) override;
 
   std::string_view name() const override { return "spider-merge"; }
 
  private:
   SpiderMergeOptions options_;
 };
+
+/// Registers "spider-merge" (called once from AlgorithmRegistry::Global()).
+void RegisterSpiderMergeAlgorithm(AlgorithmRegistry& registry);
 
 }  // namespace spider

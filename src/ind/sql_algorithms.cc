@@ -2,26 +2,29 @@
 
 #include <functional>
 
+#include "src/common/logging.h"
 #include "src/common/stopwatch.h"
 #include "src/engine/operators.h"
+#include "src/ind/registry.h"
 
 namespace spider {
 
 namespace {
 
-// Shared driver: runs `test_one` per candidate under the time budget.
+// Shared driver: runs `test_one` per candidate under the run context's
+// budget (and the legacy per-algorithm budget, whichever is tighter).
 Result<IndRunResult> RunSqlApproach(
     const Catalog& catalog, const std::vector<IndCandidate>& candidates,
-    const SqlAlgorithmOptions& options,
+    const SqlAlgorithmOptions& options, RunContext& context,
     const std::function<bool(const Column& dep, const Column& ref,
                              RunCounters* counters)>& test_one) {
   IndRunResult result;
   Stopwatch watch;
   watch.Start();
+  context.Begin(static_cast<int64_t>(candidates.size()));
 
   for (const IndCandidate& candidate : candidates) {
-    if (options.time_budget_seconds > 0 &&
-        watch.ElapsedSeconds() > options.time_budget_seconds) {
+    if (context.ShouldStop(options.time_budget_seconds)) {
       result.finished = false;
       break;
     }
@@ -33,6 +36,7 @@ Result<IndRunResult> RunSqlApproach(
     if (test_one(*dep, *ref, &result.counters)) {
       result.satisfied.push_back(Ind{candidate.dependent, candidate.referenced});
     }
+    context.Step();
   }
 
   result.seconds = watch.ElapsedSeconds();
@@ -42,10 +46,11 @@ Result<IndRunResult> RunSqlApproach(
 }  // namespace
 
 Result<IndRunResult> SqlJoinAlgorithm::Run(
-    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates,
+    RunContext& context) {
   const JoinStrategy strategy = strategy_;
   return RunSqlApproach(
-      catalog, candidates, options_,
+      catalog, candidates, options_, context,
       [strategy](const Column& dep, const Column& ref, RunCounters* counters) {
         const int64_t matched =
             strategy == JoinStrategy::kHash
@@ -56,21 +61,55 @@ Result<IndRunResult> SqlJoinAlgorithm::Run(
 }
 
 Result<IndRunResult> SqlMinusAlgorithm::Run(
-    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates,
+    RunContext& context) {
   return RunSqlApproach(
-      catalog, candidates, options_,
+      catalog, candidates, options_, context,
       [](const Column& dep, const Column& ref, RunCounters* counters) {
         return engine::MinusCount(dep, ref, counters) == 0;
       });
 }
 
 Result<IndRunResult> SqlNotInAlgorithm::Run(
-    const Catalog& catalog, const std::vector<IndCandidate>& candidates) {
+    const Catalog& catalog, const std::vector<IndCandidate>& candidates,
+    RunContext& context) {
   return RunSqlApproach(
-      catalog, candidates, options_,
+      catalog, candidates, options_, context,
       [](const Column& dep, const Column& ref, RunCounters* counters) {
         return engine::NotInCount(dep, ref, counters) == 0;
       });
+}
+
+void RegisterSqlAlgorithms(AlgorithmRegistry& registry) {
+  AlgorithmCapabilities capabilities;
+  capabilities.database_internal = true;
+  const struct {
+    const char* name;
+    std::string_view summary;
+    AlgorithmRegistry::Factory factory;
+  } kSqlApproaches[] = {
+      {"sql-join", "per-candidate SQL join statement (paper Fig. 2)",
+       [](const AlgorithmConfig&) {
+         return Result<std::unique_ptr<IndAlgorithm>>(
+             std::make_unique<SqlJoinAlgorithm>());
+       }},
+      {"sql-minus", "per-candidate SQL minus statement (paper Fig. 3)",
+       [](const AlgorithmConfig&) {
+         return Result<std::unique_ptr<IndAlgorithm>>(
+             std::make_unique<SqlMinusAlgorithm>());
+       }},
+      {"sql-not-in", "per-candidate SQL not-in statement (paper Fig. 4)",
+       [](const AlgorithmConfig&) {
+         return Result<std::unique_ptr<IndAlgorithm>>(
+             std::make_unique<SqlNotInAlgorithm>());
+       }},
+  };
+  for (const auto& approach : kSqlApproaches) {
+    capabilities.summary = approach.summary;
+    Status status =
+        registry.Register(approach.name, capabilities, approach.factory);
+    SPIDER_CHECK(status.ok()) << status.ToString();
+  }
 }
 
 }  // namespace spider

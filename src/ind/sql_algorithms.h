@@ -15,9 +15,13 @@
 
 namespace spider {
 
+class AlgorithmRegistry;
+
 /// Options shared by the SQL approaches.
 struct SqlAlgorithmOptions {
   /// Abort the run (finished=false) after this many seconds; 0 = unlimited.
+  /// Deprecated: prefer RunContext::time_budget_seconds, which applies to
+  /// every approach; when both are set the tighter bound wins.
   double time_budget_seconds = 0;
 };
 
@@ -34,8 +38,10 @@ class SqlJoinAlgorithm final : public IndAlgorithm {
   explicit SqlJoinAlgorithm(SqlAlgorithmOptions options = {},
                             JoinStrategy strategy = JoinStrategy::kHash)
       : options_(options), strategy_(strategy) {}
+  using IndAlgorithm::Run;
   Result<IndRunResult> Run(const Catalog& catalog,
-                           const std::vector<IndCandidate>& candidates) override;
+                           const std::vector<IndCandidate>& candidates,
+                           RunContext& context) override;
   std::string_view name() const override { return "sql-join"; }
 
  private:
@@ -50,8 +56,10 @@ class SqlMinusAlgorithm final : public IndAlgorithm {
  public:
   explicit SqlMinusAlgorithm(SqlAlgorithmOptions options = {})
       : options_(options) {}
+  using IndAlgorithm::Run;
   Result<IndRunResult> Run(const Catalog& catalog,
-                           const std::vector<IndCandidate>& candidates) override;
+                           const std::vector<IndCandidate>& candidates,
+                           RunContext& context) override;
   std::string_view name() const override { return "sql-minus"; }
 
  private:
@@ -65,12 +73,18 @@ class SqlNotInAlgorithm final : public IndAlgorithm {
  public:
   explicit SqlNotInAlgorithm(SqlAlgorithmOptions options = {})
       : options_(options) {}
+  using IndAlgorithm::Run;
   Result<IndRunResult> Run(const Catalog& catalog,
-                           const std::vector<IndCandidate>& candidates) override;
+                           const std::vector<IndCandidate>& candidates,
+                           RunContext& context) override;
   std::string_view name() const override { return "sql-not-in"; }
 
  private:
   SqlAlgorithmOptions options_;
 };
+
+/// Registers "sql-join", "sql-minus" and "sql-not-in" (called once from
+/// AlgorithmRegistry::Global()).
+void RegisterSqlAlgorithms(AlgorithmRegistry& registry);
 
 }  // namespace spider

@@ -1,0 +1,140 @@
+#include "src/ind/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/temp_dir.h"
+#include "src/ind/de_marchi.h"
+#include "src/ind/profiler.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+TEST(RegistryTest, AllBuiltinApproachesAreRegistered) {
+  const std::vector<std::string> names = AlgorithmRegistry::Global().Names();
+  EXPECT_EQ(names.size(), 8u);
+  for (const char* expected :
+       {"brute-force", "single-pass", "sql-join", "sql-minus", "sql-not-in",
+        "spider-merge", "de-marchi", "bell-brockhausen"}) {
+    EXPECT_TRUE(AlgorithmRegistry::Global().Contains(expected)) << expected;
+  }
+}
+
+TEST(RegistryTest, LegacyEnumNamesRoundTripThroughRegistry) {
+  // Every legacy enum value maps to a registered name; the shim and the
+  // registry can never drift apart.
+  for (IndApproach approach : kAllIndApproaches) {
+    EXPECT_TRUE(AlgorithmRegistry::Global().Contains(
+        IndApproachToString(approach)))
+        << IndApproachToString(approach);
+  }
+}
+
+TEST(RegistryTest, CreateResolvesEveryNameAndNameMatches) {
+  auto dir = TempDir::Make("spider-registry-test");
+  ASSERT_TRUE(dir.ok());
+  ValueSetExtractor extractor((*dir)->path());
+  AlgorithmConfig config;
+  config.extractor = &extractor;
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    auto algorithm = AlgorithmRegistry::Global().Create(name, config);
+    ASSERT_TRUE(algorithm.ok()) << name << ": "
+                                << algorithm.status().ToString();
+    // The registered name is the algorithm's display name.
+    EXPECT_EQ((*algorithm)->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  auto result = AlgorithmRegistry::Global().Create("no-such-approach", {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound()) << result.status().ToString();
+  EXPECT_FALSE(AlgorithmRegistry::Global().Contains("no-such-approach"));
+}
+
+TEST(RegistryTest, ExtractorRequirementMatchesCapabilities) {
+  // Creating without an extractor must fail exactly for the approaches
+  // whose capabilities say they need one.
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    auto capabilities = AlgorithmRegistry::Global().GetCapabilities(name);
+    ASSERT_TRUE(capabilities.ok()) << name;
+    auto without = AlgorithmRegistry::Global().Create(name, {});
+    EXPECT_EQ(without.ok(), !capabilities->needs_extractor) << name;
+  }
+}
+
+TEST(RegistryTest, PartialCoverageRequiresCapability) {
+  auto dir = TempDir::Make("spider-registry-partial");
+  ASSERT_TRUE(dir.ok());
+  ValueSetExtractor extractor((*dir)->path());
+  AlgorithmConfig config;
+  config.extractor = &extractor;
+  config.min_coverage = 0.9;
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    auto capabilities = AlgorithmRegistry::Global().GetCapabilities(name);
+    ASSERT_TRUE(capabilities.ok()) << name;
+    auto created = AlgorithmRegistry::Global().Create(name, config);
+    EXPECT_EQ(created.ok(), capabilities->supports_partial) << name;
+  }
+}
+
+TEST(RegistryTest, DatabaseInternalCapabilityMatchesBehavior) {
+  // Database-internal approaches must answer without any sorted value
+  // sets; database-external ones read them (tuples_read > 0).
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "child", "fk", {"a", "b"});
+  testing::AddStringColumn(&catalog, "parent", "pk", {"a", "b", "c"}, true);
+  const std::vector<IndCandidate> candidates = {
+      {{"child", "fk"}, {"parent", "pk"}}};
+
+  auto dir = TempDir::Make("spider-registry-behavior");
+  ASSERT_TRUE(dir.ok());
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    auto capabilities = AlgorithmRegistry::Global().GetCapabilities(name);
+    ASSERT_TRUE(capabilities.ok()) << name;
+    ValueSetExtractor extractor((*dir)->path());
+    AlgorithmConfig config;
+    config.extractor = &extractor;
+    auto algorithm = AlgorithmRegistry::Global().Create(name, config);
+    ASSERT_TRUE(algorithm.ok()) << name;
+    auto result = (*algorithm)->Run(catalog, candidates);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result->satisfied.size(), 1u) << name;
+    if (capabilities->needs_extractor) {
+      EXPECT_GT(result->counters.tuples_read, 0) << name;
+    }
+  }
+}
+
+TEST(RegistryTest, DuplicateRegistrationIsRejected) {
+  AlgorithmRegistry registry;
+  auto factory = [](const AlgorithmConfig&) {
+    return Result<std::unique_ptr<IndAlgorithm>>(
+        Status::Internal("never called"));
+  };
+  ASSERT_TRUE(registry.Register("custom", {}, factory).ok());
+  Status duplicate = registry.Register("custom", {}, factory);
+  EXPECT_TRUE(duplicate.IsAlreadyExists()) << duplicate.ToString();
+  EXPECT_FALSE(registry.Register("", {}, factory).ok());
+}
+
+TEST(RegistryTest, CustomRegistrationIsCreatable) {
+  // The extension path: a consumer registers its own approach and resolves
+  // it by name, no enum involved.
+  AlgorithmRegistry registry;
+  AlgorithmCapabilities capabilities;
+  capabilities.summary = "delegates to de-marchi";
+  ASSERT_TRUE(registry
+                  .Register("my-approach", capabilities,
+                            [](const AlgorithmConfig&) {
+                              return Result<std::unique_ptr<IndAlgorithm>>(
+                                  std::make_unique<DeMarchiAlgorithm>());
+                            })
+                  .ok());
+  auto algorithm = registry.Create("my-approach", {});
+  ASSERT_TRUE(algorithm.ok());
+  EXPECT_EQ(registry.Names(), std::vector<std::string>{"my-approach"});
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,208 @@
+#include "src/ind/session.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/uniprot_like.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+// A small catalog with one true FK-style inclusion and one decoy.
+void FillCatalog(Catalog* catalog) {
+  testing::AddStringColumn(catalog, "child", "fk", {"a", "b", "a", "b"});
+  testing::AddStringColumn(catalog, "parent", "pk", {"a", "b", "c"}, true);
+  testing::AddStringColumn(catalog, "decoy", "pk", {"x", "y", "z"}, true);
+}
+
+TEST(SessionTest, SweepOverAllApproachesFindsIdenticalInds) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  SpiderSession session(catalog);
+
+  std::set<Ind> reference;
+  bool first = true;
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    RunOptions options;
+    options.approach = name;
+    auto report = session.Run(options);
+    ASSERT_TRUE(report.ok()) << name << ": " << report.status().ToString();
+    EXPECT_EQ(report->approach, name);
+    EXPECT_TRUE(report->run.finished) << name;
+    auto found = testing::ToSet(report->run.satisfied);
+    if (first) {
+      reference = found;
+      first = false;
+      EXPECT_TRUE(reference.contains(Ind{{"child", "fk"}, {"parent", "pk"}}));
+    } else {
+      EXPECT_EQ(found, reference) << name;
+    }
+  }
+}
+
+TEST(SessionTest, ExtractorCacheIsSharedAcrossRuns) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  SpiderSession session(catalog);
+
+  RunOptions options;
+  options.approach = "brute-force";
+  auto one = session.Run(options);
+  ASSERT_TRUE(one.ok());
+  EXPECT_GT(one->run.counters.files_opened, 0);
+
+  // The first run materialized the sorted sets into the session's cache.
+  auto extractor = session.extractor();
+  ASSERT_TRUE(extractor.ok());
+  EXPECT_TRUE((*extractor)->Lookup(AttributeRef{"child", "fk"}).ok());
+
+  // A second run (even with a different approach) reuses them.
+  options.approach = "spider-merge";
+  auto two = session.Run(options);
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(testing::ToSet(one->run.satisfied),
+            testing::ToSet(two->run.satisfied));
+}
+
+TEST(SessionTest, OwnedCatalogConstructor) {
+  auto catalog = std::make_unique<Catalog>("owned");
+  FillCatalog(catalog.get());
+  SpiderSession session(std::move(catalog));
+  auto report = session.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(testing::ToSet(report->run.satisfied)
+                  .contains(Ind{{"child", "fk"}, {"parent", "pk"}}));
+}
+
+TEST(SessionTest, UnknownApproachFailsBeforeAnyWork) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  SpiderSession session(catalog);
+  RunOptions options;
+  options.approach = "definitely-not-registered";
+  auto report = session.Run(options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsNotFound());
+}
+
+TEST(SessionTest, SigmaRequiresPartialCapableApproach) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  SpiderSession session(catalog);
+
+  RunOptions options;
+  options.approach = "brute-force";
+  options.min_coverage = 0.8;
+  auto rejected = session.Run(options);
+  EXPECT_FALSE(rejected.ok());
+
+  options.approach = "spider-merge";
+  auto accepted = session.Run(options);
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  // σ-partial is a superset of the exact result.
+  EXPECT_TRUE(testing::ToSet(accepted->run.satisfied)
+                  .contains(Ind{{"child", "fk"}, {"parent", "pk"}}));
+}
+
+TEST(SessionTest, TimeBudgetTerminatesBruteForceEarly) {
+  // A generated dataset with enough candidates that a microscopic budget
+  // expires mid-run: finished == false, satisfied is a partial subset.
+  datagen::UniprotLikeOptions data_options;
+  data_options.bioentries = 60;
+  auto catalog = datagen::MakeUniprotLike(data_options);
+  ASSERT_TRUE(catalog.ok());
+  SpiderSession session(**catalog);
+
+  RunOptions unbounded;
+  unbounded.approach = "brute-force";
+  auto full = session.Run(unbounded);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(full->run.finished);
+  ASSERT_FALSE(full->run.satisfied.empty());
+
+  RunOptions bounded = unbounded;
+  bounded.time_budget_seconds = 1e-9;
+  auto partial = session.Run(bounded);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_FALSE(partial->run.finished);
+  EXPECT_LT(partial->run.satisfied.size(), full->run.satisfied.size());
+  // Whatever was confirmed before the budget expired is genuine.
+  auto full_set = testing::ToSet(full->run.satisfied);
+  for (const Ind& ind : partial->run.satisfied) {
+    EXPECT_TRUE(full_set.contains(ind)) << ind.ToString();
+  }
+}
+
+TEST(SessionTest, TimeBudgetBoundsEveryExternalApproach) {
+  datagen::UniprotLikeOptions data_options;
+  data_options.bioentries = 60;
+  auto catalog = datagen::MakeUniprotLike(data_options);
+  ASSERT_TRUE(catalog.ok());
+
+  for (const char* name :
+       {"brute-force", "single-pass", "spider-merge", "de-marchi",
+        "bell-brockhausen"}) {
+    SpiderSession session(**catalog);
+    RunOptions options;
+    options.approach = name;
+    options.time_budget_seconds = 1e-9;
+    auto report = session.Run(options);
+    ASSERT_TRUE(report.ok()) << name;
+    EXPECT_FALSE(report->run.finished) << name;
+  }
+}
+
+TEST(SessionTest, CancellationStopsTheRun) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  SpiderSession session(catalog);
+
+  CancellationToken token;
+  token.Cancel();  // pre-cancelled: the run must stop at the first poll
+  RunOptions options;
+  options.approach = "brute-force";
+  options.cancel = &token;
+  auto report = session.Run(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->run.finished);
+  EXPECT_TRUE(report->run.satisfied.empty());
+}
+
+TEST(SessionTest, ProgressCallbackSeesEveryCandidate) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  SpiderSession session(catalog);
+
+  int64_t calls = 0;
+  int64_t last_done = 0;
+  int64_t reported_total = -1;
+  RunOptions options;
+  options.approach = "brute-force";
+  options.progress = [&](const RunProgress& progress) {
+    ++calls;
+    last_done = progress.done;
+    reported_total = progress.total;
+  };
+  auto report = session.Run(options);
+  ASSERT_TRUE(report.ok());
+  const int64_t candidates =
+      static_cast<int64_t>(report->candidates.candidates.size());
+  ASSERT_GT(candidates, 0);
+  EXPECT_EQ(calls, candidates);
+  EXPECT_EQ(last_done, candidates);
+  EXPECT_EQ(reported_total, candidates);
+}
+
+TEST(SessionTest, ReportToStringNamesTheApproach) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  SpiderSession session(catalog);
+  RunOptions options;
+  options.approach = "sql-join";
+  auto report = session.Run(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->ToString().find("sql-join"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spider

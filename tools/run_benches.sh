@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the bench binaries and records their Google-Benchmark JSON output
+# under bench/results/, one tracked file per binary, so perf PRs can show
+# before/after numbers (re-run, commit, diff).
+#
+# Usage:
+#   tools/run_benches.sh                 # all benches, build dir ./build
+#   tools/run_benches.sh build           # explicit build dir
+#   tools/run_benches.sh build bench_table2   # only benches matching a glob
+#
+# The build dir must already contain the bench binaries (configure with
+# CMAKE_BUILD_TYPE=Release for meaningful numbers).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+only="${2:-}"
+results_dir="bench/results"
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: $build_dir/bench not found — build the project first" >&2
+  exit 1
+fi
+
+mkdir -p "$results_dir"
+
+status=0
+for bench in "$build_dir"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  if [ -n "$only" ] && [[ "$name" != *"$only"* ]]; then
+    continue
+  fi
+  out="$results_dir/$name.json"
+  echo "== $name -> $out"
+  if ! "$bench" --benchmark_out="$out" --benchmark_out_format=json \
+      --benchmark_format=console > /dev/null; then
+    echo "   FAILED: $name" >&2
+    status=1
+  fi
+done
+
+exit $status

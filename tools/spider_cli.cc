@@ -3,18 +3,19 @@
 // Usage:
 //   spider profile <csv_dir> [--approach=NAME] [--max-value-pretest]
 //                            [--sampling-pretest] [--sigma=S]
+//                            [--time-budget=S] [--json]
 //   spider discover <csv_dir> [--approach=NAME] [--no-surrogate-filter]
 //   spider links <source_csv_dir> <target_csv_dir> [--strip-prefixes]
 //                [--min-coverage=C]
+//   spider approaches
 //
 // `profile` prints the satisfied INDs (σ < 1 switches to partial INDs);
 // `discover` runs the whole Aladin-style pipeline and prints the report;
-// `links` finds cross-database links into the target's accession columns.
-//
-// Approaches: brute-force (default), single-pass, spider-merge, sql-join,
-// sql-minus, sql-not-in, de-marchi, bell-brockhausen.
+// `links` finds cross-database links into the target's accession columns;
+// `approaches` lists every registered verification approach with its
+// capabilities. Approach names come from the algorithm registry — the CLI
+// has no hard-coded list.
 
-#include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -28,7 +29,8 @@
 #include "src/discovery/link_discovery.h"
 #include "src/discovery/report.h"
 #include "src/ind/partial_ind.h"
-#include "src/ind/profiler.h"
+#include "src/ind/registry.h"
+#include "src/ind/session.h"
 #include "src/storage/csv.h"
 
 namespace {
@@ -40,28 +42,36 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// The approach list in the usage text is derived from the registry, so a
+// newly registered algorithm shows up without touching the CLI.
+std::string ApproachList() {
+  std::string out;
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
 int Usage() {
   std::cerr
       << "usage:\n"
          "  spider profile <csv_dir> [--approach=NAME] [--max-value-pretest]\n"
-         "                           [--sampling-pretest] [--sigma=S] [--json]\n"
+         "                           [--sampling-pretest] [--sigma=S]\n"
+         "                           [--time-budget=S] [--json]\n"
          "  spider discover <csv_dir> [--approach=NAME] "
          "[--no-surrogate-filter] [--dot=FILE]\n"
          "  spider links <source_dir> <target_dir> [--strip-prefixes]\n"
-         "               [--min-coverage=C]\n";
+         "               [--min-coverage=C]\n"
+         "  spider approaches\n"
+         "\napproaches: "
+      << ApproachList() << "\n";
   return 2;
-}
-
-std::optional<IndApproach> ParseApproach(const std::string& name) {
-  for (IndApproach approach : kAllIndApproaches) {
-    if (name == IndApproachToString(approach)) return approach;
-  }
-  return std::nullopt;
 }
 
 struct Flags {
   std::vector<std::string> positional;
-  IndApproach approach = IndApproach::kBruteForce;
+  std::string approach = "brute-force";
   bool max_value_pretest = false;
   bool sampling_pretest = false;
   bool surrogate_filter = true;
@@ -70,6 +80,7 @@ struct Flags {
   std::string dot_path;
   double sigma = 1.0;
   double min_coverage = 1.0;
+  double time_budget_seconds = 0;
   bool ok = true;
 };
 
@@ -78,13 +89,14 @@ Flags ParseFlags(int argc, char** argv, int first) {
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--approach=", 0) == 0) {
-      auto approach = ParseApproach(arg.substr(11));
-      if (!approach) {
-        std::cerr << "unknown approach: " << arg.substr(11) << "\n";
+      std::string name = arg.substr(11);
+      if (!AlgorithmRegistry::Global().Contains(name)) {
+        std::cerr << "unknown approach: " << name
+                  << " (available: " << ApproachList() << ")\n";
         flags.ok = false;
         return flags;
       }
-      flags.approach = *approach;
+      flags.approach = std::move(name);
     } else if (arg == "--max-value-pretest") {
       flags.max_value_pretest = true;
     } else if (arg == "--sampling-pretest") {
@@ -101,6 +113,8 @@ Flags ParseFlags(int argc, char** argv, int first) {
       flags.sigma = std::atof(arg.substr(8).c_str());
     } else if (arg.rfind("--min-coverage=", 0) == 0) {
       flags.min_coverage = std::atof(arg.substr(15).c_str());
+    } else if (arg.rfind("--time-budget=", 0) == 0) {
+      flags.time_budget_seconds = std::atof(arg.substr(14).c_str());
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag: " << arg << "\n";
       flags.ok = false;
@@ -112,11 +126,12 @@ Flags ParseFlags(int argc, char** argv, int first) {
   return flags;
 }
 
-IndProfilerOptions MakeProfilerOptions(const Flags& flags) {
-  IndProfilerOptions options;
+RunOptions MakeRunOptions(const Flags& flags) {
+  RunOptions options;
   options.approach = flags.approach;
   options.generator.max_value_pretest = flags.max_value_pretest;
   options.generator.sampling_pretest = flags.sampling_pretest;
+  options.time_budget_seconds = flags.time_budget_seconds;
   return options;
 }
 
@@ -124,18 +139,21 @@ int RunProfile(const Flags& flags) {
   if (flags.positional.size() != 1) return Usage();
   auto catalog = ReadCsvDirectory(flags.positional[0]);
   if (!catalog.ok()) return Fail(catalog.status());
-  std::cout << "loaded " << (*catalog)->table_count() << " tables, "
-            << (*catalog)->attribute_count() << " attributes\n\n";
-
-  IndProfilerOptions options = MakeProfilerOptions(flags);
+  if (!flags.json) {
+    std::cout << "loaded " << (*catalog)->table_count() << " tables, "
+              << (*catalog)->attribute_count() << " attributes\n\n";
+  }
 
   if (flags.sigma >= 1.0) {
-    auto report = IndProfiler(options).Profile(**catalog);
+    SpiderSession session(**catalog);
+    auto report = session.Run(MakeRunOptions(flags));
     if (!report.ok()) return Fail(report.status());
     if (flags.json) {
+      // `finished: false` marks a budget-expired run: `satisfied_inds` is
+      // then a confirmed-but-partial set, not the complete answer.
       JsonWriter json;
       json.BeginObject();
-      json.KV("approach", IndApproachToString(flags.approach));
+      json.KV("approach", report->approach);
       json.KV("tables", static_cast<int64_t>((*catalog)->table_count()));
       json.KV("attributes", static_cast<int64_t>((*catalog)->attribute_count()));
       json.KV("raw_pairs", report->candidates.raw_pair_count);
@@ -143,6 +161,7 @@ int RunProfile(const Flags& flags) {
               static_cast<int64_t>(report->candidates.candidates.size()));
       json.KV("pretest_pruned", report->candidates.total_pruned());
       json.KV("finished", report->run.finished);
+      json.KV("budget_expired", !report->run.finished);
       json.KV("seconds", report->total_seconds);
       json.KV("tuples_read", report->run.counters.tuples_read);
       json.Key("satisfied_inds");
@@ -158,7 +177,9 @@ int RunProfile(const Flags& flags) {
       std::cout << json.str() << "\n";
       return 0;
     }
-    std::cout << report->ToString() << "\nsatisfied INDs:\n";
+    std::cout << report->ToString() << "\nsatisfied INDs"
+              << (report->run.finished ? "" : " (partial, budget expired)")
+              << ":\n";
     for (const Ind& ind : report->run.satisfied) {
       std::cout << "  " << ind.ToString() << "\n";
     }
@@ -166,6 +187,11 @@ int RunProfile(const Flags& flags) {
   }
 
   // Partial-IND mode: generate candidates, then measure coverage.
+  if (flags.time_budget_seconds > 0) {
+    std::cerr << "note: --time-budget is not supported in partial-IND mode "
+                 "(sigma < 1); running unbounded\n";
+  }
+  RunOptions options = MakeRunOptions(flags);
   CandidateGenerator generator(options.generator);
   auto candidates = generator.Generate(**catalog);
   if (!candidates.ok()) return Fail(candidates.status());
@@ -194,7 +220,7 @@ int RunDiscover(const Flags& flags) {
   if (!catalog.ok()) return Fail(catalog.status());
 
   SchemaReportOptions options;
-  options.profiler = MakeProfilerOptions(flags);
+  options.ind = MakeRunOptions(flags);
   options.filter_surrogates = flags.surrogate_filter;
   auto report = BuildSchemaReport(**catalog, options);
   if (!report.ok()) return Fail(report.status());
@@ -233,6 +259,23 @@ int RunLinks(const Flags& flags) {
   return 0;
 }
 
+int RunApproaches() {
+  const AlgorithmRegistry& registry = AlgorithmRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    auto capabilities = registry.GetCapabilities(name);
+    if (!capabilities.ok()) return Fail(capabilities.status());
+    std::cout << name << "\n    " << capabilities->summary << "\n    "
+              << (capabilities->database_internal ? "database-internal"
+                                                  : "database-external")
+              << (capabilities->needs_extractor ? ", needs value-set extractor"
+                                                : "")
+              << (capabilities->supports_partial ? ", sigma-partial" : "")
+              << (capabilities->supports_time_budget ? ", time budget" : "")
+              << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -243,5 +286,6 @@ int main(int argc, char** argv) {
   if (command == "profile") return RunProfile(flags);
   if (command == "discover") return RunDiscover(flags);
   if (command == "links") return RunLinks(flags);
+  if (command == "approaches") return RunApproaches();
   return Usage();
 }
