@@ -1,0 +1,32 @@
+// Shared 64-bit string hashing.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace spider {
+
+/// FNV-1a 64-bit offset basis.
+inline constexpr uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+
+/// FNV-1a 64-bit with a splitmix finalizer for better bit diffusion. Pass
+/// a previous result as `seed` to chain multi-part keys (the chaining
+/// keeps part boundaries significant: ("a","bc") and ("ab","c") hash
+/// differently).
+inline uint64_t HashString(std::string_view s,
+                           uint64_t seed = kFnvOffsetBasis) {
+  uint64_t h = seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace spider

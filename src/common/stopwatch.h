@@ -1,4 +1,4 @@
-// Wall-clock stopwatch used by the benchmark harnesses and the profiler.
+// Wall-clock stopwatch used by the benchmark harnesses and the session.
 
 #pragma once
 

@@ -1,0 +1,72 @@
+// A small fixed-size worker pool for CPU-parallel stages: value-set
+// extraction and the session's partitioned candidate dispatch.
+//
+// Deliberately minimal: tasks are type-erased thunks, Submit() hands back a
+// std::future for the task's result, and the destructor drains the queue
+// before joining. There is no work stealing and no task priority — the
+// pipeline's units of work (one attribute to sort, one candidate partition
+// to merge) are coarse enough that a single mutex-protected FIFO is not a
+// bottleneck.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace spider {
+
+/// \brief Fixed-size thread pool with a FIFO task queue.
+///
+/// Thread-safe: any thread may Schedule()/Submit(). Tasks must not block on
+/// other tasks' futures (single queue, no nesting support) — callers
+/// schedule independent units and wait from outside the pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue: all previously scheduled tasks run to completion
+  /// before the workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a fire-and-forget task.
+  void Schedule(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its result. The future's
+  /// destructor does not block; keep it and get() to synchronize.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Schedule([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Resolves a thread-count knob: 0 selects the hardware concurrency
+  /// (at least 1), anything else is returned as-is (clamped to >= 1).
+  static int ResolveThreadCount(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace spider

@@ -87,22 +87,31 @@ Result<std::unique_ptr<Catalog>> MakePdbLike(const PdbLikeOptions& options) {
       "pdb_entity_keywords", "pdb_struct_biol",    "pdb_audit_author",
       "pdb_chem_comp_atom",  "pdb_chem_comp_bond", "pdb_struct_conn",
       "pdb_struct_ref",      "pdb_refine_ls",      "pdb_pdbx_poly_seq"};
-  const int table_count =
-      std::min<int>(options.category_tables,
-                    static_cast<int>(std::size(kCategoryNames)));
-  for (int k = 0; k < table_count; ++k) {
+  // Beyond the pool of real OpenMMS category names, synthesize numbered
+  // ones — the paper-scale preset asks for 160 category tables.
+  const int named_count = static_cast<int>(std::size(kCategoryNames));
+  for (int k = 0; k < options.category_tables; ++k) {
+    std::string table_name =
+        k < named_count ? kCategoryNames[k]
+                        : "pdb_category_" + std::to_string(k);
     SPIDER_ASSIGN_OR_RETURN(Table * t,
-                            catalog->CreateTable(kCategoryNames[k]));
+                            catalog->CreateTable(std::move(table_name)));
     SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger));
     SPIDER_RETURN_NOT_OK(t->AddColumn("entry_id", TypeId::kString));
     SPIDER_RETURN_NOT_OK(t->AddColumn("ordinal", TypeId::kInteger));
     SPIDER_RETURN_NOT_OK(t->AddColumn("details", TypeId::kString));
     SPIDER_RETURN_NOT_OK(t->AddColumn("value_1", TypeId::kDouble));
     SPIDER_RETURN_NOT_OK(t->AddColumn("value_2", TypeId::kDouble));
+    for (int extra = 0; extra < options.extra_data_columns; ++extra) {
+      SPIDER_RETURN_NOT_OK(t->AddColumn(
+          "value_" + std::to_string(3 + extra), TypeId::kDouble));
+    }
 
     // Row counts vary across tables so surrogate ranges nest: every table
-    // with fewer rows has its id column included in every larger one.
-    const int64_t rows = n / 2 + (k * n) / 8;
+    // with fewer rows has its id column included in every larger one. Past
+    // the named pool the pattern cycles so paper-scale schemas grow in
+    // table count, not per-table volume.
+    const int64_t rows = n / 2 + ((k % named_count) * n) / 8;
     const bool dirty_entry_ids = k >= options.clean_entry_id_tables;
     for (int64_t i = 0; i < rows; ++i) {
       std::string entry_id = rng.Choice(entry_codes);
@@ -111,10 +120,14 @@ Result<std::unique_ptr<Catalog>> MakePdbLike(const PdbLikeOptions& options) {
         // passes the softened one.
         entry_id = rng.DigitString(4, 4);
       }
-      SPIDER_RETURN_NOT_OK(t->AppendRow(
-          {Int(1 + i), Str(std::move(entry_id)), Int(rng.Uniform(1, 20)),
-           Str(MakeSentence(&rng, 3)), Dbl(rng.NextDouble() * 100.0),
-           Dbl(rng.NextDouble() * 10.0)}));
+      std::vector<Value> row = {
+          Int(1 + i), Str(std::move(entry_id)), Int(rng.Uniform(1, 20)),
+          Str(MakeSentence(&rng, 3)), Dbl(rng.NextDouble() * 100.0),
+          Dbl(rng.NextDouble() * 10.0)};
+      for (int extra = 0; extra < options.extra_data_columns; ++extra) {
+        row.push_back(Dbl(rng.NextDouble() * 1000.0));
+      }
+      SPIDER_RETURN_NOT_OK(t->AppendRow(std::move(row)));
     }
   }
 

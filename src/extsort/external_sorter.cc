@@ -39,7 +39,8 @@ Status ExternalSorter::SpillBuffer() {
   buffer_.erase(std::unique(buffer_.begin(), buffer_.end()), buffer_.end());
 
   fs::path run_path =
-      options_.spill_dir / ("run-" + std::to_string(runs_.size()) + ".spill");
+      options_.spill_dir /
+      (options_.run_prefix + "-" + std::to_string(runs_.size()) + ".spill");
   std::ofstream out(run_path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot create spill run " + run_path.string());
   for (const std::string& v : buffer_) {

@@ -25,6 +25,10 @@ struct ExternalSorterOptions {
   int64_t memory_budget_bytes = 64LL << 20;
   /// Directory for spill runs. Must exist and be writable.
   std::filesystem::path spill_dir;
+  /// File-name prefix for this sorter's spill runs. Sorters sharing a spill
+  /// directory (e.g. concurrent per-attribute extractions) must use
+  /// distinct prefixes so their run files cannot collide.
+  std::string run_prefix = "run";
 };
 
 /// \brief Sorts and deduplicates an unbounded stream of strings using

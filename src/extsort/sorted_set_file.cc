@@ -1,5 +1,9 @@
 #include "src/extsort/sorted_set_file.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
 #include "src/extsort/value_codec.h"
 
 namespace spider {
@@ -33,45 +37,91 @@ Status SortedSetWriter::Finish() {
   return Status::OK();
 }
 
+SortedSetReader::SortedSetReader(std::ifstream in, RunCounters* counters,
+                                 size_t buffer_bytes)
+    : in_(std::move(in)), counters_(counters) {
+  buffer_.resize(std::max<size_t>(buffer_bytes, 16));
+}
+
 Result<std::unique_ptr<SortedSetReader>> SortedSetReader::Open(
-    const std::filesystem::path& path, RunCounters* counters) {
+    const std::filesystem::path& path, RunCounters* counters,
+    size_t buffer_bytes) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path.string());
   if (counters != nullptr) {
     ++counters->files_opened;
   }
   return std::unique_ptr<SortedSetReader>(
-      new SortedSetReader(std::move(in), counters));
+      new SortedSetReader(std::move(in), counters, buffer_bytes));
 }
 
-void SortedSetReader::FillBuffer() {
-  if (buffered_ || eof_ || !status_.ok()) return;
-  std::string value;
-  Status st;
-  if (ReadValueRecord(in_, &value, &st)) {
-    buffered_ = std::move(value);
-  } else {
-    eof_ = true;
-    status_ = st;
+size_t SortedSetReader::Refill() {
+  // Move unconsumed bytes (the partially parsed record) to the front so the
+  // record ends up contiguous in the buffer. Only FillRecord() triggers
+  // refills, and only while no decoded value is exposed (have_value_ is
+  // false), so compaction never moves bytes a Peek() view still points at.
+  if (pos_ > 0) {
+    const size_t remaining = end_ - pos_;
+    if (remaining > 0) {
+      std::memmove(buffer_.data(), buffer_.data() + pos_, remaining);
+    }
+    end_ = remaining;
+    pos_ = 0;
   }
+  if (!eof_ && end_ < buffer_.size()) {
+    in_.read(buffer_.data() + end_,
+             static_cast<std::streamsize>(buffer_.size() - end_));
+    const size_t got = static_cast<size_t>(in_.gcount());
+    end_ += got;
+    if (got == 0) eof_ = true;
+  }
+  return end_ - pos_;
 }
 
-bool SortedSetReader::HasNext() {
-  FillBuffer();
-  return buffered_.has_value();
+int SortedSetReader::ReadHeaderByte() {
+  if (pos_ == end_ && Refill() == 0) return -1;
+  return static_cast<unsigned char>(buffer_[pos_++]);
 }
 
-std::string SortedSetReader::Next() {
-  FillBuffer();
-  std::string out = std::move(*buffered_);
-  buffered_.reset();
-  if (counters_ != nullptr) ++counters_->tuples_read;
-  return out;
-}
-
-const std::string& SortedSetReader::Peek() {
-  FillBuffer();
-  return *buffered_;
+void SortedSetReader::FillRecord() {
+  if (have_value_ || eof_ || !status_.ok()) return;
+  // Decode the LEB128 length. EOF before the first byte is a clean end of
+  // stream; EOF mid-varint is corruption.
+  uint64_t len = 0;
+  switch (DecodeVarint([this]() { return ReadHeaderByte(); }, &len)) {
+    case VarintDecode::kOk:
+      break;
+    case VarintDecode::kCleanEof:
+      return;
+    case VarintDecode::kCorrupt:
+      status_ = Status::IOError("corrupt varint in value record");
+      return;
+    case VarintDecode::kTruncated:
+      status_ = Status::IOError("truncated varint in value record");
+      return;
+  }
+  // Make the value bytes contiguous in the buffer, growing it for records
+  // larger than one block.
+  if (len > buffer_.size()) {
+    const size_t remaining = end_ - pos_;
+    if (pos_ > 0 && remaining > 0) {
+      std::memmove(buffer_.data(), buffer_.data() + pos_, remaining);
+    }
+    end_ = remaining;
+    pos_ = 0;
+    buffer_.resize(static_cast<size_t>(len));
+  }
+  while (end_ - pos_ < len) {
+    const size_t before = end_ - pos_;
+    if (Refill() == before) {
+      status_ = Status::IOError("truncated value record");
+      return;
+    }
+  }
+  value_pos_ = pos_;
+  value_len_ = static_cast<size_t>(len);
+  pos_ += value_len_;
+  have_value_ = true;
 }
 
 }  // namespace spider

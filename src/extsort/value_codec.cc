@@ -21,23 +21,22 @@ Status WriteValueRecord(std::ostream& out, std::string_view value) {
 bool ReadValueRecord(std::istream& in, std::string* value, Status* status) {
   *status = Status::OK();
   uint64_t len = 0;
-  int shift = 0;
-  int first = in.get();
-  if (first == std::char_traits<char>::eof()) return false;  // clean EOF
-  int byte = first;
-  while (true) {
-    len |= static_cast<uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) break;
-    shift += 7;
-    if (shift > 63) {
+  switch (DecodeVarint(
+      [&in]() {
+        const int byte = in.get();
+        return byte == std::char_traits<char>::eof() ? -1 : byte;
+      },
+      &len)) {
+    case VarintDecode::kOk:
+      break;
+    case VarintDecode::kCleanEof:
+      return false;
+    case VarintDecode::kCorrupt:
       *status = Status::IOError("corrupt varint in value record");
       return false;
-    }
-    byte = in.get();
-    if (byte == std::char_traits<char>::eof()) {
+    case VarintDecode::kTruncated:
       *status = Status::IOError("truncated varint in value record");
       return false;
-    }
   }
   value->resize(len);
   if (len > 0) {

@@ -22,4 +22,30 @@ Status WriteValueRecord(std::ostream& out, std::string_view value);
 /// truncated record yields an IOError through `*status`.
 bool ReadValueRecord(std::istream& in, std::string* value, Status* status);
 
+/// Outcome of decoding one LEB128 length header.
+enum class VarintDecode { kOk, kCleanEof, kCorrupt, kTruncated };
+
+/// Decodes a LEB128 varint by pulling bytes from `next_byte` — a callable
+/// returning the next byte as 0..255, or a negative value at end of input.
+/// The single decoder shared by the stream codec and the block-buffered
+/// SortedSetReader, so the record format cannot drift between them.
+template <typename NextByte>
+VarintDecode DecodeVarint(NextByte&& next_byte, uint64_t* out) {
+  const int first = next_byte();
+  if (first < 0) return VarintDecode::kCleanEof;
+  uint64_t len = 0;
+  int shift = 0;
+  int byte = first;
+  while (true) {
+    len |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) return VarintDecode::kCorrupt;
+    byte = next_byte();
+    if (byte < 0) return VarintDecode::kTruncated;
+  }
+  *out = len;
+  return VarintDecode::kOk;
+}
+
 }  // namespace spider

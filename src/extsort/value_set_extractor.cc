@@ -1,71 +1,140 @@
 #include "src/extsort/value_set_extractor.h"
 
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+#include "src/common/hash.h"
+
 namespace spider {
 
 namespace fs = std::filesystem;
 
 namespace {
 
-// File-system-safe file name for an attribute ("table.column" with
-// non-alphanumerics replaced).
-std::string SetFileName(const AttributeRef& attr, size_t ordinal) {
+// Hash of the unsanitized attribute identity. The sanitized
+// human-readable part of a set-file name is lossy ("a.b_c" and "a_b.c"
+// collapse to the same string); the hash keeps distinct attributes in
+// distinct files without depending on extraction order. Chained so the
+// table/column boundary stays significant.
+uint64_t AttributeHash(const AttributeRef& attr) {
+  return HashString(attr.column, HashString(attr.table));
+}
+
+}  // namespace
+
+std::string ValueSetExtractor::SetFileName(const AttributeRef& attr) {
   std::string name = attr.table + "." + attr.column;
   for (char& c : name) {
     if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' && c != '_') {
       c = '_';
     }
   }
-  return name + "-" + std::to_string(ordinal) + ".set";
+  char hash[17];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(AttributeHash(attr)));
+  return name + "-" + hash + ".set";
 }
-
-}  // namespace
 
 ValueSetExtractor::ValueSetExtractor(fs::path output_dir,
                                      ValueSetExtractorOptions options)
     : output_dir_(std::move(output_dir)), options_(options) {}
 
-Result<SortedSetInfo> ValueSetExtractor::Extract(const Catalog& catalog,
-                                                 const AttributeRef& attribute) {
-  auto it = cache_.find(attribute);
-  if (it != cache_.end()) return it->second;
-
+Result<SortedSetInfo> ValueSetExtractor::DoExtract(
+    const Catalog& catalog, const AttributeRef& attribute) {
   SPIDER_ASSIGN_OR_RETURN(const Column* column,
                           catalog.ResolveAttribute(attribute));
 
+  const std::string file_name = SetFileName(attribute);
   ExternalSorterOptions sorter_options;
   sorter_options.memory_budget_bytes = options_.sort_memory_budget_bytes;
   sorter_options.spill_dir = output_dir_;
+  // Spill runs inherit the attribute's file stem so concurrent extractions
+  // sharing this directory never collide.
+  sorter_options.run_prefix = file_name;
   ExternalSorter sorter(sorter_options);
   for (const Value& v : column->values()) {
     if (v.is_null()) continue;
     SPIDER_RETURN_NOT_OK(sorter.Add(v.ToCanonicalString()));
   }
+  return sorter.WriteSortedSet(output_dir_ / file_name);
+}
 
-  fs::path path = output_dir_ / SetFileName(attribute, cache_.size());
-  SPIDER_ASSIGN_OR_RETURN(SortedSetInfo info, sorter.WriteSortedSet(path));
-  cache_.emplace(attribute, info);
-  return info;
+Result<SortedSetInfo> ValueSetExtractor::Extract(const Catalog& catalog,
+                                                 const AttributeRef& attribute) {
+  std::promise<Result<SortedSetInfo>> promise;
+  std::shared_future<Result<SortedSetInfo>> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(attribute);
+    if (it != cache_.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      cache_.emplace(attribute, future);
+      owner = true;
+    }
+  }
+  if (!owner) return future.get();
+
+  // This thread claimed the attribute: sort it outside the lock while
+  // concurrent requesters wait on the shared future.
+  Result<SortedSetInfo> result = DoExtract(catalog, attribute);
+  if (!result.ok()) {
+    // Failures are not cached — a later call may retry (concurrent waiters
+    // still observe this failure through the shared state).
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.erase(attribute);
+  }
+  promise.set_value(result);
+  return result;
 }
 
 Result<std::vector<SortedSetInfo>> ValueSetExtractor::ExtractAll(
-    const Catalog& catalog, const std::vector<AttributeRef>& attributes) {
+    const Catalog& catalog, const std::vector<AttributeRef>& attributes,
+    ThreadPool* pool) {
   std::vector<SortedSetInfo> infos;
   infos.reserve(attributes.size());
-  for (const AttributeRef& attr : attributes) {
-    SPIDER_ASSIGN_OR_RETURN(SortedSetInfo info, Extract(catalog, attr));
-    infos.push_back(std::move(info));
+  if (pool == nullptr) {
+    for (const AttributeRef& attr : attributes) {
+      SPIDER_ASSIGN_OR_RETURN(SortedSetInfo info, Extract(catalog, attr));
+      infos.push_back(std::move(info));
+    }
+    return infos;
   }
+  std::vector<std::future<Result<SortedSetInfo>>> futures;
+  futures.reserve(attributes.size());
+  for (const AttributeRef& attr : attributes) {
+    futures.push_back(pool->Submit(
+        [this, &catalog, attr]() { return Extract(catalog, attr); }));
+  }
+  Status first_error = Status::OK();
+  for (auto& future : futures) {
+    Result<SortedSetInfo> info = future.get();
+    if (!info.ok()) {
+      if (first_error.ok()) first_error = info.status();
+      continue;
+    }
+    infos.push_back(std::move(info).value());
+  }
+  SPIDER_RETURN_NOT_OK(first_error);
   return infos;
 }
 
 Result<SortedSetInfo> ValueSetExtractor::Lookup(
     const AttributeRef& attribute) const {
-  auto it = cache_.find(attribute);
-  if (it == cache_.end()) {
-    return Status::NotFound("no extracted value set for " +
-                            attribute.ToString());
+  std::shared_future<Result<SortedSetInfo>> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(attribute);
+    if (it == cache_.end()) {
+      return Status::NotFound("no extracted value set for " +
+                              attribute.ToString());
+    }
+    future = it->second;
   }
-  return it->second;
+  return future.get();
 }
 
 }  // namespace spider

@@ -9,11 +9,14 @@
 #pragma once
 
 #include <filesystem>
+#include <future>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/thread_pool.h"
 #include "src/extsort/external_sorter.h"
 #include "src/extsort/sorted_set_file.h"
 #include "src/storage/catalog.h"
@@ -27,6 +30,13 @@ struct ValueSetExtractorOptions {
 };
 
 /// \brief Materializes sorted-distinct value sets for catalog attributes.
+///
+/// Thread-safe: any number of threads may Extract() concurrently. The cache
+/// deduplicates in-flight work — the first caller for an attribute sorts
+/// it, later callers (concurrent or not) block on that extraction and share
+/// its file. Set-file names are deterministic functions of the attribute
+/// (not of arrival order), so a given work_dir layout is reproducible
+/// regardless of thread interleaving.
 class ValueSetExtractor {
  public:
   /// `output_dir` must exist; one ".set" file per attribute is created
@@ -40,17 +50,32 @@ class ValueSetExtractor {
   Result<SortedSetInfo> Extract(const Catalog& catalog,
                                 const AttributeRef& attribute);
 
-  /// Extracts all listed attributes; returns infos in the same order.
+  /// Extracts all listed attributes; returns infos in the same order. When
+  /// `pool` is non-null the per-attribute sorts run concurrently on it
+  /// (duplicates in `attributes` are coalesced by the cache).
   Result<std::vector<SortedSetInfo>> ExtractAll(
-      const Catalog& catalog, const std::vector<AttributeRef>& attributes);
+      const Catalog& catalog, const std::vector<AttributeRef>& attributes,
+      ThreadPool* pool = nullptr);
 
-  /// Info for an already extracted attribute, or NotFound.
+  /// Info for an already extracted attribute, or NotFound. Blocks if the
+  /// extraction is still in flight on another thread.
   Result<SortedSetInfo> Lookup(const AttributeRef& attribute) const;
 
+  /// Deterministic file-system-safe set-file name for an attribute.
+  /// Exposed for tests and tools that want to predict the workspace layout.
+  static std::string SetFileName(const AttributeRef& attribute);
+
  private:
+  /// The uncached sort-and-materialize step.
+  Result<SortedSetInfo> DoExtract(const Catalog& catalog,
+                                  const AttributeRef& attribute);
+
   std::filesystem::path output_dir_;
   ValueSetExtractorOptions options_;
-  std::map<AttributeRef, SortedSetInfo> cache_;
+  mutable std::mutex mutex_;
+  /// Completed or in-flight extractions. shared_future so that concurrent
+  /// requesters of the same attribute all wait on one extraction.
+  std::map<AttributeRef, std::shared_future<Result<SortedSetInfo>>> cache_;
 };
 
 }  // namespace spider

@@ -101,6 +101,7 @@ Result<IndRunResult> BellBrockhausenAlgorithm::Run(
 void RegisterBellBrockhausenAlgorithm(AlgorithmRegistry& registry) {
   AlgorithmCapabilities capabilities;
   capabilities.database_internal = true;
+  capabilities.parallel_safe = true;  // reads the catalog, no shared state
   capabilities.summary =
       "sequential SQL-join testing with range and transitivity pruning "
       "(Bell & Brockhausen [2])";

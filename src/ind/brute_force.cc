@@ -117,6 +117,7 @@ Result<IndRunResult> BruteForceAlgorithm::Run(
 void RegisterBruteForceAlgorithm(AlgorithmRegistry& registry) {
   AlgorithmCapabilities capabilities;
   capabilities.needs_extractor = true;
+  capabilities.parallel_safe = true;  // shares only the thread-safe extractor
   capabilities.summary =
       "one merge scan per candidate over sorted value sets (Sec. 3.1)";
   Status status = registry.Register(

@@ -109,6 +109,7 @@ Result<IndRunResult> DeMarchiAlgorithm::Run(
 
 void RegisterDeMarchiAlgorithm(AlgorithmRegistry& registry) {
   AlgorithmCapabilities capabilities;
+  capabilities.parallel_safe = true;  // shares only the thread-safe extractor
   capabilities.summary =
       "inverted-index discovery (De Marchi et al. [10]); large "
       "preprocessing footprint, no extractor needed";

@@ -34,6 +34,13 @@ struct AlgorithmCapabilities {
   /// Runs inside the database engine (the paper's SQL statements) rather
   /// than over externally sorted value sets.
   bool database_internal = false;
+  /// Independent instances may run concurrently over disjoint candidate
+  /// partitions of one catalog (the session's parallel dispatcher requires
+  /// this). Opt-in: registrants assert it explicitly — all built-ins do,
+  /// since they only read the catalog and share nothing but the
+  /// thread-safe extractor — and the session falls back to serial
+  /// execution for approaches that don't.
+  bool parallel_safe = false;
   /// One-line description for usage strings and listings. Owned, so
   /// registrants may build it dynamically.
   std::string summary;

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 
 #include "src/common/stopwatch.h"
 
@@ -54,15 +55,17 @@ class RunContext {
   /// Optional cancellation flag, polled cooperatively. Not owned.
   const CancellationToken* cancel = nullptr;
 
-  /// Optional progress sink; invoked from the algorithm thread, so it must
-  /// be cheap and non-reentrant.
+  /// Optional progress sink; invoked from whichever thread calls Step()
+  /// (serialized by an internal mutex), so it must be cheap and
+  /// non-reentrant.
   ProgressCallback progress;
 
-  /// (Re)starts the budget clock and records the expected work size.
+  /// (Re)starts the budget clock and records the expected work size. Not
+  /// thread-safe: call before handing the context to worker threads.
   void Begin(int64_t total_work) {
     watch_.Start();
     total_ = total_work;
-    done_ = 0;
+    done_.store(0, std::memory_order_relaxed);
   }
 
   /// True when the run should end early: the caller cancelled, the
@@ -78,11 +81,18 @@ class RunContext {
   }
 
   /// Marks `units` of work done and fires the progress callback if set.
+  /// Thread-safe: the done counter is atomic, and when a callback is set
+  /// the count-and-report pair runs under one mutex, so threads sharing a
+  /// context observe monotonically non-decreasing `done` values.
   void Step(int64_t units = 1) {
-    done_ += units;
-    if (progress) {
-      progress(RunProgress{done_, total_, watch_.ElapsedSeconds()});
+    if (!progress) {
+      done_.fetch_add(units, std::memory_order_relaxed);
+      return;
     }
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    const int64_t done =
+        done_.fetch_add(units, std::memory_order_relaxed) + units;
+    progress(RunProgress{done, total_, watch_.ElapsedSeconds()});
   }
 
   double elapsed_seconds() const { return watch_.ElapsedSeconds(); }
@@ -90,7 +100,8 @@ class RunContext {
  private:
   Stopwatch watch_;
   int64_t total_ = 0;
-  int64_t done_ = 0;
+  std::atomic<int64_t> done_{0};
+  std::mutex progress_mutex_;
 };
 
 }  // namespace spider

@@ -1,9 +1,80 @@
 #include "src/ind/session.h"
 
+#include <algorithm>
+#include <future>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <utility>
+
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 
 namespace spider {
+
+namespace {
+
+// Union-find over attribute ids for the component partitioning.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    // Deterministic: the smaller root wins, independent of union order.
+    if (a == b) return;
+    if (a < b) {
+      parent_[b] = a;
+    } else {
+      parent_[a] = b;
+    }
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<IndCandidate>> PartitionCandidatesByComponent(
+    const std::vector<IndCandidate>& candidates) {
+  std::map<AttributeRef, size_t> attr_ids;
+  auto id_for = [&attr_ids](const AttributeRef& attr) {
+    return attr_ids.emplace(attr, attr_ids.size()).first->second;
+  };
+  std::vector<std::pair<size_t, size_t>> edges;
+  edges.reserve(candidates.size());
+  for (const IndCandidate& candidate : candidates) {
+    edges.emplace_back(id_for(candidate.dependent),
+                       id_for(candidate.referenced));
+  }
+
+  UnionFind components(attr_ids.size());
+  for (const auto& [dep, ref] : edges) components.Union(dep, ref);
+
+  // Partitions in order of first appearance; candidates keep input order.
+  std::vector<std::vector<IndCandidate>> partitions;
+  std::map<size_t, size_t> root_to_partition;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const size_t root = components.Find(edges[i].first);
+    auto [it, inserted] = root_to_partition.emplace(root, partitions.size());
+    if (inserted) partitions.emplace_back();
+    partitions[it->second].push_back(candidates[i]);
+  }
+  return partitions;
+}
 
 SpiderSession::SpiderSession(const Catalog& catalog, SessionOptions options)
     : catalog_(&catalog), options_(std::move(options)) {}
@@ -32,6 +103,127 @@ Result<ValueSetExtractor*> SpiderSession::extractor() {
   return extractor_.get();
 }
 
+Result<IndRunResult> SpiderSession::RunParallel(
+    const RunOptions& options, const AlgorithmConfig& config,
+    const std::vector<IndCandidate>& candidates, int threads,
+    SessionReport* report) {
+  std::vector<std::vector<IndCandidate>> partitions =
+      PartitionCandidatesByComponent(candidates);
+  report->partitions = static_cast<int>(partitions.size());
+
+  Stopwatch verify_watch;
+  verify_watch.Start();
+
+  // The pool carries both parallel stages. Extraction wants every worker
+  // even when the candidate graph collapsed to few partitions — the
+  // per-attribute sorts dominate and parallelize regardless of how the
+  // verification phase partitions.
+  ThreadPool pool(threads);
+
+  // Concurrent partitions extract through the thread-safe cache; priming
+  // it up front on the pool parallelizes the sort work itself instead of
+  // serializing it behind whichever partition asks first.
+  if (config.extractor != nullptr) {
+    std::set<AttributeRef> seen;
+    std::vector<AttributeRef> attributes;
+    for (const IndCandidate& candidate : candidates) {
+      if (seen.insert(candidate.dependent).second) {
+        attributes.push_back(candidate.dependent);
+      }
+      if (seen.insert(candidate.referenced).second) {
+        attributes.push_back(candidate.referenced);
+      }
+    }
+    SPIDER_RETURN_NOT_OK(
+        config.extractor->ExtractAll(*catalog_, attributes, &pool).status());
+  }
+
+  // Progress aggregation: per-partition contexts report partition-local
+  // (done, total); deltas fold into shared counters and the user callback
+  // sees run-wide, monotonically consistent numbers. One mutex guards both
+  // the counters and the callback so no observer sees progress regress.
+  struct ProgressAggregator {
+    std::mutex mutex;
+    int64_t done = 0;
+    int64_t total = 0;
+  };
+  auto aggregator = std::make_shared<ProgressAggregator>();
+
+  // Seed the aggregate total with each partition's candidate count so the
+  // first callbacks already see a run-wide denominator; when a partition
+  // begins and reports its real total (some algorithms count blocks, not
+  // candidates), the delta below corrects the seed.
+  if (options.progress) {
+    for (const std::vector<IndCandidate>& partition : partitions) {
+      aggregator->total += static_cast<int64_t>(partition.size());
+    }
+  }
+
+  std::vector<std::future<Result<IndRunResult>>> futures;
+  futures.reserve(partitions.size());
+  for (const std::vector<IndCandidate>& partition : partitions) {
+    futures.push_back(pool.Submit([this, &options, &config, &partition,
+                                   &verify_watch,
+                                   aggregator]() -> Result<IndRunResult> {
+      SPIDER_ASSIGN_OR_RETURN(
+          std::unique_ptr<IndAlgorithm> algorithm,
+          AlgorithmRegistry::Global().Create(options.approach, config));
+      RunContext context;
+      context.cancel = options.cancel;
+      if (options.time_budget_seconds > 0) {
+        // The budget is wall-clock over the whole verification phase; a
+        // partition picked up late only gets what remains.
+        const double remaining =
+            options.time_budget_seconds - verify_watch.ElapsedSeconds();
+        context.time_budget_seconds = std::max(remaining, 1e-12);
+      }
+      if (options.progress) {
+        // last_done/last_total are per-lambda (per-partition) state, only
+        // touched by the partition's own thread. last_total starts at the
+        // candidate-count seed folded into the aggregate above.
+        context.progress = [aggregator, &options, &verify_watch,
+                            last_done = int64_t{0},
+                            last_total = static_cast<int64_t>(partition.size())](
+                               const RunProgress& partition_progress) mutable {
+          std::lock_guard<std::mutex> lock(aggregator->mutex);
+          aggregator->done += partition_progress.done - last_done;
+          aggregator->total += partition_progress.total - last_total;
+          last_done = partition_progress.done;
+          last_total = partition_progress.total;
+          options.progress(RunProgress{aggregator->done, aggregator->total,
+                                       verify_watch.ElapsedSeconds()});
+        };
+      }
+      return algorithm->Run(*catalog_, partition, context);
+    }));
+  }
+
+  // Wait for every partition before touching any result: tasks capture
+  // locals by reference.
+  std::vector<Result<IndRunResult>> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+
+  IndRunResult merged;
+  int64_t peak_open_files_sum = 0;
+  for (Result<IndRunResult>& result : results) {
+    SPIDER_RETURN_NOT_OK(result.status());
+    IndRunResult& partial = *result;
+    merged.satisfied.insert(merged.satisfied.end(),
+                            std::make_move_iterator(partial.satisfied.begin()),
+                            std::make_move_iterator(partial.satisfied.end()));
+    peak_open_files_sum += partial.counters.peak_open_files;
+    merged.counters.Merge(partial.counters);
+    merged.finished = merged.finished && partial.finished;
+  }
+  // Concurrent partitions hold their files simultaneously: the honest peak
+  // bound is the sum over partitions, not the max that Merge() keeps for
+  // sequential runs.
+  merged.counters.peak_open_files = peak_open_files_sum;
+  merged.seconds = verify_watch.ElapsedSeconds();
+  return merged;
+}
+
 Result<SessionReport> SpiderSession::Run(const RunOptions& options) {
   SessionReport report;
   report.approach = options.approach;
@@ -49,9 +241,6 @@ Result<SessionReport> SpiderSession::Run(const RunOptions& options) {
   if (capabilities.needs_extractor) {
     SPIDER_ASSIGN_OR_RETURN(config.extractor, extractor());
   }
-  SPIDER_ASSIGN_OR_RETURN(
-      std::unique_ptr<IndAlgorithm> algorithm,
-      AlgorithmRegistry::Global().Create(options.approach, config));
 
   Stopwatch generation_watch;
   generation_watch.Start();
@@ -59,13 +248,31 @@ Result<SessionReport> SpiderSession::Run(const RunOptions& options) {
   SPIDER_ASSIGN_OR_RETURN(report.candidates, generator.Generate(*catalog_));
   report.generation_seconds = generation_watch.ElapsedSeconds();
 
-  RunContext context;
-  context.time_budget_seconds = options.time_budget_seconds;
-  context.cancel = options.cancel;
-  context.progress = options.progress;
-  SPIDER_ASSIGN_OR_RETURN(
-      report.run,
-      algorithm->Run(*catalog_, report.candidates.candidates, context));
+  int threads = ThreadPool::ResolveThreadCount(options.threads);
+  if (!capabilities.parallel_safe) threads = 1;
+  if (report.candidates.candidates.size() < 2) threads = 1;
+  report.threads_used = threads;
+
+  if (threads <= 1) {
+    SPIDER_ASSIGN_OR_RETURN(
+        std::unique_ptr<IndAlgorithm> algorithm,
+        AlgorithmRegistry::Global().Create(options.approach, config));
+    RunContext context;
+    context.time_budget_seconds = options.time_budget_seconds;
+    context.cancel = options.cancel;
+    context.progress = options.progress;
+    SPIDER_ASSIGN_OR_RETURN(
+        report.run,
+        algorithm->Run(*catalog_, report.candidates.candidates, context));
+  } else {
+    SPIDER_ASSIGN_OR_RETURN(
+        report.run, RunParallel(options, config, report.candidates.candidates,
+                                threads, &report));
+  }
+
+  // One canonical order regardless of approach, partitioning or thread
+  // count: parallel and serial runs return byte-identical reports.
+  report.run.satisfied = SortedInds(std::move(report.run.satisfied));
   report.total_seconds = total_watch.ElapsedSeconds();
   return report;
 }
@@ -82,6 +289,10 @@ std::string SessionReport::ToString() const {
          FormatWithCommas(static_cast<int64_t>(run.satisfied.size())) + "\n";
   out += "finished:        " + std::string(run.finished ? "yes" : "NO (budget)") +
          "\n";
+  if (threads_used > 1) {
+    out += "threads:         " + std::to_string(threads_used) + " (" +
+           std::to_string(partitions) + " partitions)\n";
+  }
   out += "generation time: " + Stopwatch::FormatDuration(generation_seconds) + "\n";
   out += "test time:       " + Stopwatch::FormatDuration(run.seconds) + "\n";
   out += "total time:      " + Stopwatch::FormatDuration(total_seconds) + "\n";

@@ -8,19 +8,29 @@
 // over the same catalog extracts and sorts each attribute only once —
 // exactly the reuse the paper's database-external approaches are built on.
 //
+// With RunOptions::threads != 1 the verification phase runs on a worker
+// pool: the candidate set is partitioned into connected components of the
+// attribute graph and independent partitions execute concurrently, each on
+// its own algorithm instance, under one shared cancellation token and time
+// budget. Results are identical to the single-threaded run — the satisfied
+// set is returned sorted either way.
+//
 //   SpiderSession session(catalog);
 //   RunOptions options;
 //   options.approach = "spider-merge";
 //   options.time_budget_seconds = 60;
+//   options.threads = 0;  // hardware concurrency
 //   SPIDER_ASSIGN_OR_RETURN(SessionReport report, session.Run(options));
 
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/common/temp_dir.h"
+#include "src/common/thread_pool.h"
 #include "src/extsort/value_set_extractor.h"
 #include "src/ind/candidate_generator.h"
 #include "src/ind/registry.h"
@@ -47,13 +57,20 @@ struct RunOptions {
   double time_budget_seconds = 0;
   /// Optional cancellation flag, polled cooperatively mid-run. Not owned.
   const CancellationToken* cancel = nullptr;
-  /// Optional progress sink (called from the running thread).
+  /// Optional progress sink. Serial runs invoke it from the running
+  /// thread; parallel runs aggregate partition progress and invoke it
+  /// serialized (done/total then span all partitions).
   ProgressCallback progress;
   /// σ-partial coverage in (0, 1]; 1 = exact INDs. Requires an approach
   /// whose capabilities advertise supports_partial.
   double min_coverage = 1.0;
-  /// Open-file budget for blockwise single-pass; 0 = unlimited.
+  /// Open-file budget for blockwise single-pass; 0 = unlimited. Under
+  /// parallel dispatch the budget applies per partition.
   int max_open_files = 0;
+  /// Worker threads for extraction and verification: 1 = single-threaded
+  /// (the paper's configuration), 0 = hardware concurrency, N = exactly N.
+  /// The satisfied-IND set is identical for every value.
+  int threads = 1;
 };
 
 /// Everything one session run produces.
@@ -61,15 +78,29 @@ struct SessionReport {
   /// Registry name of the approach that ran.
   std::string approach;
   CandidateSet candidates;
+  /// The verification outcome. `run.satisfied` is sorted (deterministic
+  /// across thread counts).
   IndRunResult run;
   /// Seconds spent generating candidates (statistics pass + pretests).
   double generation_seconds = 0;
   /// Total including generation.
   double total_seconds = 0;
+  /// Worker threads the verification phase actually used.
+  int threads_used = 1;
+  /// Candidate partitions dispatched (1 for serial runs).
+  int partitions = 1;
 
   /// Human-readable multi-line summary.
   std::string ToString() const;
 };
+
+/// Splits candidates into connected components of the attribute graph
+/// (attributes are nodes, candidates are edges): partitions share no
+/// attribute, so they can be verified independently and concurrently.
+/// Deterministic: partitions are ordered by first appearance and preserve
+/// the input's candidate order. Exposed for the dispatcher's tests.
+std::vector<std::vector<IndCandidate>> PartitionCandidatesByComponent(
+    const std::vector<IndCandidate>& candidates);
 
 /// \brief Owns the catalog binding, workspace and extractor cache for any
 /// number of profiling runs over one database instance.
@@ -93,6 +124,12 @@ class SpiderSession {
   Result<ValueSetExtractor*> extractor();
 
  private:
+  /// Dispatches partitions onto `threads` workers and merges the results.
+  Result<IndRunResult> RunParallel(const RunOptions& options,
+                                   const AlgorithmConfig& config,
+                                   const std::vector<IndCandidate>& candidates,
+                                   int threads, SessionReport* report);
+
   const Catalog* catalog_;
   std::unique_ptr<Catalog> owned_catalog_;
   SessionOptions options_;

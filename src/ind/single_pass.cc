@@ -416,6 +416,7 @@ Result<IndRunResult> SinglePassAlgorithm::Run(
 void RegisterSinglePassAlgorithm(AlgorithmRegistry& registry) {
   AlgorithmCapabilities capabilities;
   capabilities.needs_extractor = true;
+  capabilities.parallel_safe = true;  // shares only the thread-safe extractor
   capabilities.summary =
       "all candidates in one pass, every value read once (Sec. 3.2); "
       "max_open_files enables the blockwise extension";

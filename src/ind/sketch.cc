@@ -4,28 +4,10 @@
 #include <cmath>
 #include <map>
 
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 
 namespace spider {
-
-namespace {
-
-// FNV-1a 64-bit with a splitmix finalizer for better bit diffusion.
-uint64_t HashString(std::string_view s) {
-  uint64_t h = 0xCBF29CE484222325ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001B3ULL;
-  }
-  h ^= h >> 30;
-  h *= 0xBF58476D1CE4E5B9ULL;
-  h ^= h >> 27;
-  h *= 0x94D049BB133111EBULL;
-  h ^= h >> 31;
-  return h;
-}
-
-}  // namespace
 
 BottomKSketch::BottomKSketch(int k) : k_(k) {
   SPIDER_CHECK_GT(k, 0);

@@ -21,6 +21,10 @@ namespace {
 struct AttributeCursor {
   AttributeRef attr;
   std::unique_ptr<SortedSetReader> reader;
+  // The cursor's current value: a zero-copy view into the reader's block
+  // buffer, refreshed on every advance. Heap comparisons read this field
+  // directly instead of calling into the reader.
+  std::string_view current;
   // Candidate bookkeeping: key = cursor index of a referenced attribute r
   // with (this ⊆ r) still open; value = unmatched distinct dep values so
   // far (σ-partial mode tolerates a budget of them).
@@ -97,11 +101,6 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
     result.counters.peak_open_files = static_cast<int64_t>(cursors.size());
   }
 
-  // Prime the heap with each attribute's first value. An empty dependent
-  // set satisfies all its candidates vacuously.
-  using HeapEntry = std::pair<std::string, int>;  // (current value, cursor)
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-
   // Satisfies every open candidate of dependent cursor `d`.
   auto satisfy_all = [&](int d) {
     AttributeCursor& dep = cursors[static_cast<size_t>(d)];
@@ -114,11 +113,32 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
     dep.open_refs.clear();
   };
 
+  // Cursor-index min-heap: entries are cursor ids ordered by the cursor's
+  // current value with the cursor id as tie-break, so equal values pop in
+  // ascending cursor order — the property the group binary search below
+  // relies on. A view stays valid until its cursor advances, and a cursor
+  // only advances after it leaves the heap, so comparisons never see a
+  // dangling view.
+  auto heap_after = [&cursors](int a, int b) {
+    const std::string_view va = cursors[static_cast<size_t>(a)].current;
+    const std::string_view vb = cursors[static_cast<size_t>(b)].current;
+    if (va != vb) return va > vb;
+    return a > b;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(heap_after)> heap(
+      heap_after);
+
+  // Prime the heap with each attribute's cursor. An empty dependent set
+  // satisfies all its candidates vacuously — but only after ruling out an
+  // I/O error: a corrupt first record also makes HasNext() false, and must
+  // fail the run rather than fabricate INDs.
   for (size_t i = 0; i < cursors.size(); ++i) {
     AttributeCursor& cursor = cursors[i];
     if (cursor.reader->HasNext()) {
-      heap.emplace(cursor.reader->Next(), static_cast<int>(i));
+      cursor.current = cursor.reader->Peek();
+      heap.push(static_cast<int>(i));
     } else {
+      SPIDER_RETURN_NOT_OK(cursor.reader->status());
       cursor.exhausted = true;
       satisfy_all(static_cast<int>(i));
     }
@@ -135,10 +155,17 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
       result.finished = false;
       break;
     }
-    const std::string value = heap.top().first;
     group.clear();
-    while (!heap.empty() && heap.top().first == value) {
-      group.push_back(heap.top().second);
+    group.push_back(heap.top());
+    heap.pop();
+    // The group value lives in the first popped cursor's buffer; that
+    // cursor does not advance until the group is processed, so the view is
+    // stable for the whole iteration.
+    const std::string_view value =
+        cursors[static_cast<size_t>(group.front())].current;
+    while (!heap.empty() &&
+           cursors[static_cast<size_t>(heap.top())].current == value) {
+      group.push_back(heap.top());
       heap.pop();
     }
     // group is sorted by cursor id (heap tie-break on equal values), which
@@ -163,21 +190,27 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
       }
     }
 
-    // Advance group members; drop streams nobody needs any more.
+    // Advance group members; drop streams nobody needs any more. The group
+    // value is consumed (counted as read) before the needed() check so the
+    // tuples_read totals match the value-copying implementation, which
+    // counted every value entering the heap.
     for (int index : group) {
       AttributeCursor& cursor = cursors[static_cast<size_t>(index)];
+      cursor.reader->Skip();
       if (!cursor.needed()) {
         cursor.closed = true;
         continue;
       }
       if (cursor.reader->HasNext()) {
-        heap.emplace(cursor.reader->Next(), index);
+        cursor.current = cursor.reader->Peek();
+        heap.push(index);
       } else {
+        // Distinguish clean exhaustion from a read error before concluding
+        // that every surviving referenced attribute contained all values.
+        SPIDER_RETURN_NOT_OK(cursor.reader->status());
         cursor.exhausted = true;
-        // Every surviving referenced attribute contained all dep values.
         satisfy_all(index);
       }
-      SPIDER_RETURN_NOT_OK(cursor.reader->status());
     }
   }
 
@@ -201,6 +234,7 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
 void RegisterSpiderMergeAlgorithm(AlgorithmRegistry& registry) {
   AlgorithmCapabilities capabilities;
   capabilities.needs_extractor = true;
+  capabilities.parallel_safe = true;  // shares only the thread-safe extractor
   capabilities.supports_partial = true;
   capabilities.summary =
       "heap-merged single pass (the paper's announced improvement); "

@@ -83,6 +83,7 @@ Result<IndRunResult> SqlNotInAlgorithm::Run(
 void RegisterSqlAlgorithms(AlgorithmRegistry& registry) {
   AlgorithmCapabilities capabilities;
   capabilities.database_internal = true;
+  capabilities.parallel_safe = true;  // engine operators only read the catalog
   const struct {
     const char* name;
     std::string_view summary;

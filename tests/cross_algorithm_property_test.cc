@@ -8,7 +8,7 @@
 
 #include "src/common/random.h"
 #include "src/datagen/schema_spec.h"
-#include "src/ind/profiler.h"
+#include "src/ind/session.h"
 #include "tests/test_util.h"
 
 namespace spider {
@@ -90,14 +90,19 @@ TEST_P(CrossAlgorithmPropertyTest, AllEightAlgorithmsMatchTheOracle) {
   ASSERT_TRUE(candidates.ok());
   auto oracle = testing::NaiveSatisfiedSet(**catalog, candidates->candidates);
 
-  for (IndApproach approach : kAllIndApproaches) {
-    IndProfilerOptions options;
-    options.approach = approach;
-    IndProfiler profiler(options);
-    auto report = profiler.Profile(**catalog);
-    ASSERT_TRUE(report.ok()) << IndApproachToString(approach);
-    EXPECT_EQ(testing::ToSet(report->run.satisfied), oracle)
-        << IndApproachToString(approach);
+  // Every approach, single-threaded and under the parallel dispatcher:
+  // both must equal the oracle.
+  SpiderSession session(**catalog);
+  for (const std::string& approach : AlgorithmRegistry::Global().Names()) {
+    for (int threads : {1, 4}) {
+      RunOptions options;
+      options.approach = approach;
+      options.threads = threads;
+      auto report = session.Run(options);
+      ASSERT_TRUE(report.ok()) << approach;
+      EXPECT_EQ(testing::ToSet(report->run.satisfied), oracle)
+          << approach << " threads=" << threads;
+    }
   }
 }
 

@@ -270,6 +270,20 @@ TEST(PdbLikeTest, AtomSiteDominatesWhenEnabled) {
   EXPECT_GT((*a)->ApproximateByteSize(), 2 * (*b)->ApproximateByteSize());
 }
 
+TEST(PdbLikeTest, PaperScalePresetMatchesThePapersShape) {
+  // Sec. 1.4: the full PDB fraction has 167 tables and ~2,560 attributes.
+  // Entries are scaled down here so the shape check stays fast; the schema
+  // (table/attribute counts) is independent of the row volume.
+  auto options = PdbLikeOptions::PaperScale(/*entries=*/20);
+  auto catalog = MakePdbLike(options);
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ((*catalog)->table_count(), 167);  // 3 core + 163 category + atoms
+  EXPECT_GE((*catalog)->attribute_count(), 2500);
+  EXPECT_LE((*catalog)->attribute_count(), 2700);
+  EXPECT_NE((*catalog)->FindTable("pdb_atom_site"), nullptr);
+  EXPECT_NE((*catalog)->FindTable("pdb_category_159"), nullptr);
+}
+
 TEST(PdbLikeTest, Deterministic) {
   PdbLikeOptions options;
   options.entries = 40;

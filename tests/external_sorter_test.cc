@@ -95,6 +95,54 @@ TEST_F(ExternalSorterTest, DuplicatesAcrossSpillRunsAreMerged) {
   EXPECT_EQ(info->distinct_count, 51);
 }
 
+TEST_F(ExternalSorterTest, PaperScaleSpillForcesManyRunsAndMergesThem) {
+  // The external-sort path the paper relies on at PDB scale: far more data
+  // than the memory budget, so WriteSortedSet() must k-way merge many spill
+  // runs (not just buffer + one run) while deduplicating across all of
+  // them.
+  ExternalSorterOptions options = Options(512);
+  ExternalSorter sorter(options);
+  std::set<std::string> reference;
+  Random rng(2026);
+  for (int i = 0; i < 20000; ++i) {
+    // Skewed duplicates: every run contains overlapping hot values.
+    std::string v = "v" + std::to_string(rng.Uniform(0, 5000));
+    reference.insert(v);
+    ASSERT_TRUE(sorter.Add(std::move(v)).ok());
+  }
+  EXPECT_GE(sorter.spill_count(), 8);
+  auto info = sorter.WriteSortedSet(dir_->FilePath("paper.set"));
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->distinct_count, static_cast<int64_t>(reference.size()));
+  EXPECT_EQ(ReadAll(info->path),
+            std::vector<std::string>(reference.begin(), reference.end()));
+}
+
+TEST_F(ExternalSorterTest, RunPrefixKeepsSortersInOneDirApart) {
+  // Concurrent per-attribute extractions share one spill directory; the
+  // per-sorter prefix must keep their transient run files from colliding.
+  ExternalSorterOptions a_options = Options(64);
+  a_options.run_prefix = "attr_a";
+  ExternalSorterOptions b_options = Options(64);
+  b_options.run_prefix = "attr_b";
+  ExternalSorter a(a_options);
+  ExternalSorter b(b_options);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a.Add("a" + std::to_string(i)).ok());
+    ASSERT_TRUE(b.Add("b" + std::to_string(i)).ok());
+  }
+  ASSERT_GT(a.spill_count(), 1);
+  ASSERT_GT(b.spill_count(), 1);
+  auto a_info = a.WriteSortedSet(dir_->FilePath("a.set"));
+  auto b_info = b.WriteSortedSet(dir_->FilePath("b.set"));
+  ASSERT_TRUE(a_info.ok());
+  ASSERT_TRUE(b_info.ok());
+  EXPECT_EQ(a_info->distinct_count, 100);
+  EXPECT_EQ(b_info->distinct_count, 100);
+  EXPECT_EQ(*a_info->min_value, "a0");
+  EXPECT_EQ(*b_info->min_value, "b0");
+}
+
 TEST_F(ExternalSorterTest, AddAfterFinishFails) {
   ExternalSorter sorter(Options(1 << 20));
   ASSERT_TRUE(sorter.Add("x").ok());

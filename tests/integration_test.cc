@@ -11,19 +11,19 @@
 #include "src/discovery/foreign_key.h"
 #include "src/discovery/primary_relation.h"
 #include "src/discovery/surrogate_filter.h"
-#include "src/ind/profiler.h"
+#include "src/ind/session.h"
 #include "tests/test_util.h"
 
 namespace spider {
 namespace {
 
-ProfileReport ProfileWith(const Catalog& catalog, IndApproach approach,
+SessionReport ProfileWith(const Catalog& catalog, const std::string& approach,
                           bool max_value_pretest = false) {
-  IndProfilerOptions options;
+  SpiderSession session(catalog);
+  RunOptions options;
   options.approach = approach;
   options.generator.max_value_pretest = max_value_pretest;
-  IndProfiler profiler(options);
-  auto report = profiler.Profile(catalog);
+  auto report = session.Run(options);
   EXPECT_TRUE(report.ok()) << report.status().ToString();
   return std::move(report).value();
 }
@@ -36,19 +36,18 @@ class UniprotIntegrationTest : public ::testing::Test {
     auto catalog = datagen::MakeUniprotLike(options);
     ASSERT_TRUE(catalog.ok());
     catalog_ = catalog->release();
-    report_ = new ProfileReport(
-        ProfileWith(*catalog_, IndApproach::kBruteForce));
+    report_ = new SessionReport(ProfileWith(*catalog_, "brute-force"));
   }
   static void TearDownTestSuite() {
     delete report_;
     delete catalog_;
   }
   static Catalog* catalog_;
-  static ProfileReport* report_;
+  static SessionReport* report_;
 };
 
 Catalog* UniprotIntegrationTest::catalog_ = nullptr;
-ProfileReport* UniprotIntegrationTest::report_ = nullptr;
+SessionReport* UniprotIntegrationTest::report_ = nullptr;
 
 TEST_F(UniprotIntegrationTest, AllDetectableForeignKeysAreFound) {
   FkEvaluation eval = EvaluateForeignKeys(*catalog_, report_->run.satisfied);
@@ -99,19 +98,17 @@ TEST_F(UniprotIntegrationTest, PrimaryRelationIsBioentry) {
 
 TEST_F(UniprotIntegrationTest, AllApproachesAgree) {
   auto reference = testing::ToSet(report_->run.satisfied);
-  for (IndApproach approach :
-       {IndApproach::kSinglePass, IndApproach::kSqlJoin, IndApproach::kSqlMinus,
-        IndApproach::kSqlNotIn, IndApproach::kSpiderMerge,
-        IndApproach::kDeMarchi, IndApproach::kBellBrockhausen}) {
-    ProfileReport report = ProfileWith(*catalog_, approach);
-    EXPECT_EQ(testing::ToSet(report.run.satisfied), reference)
-        << IndApproachToString(approach);
+  for (const char* approach :
+       {"single-pass", "sql-join", "sql-minus", "sql-not-in", "spider-merge",
+        "de-marchi", "bell-brockhausen"}) {
+    SessionReport report = ProfileWith(*catalog_, approach);
+    EXPECT_EQ(testing::ToSet(report.run.satisfied), reference) << approach;
   }
 }
 
 TEST_F(UniprotIntegrationTest, MaxValuePretestPreservesResults) {
-  ProfileReport pruned =
-      ProfileWith(*catalog_, IndApproach::kBruteForce, /*max_value=*/true);
+  SessionReport pruned =
+      ProfileWith(*catalog_, "brute-force", /*max_value=*/true);
   EXPECT_LT(pruned.candidates.candidates.size(),
             report_->candidates.candidates.size());
   EXPECT_EQ(testing::ToSet(pruned.run.satisfied),
@@ -122,15 +119,15 @@ TEST(ScopIntegrationTest, ElevenSatisfiedInds) {
   // Paper Table 1: SCOP has 11 satisfied INDs.
   auto catalog = datagen::MakeScopLike();
   ASSERT_TRUE(catalog.ok());
-  ProfileReport report = ProfileWith(**catalog, IndApproach::kBruteForce);
+  SessionReport report = ProfileWith(**catalog, "brute-force");
   EXPECT_EQ(report.run.satisfied.size(), 11u);
 }
 
 TEST(ScopIntegrationTest, BruteForceAndSinglePassAgree) {
   auto catalog = datagen::MakeScopLike();
   ASSERT_TRUE(catalog.ok());
-  ProfileReport brute = ProfileWith(**catalog, IndApproach::kBruteForce);
-  ProfileReport single = ProfileWith(**catalog, IndApproach::kSinglePass);
+  SessionReport brute = ProfileWith(**catalog, "brute-force");
+  SessionReport single = ProfileWith(**catalog, "single-pass");
   EXPECT_EQ(testing::ToSet(brute.run.satisfied),
             testing::ToSet(single.run.satisfied));
 }
@@ -144,19 +141,18 @@ class PdbIntegrationTest : public ::testing::Test {
     auto catalog = datagen::MakePdbLike(options);
     ASSERT_TRUE(catalog.ok());
     catalog_ = catalog->release();
-    report_ = new ProfileReport(
-        ProfileWith(*catalog_, IndApproach::kBruteForce));
+    report_ = new SessionReport(ProfileWith(*catalog_, "brute-force"));
   }
   static void TearDownTestSuite() {
     delete report_;
     delete catalog_;
   }
   static Catalog* catalog_;
-  static ProfileReport* report_;
+  static SessionReport* report_;
 };
 
 Catalog* PdbIntegrationTest::catalog_ = nullptr;
-ProfileReport* PdbIntegrationTest::report_ = nullptr;
+SessionReport* PdbIntegrationTest::report_ = nullptr;
 
 TEST_F(PdbIntegrationTest, SurrogateKeysProduceManySpuriousInds) {
   // The paper: "There are INDs between almost all of these ID attributes,
@@ -190,10 +186,11 @@ TEST_F(PdbIntegrationTest, SurrogateFilterSharpensPrimaryRelation) {
 }
 
 TEST_F(PdbIntegrationTest, BlockwiseSinglePassMatchesUnlimited) {
-  IndProfilerOptions limited;
-  limited.approach = IndApproach::kSinglePass;
+  SpiderSession session(*catalog_);
+  RunOptions limited;
+  limited.approach = "single-pass";
   limited.max_open_files = 8;
-  auto blocked = IndProfiler(limited).Profile(*catalog_);
+  auto blocked = session.Run(limited);
   ASSERT_TRUE(blocked.ok());
   EXPECT_LE(blocked->run.counters.peak_open_files, 8);
   EXPECT_EQ(testing::ToSet(blocked->run.satisfied),
@@ -207,8 +204,8 @@ TEST(CrossAlgorithmCountersTest, SinglePassReadsNoMoreThanBruteForce) {
   options.bioentries = 120;
   auto catalog = datagen::MakeUniprotLike(options);
   ASSERT_TRUE(catalog.ok());
-  ProfileReport brute = ProfileWith(**catalog, IndApproach::kBruteForce);
-  ProfileReport single = ProfileWith(**catalog, IndApproach::kSinglePass);
+  SessionReport brute = ProfileWith(**catalog, "brute-force");
+  SessionReport single = ProfileWith(**catalog, "single-pass");
   EXPECT_LT(single.run.counters.tuples_read, brute.run.counters.tuples_read);
 }
 

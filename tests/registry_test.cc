@@ -4,7 +4,6 @@
 
 #include "src/common/temp_dir.h"
 #include "src/ind/de_marchi.h"
-#include "src/ind/profiler.h"
 #include "tests/test_util.h"
 
 namespace spider {
@@ -20,13 +19,13 @@ TEST(RegistryTest, AllBuiltinApproachesAreRegistered) {
   }
 }
 
-TEST(RegistryTest, LegacyEnumNamesRoundTripThroughRegistry) {
-  // Every legacy enum value maps to a registered name; the shim and the
-  // registry can never drift apart.
-  for (IndApproach approach : kAllIndApproaches) {
-    EXPECT_TRUE(AlgorithmRegistry::Global().Contains(
-        IndApproachToString(approach)))
-        << IndApproachToString(approach);
+TEST(RegistryTest, BuiltinCapabilitiesAreParallelSafe) {
+  // The session's partitioned dispatcher relies on every built-in being
+  // runnable as independent instances over disjoint candidate partitions.
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    auto capabilities = AlgorithmRegistry::Global().GetCapabilities(name);
+    ASSERT_TRUE(capabilities.ok()) << name;
+    EXPECT_TRUE(capabilities->parallel_safe) << name;
   }
 }
 

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/datagen/schema_spec.h"
-#include "src/ind/profiler.h"
+#include "src/ind/session.h"
 #include "src/storage/column_stats.h"
 #include "tests/test_util.h"
 
@@ -174,8 +174,8 @@ TEST(SchemaSpecTest, DeterministicUnderSeed) {
 TEST(SchemaSpecTest, EndToEndProfileFindsTheDeclaredFk) {
   auto catalog = GenerateCatalog(ParentChildSpec());
   ASSERT_TRUE(catalog.ok());
-  IndProfiler profiler;
-  auto report = profiler.Profile(**catalog);
+  SpiderSession session(**catalog);
+  auto report = session.Run();
   ASSERT_TRUE(report.ok());
   auto satisfied = testing::ToSet(report->run.satisfied);
   EXPECT_TRUE(

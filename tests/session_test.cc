@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+
 #include "src/datagen/uniprot_like.h"
 #include "tests/test_util.h"
 
@@ -202,6 +206,239 @@ TEST(SessionTest, ReportToStringNamesTheApproach) {
   auto report = session.Run(options);
   ASSERT_TRUE(report.ok());
   EXPECT_NE(report->ToString().find("sql-join"), std::string::npos);
+}
+
+// --- Coverage migrated from the deleted IndProfiler shim tests ----------
+
+TEST(SessionTest, WorkDirOptionIsUsed) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  auto dir = TempDir::Make("spider-session-work");
+  ASSERT_TRUE(dir.ok());
+  SessionOptions options;
+  options.work_dir = (*dir)->path().string();
+  SpiderSession session(catalog, options);
+  ASSERT_TRUE(session.Run().ok());
+  // Sorted sets were materialized into the provided directory.
+  bool any_set_file = false;
+  for (const auto& entry :
+       std::filesystem::directory_iterator((*dir)->path())) {
+    if (entry.path().extension() == ".set") any_set_file = true;
+  }
+  EXPECT_TRUE(any_set_file);
+}
+
+TEST(SessionTest, EmptyCatalog) {
+  Catalog catalog;
+  SpiderSession session(catalog);
+  auto report = session.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->run.satisfied.empty());
+  EXPECT_EQ(report->candidates.raw_pair_count, 0);
+}
+
+TEST(SessionTest, MaxValuePretestReducesCandidates) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  SpiderSession session(catalog);
+  auto baseline = session.Run();
+  ASSERT_TRUE(baseline.ok());
+
+  RunOptions pruned_options;
+  pruned_options.generator.max_value_pretest = true;
+  auto improved = session.Run(pruned_options);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_LT(improved->candidates.candidates.size(),
+            baseline->candidates.candidates.size());
+  // Pruning must not lose INDs.
+  EXPECT_EQ(testing::ToSet(improved->run.satisfied),
+            testing::ToSet(baseline->run.satisfied));
+}
+
+// --- Partitioned parallel dispatch --------------------------------------
+
+TEST(PartitionTest, DisjointCandidatesSplitIntoComponents) {
+  std::vector<IndCandidate> candidates = {
+      {{"a", "x"}, {"b", "x"}},  // component 1: {a.x, b.x}
+      {{"c", "x"}, {"d", "x"}},  // component 2: {c.x, d.x}
+      {{"b", "x"}, {"a", "x"}},  // component 1 again (shared attributes)
+  };
+  auto partitions = PartitionCandidatesByComponent(candidates);
+  ASSERT_EQ(partitions.size(), 2u);
+  EXPECT_EQ(partitions[0].size(), 2u);  // both component-1 edges, input order
+  EXPECT_EQ(partitions[0][0], candidates[0]);
+  EXPECT_EQ(partitions[0][1], candidates[2]);
+  EXPECT_EQ(partitions[1].size(), 1u);
+  EXPECT_EQ(partitions[1][0], candidates[1]);
+}
+
+TEST(PartitionTest, ChainedAttributesStayInOnePartition) {
+  // a ⊆ b, b ⊆ c: one transitive component even though no candidate names
+  // both a and c.
+  std::vector<IndCandidate> candidates = {
+      {{"t", "a"}, {"t", "b"}},
+      {{"t", "b"}, {"t", "c"}},
+  };
+  auto partitions = PartitionCandidatesByComponent(candidates);
+  ASSERT_EQ(partitions.size(), 1u);
+  EXPECT_EQ(partitions[0].size(), 2u);
+}
+
+// A catalog of `clusters` disjoint FK clusters whose value ranges do not
+// overlap, so the min/max-value pretests prune every cross-cluster
+// candidate and the attribute graph decomposes into `clusters` components.
+void FillClusteredCatalog(Catalog* catalog, int clusters) {
+  for (int k = 0; k < clusters; ++k) {
+    const std::string prefix(1, static_cast<char>('a' + k));
+    const std::string suffix = std::to_string(k);
+    testing::AddStringColumn(catalog, "child" + suffix, "fk",
+                             {prefix + "1", prefix + "2", prefix + "1"});
+    testing::AddStringColumn(
+        catalog, "parent" + suffix, "pk",
+        {prefix + "1", prefix + "2", prefix + "3"}, true);
+  }
+}
+
+TEST(SessionTest, ParallelRunMatchesSerialForEveryApproach) {
+  // The acceptance bar for the parallel dispatcher: threads=N returns a
+  // byte-identical (sorted) satisfied set for every registered approach,
+  // with the candidate set genuinely split across partitions.
+  Catalog catalog;
+  FillClusteredCatalog(&catalog, 6);
+  SpiderSession session(catalog);
+
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    RunOptions serial;
+    serial.approach = name;
+    serial.generator.max_value_pretest = true;
+    serial.generator.min_value_pretest = true;
+    serial.threads = 1;
+    auto serial_report = session.Run(serial);
+    ASSERT_TRUE(serial_report.ok()) << name;
+    EXPECT_EQ(serial_report->run.satisfied.size(), 6u) << name;
+
+    RunOptions parallel = serial;
+    parallel.threads = 4;
+    auto parallel_report = session.Run(parallel);
+    ASSERT_TRUE(parallel_report.ok()) << name;
+
+    EXPECT_EQ(parallel_report->partitions, 6) << name;
+    EXPECT_EQ(parallel_report->threads_used, 4) << name;
+    EXPECT_EQ(parallel_report->run.satisfied, serial_report->run.satisfied)
+        << name;  // vector equality: same INDs in the same (sorted) order
+    EXPECT_EQ(parallel_report->run.counters.tuples_read,
+              serial_report->run.counters.tuples_read)
+        << name;
+  }
+
+  // The dispatcher also runs (and stays correct) when everything is one
+  // component — the uniprot-like schema is fully connected.
+  datagen::UniprotLikeOptions data_options;
+  data_options.bioentries = 40;
+  auto uniprot = datagen::MakeUniprotLike(data_options);
+  ASSERT_TRUE(uniprot.ok());
+  SpiderSession connected(**uniprot);
+  RunOptions serial;
+  auto serial_report = connected.Run(serial);
+  ASSERT_TRUE(serial_report.ok());
+  RunOptions parallel = serial;
+  parallel.threads = 4;
+  auto parallel_report = connected.Run(parallel);
+  ASSERT_TRUE(parallel_report.ok());
+  EXPECT_EQ(parallel_report->run.satisfied, serial_report->run.satisfied);
+}
+
+TEST(SessionTest, ThreadsZeroResolvesToHardwareConcurrency) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  SpiderSession session(catalog);
+  RunOptions options;
+  options.threads = 0;
+  auto report = session.Run(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->threads_used, 1);
+  EXPECT_TRUE(testing::ToSet(report->run.satisfied)
+                  .contains(Ind{{"child", "fk"}, {"parent", "pk"}}));
+}
+
+TEST(SessionTest, SatisfiedSetIsSortedForAnyThreadCount) {
+  datagen::UniprotLikeOptions data_options;
+  data_options.bioentries = 40;
+  auto catalog = datagen::MakeUniprotLike(data_options);
+  ASSERT_TRUE(catalog.ok());
+  SpiderSession session(**catalog);
+  for (int threads : {1, 3}) {
+    RunOptions options;
+    options.threads = threads;
+    auto report = session.Run(options);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(std::is_sorted(report->run.satisfied.begin(),
+                               report->run.satisfied.end()))
+        << "threads=" << threads;
+  }
+}
+
+TEST(SessionTest, ParallelCancellationStopsEveryPartition) {
+  datagen::UniprotLikeOptions data_options;
+  data_options.bioentries = 40;
+  auto catalog = datagen::MakeUniprotLike(data_options);
+  ASSERT_TRUE(catalog.ok());
+  SpiderSession session(**catalog);
+
+  CancellationToken token;
+  token.Cancel();  // pre-cancelled: every partition stops at its first poll
+  RunOptions options;
+  options.cancel = &token;
+  options.threads = 4;
+  auto report = session.Run(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->run.finished);
+  EXPECT_TRUE(report->run.satisfied.empty());
+}
+
+TEST(SessionTest, ParallelProgressAggregatesAcrossPartitions) {
+  datagen::UniprotLikeOptions data_options;
+  data_options.bioentries = 40;
+  auto catalog = datagen::MakeUniprotLike(data_options);
+  ASSERT_TRUE(catalog.ok());
+  SpiderSession session(**catalog);
+
+  std::atomic<int64_t> calls{0};
+  std::atomic<int64_t> max_done{0};
+  RunOptions options;
+  options.approach = "brute-force";
+  options.threads = 4;
+  options.progress = [&](const RunProgress& progress) {
+    ++calls;
+    int64_t expected = max_done.load();
+    while (progress.done > expected &&
+           !max_done.compare_exchange_weak(expected, progress.done)) {
+    }
+  };
+  auto report = session.Run(options);
+  ASSERT_TRUE(report.ok());
+  const int64_t candidates =
+      static_cast<int64_t>(report->candidates.candidates.size());
+  ASSERT_GT(candidates, 0);
+  // Brute force steps once per candidate; the aggregated counter must reach
+  // the full candidate count across all partitions.
+  EXPECT_EQ(calls.load(), candidates);
+  EXPECT_EQ(max_done.load(), candidates);
+}
+
+TEST(SessionTest, ParallelTimeBudgetReturnsPartialResult) {
+  datagen::UniprotLikeOptions data_options;
+  data_options.bioentries = 60;
+  auto catalog = datagen::MakeUniprotLike(data_options);
+  ASSERT_TRUE(catalog.ok());
+  SpiderSession session(**catalog);
+
+  RunOptions options;
+  options.threads = 4;
+  options.time_budget_seconds = 1e-9;
+  auto report = session.Run(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->run.finished);
 }
 
 }  // namespace

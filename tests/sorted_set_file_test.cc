@@ -116,5 +116,75 @@ TEST_F(SortedSetFileTest, ValuesWithEmbeddedNewlines) {
   EXPECT_EQ((*reader)->Next(), "c");
 }
 
+TEST_F(SortedSetFileTest, SkipAdvancesAndCountsWithoutCopying) {
+  RunCounters counters;
+  auto path = WriteSet({"a", "b", "c"});
+  auto reader = SortedSetReader::Open(path, &counters);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->Peek(), "a");
+  (*reader)->Skip();
+  EXPECT_EQ(counters.tuples_read, 1);
+  EXPECT_EQ((*reader)->Peek(), "b");
+  (*reader)->Skip();
+  EXPECT_EQ((*reader)->Next(), "c");
+  EXPECT_EQ(counters.tuples_read, 3);
+  EXPECT_FALSE((*reader)->HasNext());
+}
+
+TEST_F(SortedSetFileTest, PeekViewStaysValidUntilAdvance) {
+  auto path = WriteSet({"alpha", "beta"});
+  auto reader = SortedSetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::string_view first = (*reader)->Peek();
+  // Repeated peeks and HasNext() must not invalidate or move the view.
+  ASSERT_TRUE((*reader)->HasNext());
+  std::string_view again = (*reader)->Peek();
+  EXPECT_EQ(first.data(), again.data());
+  EXPECT_EQ(first, "alpha");
+}
+
+TEST_F(SortedSetFileTest, TinyBufferStillDecodesEveryRecord) {
+  // Values larger than the read buffer force the grow-and-refill path, and
+  // record boundaries land on every possible buffer offset.
+  std::vector<std::string> values;
+  for (char c = 'a'; c <= 'z'; ++c) {
+    values.push_back(std::string(static_cast<size_t>(7 * (c - 'a' + 1)), c));
+  }
+  auto path = WriteSet(values);
+  auto reader =
+      SortedSetReader::Open(path, nullptr, /*buffer_bytes=*/16);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> got;
+  while ((*reader)->HasNext()) got.push_back((*reader)->Next());
+  EXPECT_EQ(got, values);
+  EXPECT_TRUE((*reader)->status().ok());
+}
+
+using SortedSetFileDeathTest = SortedSetFileTest;
+
+TEST_F(SortedSetFileDeathTest, NextPastEofAborts) {
+  // Regression: Next() at EOF used to dereference an empty std::optional
+  // (undefined behavior); it must now fail a clean CHECK.
+  auto path = WriteSet({"only"});
+  auto reader = SortedSetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->Next(), "only");
+  EXPECT_DEATH((*reader)->Next(), "past EOF");
+}
+
+TEST_F(SortedSetFileDeathTest, PeekPastEofAborts) {
+  auto path = WriteSet({});
+  auto reader = SortedSetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_DEATH((*reader)->Peek(), "past EOF");
+}
+
+TEST_F(SortedSetFileDeathTest, SkipPastEofAborts) {
+  auto path = WriteSet({});
+  auto reader = SortedSetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_DEATH((*reader)->Skip(), "past EOF");
+}
+
 }  // namespace
 }  // namespace spider

@@ -1,0 +1,95 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace spider {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryScheduledTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Schedule([&counter]() { ++counter; });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResultsThroughFutures) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // Two tasks that each wait for the other can only finish if the pool
+  // really runs them on distinct threads.
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  auto rendezvous = [&arrived]() {
+    ++arrived;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (arrived.load() < 2) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "tasks were serialized";
+      std::this_thread::yield();
+    }
+  };
+  auto a = pool.Submit(rendezvous);
+  auto b = pool.Submit(rendezvous);
+  a.get();
+  b.get();
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(ThreadPoolTest, ScheduleFromWorkerThreads) {
+  // Tasks may enqueue follow-up work (fire-and-forget fan-out).
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> roots;
+  for (int i = 0; i < 8; ++i) {
+    roots.push_back(pool.Submit([&pool, &done]() {
+      for (int j = 0; j < 4; ++j) {
+        pool.Schedule([&done]() { ++done; });
+      }
+    }));
+  }
+  for (auto& root : roots) root.get();
+  // The fan-out tasks are fire-and-forget; poll until they drain.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < 32 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7);
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  auto future = pool.Submit([]() { return 42; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+}  // namespace
+}  // namespace spider

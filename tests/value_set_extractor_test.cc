@@ -117,5 +117,119 @@ TEST_F(ValueSetExtractorTest, SpillsUnderTinyBudget) {
   EXPECT_EQ(info->distinct_count, 300);
 }
 
+TEST_F(ValueSetExtractorTest, SetFileNamesAreDeterministicAndCollisionFree) {
+  // Names must not depend on extraction order (the old implementation
+  // appended a cache-size ordinal), and attributes whose sanitized names
+  // collide ("a.b_c" vs "a_b.c" both sanitize to "a.b_c"-ish strings) must
+  // still land in distinct files.
+  const AttributeRef first{"a", "b_c"};
+  const AttributeRef second{"a_b", "c"};
+  EXPECT_EQ(ValueSetExtractor::SetFileName(first),
+            ValueSetExtractor::SetFileName(first));
+  EXPECT_NE(ValueSetExtractor::SetFileName(first),
+            ValueSetExtractor::SetFileName(second));
+
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "a", "b_c", {"x"});
+  testing::AddStringColumn(&catalog, "a_b", "c", {"y"});
+  // Two extractors visiting the attributes in opposite order produce the
+  // same file for the same attribute.
+  auto dir2 = TempDir::Make("spider-extract-order");
+  ASSERT_TRUE(dir2.ok());
+  ValueSetExtractor forward(dir_->path());
+  ValueSetExtractor backward((*dir2)->path());
+  ASSERT_TRUE(forward.Extract(catalog, first).ok());
+  ASSERT_TRUE(forward.Extract(catalog, second).ok());
+  ASSERT_TRUE(backward.Extract(catalog, second).ok());
+  ASSERT_TRUE(backward.Extract(catalog, first).ok());
+  auto f1 = forward.Lookup(first);
+  auto b1 = backward.Lookup(first);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(f1->path.filename(), b1->path.filename());
+  EXPECT_EQ(ReadAll(f1->path), (std::vector<std::string>{"x"}));
+  auto f2 = forward.Lookup(second);
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(ReadAll(f2->path), (std::vector<std::string>{"y"}));
+}
+
+TEST_F(ValueSetExtractorTest, ConcurrentExtractionIsSafeAndDeduplicated) {
+  // Many threads hammer the same attributes: each attribute must be sorted
+  // exactly once (one .set file per attribute, identical info everywhere),
+  // with no torn files. Run under TSan to verify the locking.
+  Catalog catalog;
+  const int kAttributes = 8;
+  std::vector<AttributeRef> attributes;
+  for (int a = 0; a < kAttributes; ++a) {
+    std::vector<std::string> values;
+    for (int i = 0; i < 200; ++i) {
+      values.push_back("a" + std::to_string(a) + "-" + std::to_string(i));
+    }
+    const std::string table = "t" + std::to_string(a);
+    testing::AddStringColumn(&catalog, table, "c", values);
+    attributes.push_back({table, "c"});
+  }
+  ValueSetExtractorOptions options;
+  options.sort_memory_budget_bytes = 256;  // exercise spilling concurrently
+  ValueSetExtractor extractor(dir_->path(), options);
+
+  ThreadPool pool(8);
+  std::vector<std::future<Result<SortedSetInfo>>> futures;
+  for (int round = 0; round < 4; ++round) {
+    for (const AttributeRef& attr : attributes) {
+      futures.push_back(pool.Submit(
+          [&extractor, &catalog, attr]() {
+            return extractor.Extract(catalog, attr);
+          }));
+    }
+  }
+  for (auto& future : futures) {
+    auto info = future.get();
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(info->distinct_count, 200);
+  }
+  // Exactly one .set file per attribute despite 4x duplicate requests.
+  int set_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_->path())) {
+    if (entry.path().extension() == ".set") ++set_files;
+  }
+  EXPECT_EQ(set_files, kAttributes);
+}
+
+TEST_F(ValueSetExtractorTest, ExtractAllOnPoolMatchesSerialOrder) {
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "t1", "c", {"a", "b"});
+  testing::AddStringColumn(&catalog, "t2", "c", {"c"});
+  testing::AddStringColumn(&catalog, "t3", "c", {"d", "e", "f"});
+  std::vector<AttributeRef> attributes = {
+      {"t3", "c"}, {"t1", "c"}, {"t2", "c"}};
+  ValueSetExtractor extractor(dir_->path());
+  ThreadPool pool(4);
+  auto infos = extractor.ExtractAll(catalog, attributes, &pool);
+  ASSERT_TRUE(infos.ok());
+  ASSERT_EQ(infos->size(), 3u);
+  EXPECT_EQ((*infos)[0].distinct_count, 3);
+  EXPECT_EQ((*infos)[1].distinct_count, 2);
+  EXPECT_EQ((*infos)[2].distinct_count, 1);
+}
+
+TEST_F(ValueSetExtractorTest, ConcurrentFailuresDoNotPoisonTheCache) {
+  Catalog catalog;
+  testing::AddStringColumn(&catalog, "t", "c", {"a"});
+  ValueSetExtractor extractor(dir_->path());
+  ThreadPool pool(4);
+  std::vector<std::future<Result<SortedSetInfo>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.Submit([&extractor, &catalog]() {
+      return extractor.Extract(catalog, {"missing", "column"});
+    }));
+  }
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status().IsNotFound());
+  }
+  // The real attribute still extracts fine afterwards.
+  EXPECT_TRUE(extractor.Extract(catalog, {"t", "c"}).ok());
+}
+
 }  // namespace
 }  // namespace spider

@@ -3,7 +3,8 @@
 // Usage:
 //   spider profile <csv_dir> [--approach=NAME] [--max-value-pretest]
 //                            [--sampling-pretest] [--sigma=S]
-//                            [--time-budget=S] [--json]
+//                            [--time-budget=S] [--threads=N] [--progress]
+//                            [--json]
 //   spider discover <csv_dir> [--approach=NAME] [--no-surrogate-filter]
 //   spider links <source_csv_dir> <target_csv_dir> [--strip-prefixes]
 //                [--min-coverage=C]
@@ -15,7 +16,16 @@
 // `approaches` lists every registered verification approach with its
 // capabilities. Approach names come from the algorithm registry — the CLI
 // has no hard-coded list.
+//
+// Ctrl-C (SIGINT) cancels a running profile cooperatively: the run stops
+// at the next poll and the partial finished=false report is still printed.
+// --progress writes a live progress line to stderr; --threads=N runs the
+// verification phase on N workers (0 = hardware concurrency) with results
+// identical to --threads=1.
 
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -24,6 +34,7 @@
 #include <fstream>
 
 #include "src/common/json_writer.h"
+#include "src/common/stopwatch.h"
 #include "src/common/temp_dir.h"
 #include "src/discovery/graph_export.h"
 #include "src/discovery/link_discovery.h"
@@ -42,6 +53,33 @@ int Fail(const Status& status) {
   return 1;
 }
 
+// SIGINT flips the token; every algorithm polls it cooperatively, so an
+// interrupted run still reports the INDs it had confirmed. The handler
+// resets itself so a second Ctrl-C force-kills as usual.
+CancellationToken g_sigint_token;
+
+void HandleSigint(int) {
+  g_sigint_token.Cancel();
+  std::signal(SIGINT, SIG_DFL);
+}
+
+void InstallSigintHandler() { std::signal(SIGINT, HandleSigint); }
+
+// Throttled stderr progress line ("\r"-rewritten in place).
+void PrintProgress(const RunProgress& progress) {
+  static std::atomic<int64_t> last_printed{-1};
+  // One line per ~1/100th of the work (or every update when total is
+  // unknown/small) keeps the write volume negligible.
+  const int64_t stride = progress.total > 200 ? progress.total / 100 : 1;
+  const int64_t bucket = progress.done / (stride > 0 ? stride : 1);
+  int64_t prev = last_printed.load(std::memory_order_relaxed);
+  if (bucket == prev && progress.done != progress.total) return;
+  last_printed.store(bucket, std::memory_order_relaxed);
+  std::cerr << "\rtested " << progress.done << "/" << progress.total
+            << " (" << Stopwatch::FormatDuration(progress.elapsed_seconds)
+            << ")" << std::flush;
+}
+
 // The approach list in the usage text is derived from the registry, so a
 // newly registered algorithm shows up without touching the CLI.
 std::string ApproachList() {
@@ -58,7 +96,8 @@ int Usage() {
       << "usage:\n"
          "  spider profile <csv_dir> [--approach=NAME] [--max-value-pretest]\n"
          "                           [--sampling-pretest] [--sigma=S]\n"
-         "                           [--time-budget=S] [--json]\n"
+         "                           [--time-budget=S] [--threads=N]\n"
+         "                           [--progress] [--json]\n"
          "  spider discover <csv_dir> [--approach=NAME] "
          "[--no-surrogate-filter] [--dot=FILE]\n"
          "  spider links <source_dir> <target_dir> [--strip-prefixes]\n"
@@ -77,10 +116,12 @@ struct Flags {
   bool surrogate_filter = true;
   bool strip_prefixes = false;
   bool json = false;
+  bool progress = false;
   std::string dot_path;
   double sigma = 1.0;
   double min_coverage = 1.0;
   double time_budget_seconds = 0;
+  int threads = 1;
   bool ok = true;
 };
 
@@ -115,6 +156,19 @@ Flags ParseFlags(int argc, char** argv, int first) {
       flags.min_coverage = std::atof(arg.substr(15).c_str());
     } else if (arg.rfind("--time-budget=", 0) == 0) {
       flags.time_budget_seconds = std::atof(arg.substr(14).c_str());
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed < 0 || parsed > 4096) {
+        std::cerr << "--threads must be an integer in [0, 4096] "
+                     "(0 = hardware concurrency), got '" << value << "'\n";
+        flags.ok = false;
+        return flags;
+      }
+      flags.threads = static_cast<int>(parsed);
+    } else if (arg == "--progress") {
+      flags.progress = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag: " << arg << "\n";
       flags.ok = false;
@@ -132,6 +186,9 @@ RunOptions MakeRunOptions(const Flags& flags) {
   options.generator.max_value_pretest = flags.max_value_pretest;
   options.generator.sampling_pretest = flags.sampling_pretest;
   options.time_budget_seconds = flags.time_budget_seconds;
+  options.threads = flags.threads;
+  options.cancel = &g_sigint_token;
+  if (flags.progress) options.progress = PrintProgress;
   return options;
 }
 
@@ -145,8 +202,10 @@ int RunProfile(const Flags& flags) {
   }
 
   if (flags.sigma >= 1.0) {
+    InstallSigintHandler();
     SpiderSession session(**catalog);
     auto report = session.Run(MakeRunOptions(flags));
+    if (flags.progress) std::cerr << "\n";
     if (!report.ok()) return Fail(report.status());
     if (flags.json) {
       // `finished: false` marks a budget-expired run: `satisfied_inds` is
@@ -162,6 +221,9 @@ int RunProfile(const Flags& flags) {
       json.KV("pretest_pruned", report->candidates.total_pruned());
       json.KV("finished", report->run.finished);
       json.KV("budget_expired", !report->run.finished);
+      json.KV("cancelled", g_sigint_token.cancelled());
+      json.KV("threads", static_cast<int64_t>(report->threads_used));
+      json.KV("partitions", static_cast<int64_t>(report->partitions));
       json.KV("seconds", report->total_seconds);
       json.KV("tuples_read", report->run.counters.tuples_read);
       json.Key("satisfied_inds");
@@ -178,7 +240,11 @@ int RunProfile(const Flags& flags) {
       return 0;
     }
     std::cout << report->ToString() << "\nsatisfied INDs"
-              << (report->run.finished ? "" : " (partial, budget expired)")
+              << (report->run.finished
+                      ? ""
+                      : (g_sigint_token.cancelled()
+                             ? " (partial, interrupted)"
+                             : " (partial, budget expired)"))
               << ":\n";
     for (const Ind& ind : report->run.satisfied) {
       std::cout << "  " << ind.ToString() << "\n";
@@ -219,6 +285,7 @@ int RunDiscover(const Flags& flags) {
   auto catalog = ReadCsvDirectory(flags.positional[0]);
   if (!catalog.ok()) return Fail(catalog.status());
 
+  InstallSigintHandler();
   SchemaReportOptions options;
   options.ind = MakeRunOptions(flags);
   options.filter_surrogates = flags.surrogate_filter;

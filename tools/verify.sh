@@ -27,8 +27,12 @@ case "$config" in
     build_dir="${BUILD_DIR:-build/asan}"
     cmake_args=(-DCMAKE_BUILD_TYPE=Debug -DSPIDER_SANITIZE=ON)
     ;;
+  tsan)
+    build_dir="${BUILD_DIR:-build/tsan}"
+    cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DSPIDER_TSAN=ON)
+    ;;
   *)
-    echo "usage: $0 [release|debug|asan]" >&2
+    echo "usage: $0 [release|debug|asan|tsan]" >&2
     exit 2
     ;;
 esac
