@@ -1,0 +1,110 @@
+// Tournament tree for k-way merging.
+//
+// The ROADMAP's loser-tree upgrade of the merge heaps, in the winner
+// formulation: internal nodes store the winning slot of their subtree, so
+// changing one leaf replays exactly one leaf-to-root path — ⌈log2 k⌉
+// comparisons per advance, versus a binary heap's ~3·log2 k for a pop+push
+// cycle (sift-down compares two children per level, then the push sifts
+// again). The winner formulation is chosen over the classic loser one
+// because these merge loops pop whole groups of equal values and reinsert
+// the advanced cursors afterwards; a loser tree only supports replacement
+// at the current winner's leaf, a winner tree updates any leaf. Used by
+// the spider-merge cursor heap, the external sorter's run merge and the
+// disk store's dictionary-merge statistics pass.
+
+#pragma once
+
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace spider {
+
+/// \brief Min-tournament over a fixed set of slots [0, capacity).
+///
+/// Slots are activated with Push(), the minimum is read with top(),
+/// removed with Pop(), and — when the winner's key changed in place (the
+/// straight replacement-selection advance) — replayed with Refresh().
+/// `less(a, b)` compares the current keys of two active slots; it must be
+/// a strict weak ordering and — for deterministic merges — must break key
+/// ties by slot id. The tree never stores keys: it replays matches through
+/// `less`, so a slot's key may change freely while the slot is inactive
+/// (popped), which is exactly the cursor-advance pattern of the merges.
+template <typename Less>
+class TournamentTree {
+ public:
+  explicit TournamentTree(int capacity, Less less)
+      : capacity_(capacity < 1 ? 1 : capacity),
+        less_(less),
+        tree_(2 * static_cast<size_t>(capacity_), kInactive),
+        active_(static_cast<size_t>(capacity_), false) {}
+
+  int capacity() const { return capacity_; }
+  int size() const { return active_count_; }
+  bool empty() const { return active_count_ == 0; }
+
+  /// The slot holding the smallest key. Undefined when empty().
+  int top() const {
+    SPIDER_DCHECK(!empty());
+    return tree_[1];
+  }
+
+  /// Deactivates the winning slot and replays its path.
+  void Pop() {
+    SPIDER_DCHECK(!empty());
+    const int slot = tree_[1];
+    active_[static_cast<size_t>(slot)] = false;
+    --active_count_;
+    Replay(slot);
+  }
+
+  /// Activates `slot` (whose key must stay valid until it is popped) and
+  /// replays its path.
+  void Push(int slot) {
+    SPIDER_DCHECK(slot >= 0 && slot < capacity_);
+    SPIDER_DCHECK(!active_[static_cast<size_t>(slot)]);
+    active_[static_cast<size_t>(slot)] = true;
+    ++active_count_;
+    Replay(slot);
+  }
+
+  /// Replays the winner's path after its key changed in place — the
+  /// single-replay advance of a straight k-way merge (pop+push would
+  /// replay the same path twice).
+  void Refresh() {
+    SPIDER_DCHECK(!empty());
+    Replay(tree_[1]);
+  }
+
+ private:
+  static constexpr int kInactive = -1;
+
+  // Does `a` beat (rank strictly before) `b`? Inactive slots rank last.
+  bool Wins(int a, int b) const {
+    if (b == kInactive) return a != kInactive;
+    if (a == kInactive) return false;
+    return less_(a, b);
+  }
+
+  // Replays the matches along `slot`'s leaf-to-root path. Leaves sit at
+  // tree_[capacity_ + s]; node i holds the winner of children 2i and
+  // 2i + 1 (the standard any-capacity implicit layout).
+  void Replay(int slot) {
+    size_t i = static_cast<size_t>(capacity_ + slot);
+    tree_[i] = active_[static_cast<size_t>(slot)] ? slot : kInactive;
+    for (i /= 2; i >= 1; i /= 2) {
+      const int a = tree_[2 * i];
+      const int b = tree_[2 * i + 1];
+      tree_[i] = Wins(b, a) ? b : a;
+    }
+  }
+
+  int capacity_;
+  Less less_;
+  // tree_[1] is the root (winner); tree_[capacity_ ..) are the leaves.
+  std::vector<int> tree_;
+  std::vector<bool> active_;
+  int active_count_ = 0;
+};
+
+}  // namespace spider

@@ -1,18 +1,11 @@
-#include "src/extsort/value_codec.h"
+#include "src/common/value_codec.h"
 
 namespace spider {
 
 Status WriteValueRecord(std::ostream& out, std::string_view value) {
-  uint64_t len = value.size();
-  unsigned char buf[10];
-  int n = 0;
-  do {
-    unsigned char byte = len & 0x7F;
-    len >>= 7;
-    if (len != 0) byte |= 0x80;
-    buf[n++] = byte;
-  } while (len != 0);
-  out.write(reinterpret_cast<const char*>(buf), n);
+  std::string header;
+  EncodeVarint(&header, value.size());
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
   out.write(value.data(), static_cast<std::streamsize>(value.size()));
   if (!out) return Status::IOError("failed writing value record");
   return Status::OK();

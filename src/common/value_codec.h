@@ -2,7 +2,8 @@
 //
 // Records are canonical value strings, stored length-prefixed (LEB128
 // varint + raw bytes) so values may contain any byte including newlines and
-// NULs. The same codec is used by spill runs and final sorted-set files.
+// NULs. The same codec is used by spill runs, final sorted-set files and
+// the disk column store's block headers.
 
 #pragma once
 
@@ -17,6 +18,16 @@ namespace spider {
 
 /// Appends one record to `out`.
 Status WriteValueRecord(std::ostream& out, std::string_view value);
+
+/// Appends the LEB128 encoding of `v` to `*out`.
+inline void EncodeVarint(std::string* out, uint64_t v) {
+  do {
+    unsigned char byte = v & 0x7F;
+    v >>= 7;
+    if (v != 0) byte |= 0x80;
+    out->push_back(static_cast<char>(byte));
+  } while (v != 0);
+}
 
 /// Reads the next record into `*value`. Returns false at clean EOF; a
 /// truncated record yields an IOError through `*status`.

@@ -17,9 +17,8 @@ Value Str(std::string v) { return Value::String(std::move(v)); }
 
 }  // namespace
 
-Result<std::unique_ptr<Catalog>> MakePdbLike(const PdbLikeOptions& options) {
+Status WritePdbLike(const PdbLikeOptions& options, CatalogSink& sink) {
   Random rng(options.seed);
-  auto catalog = std::make_unique<Catalog>("pdb_like");
 
   const int64_t n = options.entries;
 
@@ -30,47 +29,49 @@ Result<std::unique_ptr<Catalog>> MakePdbLike(const PdbLikeOptions& options) {
 
   // ---- pdb_struct: the true primary relation --------------------------
   {
-    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("pdb_struct"));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_key", TypeId::kInteger));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_id", TypeId::kString));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("title", TypeId::kString));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("pdbx_descriptor", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.BeginTable("pdb_struct"));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("entry_key", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("entry_id", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("title", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("pdbx_descriptor", TypeId::kString));
     for (int64_t i = 0; i < n; ++i) {
-      SPIDER_RETURN_NOT_OK(t->AppendRow(
+      SPIDER_RETURN_NOT_OK(sink.AppendRow(
           {Int(1 + i), Str(entry_codes[static_cast<size_t>(i)]),
            Str(MakeSentence(&rng, 7)), Str(MakeSentence(&rng, 3))}));
     }
+    SPIDER_RETURN_NOT_OK(sink.FinishTable());
   }
 
   // ---- pdb_exptl: one row for ~90% of the entries ----------------------
   {
-    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("pdb_exptl"));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_key", TypeId::kInteger));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_id", TypeId::kString));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("method", TypeId::kString));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("crystals_number", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(sink.BeginTable("pdb_exptl"));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("entry_key", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("entry_id", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("method", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("crystals_number", TypeId::kInteger));
     const int64_t rows = n * 9 / 10;
     for (int64_t i = 0; i < rows; ++i) {
-      SPIDER_RETURN_NOT_OK(t->AppendRow(
+      SPIDER_RETURN_NOT_OK(sink.AppendRow(
           {Int(1 + i), Str(entry_codes[static_cast<size_t>(i)]),
            Str(rng.Choice(MethodPool())), Int(rng.Uniform(1, 4))}));
     }
+    SPIDER_RETURN_NOT_OK(sink.FinishTable());
   }
 
   // ---- pdb_struct_keywords: one row for ~95% of the entries ------------
   {
-    SPIDER_ASSIGN_OR_RETURN(Table * t,
-                            catalog->CreateTable("pdb_struct_keywords"));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_key", TypeId::kInteger));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_id", TypeId::kString));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("pdbx_keywords", TypeId::kString));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("text", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.BeginTable("pdb_struct_keywords"));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("entry_key", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("entry_id", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("pdbx_keywords", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("text", TypeId::kString));
     const int64_t rows = n * 19 / 20;
     for (int64_t i = 0; i < rows; ++i) {
-      SPIDER_RETURN_NOT_OK(t->AppendRow(
+      SPIDER_RETURN_NOT_OK(sink.AppendRow(
           {Int(1 + i), Str(entry_codes[static_cast<size_t>(i)]),
            Str(rng.Choice(NounPool())), Str(MakeSentence(&rng, 5))}));
     }
+    SPIDER_RETURN_NOT_OK(sink.FinishTable());
   }
 
   // ---- category tables ---------------------------------------------------
@@ -91,19 +92,18 @@ Result<std::unique_ptr<Catalog>> MakePdbLike(const PdbLikeOptions& options) {
   // ones — the paper-scale preset asks for 160 category tables.
   const int named_count = static_cast<int>(std::size(kCategoryNames));
   for (int k = 0; k < options.category_tables; ++k) {
-    std::string table_name =
+    const std::string table_name =
         k < named_count ? kCategoryNames[k]
                         : "pdb_category_" + std::to_string(k);
-    SPIDER_ASSIGN_OR_RETURN(Table * t,
-                            catalog->CreateTable(std::move(table_name)));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_id", TypeId::kString));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("ordinal", TypeId::kInteger));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("details", TypeId::kString));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("value_1", TypeId::kDouble));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("value_2", TypeId::kDouble));
+    SPIDER_RETURN_NOT_OK(sink.BeginTable(table_name));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("entry_id", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("ordinal", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("details", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("value_1", TypeId::kDouble));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("value_2", TypeId::kDouble));
     for (int extra = 0; extra < options.extra_data_columns; ++extra) {
-      SPIDER_RETURN_NOT_OK(t->AddColumn(
+      SPIDER_RETURN_NOT_OK(sink.AddColumn(
           "value_" + std::to_string(3 + extra), TypeId::kDouble));
     }
 
@@ -127,31 +127,39 @@ Result<std::unique_ptr<Catalog>> MakePdbLike(const PdbLikeOptions& options) {
       for (int extra = 0; extra < options.extra_data_columns; ++extra) {
         row.push_back(Dbl(rng.NextDouble() * 1000.0));
       }
-      SPIDER_RETURN_NOT_OK(t->AppendRow(std::move(row)));
+      SPIDER_RETURN_NOT_OK(sink.AppendRow(std::move(row)));
     }
+    SPIDER_RETURN_NOT_OK(sink.FinishTable());
   }
 
   // ---- pdb_atom_site (optional, dominating) ------------------------------
   if (options.include_atom_site) {
-    SPIDER_ASSIGN_OR_RETURN(Table * t, catalog->CreateTable("pdb_atom_site"));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("id", TypeId::kInteger));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("entry_id", TypeId::kString));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("atom_name", TypeId::kString));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("cartn_x", TypeId::kDouble));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("cartn_y", TypeId::kDouble));
-    SPIDER_RETURN_NOT_OK(t->AddColumn("cartn_z", TypeId::kDouble));
+    SPIDER_RETURN_NOT_OK(sink.BeginTable("pdb_atom_site"));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("entry_id", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("atom_name", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("cartn_x", TypeId::kDouble));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("cartn_y", TypeId::kDouble));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("cartn_z", TypeId::kDouble));
     static const char* kAtoms[] = {"CA", "CB", "N", "O", "C", "SG"};
     const int64_t rows = n * 50;
     for (int64_t i = 0; i < rows; ++i) {
-      SPIDER_RETURN_NOT_OK(t->AppendRow(
+      SPIDER_RETURN_NOT_OK(sink.AppendRow(
           {Int(1 + i), Str(rng.Choice(entry_codes)),
            Str(kAtoms[rng.Uniform(0, 5)]), Dbl(rng.NextDouble() * 200 - 100),
            Dbl(rng.NextDouble() * 200 - 100),
            Dbl(rng.NextDouble() * 200 - 100)}));
     }
+    SPIDER_RETURN_NOT_OK(sink.FinishTable());
   }
 
-  return catalog;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Catalog>> MakePdbLike(const PdbLikeOptions& options) {
+  MemoryCatalogSink sink("pdb_like");
+  SPIDER_RETURN_NOT_OK(WritePdbLike(options, sink));
+  return sink.Finish();
 }
 
 }  // namespace spider::datagen

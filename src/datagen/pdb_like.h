@@ -22,6 +22,7 @@
 
 #include "src/common/result.h"
 #include "src/storage/catalog.h"
+#include "src/storage/catalog_sink.h"
 
 namespace spider::datagen {
 
@@ -64,8 +65,15 @@ struct PdbLikeOptions {
   }
 };
 
-/// Builds the catalog. No constraints are declared (the OpenMMS schema
-/// "does not define any foreign keys").
+/// Builds the in-memory catalog. No constraints are declared (the OpenMMS
+/// schema "does not define any foreign keys").
 Result<std::unique_ptr<Catalog>> MakePdbLike(const PdbLikeOptions& options = {});
+
+/// Streams the same deterministic dataset (table by table, row by row) into
+/// any CatalogSink — a CsvCatalogSink for an on-disk CSV dump or a
+/// DiskCatalogWriter for a ready-to-profile out-of-core workspace — holding
+/// one row (plus the entry-code pool) in memory. For a fixed options.seed,
+/// every sink receives byte-identical values.
+Status WritePdbLike(const PdbLikeOptions& options, CatalogSink& sink);
 
 }  // namespace spider::datagen

@@ -1,29 +1,34 @@
 #include "src/discovery/accession.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "src/common/string_util.h"
 
 namespace spider {
 
-bool AccessionNumberDetector::Evaluate(const Column& column,
-                                       AccessionCandidate* out) const {
+Result<bool> AccessionNumberDetector::Evaluate(const Column& column,
+                                               AccessionCandidate* out) const {
   if (column.non_null_count() < options_.min_values) return false;
   if (column.type() == TypeId::kLob) return false;
 
   int64_t conforming = 0;
   int64_t total = 0;
   std::vector<int64_t> lengths;
-  for (const Value& v : column.values()) {
-    if (v.is_null()) continue;
+  SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
+                          column.OpenCursor());
+  std::string_view canon;
+  for (CursorStep step = cursor->Next(&canon); step != CursorStep::kEnd;
+       step = cursor->Next(&canon)) {
+    if (step == CursorStep::kNull) continue;
     ++total;
-    const std::string canon = v.ToCanonicalString();
     const int64_t len = static_cast<int64_t>(canon.size());
     if (len >= options_.min_length && ContainsLetter(canon)) {
       ++conforming;
       lengths.push_back(len);
     }
   }
+  SPIDER_RETURN_NOT_OK(cursor->status());
   if (total == 0 || lengths.empty()) return false;
 
   const double fraction =
@@ -58,7 +63,9 @@ Result<std::vector<AccessionCandidate>> AccessionNumberDetector::Detect(
     for (int c = 0; c < table.column_count(); ++c) {
       AccessionCandidate candidate;
       candidate.attribute = {table.name(), table.column(c).name()};
-      if (Evaluate(table.column(c), &candidate)) {
+      SPIDER_ASSIGN_OR_RETURN(bool is_candidate,
+                              Evaluate(table.column(c), &candidate));
+      if (is_candidate) {
         out.push_back(std::move(candidate));
       }
     }

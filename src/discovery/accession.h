@@ -56,7 +56,8 @@ class AccessionNumberDetector {
   Result<std::vector<AccessionCandidate>> Detect(const Catalog& catalog) const;
 
  private:
-  bool Evaluate(const Column& column, AccessionCandidate* out) const;
+  Result<bool> Evaluate(const Column& column,
+                        AccessionCandidate* out) const;
 
   AccessionDetectorOptions options_;
 };

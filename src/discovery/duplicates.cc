@@ -12,9 +12,14 @@ Result<std::set<std::string>> DistinctValues(const Catalog& catalog,
   SPIDER_ASSIGN_OR_RETURN(const Column* column,
                           catalog.ResolveAttribute(attribute));
   std::set<std::string> out;
-  for (const Value& v : column->values()) {
-    if (!v.is_null()) out.insert(v.ToCanonicalString());
+  SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
+                          column->OpenCursor());
+  std::string_view view;
+  for (CursorStep step = cursor->Next(&view); step != CursorStep::kEnd;
+       step = cursor->Next(&view)) {
+    if (step == CursorStep::kValue) out.emplace(view);
   }
+  SPIDER_RETURN_NOT_OK(cursor->status());
   return out;
 }
 

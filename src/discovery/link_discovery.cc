@@ -37,9 +37,14 @@ Result<std::vector<DatabaseLink>> LinkDiscovery::FindLinks(
                             target.ResolveAttribute(acc.attribute));
     TargetSet set;
     set.attribute = acc.attribute;
-    for (const Value& v : column->values()) {
-      if (!v.is_null()) set.values.insert(v.ToCanonicalString());
+    SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
+                            column->OpenCursor());
+    std::string_view view;
+    for (CursorStep step = cursor->Next(&view); step != CursorStep::kEnd;
+         step = cursor->Next(&view)) {
+      if (step == CursorStep::kValue) set.values.emplace(view);
     }
+    SPIDER_RETURN_NOT_OK(cursor->status());
     targets.push_back(std::move(set));
   }
 
@@ -55,9 +60,13 @@ Result<std::vector<DatabaseLink>> LinkDiscovery::FindLinks(
       std::unordered_set<std::string> raw;
       std::unordered_set<std::string> stripped;
       bool any_stripped = false;
-      for (const Value& v : column.values()) {
-        if (v.is_null()) continue;
-        std::string canon = v.ToCanonicalString();
+      SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
+                              column.OpenCursor());
+      std::string_view view;
+      for (CursorStep step = cursor->Next(&view); step != CursorStep::kEnd;
+           step = cursor->Next(&view)) {
+        if (step == CursorStep::kNull) continue;
+        std::string canon(view);
         if (options_.try_prefix_stripping) {
           std::string s =
               StripAccessionPrefix(canon, options_.prefix_separators);
@@ -66,6 +75,7 @@ Result<std::vector<DatabaseLink>> LinkDiscovery::FindLinks(
         }
         raw.insert(std::move(canon));
       }
+      SPIDER_RETURN_NOT_OK(cursor->status());
       if (raw.empty()) continue;
 
       for (const TargetSet& target_set : targets) {

@@ -8,21 +8,14 @@ namespace spider {
 
 namespace {
 
-// Parses an integer out of a value, accepting integer-typed values and
-// all-digit strings (the paper notes integers are often stored as strings
-// in this domain).
-bool AsInteger(const Value& v, int64_t* out) {
-  if (v.is_integer()) {
-    *out = v.integer();
-    return true;
-  }
-  if (v.is_string()) {
-    const std::string& s = v.string();
-    if (s.empty() || s.size() > 18) return false;
-    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
-    return ec == std::errc() && ptr == s.data() + s.size();
-  }
-  return false;
+// Parses an integer out of a canonical value string, accepting
+// integer-typed columns as-is and short digit strings from string-typed
+// columns (the paper notes integers are often stored as strings in this
+// domain).
+bool AsInteger(std::string_view s, bool integer_typed, int64_t* out) {
+  if (!integer_typed && (s.empty() || s.size() > 18)) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
 }
 
 }  // namespace
@@ -32,15 +25,27 @@ Result<bool> SurrogateKeyFilter::IsSurrogateRange(
   SPIDER_ASSIGN_OR_RETURN(const Column* column,
                           catalog.ResolveAttribute(attribute));
   if (column->non_null_count() < options_.min_values) return false;
+  // Columns of non-integer, non-string type cannot hold surrogate ids.
+  if (column->type() != TypeId::kInteger &&
+      column->type() != TypeId::kString) {
+    return false;
+  }
+  const bool integer_typed = column->type() == TypeId::kInteger;
 
   std::unordered_set<int64_t> distinct;
   int64_t min_value = 0;
   int64_t max_value = 0;
   bool first = true;
-  for (const Value& v : column->values()) {
-    if (v.is_null()) continue;
+  SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
+                          column->OpenCursor());
+  std::string_view view;
+  for (CursorStep step = cursor->Next(&view); step != CursorStep::kEnd;
+       step = cursor->Next(&view)) {
+    if (step == CursorStep::kNull) continue;
     int64_t i = 0;
-    if (!AsInteger(v, &i)) return false;  // any non-integer disqualifies
+    if (!AsInteger(view, integer_typed, &i)) {
+      return false;  // any non-integer disqualifies
+    }
     if (first) {
       min_value = max_value = i;
       first = false;
@@ -50,6 +55,7 @@ Result<bool> SurrogateKeyFilter::IsSurrogateRange(
     }
     distinct.insert(i);
   }
+  SPIDER_RETURN_NOT_OK(cursor->status());
   if (min_value > options_.max_start) return false;
   const double span = static_cast<double>(max_value - min_value + 1);
   const double density = static_cast<double>(distinct.size()) / span;

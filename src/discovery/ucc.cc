@@ -1,6 +1,7 @@
 #include "src/discovery/ucc.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <unordered_set>
 
@@ -21,10 +22,20 @@ UccDiscovery::UccDiscovery(UccOptions options) : options_(options) {
 namespace {
 
 // True when the projection of `table` onto `columns` (by index) has no
-// duplicate non-NULL tuple. `rows_counted` is advanced per scanned row.
-bool IsUniqueProjection(const Table& table, const std::vector<int>& columns,
-                        bool require_non_null, RunCounters* counters) {
+// duplicate non-NULL tuple. Scans the projected columns in lockstep
+// through streaming cursors, so the test works unchanged over the disk
+// backend. `tuples_read` is advanced per scanned row.
+Result<bool> IsUniqueProjection(const Table& table,
+                                const std::vector<int>& columns,
+                                bool require_non_null, RunCounters* counters) {
   if (table.row_count() == 0) return false;  // vacuous keys are useless
+  std::vector<std::unique_ptr<ValueCursor>> cursors;
+  cursors.reserve(columns.size());
+  for (int c : columns) {
+    SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
+                            table.column(c).OpenCursor());
+    cursors.push_back(std::move(cursor));
+  }
   std::unordered_set<std::string> seen;
   seen.reserve(static_cast<size_t>(table.row_count()));
   std::vector<std::string> components(columns.size());
@@ -33,12 +44,18 @@ bool IsUniqueProjection(const Table& table, const std::vector<int>& columns,
     if (counters != nullptr) ++counters->tuples_read;
     bool has_null = false;
     for (size_t i = 0; i < columns.size(); ++i) {
-      const Value& v = table.column(columns[i]).value(row);
-      if (v.is_null()) {
-        has_null = true;
-        break;
+      // Every cursor advances every row (lockstep), even past NULL rows.
+      std::string_view view;
+      const CursorStep step = cursors[i]->Next(&view);
+      if (step == CursorStep::kEnd) {
+        SPIDER_RETURN_NOT_OK(cursors[i]->status());
+        return Status::IOError("column ended before its table's row count");
       }
-      components[i] = v.ToCanonicalString();
+      if (step == CursorStep::kNull) {
+        has_null = true;
+        continue;
+      }
+      if (!has_null) components[i].assign(view.data(), view.size());
     }
     if (has_null) {
       if (require_non_null) return false;  // a key column may not be NULL
@@ -65,7 +82,10 @@ Result<std::vector<Ucc>> UccDiscovery::FindInTable(const Table& table,
     if (!IsIndEligibleType(table.column(c).type())) continue;
     std::vector<int> combo{c};
     if (counters != nullptr) ++counters->candidates_tested;
-    if (IsUniqueProjection(table, combo, options_.require_non_null, counters)) {
+    SPIDER_ASSIGN_OR_RETURN(
+        bool unique,
+        IsUniqueProjection(table, combo, options_.require_non_null, counters));
+    if (unique) {
       unique_sets.insert(combo);
       result.push_back(Ucc{table.name(), {table.column(c).name()}});
     } else {
@@ -100,8 +120,10 @@ Result<std::vector<Ucc>> UccDiscovery::FindInTable(const Table& table,
     std::vector<std::vector<int>> next_non_unique;
     for (const std::vector<int>& combo : candidates) {
       if (counters != nullptr) ++counters->candidates_tested;
-      if (IsUniqueProjection(table, combo, options_.require_non_null,
-                             counters)) {
+      SPIDER_ASSIGN_OR_RETURN(
+          bool unique, IsUniqueProjection(table, combo,
+                                          options_.require_non_null, counters));
+      if (unique) {
         unique_sets.insert(combo);
         Ucc ucc;
         ucc.table = table.name();

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "src/common/counters.h"
+#include "src/common/logging.h"
 #include "src/storage/column.h"
 
 namespace spider::engine {
@@ -18,41 +20,77 @@ namespace spider::engine {
 /// \brief Iterates a column's values in storage order, yielding canonical
 /// strings and skipping NULLs (matching the "is not null" predicates in the
 /// paper's statements).
+///
+/// Streams through the column's ValueCursor, so scans behave identically —
+/// and stay bounded-memory — over the in-memory and disk backends. An I/O
+/// failure (a corrupt disk-store block, say) ends the scan; callers check
+/// status() after draining and surface it as a Status.
 class ColumnScan {
  public:
   ColumnScan(const Column& column, RunCounters* counters)
-      : column_(column), counters_(counters) {}
+      : column_(column), counters_(counters) {
+    Open();
+  }
 
-  /// True when another non-NULL value is available.
+  /// True when another non-NULL value is available. False at the end of
+  /// the column or on error — check status().
   bool HasNext() {
-    SkipNulls();
-    return row_ < column_.row_count();
+    Fetch();
+    return have_;
   }
 
   /// Returns the canonical string of the next non-NULL value.
   std::string Next() {
-    SkipNulls();
-    std::string out = column_.value(row_).ToCanonicalString();
-    ++row_;
+    Fetch();
+    SPIDER_CHECK(have_) << "ColumnScan::Next() past end of column";
+    have_ = false;
     if (counters_ != nullptr) ++counters_->engine_rows_scanned;
-    return out;
+    return std::move(pending_);
   }
 
   /// Restarts the scan from the first row (used by nested-loop plans).
-  void Rewind() { row_ = 0; }
+  void Rewind() { Open(); }
+
+  /// First I/O error, if any (clean end of column is not an error).
+  const Status& status() const { return status_; }
 
  private:
-  void SkipNulls() {
-    while (row_ < column_.row_count() && column_.value(row_).is_null()) {
-      ++row_;
-      // NULL rows are still fetched by the scan node.
-      if (counters_ != nullptr) ++counters_->engine_rows_scanned;
+  void Open() {
+    auto cursor = column_.OpenCursor();
+    if (!cursor.ok()) {
+      if (status_.ok()) status_ = cursor.status();
+      cursor_ = nullptr;
+    } else {
+      cursor_ = std::move(cursor).value();
+    }
+    have_ = false;
+  }
+
+  // Advances to the next non-NULL row. NULL rows are still fetched by the
+  // scan node, so they count as scanned.
+  void Fetch() {
+    while (!have_ && cursor_ != nullptr) {
+      std::string_view view;
+      const CursorStep step = cursor_->Next(&view);
+      if (step == CursorStep::kEnd) {
+        if (status_.ok()) status_ = cursor_->status();
+        return;
+      }
+      if (step == CursorStep::kNull) {
+        if (counters_ != nullptr) ++counters_->engine_rows_scanned;
+        continue;
+      }
+      pending_.assign(view.data(), view.size());
+      have_ = true;
     }
   }
 
   const Column& column_;
   RunCounters* counters_;
-  int64_t row_ = 0;
+  std::unique_ptr<ValueCursor> cursor_;
+  std::string pending_;
+  Status status_ = Status::OK();
+  bool have_ = false;
 };
 
 }  // namespace spider::engine

@@ -7,8 +7,9 @@
 
 namespace spider::engine {
 
-int64_t HashJoinMatchCount(const Column& dependent, const Column& referenced,
-                           RunCounters* counters) {
+Result<int64_t> HashJoinMatchCount(const Column& dependent,
+                                   const Column& referenced,
+                                   RunCounters* counters) {
   // Build side: referenced column.
   std::unordered_set<std::string> build;
   build.reserve(static_cast<size_t>(referenced.non_null_count()));
@@ -16,6 +17,7 @@ int64_t HashJoinMatchCount(const Column& dependent, const Column& referenced,
   while (build_scan.HasNext()) {
     build.insert(build_scan.Next());
   }
+  SPIDER_RETURN_NOT_OK(build_scan.status());
   // Probe side: dependent column. Full probe — no early termination.
   int64_t matched = 0;
   ColumnScan probe_scan(dependent, counters);
@@ -23,12 +25,13 @@ int64_t HashJoinMatchCount(const Column& dependent, const Column& referenced,
     if (counters != nullptr) ++counters->comparisons;
     if (build.contains(probe_scan.Next())) ++matched;
   }
+  SPIDER_RETURN_NOT_OK(probe_scan.status());
   return matched;
 }
 
-int64_t SortMergeJoinMatchCount(const Column& dependent,
-                                const Column& referenced,
-                                RunCounters* counters) {
+Result<int64_t> SortMergeJoinMatchCount(const Column& dependent,
+                                        const Column& referenced,
+                                        RunCounters* counters) {
   // Sort both inputs. The dependent side keeps duplicates (the statement
   // counts joined ROWS); the referenced side is deduplicated (unique in
   // candidate generation; deduplication keeps the count correct even when
@@ -37,8 +40,10 @@ int64_t SortMergeJoinMatchCount(const Column& dependent,
   dep.reserve(static_cast<size_t>(dependent.non_null_count()));
   ColumnScan dep_scan(dependent, counters);
   while (dep_scan.HasNext()) dep.push_back(dep_scan.Next());
+  SPIDER_RETURN_NOT_OK(dep_scan.status());
   std::sort(dep.begin(), dep.end());
-  std::vector<std::string> ref = SortDistinct(referenced, counters);
+  SPIDER_ASSIGN_OR_RETURN(std::vector<std::string> ref,
+                          SortDistinct(referenced, counters));
 
   int64_t matched = 0;
   size_t i = 0;
@@ -57,22 +62,25 @@ int64_t SortMergeJoinMatchCount(const Column& dependent,
   return matched;
 }
 
-std::vector<std::string> SortDistinct(const Column& column,
-                                      RunCounters* counters) {
+Result<std::vector<std::string>> SortDistinct(const Column& column,
+                                              RunCounters* counters) {
   std::vector<std::string> values;
   values.reserve(static_cast<size_t>(column.non_null_count()));
   ColumnScan scan(column, counters);
   while (scan.HasNext()) values.push_back(scan.Next());
+  SPIDER_RETURN_NOT_OK(scan.status());
   std::sort(values.begin(), values.end());
   values.erase(std::unique(values.begin(), values.end()), values.end());
   return values;
 }
 
-int64_t MinusCount(const Column& dependent, const Column& referenced,
-                   RunCounters* counters) {
+Result<int64_t> MinusCount(const Column& dependent, const Column& referenced,
+                           RunCounters* counters) {
   // The engine sorts both inputs for every query (no reuse across tests).
-  std::vector<std::string> dep = SortDistinct(dependent, counters);
-  std::vector<std::string> ref = SortDistinct(referenced, counters);
+  SPIDER_ASSIGN_OR_RETURN(std::vector<std::string> dep,
+                          SortDistinct(dependent, counters));
+  SPIDER_ASSIGN_OR_RETURN(std::vector<std::string> ref,
+                          SortDistinct(referenced, counters));
 
   // Complete merge-based set difference.
   int64_t unmatched = 0;
@@ -93,8 +101,8 @@ int64_t MinusCount(const Column& dependent, const Column& referenced,
   return unmatched;
 }
 
-int64_t NotInCount(const Column& dependent, const Column& referenced,
-                   RunCounters* counters) {
+Result<int64_t> NotInCount(const Column& dependent, const Column& referenced,
+                           RunCounters* counters) {
   int64_t unmatched = 0;
   ColumnScan outer(dependent, counters);
   while (outer.HasNext()) {
@@ -109,8 +117,10 @@ int64_t NotInCount(const Column& dependent, const Column& referenced,
         break;
       }
     }
+    SPIDER_RETURN_NOT_OK(inner.status());
     if (!found) ++unmatched;
   }
+  SPIDER_RETURN_NOT_OK(outer.status());
   return unmatched;
 }
 

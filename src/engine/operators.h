@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/counters.h"
+#include "src/common/result.h"
 #include "src/storage/column.h"
 
 namespace spider::engine {
@@ -25,23 +26,24 @@ namespace spider::engine {
 /// non-NULL dependent row, and returns the number of dependent rows with at
 /// least one join partner. Referenced attributes are unique in candidate
 /// generation, so this equals the join cardinality of the paper's query.
-int64_t HashJoinMatchCount(const Column& dependent, const Column& referenced,
-                           RunCounters* counters);
+Result<int64_t> HashJoinMatchCount(const Column& dependent,
+                                   const Column& referenced,
+                                   RunCounters* counters);
 
 /// \brief Sort-merge join match counter: the alternative physical plan an
 /// optimizer may pick for the same statement. Sorts both inputs per query
 /// (RDBMSs cannot reuse sorts across statements — the paper's point) and
 /// counts dependent rows with a partner during the merge. Identical result
 /// to HashJoinMatchCount.
-int64_t SortMergeJoinMatchCount(const Column& dependent,
-                                const Column& referenced,
-                                RunCounters* counters);
+Result<int64_t> SortMergeJoinMatchCount(const Column& dependent,
+                                        const Column& referenced,
+                                        RunCounters* counters);
 
 /// \brief Full sort producing the distinct values of a column in canonical
 /// order. Models the RDBMS sort node: runs per query, result discarded
 /// afterwards.
-std::vector<std::string> SortDistinct(const Column& column,
-                                      RunCounters* counters);
+Result<std::vector<std::string>> SortDistinct(const Column& column,
+                                              RunCounters* counters);
 
 /// \brief MINUS operator (the paper's Figure 3 statement).
 ///
@@ -49,8 +51,8 @@ std::vector<std::string> SortDistinct(const Column& column,
 /// |distinct(dependent) \ distinct(referenced)|. The paper found that the
 /// "rownum < 2" early-stop hint is not pushed into the MINUS, so the full
 /// difference is always computed; we reproduce that.
-int64_t MinusCount(const Column& dependent, const Column& referenced,
-                   RunCounters* counters);
+Result<int64_t> MinusCount(const Column& dependent, const Column& referenced,
+                           RunCounters* counters);
 
 /// \brief NOT IN operator (the paper's Figure 4 statement).
 ///
@@ -62,7 +64,7 @@ int64_t MinusCount(const Column& dependent, const Column& referenced,
 /// dependent rows without a partner. Referenced NULLs are skipped
 /// (modelling the "refColumn is not null" rewrite; strict SQL three-valued
 /// NOT IN semantics would otherwise void the test).
-int64_t NotInCount(const Column& dependent, const Column& referenced,
-                   RunCounters* counters);
+Result<int64_t> NotInCount(const Column& dependent, const Column& referenced,
+                           RunCounters* counters);
 
 }  // namespace spider::engine

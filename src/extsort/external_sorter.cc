@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <fstream>
-#include <queue>
 
 #include "src/common/logging.h"
-#include "src/extsort/value_codec.h"
+#include "src/common/tournament_tree.h"
+#include "src/common/value_codec.h"
 
 namespace spider {
 
@@ -141,21 +141,25 @@ Result<SortedSetInfo> ExternalSorter::WriteSortedSet(const fs::path& path) {
   SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<SortedSetWriter> writer,
                           SortedSetWriter::Create(path));
 
-  // K-way merge with duplicate elimination via a min-heap of source indexes.
-  auto greater = [&sources](size_t a, size_t b) {
-    return sources[a]->Peek() > sources[b]->Peek();
+  // K-way merge with duplicate elimination via a tournament tree of
+  // source indexes: advancing the winning source replays one leaf-to-root
+  // path (Refresh) instead of a binary heap's pop+push double sift.
+  auto less = [&sources](int a, int b) {
+    const std::string& va = sources[static_cast<size_t>(a)]->Peek();
+    const std::string& vb = sources[static_cast<size_t>(b)]->Peek();
+    if (va != vb) return va < vb;
+    return a < b;
   };
-  std::priority_queue<size_t, std::vector<size_t>, decltype(greater)> heap(greater);
+  TournamentTree<decltype(less)> tree(static_cast<int>(sources.size()), less);
   for (size_t i = 0; i < sources.size(); ++i) {
-    if (sources[i]->HasNext()) heap.push(i);
+    if (sources[i]->HasNext()) tree.Push(static_cast<int>(i));
   }
 
   SortedSetInfo info;
   info.path = path;
   std::optional<std::string> last;
-  while (!heap.empty()) {
-    size_t idx = heap.top();
-    heap.pop();
+  while (!tree.empty()) {
+    const size_t idx = static_cast<size_t>(tree.top());
     const std::string& value = sources[idx]->Peek();
     if (!last || *last < value) {
       SPIDER_RETURN_NOT_OK(writer->Append(value));
@@ -165,7 +169,11 @@ Result<SortedSetInfo> ExternalSorter::WriteSortedSet(const fs::path& path) {
       last = value;
     }
     sources[idx]->Advance();
-    if (sources[idx]->HasNext()) heap.push(idx);
+    if (sources[idx]->HasNext()) {
+      tree.Refresh();
+    } else {
+      tree.Pop();
+    }
   }
 
   for (const auto& src : sources) {

@@ -4,7 +4,7 @@
 #include <cstring>
 
 #include "src/common/logging.h"
-#include "src/extsort/value_codec.h"
+#include "src/common/value_codec.h"
 
 namespace spider {
 
@@ -50,6 +50,16 @@ Result<std::unique_ptr<SortedSetReader>> SortedSetReader::Open(
   if (!in) return Status::IOError("cannot open " + path.string());
   if (counters != nullptr) {
     ++counters->files_opened;
+  }
+  // Small sets get small buffers: the spider merge holds one reader per
+  // attribute, and sizing each buffer to its file keeps the merge's
+  // resident footprint proportional to the data instead of
+  // attributes × kDefaultBufferBytes. (Values larger than the buffer still
+  // grow it on demand.)
+  std::error_code ec;
+  const auto file_bytes = std::filesystem::file_size(path, ec);
+  if (!ec && file_bytes < buffer_bytes) {
+    buffer_bytes = static_cast<size_t>(file_bytes);
   }
   return std::unique_ptr<SortedSetReader>(
       new SortedSetReader(std::move(in), counters, buffer_bytes));

@@ -1,39 +1,15 @@
 #include "src/extsort/value_set_extractor.h"
 
-#include <cctype>
 #include <cstdint>
-#include <cstdio>
-
-#include "src/common/hash.h"
 
 namespace spider {
 
 namespace fs = std::filesystem;
 
-namespace {
-
-// Hash of the unsanitized attribute identity. The sanitized
-// human-readable part of a set-file name is lossy ("a.b_c" and "a_b.c"
-// collapse to the same string); the hash keeps distinct attributes in
-// distinct files without depending on extraction order. Chained so the
-// table/column boundary stays significant.
-uint64_t AttributeHash(const AttributeRef& attr) {
-  return HashString(attr.column, HashString(attr.table));
-}
-
-}  // namespace
-
 std::string ValueSetExtractor::SetFileName(const AttributeRef& attr) {
-  std::string name = attr.table + "." + attr.column;
-  for (char& c : name) {
-    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' && c != '_') {
-      c = '_';
-    }
-  }
-  char hash[17];
-  std::snprintf(hash, sizeof(hash), "%016llx",
-                static_cast<unsigned long long>(AttributeHash(attr)));
-  return name + "-" + hash + ".set";
+  // AttributeFileStem is shared with the disk column store, so one
+  // attribute maps to the same "<sanitized>-<hash>" family everywhere.
+  return AttributeFileStem(attr) + ".set";
 }
 
 ValueSetExtractor::ValueSetExtractor(fs::path output_dir,
@@ -53,10 +29,17 @@ Result<SortedSetInfo> ValueSetExtractor::DoExtract(
   // sharing this directory never collide.
   sorter_options.run_prefix = file_name;
   ExternalSorter sorter(sorter_options);
-  for (const Value& v : column->values()) {
-    if (v.is_null()) continue;
-    SPIDER_RETURN_NOT_OK(sorter.Add(v.ToCanonicalString()));
+  // Stream the column into the sorter: with the disk backend, peak memory
+  // is one storage block plus the sorter's budget — never the column.
+  SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
+                          column->OpenCursor());
+  std::string_view value;
+  for (CursorStep step = cursor->Next(&value); step != CursorStep::kEnd;
+       step = cursor->Next(&value)) {
+    if (step == CursorStep::kNull) continue;
+    SPIDER_RETURN_NOT_OK(sorter.Add(std::string(value)));
   }
+  SPIDER_RETURN_NOT_OK(cursor->status());
   return sorter.WriteSortedSet(output_dir_ / file_name);
 }
 

@@ -79,9 +79,10 @@ Result<IndRunResult> BellBrockhausenAlgorithm::Run(
     SPIDER_ASSIGN_OR_RETURN(const Column* ref,
                             catalog.ResolveAttribute(candidate.referenced));
     ++result.counters.candidates_tested;
-    const bool satisfied =
-        engine::HashJoinMatchCount(*dep, *ref, &result.counters) ==
-        dep->non_null_count();
+    SPIDER_ASSIGN_OR_RETURN(
+        const int64_t matched,
+        engine::HashJoinMatchCount(*dep, *ref, &result.counters));
+    const bool satisfied = matched == dep->non_null_count();
     if (satisfied) {
       result.satisfied.push_back(
           Ind{candidate.dependent, candidate.referenced});
@@ -102,6 +103,7 @@ void RegisterBellBrockhausenAlgorithm(AlgorithmRegistry& registry) {
   AlgorithmCapabilities capabilities;
   capabilities.database_internal = true;
   capabilities.parallel_safe = true;  // reads the catalog, no shared state
+  capabilities.supports_out_of_core = true;  // stats + engine scans stream
   capabilities.summary =
       "sequential SQL-join testing with range and transitivity pruning "
       "(Bell & Brockhausen [2])";

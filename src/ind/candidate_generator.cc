@@ -1,6 +1,9 @@
 #include "src/ind/candidate_generator.h"
 
+#include <algorithm>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "src/common/random.h"
 
@@ -65,29 +68,62 @@ Result<CandidateSet> CandidateGenerator::Generate(const Catalog& catalog) const 
     for (const AttributeInfo& dep : attributes) {
       if (!dep.dependent_eligible) continue;
       std::vector<std::string> sample;
-      const auto& values = dep.column->values();
-      for (int i = 0; i < options_.sample_size; ++i) {
-        // Rejection-sample a non-NULL row; the column is non-empty.
-        for (int attempt = 0; attempt < 256; ++attempt) {
-          const Value& v = values[static_cast<size_t>(
-              rng.Uniform(0, static_cast<int64_t>(values.size()) - 1))];
-          if (!v.is_null()) {
-            sample.push_back(v.ToCanonicalString());
-            break;
+      if (!dep.column->out_of_core()) {
+        const auto& values = dep.column->values();
+        for (int i = 0; i < options_.sample_size; ++i) {
+          // Rejection-sample a non-NULL row; the column is non-empty.
+          for (int attempt = 0; attempt < 256; ++attempt) {
+            const Value& v = values[static_cast<size_t>(
+                rng.Uniform(0, static_cast<int64_t>(values.size()) - 1))];
+            if (!v.is_null()) {
+              sample.push_back(v.ToCanonicalString());
+              break;
+            }
           }
         }
+      } else {
+        // Disk backend: one streaming pass, reservoir-sampling the non-NULL
+        // values (deterministic for a fixed seed). The sample differs from
+        // the in-memory draw, but the pretest stays sound either way — it
+        // only prunes candidates some sampled value already refutes.
+        auto cursor = dep.column->OpenCursor();
+        if (!cursor.ok()) return cursor.status();
+        std::string_view view;
+        int64_t seen = 0;
+        for (CursorStep step = (*cursor)->Next(&view);
+             step != CursorStep::kEnd; step = (*cursor)->Next(&view)) {
+          if (step == CursorStep::kNull) continue;
+          if (seen < options_.sample_size) {
+            sample.emplace_back(view);
+          } else {
+            const int64_t j = rng.Uniform(0, seen);
+            if (j < options_.sample_size) {
+              sample[static_cast<size_t>(j)] = std::string(view);
+            }
+          }
+          ++seen;
+        }
+        SPIDER_RETURN_NOT_OK((*cursor)->status());
       }
       samples.emplace(dep.ref, std::move(sample));
     }
   }
-  std::map<AttributeRef, std::unordered_set<std::string>> ref_hashes;
-
-  // Pass 2: enumerate dep × ref pairs and apply pretests in increasing
-  // cost order.
-  for (const AttributeInfo& dep : attributes) {
-    if (!dep.dependent_eligible) continue;
-    for (const AttributeInfo& ref : attributes) {
-      if (!ref.referenced_eligible) continue;
+  // Pass 2: enumerate ref × dep pairs and apply pretests in increasing
+  // cost order. The loop is referenced-major so the sampling pretest's
+  // hashed value set lives for exactly one referenced attribute — peak
+  // pretest memory is one column, not every referenced column at once
+  // (load-bearing for out-of-core catalogs). Surviving pairs are collected
+  // as index pairs and emitted in dependent-major order afterwards, so the
+  // candidate list is byte-identical to the historical enumeration.
+  std::vector<std::pair<size_t, size_t>> surviving;  // (dep index, ref index)
+  for (size_t r = 0; r < attributes.size(); ++r) {
+    const AttributeInfo& ref = attributes[r];
+    if (!ref.referenced_eligible) continue;
+    std::unordered_set<std::string> ref_hash;
+    bool ref_hash_built = false;
+    for (size_t d = 0; d < attributes.size(); ++d) {
+      const AttributeInfo& dep = attributes[d];
+      if (!dep.dependent_eligible) continue;
       if (dep.ref == ref.ref) continue;  // a ⊆ a is trivial
       ++result.raw_pair_count;
 
@@ -111,18 +147,21 @@ Result<CandidateSet> CandidateGenerator::Generate(const Catalog& catalog) const 
         continue;
       }
       if (options_.sampling_pretest) {
-        auto hash_it = ref_hashes.find(ref.ref);
-        if (hash_it == ref_hashes.end()) {
-          std::unordered_set<std::string> values;
-          values.reserve(static_cast<size_t>(ref.stats.non_null_count));
-          for (const Value& v : ref.column->values()) {
-            if (!v.is_null()) values.insert(v.ToCanonicalString());
+        if (!ref_hash_built) {
+          ref_hash.reserve(static_cast<size_t>(ref.stats.non_null_count));
+          auto cursor = ref.column->OpenCursor();
+          if (!cursor.ok()) return cursor.status();
+          std::string_view view;
+          for (CursorStep step = (*cursor)->Next(&view);
+               step != CursorStep::kEnd; step = (*cursor)->Next(&view)) {
+            if (step == CursorStep::kValue) ref_hash.emplace(view);
           }
-          hash_it = ref_hashes.emplace(ref.ref, std::move(values)).first;
+          SPIDER_RETURN_NOT_OK((*cursor)->status());
+          ref_hash_built = true;
         }
         bool refuted = false;
         for (const std::string& s : samples[dep.ref]) {
-          if (!hash_it->second.contains(s)) {
+          if (!ref_hash.contains(s)) {
             refuted = true;
             break;
           }
@@ -133,8 +172,15 @@ Result<CandidateSet> CandidateGenerator::Generate(const Catalog& catalog) const 
         }
       }
 
-      result.candidates.push_back(IndCandidate{dep.ref, ref.ref});
+      surviving.emplace_back(d, r);
     }
+  }
+
+  std::sort(surviving.begin(), surviving.end());
+  result.candidates.reserve(surviving.size());
+  for (const auto& [d, r] : surviving) {
+    result.candidates.push_back(
+        IndCandidate{attributes[d].ref, attributes[r].ref});
   }
   return result;
 }

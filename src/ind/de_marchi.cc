@@ -57,14 +57,19 @@ Result<IndRunResult> DeMarchiAlgorithm::Run(
     }
     SPIDER_ASSIGN_OR_RETURN(const Column* column,
                             catalog.ResolveAttribute(attrs[a]));
-    for (const Value& v : column->values()) {
-      if (v.is_null()) continue;
+    SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
+                            column->OpenCursor());
+    std::string_view view;
+    for (CursorStep step = cursor->Next(&view); step != CursorStep::kEnd;
+         step = cursor->Next(&view)) {
+      if (step == CursorStep::kNull) continue;
       ++result.counters.tuples_read;
-      std::vector<int>& entry = index[v.ToCanonicalString()];
+      std::vector<int>& entry = index[std::string(view)];
       if (entry.empty() || entry.back() != static_cast<int>(a)) {
         entry.push_back(static_cast<int>(a));
       }
     }
+    SPIDER_RETURN_NOT_OK(cursor->status());
   }
   last_index_entries_ = static_cast<int64_t>(index.size());
 
@@ -83,10 +88,14 @@ Result<IndRunResult> DeMarchiAlgorithm::Run(
     const int64_t decided_here = static_cast<int64_t>(refs.size());
     SPIDER_ASSIGN_OR_RETURN(const Column* column,
                             catalog.ResolveAttribute(attrs[d]));
-    for (const Value& v : column->values()) {
+    SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
+                            column->OpenCursor());
+    std::string_view view;
+    for (CursorStep step = cursor->Next(&view); step != CursorStep::kEnd;
+         step = cursor->Next(&view)) {
       if (refs.empty() && options_.early_exit) break;
-      if (v.is_null()) continue;
-      const std::vector<int>& containing = index.at(v.ToCanonicalString());
+      if (step == CursorStep::kNull) continue;
+      const std::vector<int>& containing = index.at(std::string(view));
       ++result.counters.comparisons;
       // refs := refs ∩ containing (both small; containing is sorted).
       refs.erase(std::remove_if(refs.begin(), refs.end(),
@@ -96,6 +105,7 @@ Result<IndRunResult> DeMarchiAlgorithm::Run(
                                 }),
                  refs.end());
     }
+    SPIDER_RETURN_NOT_OK(cursor->status());
     for (int r : refs) {
       result.satisfied.push_back(Ind{attrs[d], attrs[static_cast<size_t>(r)]});
     }
@@ -110,6 +120,7 @@ Result<IndRunResult> DeMarchiAlgorithm::Run(
 void RegisterDeMarchiAlgorithm(AlgorithmRegistry& registry) {
   AlgorithmCapabilities capabilities;
   capabilities.parallel_safe = true;  // shares only the thread-safe extractor
+  capabilities.supports_out_of_core = true;  // scans via streaming cursors
   capabilities.summary =
       "inverted-index discovery (De Marchi et al. [10]); large "
       "preprocessing footprint, no extractor needed";

@@ -41,6 +41,12 @@ struct AlgorithmCapabilities {
   /// thread-safe extractor — and the session falls back to serial
   /// execution for approaches that don't.
   bool parallel_safe = false;
+  /// Reads catalog data exclusively through streaming ValueCursors (or the
+  /// extractor's sorted-set files), so it can profile out-of-core
+  /// (disk-backend) catalogs. Opt-in: approaches that random-access
+  /// materialized columns must leave this false, and the session rejects
+  /// them up front for disk-backed catalogs instead of aborting mid-run.
+  bool supports_out_of_core = false;
   /// One-line description for usage strings and listings. Owned, so
   /// registrants may build it dynamically.
   std::string summary;

@@ -238,6 +238,12 @@ Result<SessionReport> SpiderSession::Run(const RunOptions& options) {
   SPIDER_ASSIGN_OR_RETURN(
       AlgorithmCapabilities capabilities,
       AlgorithmRegistry::Global().GetCapabilities(options.approach));
+  if (catalog_->out_of_core() && !capabilities.supports_out_of_core) {
+    return Status::InvalidArgument(
+        "approach '" + options.approach +
+        "' random-accesses materialized columns and cannot profile an "
+        "out-of-core (disk-backend) catalog");
+  }
   if (capabilities.needs_extractor) {
     SPIDER_ASSIGN_OR_RETURN(config.extractor, extractor());
   }

@@ -81,11 +81,16 @@ double BottomKSketch::EstimateContainment(const BottomKSketch& a,
   return std::clamp(intersection / n_a, 0.0, 1.0);
 }
 
-BottomKSketch SketchColumn(const Column& column, int k) {
+Result<BottomKSketch> SketchColumn(const Column& column, int k) {
   BottomKSketch sketch(k);
-  for (const Value& v : column.values()) {
-    if (!v.is_null()) sketch.Add(v.ToCanonicalString());
+  SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
+                          column.OpenCursor());
+  std::string_view view;
+  for (CursorStep step = cursor->Next(&view); step != CursorStep::kEnd;
+       step = cursor->Next(&view)) {
+    if (step == CursorStep::kValue) sketch.Add(view);
   }
+  SPIDER_RETURN_NOT_OK(cursor->status());
   return sketch;
 }
 
@@ -99,7 +104,9 @@ Result<SketchFilterResult> SketchFilterCandidates(
     if (it == sketches.end()) {
       SPIDER_ASSIGN_OR_RETURN(const Column* column,
                               catalog.ResolveAttribute(attr));
-      it = sketches.emplace(attr, SketchColumn(*column, options.k)).first;
+      SPIDER_ASSIGN_OR_RETURN(BottomKSketch sketch,
+                              SketchColumn(*column, options.k));
+      it = sketches.emplace(attr, std::move(sketch)).first;
     }
     return &it->second;
   };

@@ -59,7 +59,7 @@ class BottomKSketch {
 };
 
 /// Builds a sketch over a column's distinct non-NULL canonical values.
-BottomKSketch SketchColumn(const Column& column, int k = 128);
+Result<BottomKSketch> SketchColumn(const Column& column, int k = 128);
 
 /// Options for the approximate candidate screen.
 struct SketchFilterOptions {

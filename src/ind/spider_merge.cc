@@ -4,11 +4,11 @@
 #include <cmath>
 #include <map>
 #include <memory>
-#include <queue>
 #include <set>
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/tournament_tree.h"
 #include "src/common/stopwatch.h"
 #include "src/extsort/sorted_set_file.h"
 #include "src/ind/registry.h"
@@ -77,12 +77,15 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
     return index;
   };
 
-  std::set<IndCandidate> seen;
+  // Duplicates are detected on cursor-id pairs: at paper scale the
+  // candidate list runs into the millions, and a set of id pairs costs
+  // bytes per entry where a set of IndCandidate copies costs strings.
+  std::set<std::pair<int, int>> seen;
   for (const IndCandidate& candidate : candidates) {
-    if (!seen.insert(candidate).second) continue;
-    ++result.counters.candidates_tested;
     SPIDER_ASSIGN_OR_RETURN(int dep, cursor_for(candidate.dependent));
     SPIDER_ASSIGN_OR_RETURN(int ref, cursor_for(candidate.referenced));
+    if (!seen.insert({dep, ref}).second) continue;
+    ++result.counters.candidates_tested;
     if (cursors[static_cast<size_t>(dep)].open_refs.emplace(ref, 0).second) {
       ++cursors[static_cast<size_t>(ref)].ref_use_count;
     }
@@ -113,22 +116,24 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
     dep.open_refs.clear();
   };
 
-  // Cursor-index min-heap: entries are cursor ids ordered by the cursor's
-  // current value with the cursor id as tie-break, so equal values pop in
-  // ascending cursor order — the property the group binary search below
-  // relies on. A view stays valid until its cursor advances, and a cursor
-  // only advances after it leaves the heap, so comparisons never see a
-  // dangling view.
-  auto heap_after = [&cursors](int a, int b) {
+  // Cursor-index tournament tree: entries are cursor ids ordered by the
+  // cursor's current value with the cursor id as tie-break, so equal
+  // values pop in ascending cursor order — the property the group binary
+  // search below relies on. A view stays valid until its cursor advances,
+  // and a cursor only advances after it leaves the tree, so comparisons
+  // never see a dangling view. The tree replays one leaf-to-root path per
+  // operation (⌈log2 k⌉ comparisons), versus the former binary heap's
+  // two-comparisons-per-level sift.
+  auto heap_less = [&cursors](int a, int b) {
     const std::string_view va = cursors[static_cast<size_t>(a)].current;
     const std::string_view vb = cursors[static_cast<size_t>(b)].current;
-    if (va != vb) return va > vb;
-    return a > b;
+    if (va != vb) return va < vb;
+    return a < b;
   };
-  std::priority_queue<int, std::vector<int>, decltype(heap_after)> heap(
-      heap_after);
+  TournamentTree<decltype(heap_less)> heap(
+      static_cast<int>(cursors.size()), heap_less);
 
-  // Prime the heap with each attribute's cursor. An empty dependent set
+  // Prime the tree with each attribute's cursor. An empty dependent set
   // satisfies all its candidates vacuously — but only after ruling out an
   // I/O error: a corrupt first record also makes HasNext() false, and must
   // fail the run rather than fabricate INDs.
@@ -136,7 +141,7 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
     AttributeCursor& cursor = cursors[i];
     if (cursor.reader->HasNext()) {
       cursor.current = cursor.reader->Peek();
-      heap.push(static_cast<int>(i));
+      heap.Push(static_cast<int>(i));
     } else {
       SPIDER_RETURN_NOT_OK(cursor.reader->status());
       cursor.exhausted = true;
@@ -157,7 +162,7 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
     }
     group.clear();
     group.push_back(heap.top());
-    heap.pop();
+    heap.Pop();
     // The group value lives in the first popped cursor's buffer; that
     // cursor does not advance until the group is processed, so the view is
     // stable for the whole iteration.
@@ -166,7 +171,7 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
     while (!heap.empty() &&
            cursors[static_cast<size_t>(heap.top())].current == value) {
       group.push_back(heap.top());
-      heap.pop();
+      heap.Pop();
     }
     // group is sorted by cursor id (heap tie-break on equal values), which
     // enables the binary search below.
@@ -199,16 +204,23 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
       cursor.reader->Skip();
       if (!cursor.needed()) {
         cursor.closed = true;
+        // Dropped streams release their file handle and read buffer — on
+        // paper-scale schemas thousands of streams close long before the
+        // merge ends.
+        cursor.reader.reset();
+        cursor.current = std::string_view();
         continue;
       }
       if (cursor.reader->HasNext()) {
         cursor.current = cursor.reader->Peek();
-        heap.push(index);
+        heap.Push(index);
       } else {
         // Distinguish clean exhaustion from a read error before concluding
         // that every surviving referenced attribute contained all values.
         SPIDER_RETURN_NOT_OK(cursor.reader->status());
         cursor.exhausted = true;
+        cursor.reader.reset();
+        cursor.current = std::string_view();
         satisfy_all(index);
       }
     }
@@ -235,6 +247,7 @@ void RegisterSpiderMergeAlgorithm(AlgorithmRegistry& registry) {
   AlgorithmCapabilities capabilities;
   capabilities.needs_extractor = true;
   capabilities.parallel_safe = true;  // shares only the thread-safe extractor
+  capabilities.supports_out_of_core = true;  // reads sorted-set files only
   capabilities.supports_partial = true;
   capabilities.summary =
       "heap-merged single pass (the paper's announced improvement); "

@@ -16,8 +16,8 @@ namespace {
 Result<IndRunResult> RunSqlApproach(
     const Catalog& catalog, const std::vector<IndCandidate>& candidates,
     const SqlAlgorithmOptions& options, RunContext& context,
-    const std::function<bool(const Column& dep, const Column& ref,
-                             RunCounters* counters)>& test_one) {
+    const std::function<Result<bool>(const Column& dep, const Column& ref,
+                                     RunCounters* counters)>& test_one) {
   IndRunResult result;
   Stopwatch watch;
   watch.Start();
@@ -33,7 +33,9 @@ Result<IndRunResult> RunSqlApproach(
     SPIDER_ASSIGN_OR_RETURN(const Column* ref,
                             catalog.ResolveAttribute(candidate.referenced));
     ++result.counters.candidates_tested;
-    if (test_one(*dep, *ref, &result.counters)) {
+    SPIDER_ASSIGN_OR_RETURN(bool satisfied,
+                            test_one(*dep, *ref, &result.counters));
+    if (satisfied) {
       result.satisfied.push_back(Ind{candidate.dependent, candidate.referenced});
     }
     context.Step();
@@ -51,11 +53,13 @@ Result<IndRunResult> SqlJoinAlgorithm::Run(
   const JoinStrategy strategy = strategy_;
   return RunSqlApproach(
       catalog, candidates, options_, context,
-      [strategy](const Column& dep, const Column& ref, RunCounters* counters) {
-        const int64_t matched =
+      [strategy](const Column& dep, const Column& ref,
+                 RunCounters* counters) -> Result<bool> {
+        SPIDER_ASSIGN_OR_RETURN(
+            const int64_t matched,
             strategy == JoinStrategy::kHash
                 ? engine::HashJoinMatchCount(dep, ref, counters)
-                : engine::SortMergeJoinMatchCount(dep, ref, counters);
+                : engine::SortMergeJoinMatchCount(dep, ref, counters));
         return matched == dep.non_null_count();
       });
 }
@@ -65,8 +69,11 @@ Result<IndRunResult> SqlMinusAlgorithm::Run(
     RunContext& context) {
   return RunSqlApproach(
       catalog, candidates, options_, context,
-      [](const Column& dep, const Column& ref, RunCounters* counters) {
-        return engine::MinusCount(dep, ref, counters) == 0;
+      [](const Column& dep, const Column& ref,
+         RunCounters* counters) -> Result<bool> {
+        SPIDER_ASSIGN_OR_RETURN(const int64_t unmatched,
+                                engine::MinusCount(dep, ref, counters));
+        return unmatched == 0;
       });
 }
 
@@ -75,8 +82,11 @@ Result<IndRunResult> SqlNotInAlgorithm::Run(
     RunContext& context) {
   return RunSqlApproach(
       catalog, candidates, options_, context,
-      [](const Column& dep, const Column& ref, RunCounters* counters) {
-        return engine::NotInCount(dep, ref, counters) == 0;
+      [](const Column& dep, const Column& ref,
+         RunCounters* counters) -> Result<bool> {
+        SPIDER_ASSIGN_OR_RETURN(const int64_t unmatched,
+                                engine::NotInCount(dep, ref, counters));
+        return unmatched == 0;
       });
 }
 
@@ -84,6 +94,7 @@ void RegisterSqlAlgorithms(AlgorithmRegistry& registry) {
   AlgorithmCapabilities capabilities;
   capabilities.database_internal = true;
   capabilities.parallel_safe = true;  // engine operators only read the catalog
+  capabilities.supports_out_of_core = true;  // ColumnScan streams via cursors
   const struct {
     const char* name;
     std::string_view summary;

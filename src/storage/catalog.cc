@@ -1,6 +1,26 @@
 #include "src/storage/catalog.h"
 
+#include <cctype>
+#include <cstdio>
+
+#include "src/common/hash.h"
+
 namespace spider {
+
+std::string AttributeFileStem(const AttributeRef& attr) {
+  std::string name = attr.table + "." + attr.column;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' && c != '_') {
+      c = '_';
+    }
+  }
+  // Chained so the table/column boundary stays significant.
+  const uint64_t hash = HashString(attr.column, HashString(attr.table));
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return name + "-" + hex;
+}
 
 Result<Table*> Catalog::CreateTable(const std::string& name) {
   if (FindTable(name) != nullptr) {
@@ -65,6 +85,15 @@ int64_t Catalog::ApproximateByteSize() const {
   int64_t bytes = 0;
   for (const auto& t : tables_) bytes += t->ApproximateByteSize();
   return bytes;
+}
+
+bool Catalog::out_of_core() const {
+  for (const auto& t : tables_) {
+    for (int c = 0; c < t->column_count(); ++c) {
+      if (t->column(c).out_of_core()) return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace spider

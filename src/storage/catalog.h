@@ -45,6 +45,14 @@ struct ForeignKey {
   }
 };
 
+/// Deterministic file-system-safe file stem for an attribute:
+/// "<sanitized table.column>-<16-hex hash>". The sanitized human-readable
+/// part is lossy ("a.b_c" and "a_b.c" collapse to the same string); the
+/// hash of the unsanitized identity keeps distinct attributes in distinct
+/// files independent of processing order. Shared by the sorted-set
+/// extractor (".set" files) and the disk column store (".col" files).
+std::string AttributeFileStem(const AttributeRef& attr);
+
 /// \brief A set of named tables — the undocumented data source whose schema
 /// we discover.
 class Catalog {
@@ -78,6 +86,10 @@ class Catalog {
 
   /// Approximate total data size in bytes.
   int64_t ApproximateByteSize() const;
+
+  /// True when any column lives out of core (disk backend): only streaming
+  /// (cursor-based) approaches can profile such a catalog.
+  bool out_of_core() const;
 
   /// Declared foreign keys (gold standard for evaluation only).
   void DeclareForeignKey(ForeignKey fk) { foreign_keys_.push_back(std::move(fk)); }

@@ -1,0 +1,100 @@
+// Streaming catalog construction.
+//
+// A CatalogSink receives one table at a time, row by row, and produces a
+// finished Catalog. The CSV importer and the data generators write through
+// this interface, so the same streaming producer can target the in-memory
+// backend, the out-of-core disk backend (DiskCatalogWriter in
+// disk_store.h), or a CSV directory (CsvCatalogSink in csv.h) without ever
+// materializing an intermediate table.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+/// \brief Row-streaming builder of one catalog.
+///
+/// Protocol: (BeginTable (AddColumn)+ (AppendRow)* FinishTable)*
+/// (DeclareForeignKey)* Finish. Tables arrive whole and sequentially;
+/// columns are fixed before the first row.
+class CatalogSink {
+ public:
+  virtual ~CatalogSink() = default;
+
+  virtual Status BeginTable(const std::string& name) = 0;
+  virtual Status AddColumn(std::string name, TypeId type,
+                           bool declared_unique = false) = 0;
+  /// `row` must have one value per added column, types matching (NULL is
+  /// allowed everywhere).
+  virtual Status AppendRow(std::vector<Value> row) = 0;
+  virtual Status FinishTable() = 0;
+
+  /// Declares a gold-standard foreign key on the finished catalog (used in
+  /// evaluation only, never by discovery).
+  virtual void DeclareForeignKey(ForeignKey fk) = 0;
+
+  /// Completes the catalog; the sink is consumed.
+  virtual Result<std::unique_ptr<Catalog>> Finish() = 0;
+};
+
+/// \brief The default sink: builds a fully materialized in-memory catalog
+/// (exactly the Catalog/Table/Column loading path that existed before
+/// streaming import).
+class MemoryCatalogSink final : public CatalogSink {
+ public:
+  explicit MemoryCatalogSink(std::string catalog_name = "db")
+      : catalog_(std::make_unique<Catalog>(std::move(catalog_name))) {}
+
+  Status BeginTable(const std::string& name) override {
+    if (table_ != nullptr) {
+      return Status::InvalidArgument("previous table not finished");
+    }
+    SPIDER_ASSIGN_OR_RETURN(table_, catalog_->CreateTable(name));
+    return Status::OK();
+  }
+
+  Status AddColumn(std::string name, TypeId type,
+                   bool declared_unique = false) override {
+    if (table_ == nullptr) return Status::InvalidArgument("no open table");
+    return table_->AddColumn(std::move(name), type, declared_unique);
+  }
+
+  Status AppendRow(std::vector<Value> row) override {
+    if (table_ == nullptr) return Status::InvalidArgument("no open table");
+    return table_->AppendRow(std::move(row));
+  }
+
+  Status FinishTable() override {
+    if (table_ == nullptr) return Status::InvalidArgument("no open table");
+    table_ = nullptr;
+    return Status::OK();
+  }
+
+  void DeclareForeignKey(ForeignKey fk) override {
+    catalog_->DeclareForeignKey(std::move(fk));
+  }
+
+  Result<std::unique_ptr<Catalog>> Finish() override {
+    if (table_ != nullptr) {
+      return Status::InvalidArgument("table not finished");
+    }
+    if (catalog_ == nullptr) return Status::InvalidArgument("already finished");
+    return std::move(catalog_);
+  }
+
+  /// The table currently being loaded (for producers that need to tweak
+  /// e.g. declared uniqueness mid-load); nullptr between tables.
+  Table* current_table() { return table_; }
+
+ private:
+  std::unique_ptr<Catalog> catalog_;
+  Table* table_ = nullptr;
+};
+
+}  // namespace spider

@@ -2,11 +2,14 @@
 
 #include <unordered_set>
 
+#include "src/common/logging.h"
 #include "src/common/string_util.h"
 
 namespace spider {
 
 ColumnStats ComputeColumnStats(const Column& column) {
+  if (const ColumnStats* cached = column.cached_stats()) return *cached;
+
   ColumnStats stats;
   stats.row_count = column.row_count();
 
@@ -14,13 +17,21 @@ ColumnStats ComputeColumnStats(const Column& column) {
   int64_t with_letter = 0;
   int64_t all_digits = 0;
   bool first = true;
-  for (const Value& v : column.values()) {
-    if (v.is_null()) {
+  // The scan path only runs for backends without cached stats — today the
+  // in-memory store, whose cursor cannot fail (disk columns always carry
+  // import-time stats and return above) — so cursor failure here is a
+  // programming error, not a reachable input condition.
+  auto cursor = column.OpenCursor();
+  SPIDER_CHECK(cursor.ok()) << cursor.status().ToString();
+  std::string_view view;
+  for (CursorStep step = (*cursor)->Next(&view); step != CursorStep::kEnd;
+       step = (*cursor)->Next(&view)) {
+    if (step == CursorStep::kNull) {
       ++stats.null_count;
       continue;
     }
     ++stats.non_null_count;
-    std::string canon = v.ToCanonicalString();
+    std::string canon(view);
     int64_t len = static_cast<int64_t>(canon.size());
     if (first) {
       stats.min_value = canon;
@@ -38,6 +49,7 @@ ColumnStats ComputeColumnStats(const Column& column) {
     if (IsAllDigits(canon)) ++all_digits;
     distinct.insert(std::move(canon));
   }
+  SPIDER_CHECK((*cursor)->status().ok()) << (*cursor)->status().ToString();
   stats.distinct_count = static_cast<int64_t>(distinct.size());
   stats.verified_unique =
       stats.non_null_count > 0 && stats.distinct_count == stats.non_null_count;

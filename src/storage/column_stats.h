@@ -38,8 +38,10 @@ struct ColumnStats {
   std::string ToString() const;
 };
 
-/// Computes exact statistics by scanning the column once (plus one hash set
-/// for distinct counting).
+/// Computes exact statistics. Columns whose backend kept import-time stats
+/// (the disk store persists them in its manifest) answer from that cache
+/// without touching data; otherwise the column is scanned once through a
+/// streaming cursor (plus one hash set for distinct counting).
 ColumnStats ComputeColumnStats(const Column& column);
 
 }  // namespace spider

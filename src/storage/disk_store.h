@@ -1,0 +1,137 @@
+// Out-of-core columnar storage: the disk backend behind Column.
+//
+// Each attribute's values live in one ".col" file of fixed-size compressed
+// blocks inside a workspace directory. A block holds a sorted, front-coded
+// dictionary of the block's distinct values plus one varint dictionary code
+// per row (code 0 is NULL) — dictionary-plus-prefix compression that needs
+// no external library and decompresses with a single sequential read.
+// Access is streaming only (ValueCursor): peak memory per open cursor is
+// one block, regardless of column size.
+//
+// A workspace is self-describing: DiskCatalogWriter persists the schema,
+// row counts and per-column statistics in "spider_store.manifest", and
+// OpenDiskCatalog() rebuilds the Catalog from it without touching the data
+// files — so a multi-GB import is paid once and profiled many times.
+
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/catalog.h"
+#include "src/storage/catalog_sink.h"
+#include "src/storage/column_stats.h"
+#include "src/storage/column_store.h"
+
+namespace spider {
+
+/// Knobs for the disk backend.
+struct DiskStoreOptions {
+  /// Target raw bytes buffered per column before a block is flushed. The
+  /// bound on import memory is block_bytes × columns of the widest table;
+  /// the bound on scan memory is one block per open cursor.
+  int64_t block_bytes = 256LL << 10;
+  /// Read-buffer bytes per block stream in the seal-time dictionary merge
+  /// that computes exact distinct counts (the stats the candidate pretests
+  /// need). Peak stats memory per column ≈ block count × this.
+  int64_t stats_merge_buffer_bytes = 8LL << 10;
+};
+
+/// Name of the manifest file inside a disk-store workspace.
+inline constexpr const char* kDiskStoreManifestName = "spider_store.manifest";
+
+/// \brief A sealed, read-only disk-backed column (one ".col" block file).
+class DiskColumnStore final : public ColumnStore {
+ public:
+  DiskColumnStore(std::filesystem::path path, ColumnStats stats,
+                  int64_t file_bytes, int64_t block_count)
+      : path_(std::move(path)),
+        stats_(std::move(stats)),
+        file_bytes_(file_bytes),
+        block_count_(block_count) {}
+
+  int64_t row_count() const override { return stats_.row_count; }
+  int64_t non_null_count() const override { return stats_.non_null_count; }
+
+  Status Append(Value v) override {
+    (void)v;
+    return Status::InvalidArgument("disk-backed column '" + path_.string() +
+                                   "' is sealed (write through "
+                                   "DiskCatalogWriter)");
+  }
+
+  Result<std::unique_ptr<ValueCursor>> OpenCursor() const override;
+
+  int64_t ApproximateByteSize() const override { return file_bytes_; }
+  bool out_of_core() const override { return true; }
+  const ColumnStats* cached_stats() const override { return &stats_; }
+
+  const std::filesystem::path& path() const { return path_; }
+  int64_t block_count() const { return block_count_; }
+
+ private:
+  std::filesystem::path path_;
+  ColumnStats stats_;
+  int64_t file_bytes_ = 0;
+  int64_t block_count_ = 0;
+};
+
+/// \brief Streaming writer of one disk-store workspace; the CatalogSink the
+/// CSV importer and the data generators target with --backend=disk.
+///
+/// Memory stays bounded by block_bytes × columns of the table being loaded
+/// (plus the per-block merge buffers of the seal-time statistics pass) no
+/// matter how many rows stream through.
+class DiskCatalogWriter final : public CatalogSink {
+ public:
+  /// Creates `dir` (and parents) if needed. Fails if the directory already
+  /// contains a manifest — workspaces are written once.
+  static Result<std::unique_ptr<DiskCatalogWriter>> Create(
+      std::filesystem::path dir, std::string catalog_name,
+      DiskStoreOptions options = {});
+
+  ~DiskCatalogWriter() override;
+
+  Status BeginTable(const std::string& name) override;
+  Status AddColumn(std::string name, TypeId type,
+                   bool declared_unique = false) override;
+  Status AppendRow(std::vector<Value> row) override;
+  Status FinishTable() override;
+  void DeclareForeignKey(ForeignKey fk) override;
+
+  /// Seals the workspace: writes the manifest and returns the catalog with
+  /// every column disk-backed.
+  Result<std::unique_ptr<Catalog>> Finish() override;
+
+ private:
+  class ColumnWriter;
+
+  DiskCatalogWriter(std::filesystem::path dir, std::string catalog_name,
+                    DiskStoreOptions options);
+
+  Status WriteManifest() const;
+
+  std::filesystem::path dir_;
+  DiskStoreOptions options_;
+  std::unique_ptr<Catalog> catalog_;
+  std::string table_name_;
+  std::vector<std::unique_ptr<ColumnWriter>> column_writers_;
+  int64_t table_rows_ = 0;
+  bool table_open_ = false;
+  bool finished_ = false;
+};
+
+/// True when `dir` holds a disk-store workspace (its manifest exists).
+bool IsDiskCatalogDir(const std::filesystem::path& dir);
+
+/// Reopens a workspace written by DiskCatalogWriter: rebuilds the catalog
+/// (schema, counts, cached statistics) from the manifest; column data stays
+/// on disk until cursors stream it.
+Result<std::unique_ptr<Catalog>> OpenDiskCatalog(
+    const std::filesystem::path& dir);
+
+}  // namespace spider

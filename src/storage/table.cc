@@ -16,6 +16,30 @@ Status Table::AddColumn(std::string name, TypeId type, bool declared_unique) {
   return Status::OK();
 }
 
+Status Table::AttachStoredColumn(std::string name, TypeId type,
+                                 bool declared_unique,
+                                 std::unique_ptr<ColumnStore> store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("null store for column '" + name + "'");
+  }
+  if (FindColumn(name) != nullptr) {
+    return Status::AlreadyExists("column '" + name + "' already exists in '" +
+                                 name_ + "'");
+  }
+  if (!columns_.empty() && store->row_count() != row_count_) {
+    return Status::InvalidArgument(
+        "stored column '" + name + "' has " +
+        std::to_string(store->row_count()) + " rows but table '" + name_ +
+        "' has " + std::to_string(row_count_));
+  }
+  row_count_ = store->row_count();
+  sealed_ = sealed_ || store->out_of_core();
+  columns_.push_back(std::make_unique<Column>(std::move(name), type,
+                                              declared_unique,
+                                              std::move(store)));
+  return Status::OK();
+}
+
 const Column* Table::FindColumn(std::string_view name) const {
   for (const auto& col : columns_) {
     if (col->name() == name) return col.get();
@@ -38,6 +62,10 @@ int Table::ColumnIndex(std::string_view name) const {
 }
 
 Status Table::AppendRow(std::vector<Value> row) {
+  if (sealed_) {
+    return Status::InvalidArgument("table '" + name_ +
+                                   "' is disk-backed and sealed");
+  }
   if (static_cast<int>(row.size()) != column_count()) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " does not match table '" +

@@ -22,6 +22,12 @@ class Table {
   /// table already holds rows (schema must be fixed before data loads).
   Status AddColumn(std::string name, TypeId type, bool declared_unique = false);
 
+  /// Adds a column backed by a sealed (already loaded) store — the path the
+  /// out-of-core catalog builders use. Every stored column of a table must
+  /// agree on the row count; rows cannot be appended afterwards.
+  Status AttachStoredColumn(std::string name, TypeId type, bool declared_unique,
+                            std::unique_ptr<ColumnStore> store);
+
   int column_count() const { return static_cast<int>(columns_.size()); }
   int64_t row_count() const { return row_count_; }
   bool empty() const { return row_count_ == 0; }
@@ -46,6 +52,9 @@ class Table {
  private:
   std::string name_;
   int64_t row_count_ = 0;
+  // Set when a sealed (out-of-core) column is attached: the table is then
+  // read-only and AppendRow fails cleanly.
+  bool sealed_ = false;
   std::vector<std::unique_ptr<Column>> columns_;
 };
 

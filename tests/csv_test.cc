@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <sstream>
 
 #include "src/common/temp_dir.h"
 #include "src/storage/csv.h"
+#include "src/storage/disk_store.h"
 
 namespace spider {
 namespace {
@@ -182,6 +184,166 @@ TEST_F(CsvTest, ReadDirectoryLoadsAllCsvFiles) {
 TEST_F(CsvTest, ReadDirectoryRejectsFile) {
   auto path = WriteFile("t.csv", "a\n1\n");
   EXPECT_TRUE(ReadCsvDirectory(path).status().IsInvalidArgument());
+}
+
+// ---- streaming-importer edge cases ----------------------------------------
+
+TEST_F(CsvTest, QuotedFieldWithEmbeddedDelimiterAndNewline) {
+  auto path = WriteFile("t.csv", "a,b\n\"x,1\nline2\",y\n\"p\"\"q\",z\n");
+  auto table = ReadCsvTable(path);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ((*table)->row_count(), 2);
+  EXPECT_EQ((*table)->column(0).value(0).string(), "x,1\nline2");
+  EXPECT_EQ((*table)->column(1).value(0).string(), "y");
+  EXPECT_EQ((*table)->column(0).value(1).string(), "p\"q");
+}
+
+TEST_F(CsvTest, CrLfTerminatorsWithQuotedCrLfPreserved) {
+  // CRLF terminates records (the '\r' joins no field); a CRLF inside a
+  // quoted field is data and survives.
+  auto path = WriteFile("t.csv", "a,b\r\n\"x\r\ny\",1\r\n2,3\r\n");
+  auto table = ReadCsvTable(path);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ((*table)->row_count(), 2);
+  EXPECT_EQ((*table)->column(0).value(0).string(), "x\r\ny");
+  EXPECT_EQ((*table)->column(1).value(1).ToCanonicalString(), "3");
+}
+
+TEST_F(CsvTest, TrailingEmptyColumnsAreNulls) {
+  auto path = WriteFile("t.csv", "a,b,c,d\n1,x,,\n2,y,,\n");
+  auto table = ReadCsvTable(path);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ((*table)->row_count(), 2);
+  EXPECT_TRUE((*table)->column(2).value(0).is_null());
+  EXPECT_TRUE((*table)->column(3).value(0).is_null());
+  EXPECT_TRUE((*table)->column(3).value(1).is_null());
+  EXPECT_FALSE((*table)->column(2).has_data());
+}
+
+TEST_F(CsvTest, FileWithoutTrailingNewline) {
+  auto path = WriteFile("t.csv", "a,b\n1,x\n2,y");
+  auto table = ReadCsvTable(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->row_count(), 2);
+  EXPECT_EQ((*table)->column(1).value(1).string(), "y");
+}
+
+TEST_F(CsvTest, RecordReaderHandlesMultiLineRecordsAndBlankLines) {
+  std::istringstream in("a,\"b\nc\",d\r\n\nx,y,z\n");
+  CsvRecordReader reader(in);
+  std::vector<std::string> fields;
+  auto first = reader.Next(&fields);
+  ASSERT_TRUE(first.ok() && *first);
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b\nc", "d"}));
+  EXPECT_FALSE(reader.last_record_was_blank());
+  auto blank = reader.Next(&fields);
+  ASSERT_TRUE(blank.ok() && *blank);
+  EXPECT_TRUE(reader.last_record_was_blank());
+  auto third = reader.Next(&fields);
+  ASSERT_TRUE(third.ok() && *third);
+  EXPECT_EQ(fields, (std::vector<std::string>{"x", "y", "z"}));
+  auto end = reader.Next(&fields);
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(*end);
+}
+
+TEST_F(CsvTest, RecordReaderUnterminatedQuoteFails) {
+  std::istringstream in("\"abc\ndef");
+  CsvRecordReader reader(in);
+  std::vector<std::string> fields;
+  EXPECT_TRUE(reader.Next(&fields).status().IsInvalidArgument());
+}
+
+TEST_F(CsvTest, LenientModeSkipsMalformedQuoting) {
+  CsvOptions options;
+  options.strict = false;
+  auto path = WriteFile("t.csv", "a,b\n1,2\nbad\"row,9\n4,5\n");
+  auto table = ReadCsvTable(path, options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->row_count(), 2);
+}
+
+TEST_F(CsvTest, LenientModeSkipsMalformedFirstDataRecord) {
+  // The malformed record sits where a "#types:" line could be — the
+  // look-ahead must skip it in lenient mode like any other record.
+  CsvOptions options;
+  options.strict = false;
+  auto path = WriteFile("t.csv", "a,b\nbad\"row,9\n4,5\n");
+  auto table = ReadCsvTable(path, options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->row_count(), 1);
+  EXPECT_EQ((*table)->column(1).value(0).ToCanonicalString(), "5");
+}
+
+TEST_F(CsvTest, QuotedFieldStartingWithTypesMarkerIsData) {
+  auto path = WriteFile("t.csv", "a,b\n\"#types:note\",y\n1,z\n");
+  auto table = ReadCsvTable(path);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ((*table)->row_count(), 2);
+  EXPECT_EQ((*table)->column(0).value(0).string(), "#types:note");
+  EXPECT_EQ((*table)->column(1).value(1).string(), "z");
+}
+
+TEST_F(CsvTest, CrLfFileWithoutFinalNewlineStripsTrailingCr) {
+  auto path = WriteFile("t.csv", "a,b\r\n1,x\r");
+  auto table = ReadCsvTable(path);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ((*table)->row_count(), 1);
+  EXPECT_EQ((*table)->column(1).value(0).string(), "x");
+}
+
+TEST_F(CsvTest, ImportsIntoDiskBackendIdenticalToMemory) {
+  // A column larger than one storage block, with quoting hazards, streams
+  // through the disk backend and reads back byte-identical to the
+  // in-memory load of the same directory.
+  std::string csv = "k,v\n#types:integer,string\n";
+  for (int i = 0; i < 3000; ++i) {
+    csv += std::to_string(i) + ",\"text,\n" + std::to_string(i % 800) +
+           "\"\n";
+  }
+  WriteFile("big.csv", csv);
+  WriteFile("small.csv", "x\n1\n\n2\n");
+
+  auto memory = ReadCsvDirectory(dir_->path());
+  ASSERT_TRUE(memory.ok()) << memory.status().ToString();
+
+  DiskStoreOptions disk_options;
+  disk_options.block_bytes = 4096;
+  auto writer = DiskCatalogWriter::Create(dir_->path() / "ws", "db",
+                                          disk_options);
+  ASSERT_TRUE(writer.ok());
+  auto disk = ImportCsvDirectory(dir_->path(), CsvOptions{}, **writer);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+  ASSERT_EQ((*disk)->table_count(), (*memory)->table_count());
+  for (int t = 0; t < (*memory)->table_count(); ++t) {
+    const Table& mem_table = (*memory)->table(t);
+    const Table* disk_table = (*disk)->FindTable(mem_table.name());
+    ASSERT_NE(disk_table, nullptr);
+    ASSERT_EQ(disk_table->row_count(), mem_table.row_count());
+    for (int c = 0; c < mem_table.column_count(); ++c) {
+      const Column& mem_column = mem_table.column(c);
+      const Column& disk_column = *disk_table->FindColumn(mem_column.name());
+      EXPECT_EQ(disk_column.type(), mem_column.type());
+      auto mem_cursor = mem_column.OpenCursor();
+      auto disk_cursor = disk_column.OpenCursor();
+      ASSERT_TRUE(mem_cursor.ok() && disk_cursor.ok());
+      std::string_view mem_view;
+      std::string_view disk_view;
+      while (true) {
+        const CursorStep mem_step = (*mem_cursor)->Next(&mem_view);
+        const CursorStep disk_step = (*disk_cursor)->Next(&disk_view);
+        ASSERT_EQ(static_cast<int>(mem_step), static_cast<int>(disk_step));
+        if (mem_step == CursorStep::kEnd) break;
+        if (mem_step == CursorStep::kValue) {
+          ASSERT_EQ(disk_view, mem_view);
+        }
+      }
+    }
+  }
+  const Column& big_v = *(*disk)->FindTable("big")->FindColumn("v");
+  EXPECT_GT(dynamic_cast<const DiskColumnStore&>(big_v.store()).block_count(),
+            1);
 }
 
 }  // namespace

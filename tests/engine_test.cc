@@ -38,27 +38,27 @@ TEST(HashJoinTest, CountsMatchedDependentRows) {
   Column ref = MakeColumn({"a", "b", "c"});
   RunCounters counters;
   // Rows "a", "b", "a" match; "z" does not; NULL is not probed.
-  EXPECT_EQ(engine::HashJoinMatchCount(dep, ref, &counters), 3);
+  EXPECT_EQ(*engine::HashJoinMatchCount(dep, ref, &counters), 3);
   EXPECT_GT(counters.engine_rows_scanned, 0);
 }
 
 TEST(HashJoinTest, FullInclusionMatchesNonNullCount) {
   Column dep = MakeColumn({"a", "b", "a", nullptr});
   Column ref = MakeColumn({"a", "b", "c"});
-  EXPECT_EQ(engine::HashJoinMatchCount(dep, ref, nullptr),
+  EXPECT_EQ(*engine::HashJoinMatchCount(dep, ref, nullptr),
             dep.non_null_count());
 }
 
 TEST(HashJoinTest, EmptyInputs) {
   Column empty = MakeColumn({});
   Column ref = MakeColumn({"a"});
-  EXPECT_EQ(engine::HashJoinMatchCount(empty, ref, nullptr), 0);
-  EXPECT_EQ(engine::HashJoinMatchCount(ref, empty, nullptr), 0);
+  EXPECT_EQ(*engine::HashJoinMatchCount(empty, ref, nullptr), 0);
+  EXPECT_EQ(*engine::HashJoinMatchCount(ref, empty, nullptr), 0);
 }
 
 TEST(SortDistinctTest, SortsAndDedups) {
   Column col = MakeColumn({"b", "a", "b", nullptr, "c"});
-  auto values = engine::SortDistinct(col, nullptr);
+  auto values = *engine::SortDistinct(col, nullptr);
   EXPECT_EQ(values, (std::vector<std::string>{"a", "b", "c"}));
 }
 
@@ -66,44 +66,44 @@ TEST(MinusCountTest, CountsDistinctUnmatched) {
   Column dep = MakeColumn({"a", "b", "b", "d", "e"});
   Column ref = MakeColumn({"b", "c", "e"});
   // distinct(dep) \ distinct(ref) = {a, d}.
-  EXPECT_EQ(engine::MinusCount(dep, ref, nullptr), 2);
+  EXPECT_EQ(*engine::MinusCount(dep, ref, nullptr), 2);
 }
 
 TEST(MinusCountTest, ZeroWhenIncluded) {
   Column dep = MakeColumn({"a", "a", "b"});
   Column ref = MakeColumn({"a", "b", "c"});
-  EXPECT_EQ(engine::MinusCount(dep, ref, nullptr), 0);
+  EXPECT_EQ(*engine::MinusCount(dep, ref, nullptr), 0);
 }
 
 TEST(MinusCountTest, EmptyDependent) {
   Column dep = MakeColumn({nullptr});
   Column ref = MakeColumn({"a"});
-  EXPECT_EQ(engine::MinusCount(dep, ref, nullptr), 0);
+  EXPECT_EQ(*engine::MinusCount(dep, ref, nullptr), 0);
 }
 
 TEST(MinusCountTest, EmptyReferenced) {
   Column dep = MakeColumn({"a", "b"});
   Column ref = MakeColumn({});
-  EXPECT_EQ(engine::MinusCount(dep, ref, nullptr), 2);
+  EXPECT_EQ(*engine::MinusCount(dep, ref, nullptr), 2);
 }
 
 TEST(NotInCountTest, CountsUnmatchedRows) {
   // NOT IN counts ROWS (not distinct values): "z" twice -> 2.
   Column dep = MakeColumn({"a", "z", "z", nullptr});
   Column ref = MakeColumn({"a", "b"});
-  EXPECT_EQ(engine::NotInCount(dep, ref, nullptr), 2);
+  EXPECT_EQ(*engine::NotInCount(dep, ref, nullptr), 2);
 }
 
 TEST(NotInCountTest, ZeroWhenIncluded) {
   Column dep = MakeColumn({"a", "b", "a"});
   Column ref = MakeColumn({"b", "a"});
-  EXPECT_EQ(engine::NotInCount(dep, ref, nullptr), 0);
+  EXPECT_EQ(*engine::NotInCount(dep, ref, nullptr), 0);
 }
 
 TEST(NotInCountTest, ReferencedNullsAreSkipped) {
   Column dep = MakeColumn({"a"});
   Column ref = MakeColumn({nullptr, "a"});
-  EXPECT_EQ(engine::NotInCount(dep, ref, nullptr), 0);
+  EXPECT_EQ(*engine::NotInCount(dep, ref, nullptr), 0);
 }
 
 TEST(SortMergeJoinTest, MatchesHashJoinCount) {
@@ -114,8 +114,8 @@ TEST(SortMergeJoinTest, MatchesHashJoinCount) {
     for (const auto& r : columns) {
       Column dep = MakeColumn(d);
       Column ref = MakeColumn(r);
-      EXPECT_EQ(engine::SortMergeJoinMatchCount(dep, ref, nullptr),
-                engine::HashJoinMatchCount(dep, ref, nullptr));
+      EXPECT_EQ(*engine::SortMergeJoinMatchCount(dep, ref, nullptr),
+                *engine::HashJoinMatchCount(dep, ref, nullptr));
     }
   }
 }
@@ -123,7 +123,7 @@ TEST(SortMergeJoinTest, MatchesHashJoinCount) {
 TEST(SortMergeJoinTest, CountsDuplicateDependentRows) {
   Column dep = MakeColumn({"a", "a", "a", "b"});
   Column ref = MakeColumn({"a", "c"});
-  EXPECT_EQ(engine::SortMergeJoinMatchCount(dep, ref, nullptr), 3);
+  EXPECT_EQ(*engine::SortMergeJoinMatchCount(dep, ref, nullptr), 3);
 }
 
 TEST(OperatorAgreementTest, AllThreeStatementsAgreeOnVerdict) {
@@ -136,9 +136,9 @@ TEST(OperatorAgreementTest, AllThreeStatementsAgreeOnVerdict) {
       Column dep = MakeColumn(d);
       Column ref = MakeColumn(r);
       const bool join_verdict =
-          engine::HashJoinMatchCount(dep, ref, nullptr) == dep.non_null_count();
-      const bool minus_verdict = engine::MinusCount(dep, ref, nullptr) == 0;
-      const bool notin_verdict = engine::NotInCount(dep, ref, nullptr) == 0;
+          *engine::HashJoinMatchCount(dep, ref, nullptr) == dep.non_null_count();
+      const bool minus_verdict = *engine::MinusCount(dep, ref, nullptr) == 0;
+      const bool notin_verdict = *engine::NotInCount(dep, ref, nullptr) == 0;
       EXPECT_EQ(join_verdict, minus_verdict);
       EXPECT_EQ(join_verdict, notin_verdict);
     }
@@ -154,8 +154,8 @@ TEST(OperatorCostTest, NotInScansMoreThanJoin) {
   Column ref = MakeColumn({"a", "b", "c", "d"});
   RunCounters join_counters;
   RunCounters notin_counters;
-  engine::HashJoinMatchCount(dep, ref, &join_counters);
-  engine::NotInCount(dep, ref, &notin_counters);
+  *engine::HashJoinMatchCount(dep, ref, &join_counters);
+  *engine::NotInCount(dep, ref, &notin_counters);
   EXPECT_GT(notin_counters.engine_rows_scanned,
             join_counters.engine_rows_scanned);
 }

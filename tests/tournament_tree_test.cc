@@ -1,0 +1,133 @@
+#include "src/common/tournament_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace spider {
+namespace {
+
+// Comparator over a key table with slot-id tie-break (the contract every
+// merge loop uses).
+struct KeyLess {
+  const std::vector<std::string>* keys;
+  bool operator()(int a, int b) const {
+    const std::string& va = (*keys)[static_cast<size_t>(a)];
+    const std::string& vb = (*keys)[static_cast<size_t>(b)];
+    if (va != vb) return va < vb;
+    return a < b;
+  }
+};
+
+TEST(TournamentTreeTest, SingleSlot) {
+  std::vector<std::string> keys = {"x"};
+  TournamentTree<KeyLess> tree(1, KeyLess{&keys});
+  EXPECT_TRUE(tree.empty());
+  tree.Push(0);
+  EXPECT_EQ(tree.size(), 1);
+  EXPECT_EQ(tree.top(), 0);
+  tree.Pop();
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(TournamentTreeTest, PopsInSortedOrderWithIdTieBreak) {
+  std::vector<std::string> keys = {"b", "a", "b", "a", "c"};
+  TournamentTree<KeyLess> tree(5, KeyLess{&keys});
+  for (int i = 0; i < 5; ++i) tree.Push(i);
+  std::vector<int> order;
+  while (!tree.empty()) {
+    order.push_back(tree.top());
+    tree.Pop();
+  }
+  // Equal keys pop in ascending slot order.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 0, 2, 4}));
+}
+
+TEST(TournamentTreeTest, ReinsertAfterKeyChange) {
+  std::vector<std::string> keys = {"a", "b", "c"};
+  TournamentTree<KeyLess> tree(3, KeyLess{&keys});
+  for (int i = 0; i < 3; ++i) tree.Push(i);
+  EXPECT_EQ(tree.top(), 0);
+  tree.Pop();
+  keys[0] = "z";  // keys may change while a slot is out of the tree
+  tree.Push(0);
+  EXPECT_EQ(tree.top(), 1);
+  tree.Pop();
+  EXPECT_EQ(tree.top(), 2);
+  tree.Pop();
+  EXPECT_EQ(tree.top(), 0);
+}
+
+TEST(TournamentTreeTest, RefreshAdvancesWinnerInPlace) {
+  std::vector<std::string> keys = {"a", "m", "x"};
+  TournamentTree<KeyLess> tree(3, KeyLess{&keys});
+  for (int i = 0; i < 3; ++i) tree.Push(i);
+  EXPECT_EQ(tree.top(), 0);
+  keys[0] = "n";  // the winner's key grows (next value in its stream)
+  tree.Refresh();
+  EXPECT_EQ(tree.top(), 1);
+  keys[1] = "zz";
+  tree.Refresh();
+  EXPECT_EQ(tree.top(), 0);
+}
+
+// Randomized differential test: the tree must agree with an ordered
+// multiset reference across arbitrary pop/push/refresh interleavings, for
+// capacities crossing power-of-two boundaries.
+TEST(TournamentTreeTest, MatchesReferenceAcrossCapacities) {
+  Random rng(20260730);
+  for (int capacity = 1; capacity <= 17; ++capacity) {
+    std::vector<std::string> keys(static_cast<size_t>(capacity));
+    TournamentTree<KeyLess> tree(capacity, KeyLess{&keys});
+    // reference: (key, slot) pairs, ordered — mirrors the comparator.
+    std::map<std::pair<std::string, int>, bool> reference;
+    std::vector<bool> active(static_cast<size_t>(capacity), false);
+
+    auto push = [&](int slot) {
+      keys[static_cast<size_t>(slot)] =
+          std::to_string(rng.Uniform(0, 9));  // few distinct keys: many ties
+      tree.Push(slot);
+      reference[{keys[static_cast<size_t>(slot)], slot}] = true;
+      active[static_cast<size_t>(slot)] = true;
+    };
+
+    for (int step = 0; step < 500; ++step) {
+      ASSERT_EQ(tree.size(), static_cast<int>(reference.size()));
+      if (!tree.empty()) {
+        ASSERT_EQ(tree.top(), reference.begin()->first.second)
+            << "capacity " << capacity << " step " << step;
+      }
+      const int64_t action = rng.Uniform(0, 2);
+      if (action == 0 && !tree.empty()) {
+        const int slot = tree.top();
+        tree.Pop();
+        reference.erase(reference.begin());
+        active[static_cast<size_t>(slot)] = false;
+      } else if (action == 1 && !tree.empty()) {
+        // Refresh: the winner's key changes in place.
+        const int slot = tree.top();
+        reference.erase(reference.begin());
+        keys[static_cast<size_t>(slot)] = std::to_string(rng.Uniform(0, 9));
+        tree.Refresh();
+        reference[{keys[static_cast<size_t>(slot)], slot}] = true;
+      } else {
+        const int slot = static_cast<int>(rng.Uniform(0, capacity - 1));
+        if (!active[static_cast<size_t>(slot)]) push(slot);
+      }
+    }
+    while (!tree.empty()) {
+      ASSERT_EQ(tree.top(), reference.begin()->first.second);
+      reference.erase(reference.begin());
+      tree.Pop();
+    }
+    EXPECT_TRUE(reference.empty());
+  }
+}
+
+}  // namespace
+}  // namespace spider

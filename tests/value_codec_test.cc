@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "src/extsort/value_codec.h"
+#include "src/common/value_codec.h"
 
 namespace spider {
 namespace {

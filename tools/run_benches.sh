@@ -17,7 +17,9 @@ cd "$(dirname "$0")/.."
 
 build_dir="${1:-build}"
 only="${2:-}"
-results_dir="bench/results"
+# BENCH_RESULTS_DIR redirects output (the CI bench-regression smoke writes
+# to a scratch dir and diffs against the tracked bench/results baseline).
+results_dir="${BENCH_RESULTS_DIR:-bench/results}"
 
 if [ ! -d "$build_dir/bench" ]; then
   echo "error: $build_dir/bench not found — build the project first" >&2

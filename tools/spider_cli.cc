@@ -1,21 +1,34 @@
 // spider — command-line schema discovery for CSV dumps.
 //
 // Usage:
-//   spider profile <csv_dir> [--approach=NAME] [--max-value-pretest]
+//   spider profile <csv_dir|workspace> [--approach=NAME]
+//                            [--backend=memory|disk] [--workspace=DIR]
+//                            [--max-value-pretest]
 //                            [--sampling-pretest] [--sigma=S]
 //                            [--time-budget=S] [--threads=N] [--progress]
 //                            [--json]
-//   spider discover <csv_dir> [--approach=NAME] [--no-surrogate-filter]
+//   spider import <csv_dir> --workspace=DIR [--backend=memory|disk]
+//                           [--block-bytes=N]
+//   spider discover <csv_dir|workspace> [--approach=NAME]
+//                   [--no-surrogate-filter]
 //   spider links <source_csv_dir> <target_csv_dir> [--strip-prefixes]
 //                [--min-coverage=C]
 //   spider approaches
 //
 // `profile` prints the satisfied INDs (σ < 1 switches to partial INDs);
+// `import` streams a CSV dump into an out-of-core disk-store workspace
+// (pay the parse once, profile many times with bounded memory);
 // `discover` runs the whole Aladin-style pipeline and prints the report;
 // `links` finds cross-database links into the target's accession columns;
 // `approaches` lists every registered verification approach with its
 // capabilities. Approach names come from the algorithm registry — the CLI
 // has no hard-coded list.
+//
+// Every command that takes a data directory accepts either a CSV dump or
+// an already-imported workspace (auto-detected via its manifest). With
+// --backend=disk a CSV dump is streamed through the disk store first —
+// peak memory stays bounded by storage-block buffers regardless of dump
+// size — into --workspace (or a temp directory for this run only).
 //
 // Ctrl-C (SIGINT) cancels a running profile cooperatively: the run stops
 // at the next poll and the partial finished=false report is still printed.
@@ -39,10 +52,12 @@
 #include "src/discovery/graph_export.h"
 #include "src/discovery/link_discovery.h"
 #include "src/discovery/report.h"
+#include "src/common/string_util.h"
 #include "src/ind/partial_ind.h"
 #include "src/ind/registry.h"
 #include "src/ind/session.h"
 #include "src/storage/csv.h"
+#include "src/storage/disk_store.h"
 
 namespace {
 
@@ -94,11 +109,17 @@ std::string ApproachList() {
 int Usage() {
   std::cerr
       << "usage:\n"
-         "  spider profile <csv_dir> [--approach=NAME] [--max-value-pretest]\n"
+         "  spider profile <csv_dir|workspace> [--approach=NAME]\n"
+         "                           [--backend=memory|disk] "
+         "[--workspace=DIR]\n"
+         "                           [--max-value-pretest]\n"
          "                           [--sampling-pretest] [--sigma=S]\n"
          "                           [--time-budget=S] [--threads=N]\n"
          "                           [--progress] [--json]\n"
-         "  spider discover <csv_dir> [--approach=NAME] "
+         "  spider import <csv_dir> --workspace=DIR "
+         "[--backend=memory|disk]\n"
+         "                          [--block-bytes=N]\n"
+         "  spider discover <csv_dir|workspace> [--approach=NAME] "
          "[--no-surrogate-filter] [--dot=FILE]\n"
          "  spider links <source_dir> <target_dir> [--strip-prefixes]\n"
          "               [--min-coverage=C]\n"
@@ -111,6 +132,10 @@ int Usage() {
 struct Flags {
   std::vector<std::string> positional;
   std::string approach = "brute-force";
+  StorageBackend backend = StorageBackend::kMemory;
+  bool backend_set = false;  // --backend was given explicitly
+  std::string workspace;
+  int64_t block_bytes = 0;  // 0 = DiskStoreOptions default
   bool max_value_pretest = false;
   bool sampling_pretest = false;
   bool surrogate_filter = true;
@@ -138,6 +163,32 @@ Flags ParseFlags(int argc, char** argv, int first) {
         return flags;
       }
       flags.approach = std::move(name);
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      flags.backend_set = true;
+      if (value == "memory") {
+        flags.backend = StorageBackend::kMemory;
+      } else if (value == "disk") {
+        flags.backend = StorageBackend::kDisk;
+      } else {
+        std::cerr << "--backend must be 'memory' or 'disk', got '" << value
+                  << "'\n";
+        flags.ok = false;
+        return flags;
+      }
+    } else if (arg.rfind("--workspace=", 0) == 0) {
+      flags.workspace = arg.substr(12);
+    } else if (arg.rfind("--block-bytes=", 0) == 0) {
+      const std::string value = arg.substr(14);
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed < 1024) {
+        std::cerr << "--block-bytes must be an integer >= 1024, got '" << value
+                  << "'\n";
+        flags.ok = false;
+        return flags;
+      }
+      flags.block_bytes = static_cast<int64_t>(parsed);
     } else if (arg == "--max-value-pretest") {
       flags.max_value_pretest = true;
     } else if (arg == "--sampling-pretest") {
@@ -192,18 +243,110 @@ RunOptions MakeRunOptions(const Flags& flags) {
   return options;
 }
 
+// A catalog plus whatever keeps its backing storage alive (a temp disk
+// workspace when --backend=disk ran without --workspace).
+struct LoadedCatalog {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<TempDir> temp_workspace;
+};
+
+DiskStoreOptions MakeDiskOptions(const Flags& flags) {
+  DiskStoreOptions options;
+  if (flags.block_bytes > 0) options.block_bytes = flags.block_bytes;
+  return options;
+}
+
+// Resolves a data-directory argument: an existing disk-store workspace
+// reopens directly; a CSV dump loads into memory, or — with
+// --backend=disk — streams through a DiskCatalogWriter first.
+Result<LoadedCatalog> LoadCatalog(const std::string& dir, const Flags& flags) {
+  LoadedCatalog loaded;
+  if (IsDiskCatalogDir(dir)) {
+    SPIDER_ASSIGN_OR_RETURN(loaded.catalog, OpenDiskCatalog(dir));
+    return loaded;
+  }
+  if (flags.backend == StorageBackend::kDisk) {
+    // A workspace imported by an earlier run reopens directly — the "pay
+    // the parse once" workflow; delete the directory to force a reimport.
+    if (!flags.workspace.empty() && IsDiskCatalogDir(flags.workspace)) {
+      std::cerr << "note: reusing imported workspace " << flags.workspace
+                << " (delete it to reimport " << dir << ")\n";
+      SPIDER_ASSIGN_OR_RETURN(loaded.catalog,
+                              OpenDiskCatalog(flags.workspace));
+      return loaded;
+    }
+    std::filesystem::path workspace = flags.workspace;
+    if (workspace.empty()) {
+      SPIDER_ASSIGN_OR_RETURN(loaded.temp_workspace,
+                              TempDir::Make("spider-workspace"));
+      workspace = loaded.temp_workspace->path();
+    }
+    const std::string name =
+        std::filesystem::path(dir).filename().string();
+    SPIDER_ASSIGN_OR_RETURN(
+        std::unique_ptr<DiskCatalogWriter> writer,
+        DiskCatalogWriter::Create(workspace, name, MakeDiskOptions(flags)));
+    SPIDER_ASSIGN_OR_RETURN(loaded.catalog,
+                            ImportCsvDirectory(dir, CsvOptions{}, *writer));
+    return loaded;
+  }
+  SPIDER_ASSIGN_OR_RETURN(loaded.catalog, ReadCsvDirectory(dir));
+  return loaded;
+}
+
+int RunImport(const Flags& flags) {
+  if (flags.positional.size() != 1) return Usage();
+  const std::string& dir = flags.positional[0];
+  Stopwatch watch;
+  watch.Start();
+  if (flags.backend_set && flags.backend == StorageBackend::kMemory &&
+      !flags.workspace.empty()) {
+    std::cerr << "--backend=memory is a validation load and takes no "
+                 "--workspace (drop one of the flags)\n";
+    return 2;
+  }
+  if (flags.backend == StorageBackend::kDisk || !flags.workspace.empty()) {
+    if (flags.workspace.empty()) {
+      std::cerr << "import --backend=disk requires --workspace=DIR\n";
+      return 2;
+    }
+    const std::string name = std::filesystem::path(dir).filename().string();
+    auto writer =
+        DiskCatalogWriter::Create(flags.workspace, name, MakeDiskOptions(flags));
+    if (!writer.ok()) return Fail(writer.status());
+    auto catalog = ImportCsvDirectory(dir, CsvOptions{}, **writer);
+    if (!catalog.ok()) return Fail(catalog.status());
+    std::cout << "imported " << (*catalog)->table_count() << " tables, "
+              << (*catalog)->attribute_count() << " attributes into "
+              << flags.workspace << "\n"
+              << "on-disk size: "
+              << FormatBytes((*catalog)->ApproximateByteSize()) << "  ("
+              << Stopwatch::FormatDuration(watch.ElapsedSeconds()) << ")\n"
+              << "profile it with: spider profile " << flags.workspace << "\n";
+    return 0;
+  }
+  // Memory backend: a validation load (nothing persists).
+  auto catalog = ReadCsvDirectory(dir);
+  if (!catalog.ok()) return Fail(catalog.status());
+  std::cout << "loaded " << (*catalog)->table_count() << " tables, "
+            << (*catalog)->attribute_count() << " attributes ("
+            << FormatBytes((*catalog)->ApproximateByteSize()) << " in memory, "
+            << Stopwatch::FormatDuration(watch.ElapsedSeconds()) << ")\n";
+  return 0;
+}
+
 int RunProfile(const Flags& flags) {
   if (flags.positional.size() != 1) return Usage();
-  auto catalog = ReadCsvDirectory(flags.positional[0]);
+  auto catalog = LoadCatalog(flags.positional[0], flags);
   if (!catalog.ok()) return Fail(catalog.status());
   if (!flags.json) {
-    std::cout << "loaded " << (*catalog)->table_count() << " tables, "
-              << (*catalog)->attribute_count() << " attributes\n\n";
+    std::cout << "loaded " << catalog->catalog->table_count() << " tables, "
+              << catalog->catalog->attribute_count() << " attributes\n\n";
   }
 
   if (flags.sigma >= 1.0) {
     InstallSigintHandler();
-    SpiderSession session(**catalog);
+    SpiderSession session(*catalog->catalog);
     auto report = session.Run(MakeRunOptions(flags));
     if (flags.progress) std::cerr << "\n";
     if (!report.ok()) return Fail(report.status());
@@ -213,8 +356,11 @@ int RunProfile(const Flags& flags) {
       JsonWriter json;
       json.BeginObject();
       json.KV("approach", report->approach);
-      json.KV("tables", static_cast<int64_t>((*catalog)->table_count()));
-      json.KV("attributes", static_cast<int64_t>((*catalog)->attribute_count()));
+      json.KV("backend",
+              catalog->catalog->out_of_core() ? std::string("disk")
+                                              : std::string("memory"));
+      json.KV("tables", static_cast<int64_t>(catalog->catalog->table_count()));
+      json.KV("attributes", static_cast<int64_t>(catalog->catalog->attribute_count()));
       json.KV("raw_pairs", report->candidates.raw_pair_count);
       json.KV("candidates",
               static_cast<int64_t>(report->candidates.candidates.size()));
@@ -259,7 +405,7 @@ int RunProfile(const Flags& flags) {
   }
   RunOptions options = MakeRunOptions(flags);
   CandidateGenerator generator(options.generator);
-  auto candidates = generator.Generate(**catalog);
+  auto candidates = generator.Generate(*catalog->catalog);
   if (!candidates.ok()) return Fail(candidates.status());
   auto dir = TempDir::Make("spider-cli");
   if (!dir.ok()) return Fail(dir.status());
@@ -268,7 +414,7 @@ int RunProfile(const Flags& flags) {
   partial_options.extractor = &extractor;
   partial_options.min_coverage = flags.sigma;
   PartialIndFinder finder(partial_options);
-  auto results = finder.Run(**catalog, candidates->candidates);
+  auto results = finder.Run(*catalog->catalog, candidates->candidates);
   if (!results.ok()) return Fail(results.status());
   std::cout << "partial INDs with sigma=" << flags.sigma << ":\n";
   for (const PartialInd& p : *results) {
@@ -282,19 +428,19 @@ int RunProfile(const Flags& flags) {
 
 int RunDiscover(const Flags& flags) {
   if (flags.positional.size() != 1) return Usage();
-  auto catalog = ReadCsvDirectory(flags.positional[0]);
+  auto catalog = LoadCatalog(flags.positional[0], flags);
   if (!catalog.ok()) return Fail(catalog.status());
 
   InstallSigintHandler();
   SchemaReportOptions options;
   options.ind = MakeRunOptions(flags);
   options.filter_surrogates = flags.surrogate_filter;
-  auto report = BuildSchemaReport(**catalog, options);
+  auto report = BuildSchemaReport(*catalog->catalog, options);
   if (!report.ok()) return Fail(report.status());
   std::cout << report->ToString();
   if (!flags.dot_path.empty()) {
     GraphExportOptions dot_options;
-    dot_options.name = (*catalog)->name();
+    dot_options.name = catalog->catalog->name();
     std::ofstream out(flags.dot_path);
     out << ExportSchemaDot(*report, dot_options);
     if (!out) return Fail(Status::IOError("cannot write " + flags.dot_path));
@@ -338,6 +484,7 @@ int RunApproaches() {
                                                 : "")
               << (capabilities->supports_partial ? ", sigma-partial" : "")
               << (capabilities->supports_time_budget ? ", time budget" : "")
+              << (capabilities->supports_out_of_core ? ", out-of-core" : "")
               << "\n";
   }
   return 0;
@@ -351,6 +498,7 @@ int main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv, 2);
   if (!flags.ok) return 2;
   if (command == "profile") return RunProfile(flags);
+  if (command == "import") return RunImport(flags);
   if (command == "discover") return RunDiscover(flags);
   if (command == "links") return RunLinks(flags);
   if (command == "approaches") return RunApproaches();

@@ -37,6 +37,12 @@ case "$config" in
     ;;
 esac
 
+# Route compiles through ccache when available (CI caches ~/.ccache across
+# runs; locally this is a transparent speedup and a no-op without ccache).
+if command -v ccache >/dev/null 2>&1; then
+  cmake_args+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 cmake -B "$build_dir" -S . "${cmake_args[@]}"
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
