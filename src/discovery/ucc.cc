@@ -7,7 +7,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
-#include "src/ind/nary.h"  // EncodeCompositeKey
+#include "src/storage/composite_cursor.h"  // EncodeCompositeKey
 
 namespace spider {
 

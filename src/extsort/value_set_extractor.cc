@@ -1,6 +1,11 @@
 #include "src/extsort/value_set_extractor.h"
 
+#include <cctype>
 #include <cstdint>
+#include <cstdio>
+
+#include "src/common/hash.h"
+#include "src/storage/composite_cursor.h"
 
 namespace spider {
 
@@ -12,66 +17,125 @@ std::string ValueSetExtractor::SetFileName(const AttributeRef& attr) {
   return AttributeFileStem(attr) + ".set";
 }
 
+std::string ValueSetExtractor::CompositeSetFileName(
+    const std::vector<AttributeRef>& attrs) {
+  SPIDER_CHECK(!attrs.empty());
+  // Readable part: "table.col1+col2+..." sanitized and bounded; identity
+  // part: a hash chained over every component so distinct tuples (and
+  // distinct orders) land in distinct files regardless of sanitization
+  // collisions. The "tuple-" prefix keeps the namespace disjoint from the
+  // unary ".set" files.
+  std::string name = attrs[0].table;
+  uint64_t hash = HashString(attrs[0].table);
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    name += (i == 0 ? "." : "+");
+    name += attrs[i].column;
+    hash = HashString(attrs[i].column, HashString(attrs[i].table, hash));
+  }
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' && c != '_' &&
+        c != '+') {
+      c = '_';
+    }
+  }
+  constexpr size_t kMaxReadable = 96;
+  if (name.size() > kMaxReadable) name.resize(kMaxReadable);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return "tuple-" + name + "-" + hex + ".set";
+}
+
 ValueSetExtractor::ValueSetExtractor(fs::path output_dir,
                                      ValueSetExtractorOptions options)
     : output_dir_(std::move(output_dir)), options_(options) {}
+
+Result<SortedSetInfo> ValueSetExtractor::SortCursorToSet(
+    ValueCursor& cursor, const std::string& file_name) {
+  ExternalSorterOptions sorter_options;
+  sorter_options.memory_budget_bytes = options_.sort_memory_budget_bytes;
+  sorter_options.spill_dir = output_dir_;
+  // Spill runs inherit the set file's stem so concurrent extractions
+  // sharing this directory never collide.
+  sorter_options.run_prefix = file_name;
+  ExternalSorter sorter(sorter_options);
+  // Stream the cursor into the sorter: with the disk backend, peak memory
+  // is one storage block per component plus the sorter's budget — never
+  // the column.
+  std::string_view value;
+  for (CursorStep step = cursor.Next(&value); step != CursorStep::kEnd;
+       step = cursor.Next(&value)) {
+    if (step == CursorStep::kNull) continue;
+    SPIDER_RETURN_NOT_OK(sorter.Add(std::string(value)));
+  }
+  SPIDER_RETURN_NOT_OK(cursor.status());
+  return sorter.WriteSortedSet(output_dir_ / file_name);
+}
 
 Result<SortedSetInfo> ValueSetExtractor::DoExtract(
     const Catalog& catalog, const AttributeRef& attribute) {
   SPIDER_ASSIGN_OR_RETURN(const Column* column,
                           catalog.ResolveAttribute(attribute));
-
-  const std::string file_name = SetFileName(attribute);
-  ExternalSorterOptions sorter_options;
-  sorter_options.memory_budget_bytes = options_.sort_memory_budget_bytes;
-  sorter_options.spill_dir = output_dir_;
-  // Spill runs inherit the attribute's file stem so concurrent extractions
-  // sharing this directory never collide.
-  sorter_options.run_prefix = file_name;
-  ExternalSorter sorter(sorter_options);
-  // Stream the column into the sorter: with the disk backend, peak memory
-  // is one storage block plus the sorter's budget — never the column.
   SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
                           column->OpenCursor());
-  std::string_view value;
-  for (CursorStep step = cursor->Next(&value); step != CursorStep::kEnd;
-       step = cursor->Next(&value)) {
-    if (step == CursorStep::kNull) continue;
-    SPIDER_RETURN_NOT_OK(sorter.Add(std::string(value)));
-  }
-  SPIDER_RETURN_NOT_OK(cursor->status());
-  return sorter.WriteSortedSet(output_dir_ / file_name);
+  return SortCursorToSet(*cursor, SetFileName(attribute));
 }
 
-Result<SortedSetInfo> ValueSetExtractor::Extract(const Catalog& catalog,
-                                                 const AttributeRef& attribute) {
+Result<SortedSetInfo> ValueSetExtractor::DoExtractComposite(
+    const Catalog& catalog, const std::vector<AttributeRef>& attributes) {
+  SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
+                          OpenCompositeCursor(catalog, attributes));
+  return SortCursorToSet(*cursor, CompositeSetFileName(attributes));
+}
+
+template <typename Key, typename ExtractFn>
+Result<SortedSetInfo> ValueSetExtractor::ExtractCached(
+    std::map<Key, std::shared_future<Result<SortedSetInfo>>>& cache,
+    const Key& key, ExtractFn&& do_extract) {
   std::promise<Result<SortedSetInfo>> promise;
   std::shared_future<Result<SortedSetInfo>> future;
   bool owner = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = cache_.find(attribute);
-    if (it != cache_.end()) {
+    auto it = cache.find(key);
+    if (it != cache.end()) {
       future = it->second;
     } else {
       future = promise.get_future().share();
-      cache_.emplace(attribute, future);
+      cache.emplace(key, future);
       owner = true;
     }
   }
   if (!owner) return future.get();
 
-  // This thread claimed the attribute: sort it outside the lock while
-  // concurrent requesters wait on the shared future.
-  Result<SortedSetInfo> result = DoExtract(catalog, attribute);
+  // This thread claimed the key: sort it outside the lock while concurrent
+  // requesters wait on the shared future.
+  Result<SortedSetInfo> result = do_extract();
   if (!result.ok()) {
     // Failures are not cached — a later call may retry (concurrent waiters
     // still observe this failure through the shared state).
     std::lock_guard<std::mutex> lock(mutex_);
-    cache_.erase(attribute);
+    cache.erase(key);
   }
   promise.set_value(result);
   return result;
+}
+
+Result<SortedSetInfo> ValueSetExtractor::Extract(const Catalog& catalog,
+                                                 const AttributeRef& attribute) {
+  return ExtractCached(cache_, attribute, [&] {
+    return DoExtract(catalog, attribute);
+  });
+}
+
+Result<SortedSetInfo> ValueSetExtractor::ExtractComposite(
+    const Catalog& catalog, const std::vector<AttributeRef>& attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("composite extraction over zero attributes");
+  }
+  return ExtractCached(composite_cache_, attributes, [&] {
+    return DoExtractComposite(catalog, attributes);
+  });
 }
 
 Result<std::vector<SortedSetInfo>> ValueSetExtractor::ExtractAll(

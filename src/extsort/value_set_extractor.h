@@ -61,14 +61,44 @@ class ValueSetExtractor {
   /// extraction is still in flight on another thread.
   Result<SortedSetInfo> Lookup(const AttributeRef& attribute) const;
 
+  /// Extracts the sorted-distinct COMPOSITE value set of an attribute
+  /// tuple (all from one table, order significant): each row's non-NULL
+  /// components are encoded with EncodeCompositeKey, rows with any NULL
+  /// component are dropped (SQL MATCH SIMPLE). Streams through a
+  /// CompositeValueCursor, so peak memory is one storage block per
+  /// component plus the sort budget — the n-ary algorithms' out-of-core
+  /// path. Cached and thread-safe exactly like Extract().
+  Result<SortedSetInfo> ExtractComposite(
+      const Catalog& catalog, const std::vector<AttributeRef>& attributes);
+
   /// Deterministic file-system-safe set-file name for an attribute.
   /// Exposed for tests and tools that want to predict the workspace layout.
   static std::string SetFileName(const AttributeRef& attribute);
+
+  /// Deterministic set-file name for a composite attribute tuple; distinct
+  /// from every unary SetFileName and order-sensitive ((a,b) != (b,a)).
+  static std::string CompositeSetFileName(
+      const std::vector<AttributeRef>& attributes);
 
  private:
   /// The uncached sort-and-materialize step.
   Result<SortedSetInfo> DoExtract(const Catalog& catalog,
                                   const AttributeRef& attribute);
+  Result<SortedSetInfo> DoExtractComposite(
+      const Catalog& catalog, const std::vector<AttributeRef>& attributes);
+
+  /// Claim-or-wait against a cache map: the first caller for `key` runs
+  /// `do_extract`, concurrent callers block on its shared future; failures
+  /// are evicted so later calls may retry.
+  template <typename Key, typename ExtractFn>
+  Result<SortedSetInfo> ExtractCached(
+      std::map<Key, std::shared_future<Result<SortedSetInfo>>>& cache,
+      const Key& key, ExtractFn&& do_extract);
+
+  /// Streams one cursor's non-NULL values through an ExternalSorter into
+  /// `file_name` under the output dir.
+  Result<SortedSetInfo> SortCursorToSet(ValueCursor& cursor,
+                                        const std::string& file_name);
 
   std::filesystem::path output_dir_;
   ValueSetExtractorOptions options_;
@@ -76,6 +106,11 @@ class ValueSetExtractor {
   /// Completed or in-flight extractions. shared_future so that concurrent
   /// requesters of the same attribute all wait on one extraction.
   std::map<AttributeRef, std::shared_future<Result<SortedSetInfo>>> cache_;
+  /// Same discipline for composite (tuple) sets, keyed by the ordered
+  /// attribute list.
+  std::map<std::vector<AttributeRef>,
+           std::shared_future<Result<SortedSetInfo>>>
+      composite_cache_;
 };
 
 }  // namespace spider

@@ -9,4 +9,19 @@ std::vector<Ind> SortedInds(std::vector<Ind> inds) {
   return inds;
 }
 
+std::string NaryInd::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < dependent.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += dependent[i].ToString();
+  }
+  out += ") [= (";
+  for (size_t i = 0; i < referenced.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += referenced[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
 }  // namespace spider

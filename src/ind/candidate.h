@@ -49,4 +49,24 @@ struct Ind {
 /// Sorts and returns INDs (handy for deterministic test assertions).
 std::vector<Ind> SortedInds(std::vector<Ind> inds);
 
+/// \brief An n-ary IND: positionally paired attribute lists. All dependent
+/// attributes come from one table, all referenced attributes from one
+/// table; `dependent` is kept in ascending attribute order (canonical
+/// form), `referenced` is aligned positionally.
+struct NaryInd {
+  std::vector<AttributeRef> dependent;
+  std::vector<AttributeRef> referenced;
+
+  int arity() const { return static_cast<int>(dependent.size()); }
+  std::string ToString() const;
+
+  friend bool operator==(const NaryInd& a, const NaryInd& b) {
+    return a.dependent == b.dependent && a.referenced == b.referenced;
+  }
+  friend bool operator<(const NaryInd& a, const NaryInd& b) {
+    if (a.dependent != b.dependent) return a.dependent < b.dependent;
+    return a.referenced < b.referenced;
+  }
+};
+
 }  // namespace spider

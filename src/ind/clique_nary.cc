@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <string>
+#include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/ind/nary_algorithm.h"
+#include "src/ind/registry.h"
 
 namespace spider {
 
@@ -106,14 +111,29 @@ std::vector<std::vector<int>> MaximalCliques(
 }
 
 CliqueNaryDiscovery::CliqueNaryDiscovery(CliqueNaryOptions options)
-    : options_(options) {
+    : options_(options), verifier_(options.extractor) {
   SPIDER_CHECK_GE(options_.max_arity, 2);
 }
 
+/// Everything one table pair contributes to the run.
+struct CliqueNaryDiscovery::PairOutcome {
+  std::vector<NaryInd> maximal;
+  int64_t tests = 0;
+  RunCounters counters;
+  bool finished = true;
+};
+
 Result<CliqueNaryResult> CliqueNaryDiscovery::Run(
     const Catalog& catalog, const std::vector<Ind>& unary) const {
+  RunContext context;
+  return Run(catalog, unary, context);
+}
+
+Result<CliqueNaryResult> CliqueNaryDiscovery::Run(
+    const Catalog& catalog, const std::vector<Ind>& unary,
+    RunContext& context) const {
   CliqueNaryResult result;
-  NaryIndDiscovery verifier;  // reuse its composite-tuple Verify
+  context.Begin(/*total_work=*/0);
 
   // Group the unary base by table pair.
   std::map<std::pair<std::string, std::string>,
@@ -124,9 +144,20 @@ Result<CliqueNaryResult> CliqueNaryDiscovery::Run(
         ind.dependent, ind.referenced);
   }
 
+  // One task per table pair with at least two unary INDs. Pairs share
+  // nothing but the thread-safe verifier, so they dispatch concurrently;
+  // outcomes merge in deterministic pair order.
+  std::vector<std::pair<std::pair<std::string, std::string>,
+                        std::vector<std::pair<AttributeRef, AttributeRef>>>>
+      work;
   for (auto& [tables, base] : pairs) {
+    if (base.size() >= 2) work.emplace_back(tables, std::move(base));
+  }
+
+  auto run_pair = [&](size_t pair_index) -> Result<PairOutcome> {
+    const auto& [tables, base] = work[pair_index];
     const int n = static_cast<int>(base.size());
-    if (n < 2) continue;
+    PairOutcome outcome;
 
     // Binary edges: node i–j is connected when the two unary INDs are
     // attribute-disjoint and their binary combination is satisfied.
@@ -143,7 +174,8 @@ Result<CliqueNaryResult> CliqueNaryDiscovery::Run(
       return candidate;
     };
     std::vector<std::vector<bool>> adjacency(
-        static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(n), false));
+        static_cast<size_t>(n),
+        std::vector<bool>(static_cast<size_t>(n), false));
     for (int i = 0; i < n; ++i) {
       for (int j = i + 1; j < n; ++j) {
         if (base[static_cast<size_t>(i)].first ==
@@ -152,10 +184,16 @@ Result<CliqueNaryResult> CliqueNaryDiscovery::Run(
                 base[static_cast<size_t>(j)].second) {
           continue;  // shared attribute: cannot co-occur in one IND
         }
-        ++result.tests;
+        if (context.ShouldStop()) {
+          outcome.finished = false;
+          return outcome;
+        }
+        ++outcome.tests;
         SPIDER_ASSIGN_OR_RETURN(
-            bool ok,
-            verifier.Verify(catalog, binary_candidate(i, j), &result.counters));
+            bool ok, verifier_.VerifyIncluded(catalog, binary_candidate(i, j),
+                                              &outcome.counters,
+                                              /*early_stop=*/true));
+        context.Step();
         adjacency[static_cast<size_t>(i)][static_cast<size_t>(j)] = ok;
         adjacency[static_cast<size_t>(j)][static_cast<size_t>(i)] = ok;
       }
@@ -169,17 +207,21 @@ Result<CliqueNaryResult> CliqueNaryDiscovery::Run(
     // nodes are reached.
     std::vector<NaryInd> satisfied_here;
     int64_t tests_here = 0;
-    std::vector<std::vector<int>> work = MaximalCliques(adjacency);
-    for (auto& clique : work) {
+    std::vector<std::vector<int>> stack = MaximalCliques(adjacency);
+    for (auto& clique : stack) {
       if (static_cast<int>(clique.size()) > options_.max_arity) {
         clique.resize(static_cast<size_t>(options_.max_arity));
       }
     }
-    std::set<std::vector<int>> seen(work.begin(), work.end());
-    while (!work.empty()) {
-      std::vector<int> nodes = std::move(work.back());
-      work.pop_back();
+    std::set<std::vector<int>> seen(stack.begin(), stack.end());
+    while (!stack.empty()) {
+      std::vector<int> nodes = std::move(stack.back());
+      stack.pop_back();
       if (static_cast<int>(nodes.size()) < 2) continue;
+      if (context.ShouldStop()) {
+        outcome.finished = false;
+        break;
+      }
 
       // Build the candidate in canonical (dependent-sorted) order.
       std::vector<std::pair<AttributeRef, AttributeRef>> members;
@@ -211,9 +253,11 @@ Result<CliqueNaryResult> CliqueNaryDiscovery::Run(
               "clique discovery exceeded max_tests_per_pair for tables " +
               tables.first + " / " + tables.second);
         }
-        ++result.tests;
+        ++outcome.tests;
         SPIDER_ASSIGN_OR_RETURN(
-            ok, verifier.Verify(catalog, candidate, &result.counters));
+            ok, verifier_.VerifyIncluded(catalog, candidate, &outcome.counters,
+                                         /*early_stop=*/true));
+        context.Step();
       }
       if (ok) {
         satisfied_here.push_back(std::move(candidate));
@@ -225,7 +269,7 @@ Result<CliqueNaryResult> CliqueNaryDiscovery::Run(
         for (size_t i = 0; i < nodes.size(); ++i) {
           if (i != skip) child.push_back(nodes[i]);
         }
-        if (seen.insert(child).second) work.push_back(std::move(child));
+        if (seen.insert(child).second) stack.push_back(std::move(child));
       }
     }
 
@@ -233,21 +277,94 @@ Result<CliqueNaryResult> CliqueNaryDiscovery::Run(
     for (size_t i = 0; i < satisfied_here.size(); ++i) {
       bool maximal = true;
       for (size_t j = 0; j < satisfied_here.size(); ++j) {
-        if (i != j &&
-            satisfied_here[i].arity() < satisfied_here[j].arity() &&
+        if (i != j && satisfied_here[i].arity() < satisfied_here[j].arity() &&
             IsSubprojection(satisfied_here[i], satisfied_here[j])) {
           maximal = false;
           break;
         }
       }
-      if (maximal) result.maximal.push_back(satisfied_here[i]);
+      if (maximal) outcome.maximal.push_back(satisfied_here[i]);
     }
+    return outcome;
+  };
+
+  std::vector<Result<PairOutcome>> outcomes =
+      RunNaryBatch<PairOutcome>(options_.pool, work.size(), run_pair);
+  int64_t peak_sum = 0;
+  for (Result<PairOutcome>& pair_result : outcomes) {
+    SPIDER_RETURN_NOT_OK(pair_result.status());
+    PairOutcome& outcome = *pair_result;
+    result.maximal.insert(result.maximal.end(),
+                          std::make_move_iterator(outcome.maximal.begin()),
+                          std::make_move_iterator(outcome.maximal.end()));
+    result.tests += outcome.tests;
+    result.counters.Merge(outcome.counters);
+    peak_sum += outcome.counters.peak_open_files;
+    result.finished = result.finished && outcome.finished;
   }
+  ApplyConcurrentPeakBound(options_.pool, peak_sum, result.counters);
 
   std::sort(result.maximal.begin(), result.maximal.end());
-  result.maximal.erase(std::unique(result.maximal.begin(), result.maximal.end()),
-                       result.maximal.end());
+  result.maximal.erase(
+      std::unique(result.maximal.begin(), result.maximal.end()),
+      result.maximal.end());
   return result;
+}
+
+namespace {
+
+class CliqueNaryAlgorithm final : public NaryAlgorithm {
+ public:
+  explicit CliqueNaryAlgorithm(CliqueNaryOptions options)
+      : discovery_(options) {}
+
+  Result<NaryRunResult> Run(const Catalog& catalog,
+                            const std::vector<Ind>& unary,
+                            RunContext& context) override {
+    Stopwatch watch;
+    watch.Start();
+    SPIDER_ASSIGN_OR_RETURN(CliqueNaryResult result,
+                            discovery_.Run(catalog, unary, context));
+    NaryRunResult out;
+    out.satisfied = std::move(result.maximal);
+    out.tests = result.tests;
+    out.counters = result.counters;
+    out.finished = result.finished;
+    out.seconds = watch.ElapsedSeconds();
+    return out;
+  }
+
+  std::string_view name() const override { return "clique-nary"; }
+
+ private:
+  CliqueNaryDiscovery discovery_;
+};
+
+}  // namespace
+
+void RegisterCliqueNaryAlgorithm(AlgorithmRegistry& registry) {
+  AlgorithmCapabilities capabilities;
+  capabilities.nary = true;
+  capabilities.needs_extractor = true;
+  capabilities.parallel_safe = true;
+  capabilities.supports_out_of_core = true;
+  capabilities.summary =
+      "FIND2-style maximal n-ary INDs: maximal cliques over the satisfied "
+      "binary graph, refined top-down, streamed composite-set validation";
+  Status status = registry.RegisterNary(
+      "clique-nary", capabilities,
+      [](const AlgorithmConfig& config)
+          -> Result<std::unique_ptr<NaryAlgorithm>> {
+        CliqueNaryOptions options;
+        options.extractor = config.extractor;
+        options.pool = config.pool;
+        if (config.max_nary_arity >= 2) {
+          options.max_arity = config.max_nary_arity;
+        }
+        return std::unique_ptr<NaryAlgorithm>(
+            new CliqueNaryAlgorithm(options));
+      });
+  SPIDER_CHECK(status.ok()) << status.ToString();
 }
 
 }  // namespace spider

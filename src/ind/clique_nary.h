@@ -16,6 +16,9 @@
 // Like Zigzag this aims directly for MAXIMAL INDs, needing far fewer data
 // tests than pure levelwise expansion when wide INDs exist; unlike Zigzag
 // it is exact (no epsilon heuristic) given the unary and binary base.
+// All validations stream through CompositeSetVerifier's sorted-set merges
+// (out-of-core safe); independent table pairs dispatch onto an optional
+// ThreadPool.
 
 #pragma once
 
@@ -23,9 +26,14 @@
 
 #include "src/common/counters.h"
 #include "src/common/result.h"
-#include "src/ind/nary.h"
+#include "src/common/thread_pool.h"
+#include "src/ind/candidate.h"
+#include "src/ind/composite_verify.h"
+#include "src/ind/run_context.h"
 
 namespace spider {
+
+class AlgorithmRegistry;
 
 /// Options for CliqueNaryDiscovery.
 struct CliqueNaryOptions {
@@ -33,6 +41,12 @@ struct CliqueNaryOptions {
   int max_arity = 16;
   /// Safety bound on candidate validations per table pair.
   int64_t max_tests_per_pair = 10000;
+  /// Sorted composite sets are materialized and cached here. Borrowed;
+  /// nullptr = a scoped temp-dir extractor owned by the discovery object.
+  ValueSetExtractor* extractor = nullptr;
+  /// When set, independent table pairs are processed concurrently on this
+  /// pool. Results and counters are identical to the serial run. Borrowed.
+  ThreadPool* pool = nullptr;
 };
 
 /// Result of a clique-based run.
@@ -42,6 +56,8 @@ struct CliqueNaryResult {
   /// Data validations performed (binary base + clique candidates).
   int64_t tests = 0;
   RunCounters counters;
+  /// False when the budget expired or the run was cancelled mid-way.
+  bool finished = true;
 };
 
 /// \brief FIND2-style maximal n-ary IND discovery.
@@ -53,8 +69,16 @@ class CliqueNaryDiscovery {
   Result<CliqueNaryResult> Run(const Catalog& catalog,
                                const std::vector<Ind>& unary) const;
 
+  /// As above, honoring the context's budget/cancellation.
+  Result<CliqueNaryResult> Run(const Catalog& catalog,
+                               const std::vector<Ind>& unary,
+                               RunContext& context) const;
+
  private:
+  struct PairOutcome;
+
   CliqueNaryOptions options_;
+  mutable CompositeSetVerifier verifier_;
 };
 
 /// Enumerates all maximal cliques of an undirected graph given as an
@@ -62,5 +86,8 @@ class CliqueNaryDiscovery {
 /// `adjacency[i][j]` must equal `adjacency[j][i]`; self-loops are ignored.
 std::vector<std::vector<int>> MaximalCliques(
     const std::vector<std::vector<bool>>& adjacency);
+
+/// Registers the "clique-nary" expansion with the registry.
+void RegisterCliqueNaryAlgorithm(AlgorithmRegistry& registry);
 
 }  // namespace spider

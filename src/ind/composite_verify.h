@@ -1,0 +1,70 @@
+// Streaming verification of n-ary IND candidates over sorted composite
+// value sets.
+//
+// The paper's core argument — stream sorted value sets instead of
+// random-accessing materialized columns — applied to k-tuples: each side of
+// a candidate is materialized once as a sorted-distinct set of
+// EncodeCompositeKey tuples (ValueSetExtractor::ExtractComposite, spilled
+// through the ExternalSorter under the usual memory budget), and
+// containment / error measurement is a single lockstep merge of the two
+// sets. Every n-ary approach (levelwise, clique, zigzag) verifies through
+// this class, so all of them inherit the out-of-core property and identical
+// work counters on every backend.
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "src/common/counters.h"
+#include "src/common/result.h"
+#include "src/common/temp_dir.h"
+#include "src/extsort/value_set_extractor.h"
+#include "src/ind/candidate.h"
+
+namespace spider {
+
+/// \brief Verifies n-ary candidates with merge scans over sorted composite
+/// sets. Thread-safe: concurrent Verify/Error calls share the extractor's
+/// cache, so each composite set is sorted once per workspace.
+class CompositeSetVerifier {
+ public:
+  /// `extractor` is borrowed and must outlive the verifier; pass nullptr to
+  /// have the verifier own a scoped temp-dir extractor (created lazily on
+  /// first use — the convenient configuration for tests and standalone
+  /// discovery objects).
+  explicit CompositeSetVerifier(ValueSetExtractor* extractor = nullptr)
+      : extractor_(extractor) {}
+
+  /// True when every dependent composite tuple occurs among the referenced
+  /// ones. With `early_stop` the merge aborts at the first missing tuple.
+  /// Validates the candidate (equal non-zero arity, one table per side).
+  Result<bool> VerifyIncluded(const Catalog& catalog, const NaryInd& candidate,
+                              RunCounters* counters, bool early_stop);
+
+  /// The g3' error: the fraction of distinct dependent tuples with no
+  /// referenced match (0 ⇔ satisfied). Always scans the full dependent set.
+  Result<double> Error(const Catalog& catalog, const NaryInd& candidate,
+                       RunCounters* counters);
+
+ private:
+  struct MergeOutcome {
+    int64_t dep_distinct = 0;
+    int64_t misses = 0;
+  };
+
+  /// Extracts both sides and merges them; stops at the first miss when
+  /// `early_stop` (misses is then a lower bound, which is all the boolean
+  /// verdict needs).
+  Result<MergeOutcome> Merge(const Catalog& catalog, const NaryInd& candidate,
+                             RunCounters* counters, bool early_stop);
+
+  Result<ValueSetExtractor*> ExtractorOrCreate();
+
+  ValueSetExtractor* extractor_;
+  std::mutex init_mutex_;
+  std::unique_ptr<TempDir> owned_dir_;
+  std::unique_ptr<ValueSetExtractor> owned_extractor_;
+};
+
+}  // namespace spider

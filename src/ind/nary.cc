@@ -2,26 +2,13 @@
 
 #include <algorithm>
 #include <set>
-#include <unordered_set>
 
 #include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/ind/nary_algorithm.h"
+#include "src/ind/registry.h"
 
 namespace spider {
-
-std::string NaryInd::ToString() const {
-  std::string out = "(";
-  for (size_t i = 0; i < dependent.size(); ++i) {
-    if (i > 0) out += ", ";
-    out += dependent[i].ToString();
-  }
-  out += ") [= (";
-  for (size_t i = 0; i < referenced.size(); ++i) {
-    if (i > 0) out += ", ";
-    out += referenced[i].ToString();
-  }
-  out += ")";
-  return out;
-}
 
 std::vector<NaryInd> NaryDiscoveryResult::AllNary() const {
   std::vector<NaryInd> out;
@@ -31,88 +18,16 @@ std::vector<NaryInd> NaryDiscoveryResult::AllNary() const {
   return out;
 }
 
-std::string EncodeCompositeKey(const std::vector<std::string>& components) {
-  std::string key;
-  for (const std::string& c : components) {
-    key += std::to_string(c.size());
-    key += ':';
-    key += c;
-  }
-  return key;
-}
-
 NaryIndDiscovery::NaryIndDiscovery(NaryDiscoveryOptions options)
-    : options_(options) {
+    : options_(options), verifier_(options.extractor) {
   SPIDER_CHECK_GE(options_.max_arity, 2);
 }
 
 Result<bool> NaryIndDiscovery::Verify(const Catalog& catalog,
                                       const NaryInd& candidate,
                                       RunCounters* counters) const {
-  const int arity = candidate.arity();
-  if (arity == 0 ||
-      candidate.referenced.size() != candidate.dependent.size()) {
-    return Status::InvalidArgument("malformed n-ary candidate");
-  }
-  std::vector<const Column*> dep_columns;
-  std::vector<const Column*> ref_columns;
-  for (int i = 0; i < arity; ++i) {
-    if (candidate.dependent[i].table != candidate.dependent[0].table ||
-        candidate.referenced[i].table != candidate.referenced[0].table) {
-      return Status::InvalidArgument(
-          "n-ary IND sides must each come from one table: " +
-          candidate.ToString());
-    }
-    SPIDER_ASSIGN_OR_RETURN(const Column* dep,
-                            catalog.ResolveAttribute(candidate.dependent[i]));
-    SPIDER_ASSIGN_OR_RETURN(const Column* ref,
-                            catalog.ResolveAttribute(candidate.referenced[i]));
-    dep_columns.push_back(dep);
-    ref_columns.push_back(ref);
-  }
-
-  // Build the referenced composite-tuple set.
-  const Table* ref_table = catalog.FindTable(candidate.referenced[0].table);
-  SPIDER_CHECK(ref_table != nullptr);
-  std::unordered_set<std::string> ref_tuples;
-  std::vector<std::string> components(static_cast<size_t>(arity));
-  for (int64_t row = 0; row < ref_table->row_count(); ++row) {
-    bool has_null = false;
-    for (int i = 0; i < arity; ++i) {
-      const Value& v = ref_columns[static_cast<size_t>(i)]->value(row);
-      if (v.is_null()) {
-        has_null = true;
-        break;
-      }
-      components[static_cast<size_t>(i)] = v.ToCanonicalString();
-    }
-    if (counters != nullptr) ++counters->tuples_read;
-    if (!has_null) ref_tuples.insert(EncodeCompositeKey(components));
-  }
-
-  // Probe with every dependent composite tuple.
-  const Table* dep_table = catalog.FindTable(candidate.dependent[0].table);
-  SPIDER_CHECK(dep_table != nullptr);
-  bool satisfied = true;
-  for (int64_t row = 0; row < dep_table->row_count(); ++row) {
-    bool has_null = false;
-    for (int i = 0; i < arity; ++i) {
-      const Value& v = dep_columns[static_cast<size_t>(i)]->value(row);
-      if (v.is_null()) {
-        has_null = true;
-        break;
-      }
-      components[static_cast<size_t>(i)] = v.ToCanonicalString();
-    }
-    if (counters != nullptr) ++counters->tuples_read;
-    if (has_null) continue;
-    if (counters != nullptr) ++counters->comparisons;
-    if (!ref_tuples.contains(EncodeCompositeKey(components))) {
-      satisfied = false;
-      if (options_.early_stop) break;
-    }
-  }
-  return satisfied;
+  return verifier_.VerifyIncluded(catalog, candidate, counters,
+                                  options_.early_stop);
 }
 
 namespace {
@@ -133,11 +48,26 @@ std::vector<NaryInd> Subprojections(const NaryInd& candidate) {
   return out;
 }
 
+// Per-candidate verification outcome for the level batch.
+struct VerifyOutcome {
+  bool tested = false;
+  bool satisfied = false;
+  RunCounters counters;
+};
+
 }  // namespace
 
 Result<NaryDiscoveryResult> NaryIndDiscovery::Run(
     const Catalog& catalog, const std::vector<Ind>& unary) const {
+  RunContext context;
+  return Run(catalog, unary, context);
+}
+
+Result<NaryDiscoveryResult> NaryIndDiscovery::Run(
+    const Catalog& catalog, const std::vector<Ind>& unary,
+    RunContext& context) const {
   NaryDiscoveryResult result;
+  context.Begin(/*total_work=*/0);  // candidate count is not known up front
 
   // Level 1: echo the unary INDs in NaryInd form (deduplicated, sorted).
   std::set<NaryInd> level;
@@ -205,16 +135,103 @@ Result<NaryDiscoveryResult> NaryIndDiscovery::Run(
 
     result.candidates_per_level.push_back(
         static_cast<int64_t>(candidates.size()));
+
+    // Verify the level's batch — concurrently when a pool is configured.
+    // Outcomes are folded in candidate order, so the satisfied set and the
+    // merged counters are identical at any thread count.
+    const std::vector<NaryInd> batch(candidates.begin(), candidates.end());
+    std::vector<Result<VerifyOutcome>> outcomes =
+        RunNaryBatch<VerifyOutcome>(options_.pool, batch.size(),
+                                    [&](size_t i) -> Result<VerifyOutcome> {
+                                      VerifyOutcome outcome;
+                                      if (context.ShouldStop()) return outcome;
+                                      outcome.tested = true;
+                                      SPIDER_ASSIGN_OR_RETURN(
+                                          outcome.satisfied,
+                                          verifier_.VerifyIncluded(
+                                              catalog, batch[i],
+                                              &outcome.counters,
+                                              options_.early_stop));
+                                      context.Step();
+                                      return outcome;
+                                    });
     std::vector<NaryInd> satisfied;
-    for (const NaryInd& candidate : candidates) {
+    int64_t level_peak_sum = 0;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      SPIDER_RETURN_NOT_OK(outcomes[i].status());
+      const VerifyOutcome& outcome = *outcomes[i];
+      if (!outcome.tested) {
+        result.finished = false;
+        continue;
+      }
       ++result.counters.candidates_tested;
-      SPIDER_ASSIGN_OR_RETURN(bool ok,
-                              Verify(catalog, candidate, &result.counters));
-      if (ok) satisfied.push_back(candidate);
+      result.counters.Merge(outcome.counters);
+      level_peak_sum += outcome.counters.peak_open_files;
+      if (outcome.satisfied) satisfied.push_back(batch[i]);
     }
+    ApplyConcurrentPeakBound(options_.pool, level_peak_sum, result.counters);
     result.by_level.push_back(std::move(satisfied));
+    if (!result.finished) break;
   }
   return result;
+}
+
+namespace {
+
+/// Adapts NaryIndDiscovery to the registered NaryAlgorithm interface.
+class LevelwiseNaryAlgorithm final : public NaryAlgorithm {
+ public:
+  explicit LevelwiseNaryAlgorithm(NaryDiscoveryOptions options)
+      : discovery_(options) {}
+
+  Result<NaryRunResult> Run(const Catalog& catalog,
+                            const std::vector<Ind>& unary,
+                            RunContext& context) override {
+    Stopwatch watch;
+    watch.Start();
+    SPIDER_ASSIGN_OR_RETURN(NaryDiscoveryResult result,
+                            discovery_.Run(catalog, unary, context));
+    NaryRunResult out;
+    out.satisfied = result.AllNary();
+    std::sort(out.satisfied.begin(), out.satisfied.end());
+    out.tests = result.counters.candidates_tested;
+    out.counters = result.counters;
+    out.finished = result.finished;
+    out.seconds = watch.ElapsedSeconds();
+    return out;
+  }
+
+  std::string_view name() const override { return "nary"; }
+
+ private:
+  NaryIndDiscovery discovery_;
+};
+
+}  // namespace
+
+void RegisterNaryAlgorithm(AlgorithmRegistry& registry) {
+  AlgorithmCapabilities capabilities;
+  capabilities.nary = true;
+  capabilities.needs_extractor = true;
+  capabilities.parallel_safe = true;
+  capabilities.supports_out_of_core = true;
+  capabilities.summary =
+      "levelwise (MIND-style) n-ary expansion: Apriori-join level k-1, "
+      "verify by sorted composite-set merges";
+  Status status = registry.RegisterNary(
+      "nary", capabilities,
+      [](const AlgorithmConfig& config)
+          -> Result<std::unique_ptr<NaryAlgorithm>> {
+        NaryDiscoveryOptions options;
+        options.extractor = config.extractor;
+        options.pool = config.pool;
+        if (config.max_nary_arity >= 2) {
+          options.max_arity = config.max_nary_arity;
+        }
+        return std::unique_ptr<NaryAlgorithm>(
+            new LevelwiseNaryAlgorithm(options));
+      });
+  SPIDER_CHECK(status.ok()) << status.ToString();
 }
 
 }  // namespace spider

@@ -10,11 +10,17 @@
 //   level 1  = satisfied unary INDs (from BruteForce / SinglePass / ...);
 //   level k  = Apriori-joined candidates from level k-1, kept only when
 //              every (k-1)-ary subprojection is satisfied, then verified
-//              against the data with composite-value hash probes.
+//              against the data.
 //
 // An n-ary IND R[X1..Xk] ⊆ S[Y1..Yk] holds when every k-tuple of non-NULL
 // dependent values appears among the referenced k-tuples (tuples with any
 // NULL component are skipped, matching SQL's MATCH SIMPLE foreign keys).
+// Verification streams: each side is materialized once as a sorted-distinct
+// composite-tuple set (CompositeSetVerifier) and candidates are decided by
+// lockstep merges, so discovery works unchanged over out-of-core (disk
+// backend) catalogs. A level's candidate batch dispatches onto an optional
+// ThreadPool, parallelizing validation the way the session parallelizes
+// unary SPIDER.
 
 #pragma once
 
@@ -23,30 +29,16 @@
 
 #include "src/common/counters.h"
 #include "src/common/result.h"
+#include "src/common/thread_pool.h"
 #include "src/ind/candidate.h"
+#include "src/ind/composite_verify.h"
+#include "src/ind/run_context.h"
 #include "src/storage/catalog.h"
+#include "src/storage/composite_cursor.h"
 
 namespace spider {
 
-/// \brief An n-ary IND: positionally paired attribute lists. All dependent
-/// attributes come from one table, all referenced attributes from one
-/// table; `dependent` is kept in ascending attribute order (canonical
-/// form), `referenced` is aligned positionally.
-struct NaryInd {
-  std::vector<AttributeRef> dependent;
-  std::vector<AttributeRef> referenced;
-
-  int arity() const { return static_cast<int>(dependent.size()); }
-  std::string ToString() const;
-
-  friend bool operator==(const NaryInd& a, const NaryInd& b) {
-    return a.dependent == b.dependent && a.referenced == b.referenced;
-  }
-  friend bool operator<(const NaryInd& a, const NaryInd& b) {
-    if (a.dependent != b.dependent) return a.dependent < b.dependent;
-    return a.referenced < b.referenced;
-  }
-};
+class AlgorithmRegistry;
 
 /// Options for NaryIndDiscovery.
 struct NaryDiscoveryOptions {
@@ -55,6 +47,14 @@ struct NaryDiscoveryOptions {
   int max_arity = 4;
   /// Stop verifying a candidate at the first missing dependent tuple.
   bool early_stop = true;
+  /// Sorted composite sets are materialized and cached here. Borrowed, may
+  /// be shared (it is thread-safe); nullptr = a scoped temp-dir extractor
+  /// owned by the discovery object.
+  ValueSetExtractor* extractor = nullptr;
+  /// When set, each level's candidate batch is verified concurrently on
+  /// this pool. Results and counters are identical to the serial run.
+  /// Borrowed, not owned.
+  ThreadPool* pool = nullptr;
 };
 
 /// Result of a levelwise run.
@@ -65,6 +65,9 @@ struct NaryDiscoveryResult {
   /// Candidates generated / verified per level (index 0 = arity 2).
   std::vector<int64_t> candidates_per_level;
   RunCounters counters;
+  /// False when the run stopped early (budget expired or cancelled); the
+  /// deepest level is then partial.
+  bool finished = true;
 
   /// All satisfied INDs of arity >= 2, flattened.
   std::vector<NaryInd> AllNary() const;
@@ -81,6 +84,12 @@ class NaryIndDiscovery {
   Result<NaryDiscoveryResult> Run(const Catalog& catalog,
                                   const std::vector<Ind>& unary) const;
 
+  /// As above, honoring the context's budget/cancellation (partial result
+  /// with finished=false) and reporting per-candidate progress.
+  Result<NaryDiscoveryResult> Run(const Catalog& catalog,
+                                  const std::vector<Ind>& unary,
+                                  RunContext& context) const;
+
   /// Verifies one n-ary candidate directly against the data. Exposed for
   /// tests; `candidate.dependent`/`referenced` must be non-empty, equal
   /// length, and single-table per side.
@@ -89,10 +98,13 @@ class NaryIndDiscovery {
 
  private:
   NaryDiscoveryOptions options_;
+  /// Shared streaming verifier; mutable because verification fills the
+  /// composite-set cache (thread-safe).
+  mutable CompositeSetVerifier verifier_;
 };
 
-/// Encodes one row's components into a collision-free composite key
-/// (length-prefixed concatenation). Exposed for tests.
-std::string EncodeCompositeKey(const std::vector<std::string>& components);
+/// Registers the "nary" expansion with the registry (called by
+/// AlgorithmRegistry::Global()).
+void RegisterNaryAlgorithm(AlgorithmRegistry& registry);
 
 }  // namespace spider

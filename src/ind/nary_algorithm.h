@@ -1,0 +1,101 @@
+// Common interface of the n-ary (composite) IND expansion strategies.
+//
+// Unary verification (IndAlgorithm) answers "which candidate column pairs
+// hold"; an n-ary expansion takes that satisfied unary set and derives
+// higher-arity INDs from it — the paper's Sec. 6 argument that the
+// efficient unary algorithms "will also be beneficial for finding
+// multivalued INDs". Three strategies are registered: levelwise MIND-style
+// expansion ("nary"), clique-based FIND2-style search ("clique-nary") and
+// optimistic/top-down zigzag ("zigzag"). All of them validate candidates
+// through CompositeSetVerifier's sorted-set merges, so all of them stream
+// and can profile out-of-core catalogs.
+
+#pragma once
+
+#include <future>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/counters.h"
+#include "src/common/result.h"
+#include "src/common/thread_pool.h"
+#include "src/ind/candidate.h"
+#include "src/ind/run_context.h"
+#include "src/storage/catalog.h"
+
+namespace spider {
+
+/// Outcome of running an n-ary expansion over a unary IND base.
+struct NaryRunResult {
+  /// Satisfied n-ary INDs of arity >= 2, sorted. For the maximal-IND
+  /// strategies (clique, zigzag) these are the maximal INDs; for levelwise
+  /// expansion every satisfied IND of every level.
+  std::vector<NaryInd> satisfied;
+  /// Direct data validations performed (the figure the n-ary papers
+  /// compare strategies on).
+  int64_t tests = 0;
+  /// Work counters of the validation merges.
+  RunCounters counters;
+  /// Wall-clock seconds spent inside Run().
+  double seconds = 0;
+  /// False when the budget expired or the run was cancelled; `satisfied`
+  /// is then partial (every listed IND is confirmed).
+  bool finished = true;
+};
+
+/// \brief Interface implemented by the n-ary expansion strategies.
+class NaryAlgorithm {
+ public:
+  virtual ~NaryAlgorithm() = default;
+
+  /// Expands the complete satisfied unary IND set `unary` into n-ary INDs.
+  /// The context carries the unified run controls (time budget,
+  /// cancellation, progress), which every implementation honors.
+  virtual Result<NaryRunResult> Run(const Catalog& catalog,
+                                    const std::vector<Ind>& unary,
+                                    RunContext& context) = 0;
+
+  /// Short display name, e.g. "clique-nary".
+  virtual std::string_view name() const = 0;
+};
+
+/// The one place the n-ary peak-open-files policy lives: serial batches
+/// keep the per-task max that RunCounters::Merge produced, but concurrent
+/// tasks hold their sorted sets simultaneously, so under a pool the honest
+/// peak bound is the sum of the batch's per-task peaks (the same policy
+/// the session applies to concurrent unary partitions). `peak_sum` is the
+/// caller-accumulated sum over the batch.
+inline void ApplyConcurrentPeakBound(const ThreadPool* pool, int64_t peak_sum,
+                                     RunCounters& counters) {
+  if (pool == nullptr) return;
+  if (counters.peak_open_files < peak_sum) {
+    counters.peak_open_files = peak_sum;
+  }
+}
+
+/// Runs `count` independent tasks (`task(i) -> Result<T>`) and returns the
+/// results in task order — serially when `pool` is null, concurrently on
+/// the pool otherwise. Tasks must be independent (the n-ary batch shapes:
+/// one level's candidates, one run's table pairs); since the output order
+/// is the task order and counters are merged per-task, a batch produces
+/// byte-identical results at any thread count.
+template <typename T, typename Task>
+std::vector<Result<T>> RunNaryBatch(ThreadPool* pool, size_t count,
+                                    Task&& task) {
+  std::vector<Result<T>> results;
+  results.reserve(count);
+  if (pool == nullptr || count < 2) {
+    for (size_t i = 0; i < count; ++i) results.push_back(task(i));
+    return results;
+  }
+  std::vector<std::future<Result<T>>> futures;
+  futures.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    futures.push_back(pool->Submit([&task, i] { return task(i); }));
+  }
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+}  // namespace spider

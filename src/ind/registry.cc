@@ -3,10 +3,13 @@
 #include "src/common/logging.h"
 #include "src/ind/bell_brockhausen.h"
 #include "src/ind/brute_force.h"
+#include "src/ind/clique_nary.h"
 #include "src/ind/de_marchi.h"
+#include "src/ind/nary.h"
 #include "src/ind/single_pass.h"
 #include "src/ind/spider_merge.h"
 #include "src/ind/sql_algorithms.h"
+#include "src/ind/zigzag.h"
 
 namespace spider {
 
@@ -22,6 +25,10 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
     RegisterSpiderMergeAlgorithm(*r);
     RegisterDeMarchiAlgorithm(*r);
     RegisterBellBrockhausenAlgorithm(*r);
+    // N-ary expansions, runnable on top of any unary approach above.
+    RegisterNaryAlgorithm(*r);
+    RegisterCliqueNaryAlgorithm(*r);
+    RegisterZigzagAlgorithm(*r);
     return r;
   }();
   return *registry;
@@ -33,12 +40,29 @@ Status AlgorithmRegistry::Register(std::string name,
   if (name.empty()) {
     return Status::InvalidArgument("algorithm name must be non-empty");
   }
-  if (Find(name) != nullptr) {
+  if (Contains(name)) {
     return Status::AlreadyExists("algorithm already registered: " + name);
   }
   SPIDER_CHECK(factory != nullptr) << "null factory for " << name;
+  capabilities.nary = false;
   entries_.push_back(
       Entry{std::move(name), capabilities, std::move(factory)});
+  return Status::OK();
+}
+
+Status AlgorithmRegistry::RegisterNary(std::string name,
+                                       AlgorithmCapabilities capabilities,
+                                       NaryFactory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("algorithm name must be non-empty");
+  }
+  if (Contains(name)) {
+    return Status::AlreadyExists("algorithm already registered: " + name);
+  }
+  SPIDER_CHECK(factory != nullptr) << "null factory for " << name;
+  capabilities.nary = true;
+  nary_entries_.push_back(
+      NaryEntry{std::move(name), capabilities, std::move(factory)});
   return Status::OK();
 }
 
@@ -50,23 +74,60 @@ const AlgorithmRegistry::Entry* AlgorithmRegistry::Find(
   return nullptr;
 }
 
+const AlgorithmRegistry::NaryEntry* AlgorithmRegistry::FindNary(
+    std::string_view name) const {
+  for (const NaryEntry& entry : nary_entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
 bool AlgorithmRegistry::Contains(std::string_view name) const {
-  return Find(name) != nullptr;
+  return Find(name) != nullptr || FindNary(name) != nullptr;
 }
 
 Result<AlgorithmCapabilities> AlgorithmRegistry::GetCapabilities(
     std::string_view name) const {
-  const Entry* entry = Find(name);
-  if (entry == nullptr) {
-    return Status::NotFound("unknown algorithm: " + std::string(name));
-  }
-  return entry->capabilities;
+  if (const Entry* entry = Find(name)) return entry->capabilities;
+  if (const NaryEntry* entry = FindNary(name)) return entry->capabilities;
+  return Status::NotFound("unknown algorithm: " + std::string(name));
 }
 
 Result<std::unique_ptr<IndAlgorithm>> AlgorithmRegistry::Create(
     std::string_view name, const AlgorithmConfig& config) const {
   const Entry* entry = Find(name);
   if (entry == nullptr) {
+    if (FindNary(name) != nullptr) {
+      return Status::InvalidArgument(
+          std::string(name) +
+          " is an n-ary expansion, not a unary verifier (use CreateNary, or "
+          "run it through SpiderSession)");
+    }
+    return Status::NotFound("unknown algorithm: " + std::string(name));
+  }
+  if (entry->capabilities.needs_extractor && config.extractor == nullptr) {
+    return Status::InvalidArgument(entry->name +
+                                   " requires a value-set extractor");
+  }
+  if (config.min_coverage <= 0 || config.min_coverage > 1.0) {
+    return Status::InvalidArgument("min_coverage must be in (0, 1]");
+  }
+  if (config.min_coverage < 1.0 && !entry->capabilities.supports_partial) {
+    return Status::InvalidArgument(
+        entry->name + " does not support partial (sigma < 1) coverage");
+  }
+  return entry->factory(config);
+}
+
+Result<std::unique_ptr<NaryAlgorithm>> AlgorithmRegistry::CreateNary(
+    std::string_view name, const AlgorithmConfig& config) const {
+  const NaryEntry* entry = FindNary(name);
+  if (entry == nullptr) {
+    if (Find(name) != nullptr) {
+      return Status::InvalidArgument(std::string(name) +
+                                     " is a unary verifier, not an n-ary "
+                                     "expansion (use Create)");
+    }
     return Status::NotFound("unknown algorithm: " + std::string(name));
   }
   if (entry->capabilities.needs_extractor && config.extractor == nullptr) {
@@ -87,6 +148,13 @@ std::vector<std::string> AlgorithmRegistry::Names() const {
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+std::vector<std::string> AlgorithmRegistry::NaryNames() const {
+  std::vector<std::string> names;
+  names.reserve(nary_entries_.size());
+  for (const NaryEntry& entry : nary_entries_) names.push_back(entry.name);
   return names;
 }
 

@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/thread_pool.h"
 #include "src/extsort/value_set_extractor.h"
 #include "src/ind/algorithm.h"
+#include "src/ind/nary_algorithm.h"
 
 namespace spider {
 
@@ -47,6 +49,10 @@ struct AlgorithmCapabilities {
   /// materialized columns must leave this false, and the session rejects
   /// them up front for disk-backed catalogs instead of aborting mid-run.
   bool supports_out_of_core = false;
+  /// An n-ary expansion (NaryAlgorithm) rather than a unary verifier: it
+  /// derives higher-arity INDs from a satisfied unary base. The session
+  /// runs RunOptions::nary_base first and feeds its result in.
+  bool nary = false;
   /// One-line description for usage strings and listings. Owned, so
   /// registrants may build it dynamically.
   std::string summary;
@@ -63,6 +69,13 @@ struct AlgorithmConfig {
   int max_open_files = 0;
   /// σ-partial coverage threshold in (0, 1]; 1 = exact INDs.
   double min_coverage = 1.0;
+  /// Worker pool for n-ary expansions (per-level candidate batches /
+  /// per-table-pair dispatch). Not owned; must outlive the algorithm.
+  /// nullptr = serial (results are identical either way).
+  ThreadPool* pool = nullptr;
+  /// Maximum arity for n-ary expansions; values < 2 select each
+  /// algorithm's default.
+  int max_nary_arity = 0;
 };
 
 /// \brief String-keyed algorithm registry. Thread-compatible: all built-in
@@ -72,26 +85,45 @@ class AlgorithmRegistry {
  public:
   using Factory = std::function<Result<std::unique_ptr<IndAlgorithm>>(
       const AlgorithmConfig&)>;
+  using NaryFactory = std::function<Result<std::unique_ptr<NaryAlgorithm>>(
+      const AlgorithmConfig&)>;
 
   /// The process-wide registry, with all built-in approaches registered.
   static AlgorithmRegistry& Global();
 
-  /// Registers an approach. Fails with AlreadyExists on a duplicate name.
+  /// Registers a unary approach. Fails with AlreadyExists on a duplicate
+  /// name (across both kinds).
   Status Register(std::string name, AlgorithmCapabilities capabilities,
                   Factory factory);
 
+  /// Registers an n-ary expansion; `capabilities.nary` is forced true.
+  /// Fails with AlreadyExists on a duplicate name (across both kinds).
+  Status RegisterNary(std::string name, AlgorithmCapabilities capabilities,
+                      NaryFactory factory);
+
+  /// True for any registered name, unary or n-ary.
   bool Contains(std::string_view name) const;
 
-  /// Capabilities for a registered name, or NotFound.
+  /// Capabilities for a registered name (unary or n-ary), or NotFound.
+  /// `capabilities.nary` tells the kinds apart.
   Result<AlgorithmCapabilities> GetCapabilities(std::string_view name) const;
 
-  /// Builds an algorithm instance after validating `config` against the
-  /// approach's capabilities (extractor present, σ supported).
+  /// Builds a unary algorithm instance after validating `config` against
+  /// the approach's capabilities (extractor present, σ supported). An
+  /// n-ary name fails with InvalidArgument (use CreateNary).
   Result<std::unique_ptr<IndAlgorithm>> Create(
       std::string_view name, const AlgorithmConfig& config = {}) const;
 
-  /// All registered names, in registration order (deterministic).
+  /// Builds an n-ary expansion instance (extractor validated). A unary
+  /// name fails with InvalidArgument (use Create).
+  Result<std::unique_ptr<NaryAlgorithm>> CreateNary(
+      std::string_view name, const AlgorithmConfig& config = {}) const;
+
+  /// All registered unary names, in registration order (deterministic).
   std::vector<std::string> Names() const;
+
+  /// All registered n-ary expansion names, in registration order.
+  std::vector<std::string> NaryNames() const;
 
  private:
   struct Entry {
@@ -99,10 +131,17 @@ class AlgorithmRegistry {
     AlgorithmCapabilities capabilities;
     Factory factory;
   };
+  struct NaryEntry {
+    std::string name;
+    AlgorithmCapabilities capabilities;
+    NaryFactory factory;
+  };
 
   const Entry* Find(std::string_view name) const;
+  const NaryEntry* FindNary(std::string_view name) const;
 
   std::vector<Entry> entries_;
+  std::vector<NaryEntry> nary_entries_;
 };
 
 }  // namespace spider

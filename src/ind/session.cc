@@ -244,6 +244,7 @@ Result<SessionReport> SpiderSession::Run(const RunOptions& options) {
         "' random-accesses materialized columns and cannot profile an "
         "out-of-core (disk-backend) catalog");
   }
+  if (capabilities.nary) return RunNary(options);
   if (capabilities.needs_extractor) {
     SPIDER_ASSIGN_OR_RETURN(config.extractor, extractor());
   }
@@ -283,9 +284,78 @@ Result<SessionReport> SpiderSession::Run(const RunOptions& options) {
   return report;
 }
 
+Result<SessionReport> SpiderSession::RunNary(const RunOptions& options) {
+  Stopwatch total_watch;
+  total_watch.Start();
+
+  // The expansions verify exact tuple containment only: a σ-partial unary
+  // base would feed non-exact INDs into an exact expansion, so reject the
+  // combination like the registry does for non-partial unary approaches.
+  if (options.min_coverage < 1.0) {
+    return Status::InvalidArgument(
+        options.approach + " does not support partial (sigma < 1) coverage");
+  }
+
+  // Phase 1: the unary base profile. It inherits every run control —
+  // threads, budget, cancellation, pretests — and its own capability
+  // checks (so a non-streaming base is still rejected on disk catalogs).
+  SPIDER_ASSIGN_OR_RETURN(
+      AlgorithmCapabilities base_capabilities,
+      AlgorithmRegistry::Global().GetCapabilities(options.nary_base));
+  if (base_capabilities.nary) {
+    return Status::InvalidArgument(
+        "nary_base must name a unary approach, got n-ary expansion '" +
+        options.nary_base + "'");
+  }
+  RunOptions base_options = options;
+  base_options.approach = options.nary_base;
+  SPIDER_ASSIGN_OR_RETURN(SessionReport report, Run(base_options));
+  report.approach = options.approach;
+  report.nary = true;
+  report.nary_base = options.nary_base;
+
+  // A base run that already blew the budget (or was cancelled) leaves the
+  // expansion untried: its input would be an incomplete unary set.
+  if (!report.run.finished) {
+    report.nary_run.finished = false;
+    report.total_seconds = total_watch.ElapsedSeconds();
+    return report;
+  }
+
+  // Phase 2: the expansion, on the remaining budget. Per-level candidate
+  // batches (levelwise) / independent table pairs (clique, zigzag)
+  // dispatch onto a worker pool; results are identical at any count.
+  AlgorithmConfig config;
+  SPIDER_ASSIGN_OR_RETURN(config.extractor, extractor());
+  config.max_nary_arity = options.nary_max_arity;
+  const int threads = ThreadPool::ResolveThreadCount(options.threads);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    config.pool = pool.get();
+  }
+  SPIDER_ASSIGN_OR_RETURN(
+      std::unique_ptr<NaryAlgorithm> algorithm,
+      AlgorithmRegistry::Global().CreateNary(options.approach, config));
+  RunContext context;
+  context.cancel = options.cancel;
+  context.progress = options.progress;
+  if (options.time_budget_seconds > 0) {
+    const double remaining =
+        options.time_budget_seconds - total_watch.ElapsedSeconds();
+    context.time_budget_seconds = std::max(remaining, 1e-12);
+  }
+  SPIDER_ASSIGN_OR_RETURN(
+      report.nary_run,
+      algorithm->Run(*catalog_, report.run.satisfied, context));
+  report.total_seconds = total_watch.ElapsedSeconds();
+  return report;
+}
+
 std::string SessionReport::ToString() const {
   std::string out;
   out += "approach:        " + approach + "\n";
+  if (nary) out += "unary base:      " + nary_base + "\n";
   out += "raw pairs:       " + FormatWithCommas(candidates.raw_pair_count) + "\n";
   out += "pretest pruned:  " + FormatWithCommas(candidates.total_pruned()) + "\n";
   out += "candidates:      " +
@@ -303,6 +373,15 @@ std::string SessionReport::ToString() const {
   out += "test time:       " + Stopwatch::FormatDuration(run.seconds) + "\n";
   out += "total time:      " + Stopwatch::FormatDuration(total_seconds) + "\n";
   out += "counters:        " + run.counters.ToString() + "\n";
+  if (nary) {
+    out += "n-ary INDs (" +
+           FormatWithCommas(static_cast<int64_t>(nary_run.satisfied.size())) +
+           ", " + FormatWithCommas(nary_run.tests) + " tests" +
+           (nary_run.finished ? "" : ", PARTIAL") + "):\n";
+    for (const NaryInd& ind : nary_run.satisfied) {
+      out += "  " + ind.ToString() + "\n";
+    }
+  }
   return out;
 }
 

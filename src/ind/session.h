@@ -65,12 +65,22 @@ struct RunOptions {
   /// whose capabilities advertise supports_partial.
   double min_coverage = 1.0;
   /// Open-file budget for blockwise single-pass; 0 = unlimited. Under
-  /// parallel dispatch the budget applies per partition.
+  /// parallel dispatch the budget applies per partition. N-ary expansions
+  /// do not consult it: their merges hold exactly two sorted sets per
+  /// verification task, so concurrent open files are bounded by
+  /// 2 × threads rather than by this knob.
   int max_open_files = 0;
   /// Worker threads for extraction and verification: 1 = single-threaded
   /// (the paper's configuration), 0 = hardware concurrency, N = exactly N.
   /// The satisfied-IND set is identical for every value.
   int threads = 1;
+  /// Unary base approach when `approach` names an n-ary expansion: the
+  /// session first profiles unary INDs with this approach, then feeds the
+  /// satisfied set into the expansion. Must itself be a unary approach.
+  std::string nary_base = "spider-merge";
+  /// Maximum arity for n-ary expansions; values < 2 select the
+  /// algorithm's default.
+  int nary_max_arity = 0;
 };
 
 /// Everything one session run produces.
@@ -89,6 +99,13 @@ struct SessionReport {
   int threads_used = 1;
   /// Candidate partitions dispatched (1 for serial runs).
   int partitions = 1;
+  /// True when `approach` named an n-ary expansion: `run` then holds the
+  /// unary base profile (produced with `nary_base`) and `nary_run` the
+  /// expansion outcome.
+  bool nary = false;
+  /// The unary base approach the n-ary phase ran on.
+  std::string nary_base;
+  NaryRunResult nary_run;
 
   /// Human-readable multi-line summary.
   std::string ToString() const;
@@ -129,6 +146,11 @@ class SpiderSession {
                                    const AlgorithmConfig& config,
                                    const std::vector<IndCandidate>& candidates,
                                    int threads, SessionReport* report);
+
+  /// The two-phase n-ary path: profile unary INDs with options.nary_base,
+  /// then expand them with the named n-ary approach (per-level batches on
+  /// a worker pool when options.threads != 1), under one overall budget.
+  Result<SessionReport> RunNary(const RunOptions& options);
 
   const Catalog* catalog_;
   std::unique_ptr<Catalog> owned_catalog_;

@@ -4,9 +4,13 @@
 #include <deque>
 #include <map>
 #include <set>
-#include <unordered_set>
+#include <string>
+#include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/ind/nary_algorithm.h"
+#include "src/ind/registry.h"
 
 namespace spider {
 
@@ -73,7 +77,8 @@ std::vector<NaryInd> Children(const NaryInd& candidate) {
 
 }  // namespace
 
-ZigzagDiscovery::ZigzagDiscovery(ZigzagOptions options) : options_(options) {
+ZigzagDiscovery::ZigzagDiscovery(ZigzagOptions options)
+    : options_(options), verifier_(options.extractor) {
   SPIDER_CHECK_GE(options_.max_arity, 2);
   SPIDER_CHECK_GE(options_.epsilon, 0.0);
   SPIDER_CHECK_LE(options_.epsilon, 1.0);
@@ -82,64 +87,29 @@ ZigzagDiscovery::ZigzagDiscovery(ZigzagOptions options) : options_(options) {
 Result<double> ZigzagDiscovery::Error(const Catalog& catalog,
                                       const NaryInd& candidate,
                                       RunCounters* counters) const {
-  const int arity = candidate.arity();
-  std::vector<const Column*> dep_columns;
-  std::vector<const Column*> ref_columns;
-  for (int i = 0; i < arity; ++i) {
-    SPIDER_ASSIGN_OR_RETURN(const Column* dep,
-                            catalog.ResolveAttribute(candidate.dependent[i]));
-    SPIDER_ASSIGN_OR_RETURN(const Column* ref,
-                            catalog.ResolveAttribute(candidate.referenced[i]));
-    dep_columns.push_back(dep);
-    ref_columns.push_back(ref);
-  }
-  const Table* dep_table = catalog.FindTable(candidate.dependent[0].table);
-  const Table* ref_table = catalog.FindTable(candidate.referenced[0].table);
-  SPIDER_CHECK(dep_table != nullptr && ref_table != nullptr);
-
-  std::unordered_set<std::string> ref_tuples;
-  std::vector<std::string> components(static_cast<size_t>(arity));
-  for (int64_t row = 0; row < ref_table->row_count(); ++row) {
-    bool has_null = false;
-    for (int i = 0; i < arity; ++i) {
-      const Value& v = ref_columns[static_cast<size_t>(i)]->value(row);
-      if (v.is_null()) {
-        has_null = true;
-        break;
-      }
-      components[static_cast<size_t>(i)] = v.ToCanonicalString();
-    }
-    if (counters != nullptr) ++counters->tuples_read;
-    if (!has_null) ref_tuples.insert(EncodeCompositeKey(components));
-  }
-
-  std::unordered_set<std::string> dep_tuples;
-  std::unordered_set<std::string> missing;
-  for (int64_t row = 0; row < dep_table->row_count(); ++row) {
-    bool has_null = false;
-    for (int i = 0; i < arity; ++i) {
-      const Value& v = dep_columns[static_cast<size_t>(i)]->value(row);
-      if (v.is_null()) {
-        has_null = true;
-        break;
-      }
-      components[static_cast<size_t>(i)] = v.ToCanonicalString();
-    }
-    if (counters != nullptr) ++counters->tuples_read;
-    if (has_null) continue;
-    std::string key = EncodeCompositeKey(components);
-    if (counters != nullptr) ++counters->comparisons;
-    if (!ref_tuples.contains(key)) missing.insert(key);
-    dep_tuples.insert(std::move(key));
-  }
-  if (dep_tuples.empty()) return 0.0;
-  return static_cast<double>(missing.size()) /
-         static_cast<double>(dep_tuples.size());
+  return verifier_.Error(catalog, candidate, counters);
 }
+
+/// Everything one table pair contributes to the run.
+struct ZigzagDiscovery::PairOutcome {
+  std::vector<NaryInd> maximal;
+  int64_t tests = 0;
+  int64_t optimistic_hits = 0;
+  RunCounters counters;
+  bool finished = true;
+};
 
 Result<ZigzagResult> ZigzagDiscovery::Run(const Catalog& catalog,
                                           const std::vector<Ind>& unary) const {
+  RunContext context;
+  return Run(catalog, unary, context);
+}
+
+Result<ZigzagResult> ZigzagDiscovery::Run(const Catalog& catalog,
+                                          const std::vector<Ind>& unary,
+                                          RunContext& context) const {
   ZigzagResult result;
+  context.Begin(/*total_work=*/0);
 
   // Group the unary base by table pair.
   std::map<std::pair<std::string, std::string>, TablePair> pairs;
@@ -151,8 +121,14 @@ Result<ZigzagResult> ZigzagDiscovery::Run(const Catalog& catalog,
     pair.unary.emplace_back(ind.dependent, ind.referenced);
   }
 
+  std::vector<TablePair> work;
   for (auto& [_, pair] : pairs) {
-    if (pair.unary.size() < 2) continue;
+    if (pair.unary.size() >= 2) work.push_back(std::move(pair));
+  }
+
+  auto run_pair = [&](size_t pair_index) -> Result<PairOutcome> {
+    const TablePair& pair = work[pair_index];
+    PairOutcome outcome;
 
     // Optimistic candidates: greedy maximal bipartite matchings of the
     // unary base. Each unary IND seeds one matching so different pairings
@@ -189,6 +165,10 @@ Result<ZigzagResult> ZigzagDiscovery::Run(const Catalog& catalog,
       queue.pop_front();
       if (candidate.arity() < 2) continue;
       if (!tested.insert(candidate).second) continue;
+      if (context.ShouldStop()) {
+        outcome.finished = false;
+        break;
+      }
       // Skip candidates already implied by a satisfied superset.
       bool implied = false;
       for (const NaryInd& winner : satisfied_here) {
@@ -199,12 +179,13 @@ Result<ZigzagResult> ZigzagDiscovery::Run(const Catalog& catalog,
       }
       if (implied) continue;
 
-      ++result.tests;
-      SPIDER_ASSIGN_OR_RETURN(double error,
-                              Error(catalog, candidate, &result.counters));
+      ++outcome.tests;
+      SPIDER_ASSIGN_OR_RETURN(
+          double error, verifier_.Error(catalog, candidate, &outcome.counters));
+      context.Step();
       if (error == 0.0) {
         satisfied_here.push_back(candidate);
-        if (candidate.arity() > 2) ++result.optimistic_hits;
+        if (candidate.arity() > 2) ++outcome.optimistic_hits;
         continue;
       }
       if (error <= options_.epsilon) {
@@ -227,12 +208,84 @@ Result<ZigzagResult> ZigzagDiscovery::Run(const Catalog& catalog,
           break;
         }
       }
-      if (maximal) result.maximal.push_back(satisfied_here[i]);
+      if (maximal) outcome.maximal.push_back(satisfied_here[i]);
     }
+    return outcome;
+  };
+
+  std::vector<Result<PairOutcome>> outcomes =
+      RunNaryBatch<PairOutcome>(options_.pool, work.size(), run_pair);
+  int64_t peak_sum = 0;
+  for (Result<PairOutcome>& pair_result : outcomes) {
+    SPIDER_RETURN_NOT_OK(pair_result.status());
+    PairOutcome& outcome = *pair_result;
+    result.maximal.insert(result.maximal.end(),
+                          std::make_move_iterator(outcome.maximal.begin()),
+                          std::make_move_iterator(outcome.maximal.end()));
+    result.tests += outcome.tests;
+    result.optimistic_hits += outcome.optimistic_hits;
+    result.counters.Merge(outcome.counters);
+    peak_sum += outcome.counters.peak_open_files;
+    result.finished = result.finished && outcome.finished;
   }
+  ApplyConcurrentPeakBound(options_.pool, peak_sum, result.counters);
 
   std::sort(result.maximal.begin(), result.maximal.end());
   return result;
+}
+
+namespace {
+
+class ZigzagAlgorithm final : public NaryAlgorithm {
+ public:
+  explicit ZigzagAlgorithm(ZigzagOptions options) : discovery_(options) {}
+
+  Result<NaryRunResult> Run(const Catalog& catalog,
+                            const std::vector<Ind>& unary,
+                            RunContext& context) override {
+    Stopwatch watch;
+    watch.Start();
+    SPIDER_ASSIGN_OR_RETURN(ZigzagResult result,
+                            discovery_.Run(catalog, unary, context));
+    NaryRunResult out;
+    out.satisfied = std::move(result.maximal);
+    out.tests = result.tests;
+    out.counters = result.counters;
+    out.finished = result.finished;
+    out.seconds = watch.ElapsedSeconds();
+    return out;
+  }
+
+  std::string_view name() const override { return "zigzag"; }
+
+ private:
+  ZigzagDiscovery discovery_;
+};
+
+}  // namespace
+
+void RegisterZigzagAlgorithm(AlgorithmRegistry& registry) {
+  AlgorithmCapabilities capabilities;
+  capabilities.nary = true;
+  capabilities.needs_extractor = true;
+  capabilities.parallel_safe = true;
+  capabilities.supports_out_of_core = true;
+  capabilities.summary =
+      "optimistic/top-down (zigzag) maximal n-ary INDs with g3' error "
+      "refinement over streamed composite sets";
+  Status status = registry.RegisterNary(
+      "zigzag", capabilities,
+      [](const AlgorithmConfig& config)
+          -> Result<std::unique_ptr<NaryAlgorithm>> {
+        ZigzagOptions options;
+        options.extractor = config.extractor;
+        options.pool = config.pool;
+        if (config.max_nary_arity >= 2) {
+          options.max_arity = config.max_nary_arity;
+        }
+        return std::unique_ptr<NaryAlgorithm>(new ZigzagAlgorithm(options));
+      });
+  SPIDER_CHECK(status.ok()) << status.ToString();
 }
 
 }  // namespace spider

@@ -22,6 +22,11 @@
 // candidates are derived from greedy bipartite matchings of the unary base
 // rather than from minimal-hypergraph-transversal computation of the exact
 // optimistic positive border; DESIGN.md discusses the trade-off.
+//
+// Error measurement streams through CompositeSetVerifier — a full merge of
+// the two sorted composite sets, the σ-partial-style coverage check lifted
+// to tuples — so zigzag profiles out-of-core catalogs. Independent table
+// pairs dispatch onto an optional ThreadPool.
 
 #pragma once
 
@@ -29,9 +34,14 @@
 
 #include "src/common/counters.h"
 #include "src/common/result.h"
-#include "src/ind/nary.h"
+#include "src/common/thread_pool.h"
+#include "src/ind/candidate.h"
+#include "src/ind/composite_verify.h"
+#include "src/ind/run_context.h"
 
 namespace spider {
+
+class AlgorithmRegistry;
 
 /// Options for ZigzagDiscovery.
 struct ZigzagOptions {
@@ -40,6 +50,12 @@ struct ZigzagOptions {
   /// A failed optimistic candidate with error g3' <= epsilon refines
   /// top-down into its children; above the threshold it is abandoned.
   double epsilon = 0.3;
+  /// Sorted composite sets are materialized and cached here. Borrowed;
+  /// nullptr = a scoped temp-dir extractor owned by the discovery object.
+  ValueSetExtractor* extractor = nullptr;
+  /// When set, independent table pairs are processed concurrently on this
+  /// pool. Results and counters are identical to the serial run. Borrowed.
+  ThreadPool* pool = nullptr;
 };
 
 /// Result of a zigzag run.
@@ -53,6 +69,8 @@ struct ZigzagResult {
   /// Tests that immediately confirmed an optimistic candidate.
   int64_t optimistic_hits = 0;
   RunCounters counters;
+  /// False when the budget expired or the run was cancelled mid-way.
+  bool finished = true;
 };
 
 /// \brief Optimistic/top-down n-ary IND discovery.
@@ -65,6 +83,11 @@ class ZigzagDiscovery {
   Result<ZigzagResult> Run(const Catalog& catalog,
                            const std::vector<Ind>& unary) const;
 
+  /// As above, honoring the context's budget/cancellation.
+  Result<ZigzagResult> Run(const Catalog& catalog,
+                           const std::vector<Ind>& unary,
+                           RunContext& context) const;
+
   /// Measures the g3' error of a candidate: the fraction of distinct
   /// dependent tuples with no referenced match (0 ⇔ satisfied). Exposed
   /// for tests.
@@ -72,7 +95,13 @@ class ZigzagDiscovery {
                        RunCounters* counters) const;
 
  private:
+  struct PairOutcome;
+
   ZigzagOptions options_;
+  mutable CompositeSetVerifier verifier_;
 };
+
+/// Registers the "zigzag" expansion with the registry.
+void RegisterZigzagAlgorithm(AlgorithmRegistry& registry);
 
 }  // namespace spider

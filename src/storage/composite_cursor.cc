@@ -1,0 +1,98 @@
+#include "src/storage/composite_cursor.h"
+
+#include "src/common/logging.h"
+
+namespace spider {
+
+namespace {
+
+// The one definition of the length-prefix component encoding; the cursor
+// and EncodeCompositeKey must stay byte-identical.
+void AppendEncodedComponent(std::string& key, std::string_view component) {
+  key += std::to_string(component.size());
+  key += ':';
+  key += component;
+}
+
+}  // namespace
+
+std::string EncodeCompositeKey(const std::vector<std::string>& components) {
+  std::string key;
+  for (const std::string& c : components) AppendEncodedComponent(key, c);
+  return key;
+}
+
+CompositeValueCursor::CompositeValueCursor(
+    std::vector<std::unique_ptr<ValueCursor>> components)
+    : components_(std::move(components)) {
+  SPIDER_CHECK(!components_.empty())
+      << "composite cursor needs at least one component";
+  for (const auto& component : components_) {
+    SPIDER_CHECK(component != nullptr);
+  }
+}
+
+CursorStep CompositeValueCursor::Next(std::string_view* out) {
+  if (done_) return CursorStep::kEnd;
+  // Advance every component one row, even past a NULL: the zip must stay
+  // aligned for the following rows.
+  key_.clear();
+  size_t ended = 0;
+  bool has_null = false;
+  std::string_view value;
+  for (auto& component : components_) {
+    const CursorStep step = component->Next(&value);
+    if (step == CursorStep::kEnd) {
+      if (!component->status().ok()) {
+        status_ = component->status();
+        done_ = true;
+        return CursorStep::kEnd;
+      }
+      ++ended;
+      continue;
+    }
+    if (step == CursorStep::kNull) {
+      has_null = true;
+      continue;
+    }
+    if (!has_null && ended == 0) AppendEncodedComponent(key_, value);
+  }
+  if (ended == components_.size()) {
+    done_ = true;
+    return CursorStep::kEnd;
+  }
+  if (ended != 0) {
+    status_ = Status::InvalidArgument(
+        "composite cursor components have different lengths");
+    done_ = true;
+    return CursorStep::kEnd;
+  }
+  if (has_null) return CursorStep::kNull;
+  *out = key_;
+  return CursorStep::kValue;
+}
+
+Result<std::unique_ptr<ValueCursor>> OpenCompositeCursor(
+    const Catalog& catalog, const std::vector<AttributeRef>& attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("composite cursor over zero attributes");
+  }
+  std::vector<std::unique_ptr<ValueCursor>> components;
+  components.reserve(attributes.size());
+  for (const AttributeRef& attr : attributes) {
+    if (attr.table != attributes[0].table) {
+      return Status::InvalidArgument(
+          "composite cursor attributes must share one table: " +
+          attr.ToString() + " vs " + attributes[0].ToString());
+    }
+    SPIDER_ASSIGN_OR_RETURN(const Column* column,
+                            catalog.ResolveAttribute(attr));
+    SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
+                            column->OpenCursor());
+    components.push_back(std::move(cursor));
+  }
+  return std::unique_ptr<ValueCursor>(
+      new CompositeValueCursor(std::move(components)));
+}
+
+}  // namespace spider

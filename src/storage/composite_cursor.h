@@ -1,0 +1,62 @@
+// Composite (multi-attribute) streaming cursors.
+//
+// The n-ary discovery algorithms compare k-tuples of values, one tuple per
+// table row. CompositeValueCursor zips k per-attribute ValueCursors —
+// memory-backed or the disk store's front-coded block readers, it never
+// knows which — into one ValueCursor that yields the row's composite key
+// in storage order. A row with any NULL component steps as kNull, matching
+// SQL MATCH SIMPLE foreign-key semantics (the tuple carries no constraint),
+// so every consumer of unary cursors treats composite columns identically.
+//
+// Peak memory is k cursors (one storage block each over the disk backend)
+// plus one encode buffer — the property that lets the n-ary approaches
+// profile out-of-core catalogs.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/catalog.h"
+#include "src/storage/column_store.h"
+
+namespace spider {
+
+/// Encodes one row's components into a collision-free composite key
+/// (length-prefixed concatenation): ("ab","c") and ("a","bc") encode
+/// differently. Equal tuples encode equally, so hash probes and sorted-set
+/// merges over encoded keys are exact; the induced order is a total order
+/// (lexicographic over encodings), which is all the merges need.
+std::string EncodeCompositeKey(const std::vector<std::string>& components);
+
+/// \brief Zips k attribute cursors into one cursor over composite keys.
+///
+/// All component cursors must cover the same number of rows (the columns of
+/// one table); a length mismatch surfaces as an InvalidArgument status at
+/// the short cursor's end. The view returned through `out` stays valid
+/// until the next call, like every ValueCursor.
+class CompositeValueCursor final : public ValueCursor {
+ public:
+  explicit CompositeValueCursor(
+      std::vector<std::unique_ptr<ValueCursor>> components);
+
+  CursorStep Next(std::string_view* out) override;
+  const Status& status() const override { return status_; }
+
+ private:
+  std::vector<std::unique_ptr<ValueCursor>> components_;
+  std::string key_;
+  Status status_;
+  bool done_ = false;
+};
+
+/// Opens a composite cursor over `attributes` (all from one table, in the
+/// given order). Fails with InvalidArgument on an empty list or mixed
+/// tables, NotFound on an unresolvable attribute.
+Result<std::unique_ptr<ValueCursor>> OpenCompositeCursor(
+    const Catalog& catalog, const std::vector<AttributeRef>& attributes);
+
+}  // namespace spider

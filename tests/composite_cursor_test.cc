@@ -1,0 +1,175 @@
+#include "src/storage/composite_cursor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/temp_dir.h"
+#include "src/extsort/sorted_set_file.h"
+#include "src/extsort/value_set_extractor.h"
+#include "src/storage/disk_store.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+// Collects (step, key) pairs until kEnd; returns false on an error status.
+std::vector<std::pair<CursorStep, std::string>> Drain(ValueCursor& cursor) {
+  std::vector<std::pair<CursorStep, std::string>> out;
+  std::string_view value;
+  for (CursorStep step = cursor.Next(&value); step != CursorStep::kEnd;
+       step = cursor.Next(&value)) {
+    out.emplace_back(step, step == CursorStep::kValue ? std::string(value)
+                                                      : std::string());
+  }
+  return out;
+}
+
+Catalog TwoColumnCatalog() {
+  Catalog catalog;
+  Table* t = *catalog.CreateTable("t");
+  EXPECT_TRUE(t->AddColumn("a", TypeId::kString).ok());
+  EXPECT_TRUE(t->AddColumn("b", TypeId::kString).ok());
+  EXPECT_TRUE(t->AppendRow({Value::String("x"), Value::String("1")}).ok());
+  EXPECT_TRUE(t->AppendRow({Value::String("y"), Value::Null()}).ok());
+  EXPECT_TRUE(t->AppendRow({Value::String("z"), Value::String("3")}).ok());
+  return catalog;
+}
+
+TEST(CompositeCursorTest, ZipsRowsIntoEncodedTuples) {
+  Catalog catalog = TwoColumnCatalog();
+  auto cursor = OpenCompositeCursor(catalog, {{"t", "a"}, {"t", "b"}});
+  ASSERT_TRUE(cursor.ok());
+  auto rows = Drain(**cursor);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, CursorStep::kValue);
+  EXPECT_EQ(rows[0].second, EncodeCompositeKey({"x", "1"}));
+  EXPECT_EQ(rows[1].first, CursorStep::kNull);  // NULL component ⇒ NULL row
+  EXPECT_EQ(rows[2].second, EncodeCompositeKey({"z", "3"}));
+  EXPECT_TRUE((*cursor)->status().ok());
+}
+
+TEST(CompositeCursorTest, OrderIsSignificant) {
+  Catalog catalog = TwoColumnCatalog();
+  auto ab = OpenCompositeCursor(catalog, {{"t", "a"}, {"t", "b"}});
+  auto ba = OpenCompositeCursor(catalog, {{"t", "b"}, {"t", "a"}});
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_NE(Drain(**ab)[0].second, Drain(**ba)[0].second);
+}
+
+TEST(CompositeCursorTest, RejectsMixedTablesAndUnknownAttributes) {
+  Catalog catalog = TwoColumnCatalog();
+  testing::AddStringColumn(&catalog, "u", "c", {"x"});
+  EXPECT_TRUE(OpenCompositeCursor(catalog, {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(OpenCompositeCursor(catalog, {{"t", "a"}, {"u", "c"}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(OpenCompositeCursor(catalog, {{"t", "nope"}})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(CompositeCursorTest, LengthMismatchSurfacesError) {
+  // Hand-built stores of different lengths (cannot happen through Table,
+  // which appends whole rows — the cursor still refuses to zip them).
+  MemoryColumnStore shorter;
+  MemoryColumnStore longer;
+  ASSERT_TRUE(shorter.Append(Value::String("a")).ok());
+  ASSERT_TRUE(longer.Append(Value::String("a")).ok());
+  ASSERT_TRUE(longer.Append(Value::String("b")).ok());
+  auto shorter_cursor = shorter.OpenCursor();
+  auto longer_cursor = longer.OpenCursor();
+  ASSERT_TRUE(shorter_cursor.ok() && longer_cursor.ok());
+  std::vector<std::unique_ptr<ValueCursor>> components;
+  components.push_back(std::move(*shorter_cursor));
+  components.push_back(std::move(*longer_cursor));
+  CompositeValueCursor cursor(std::move(components));
+  std::string_view value;
+  EXPECT_EQ(cursor.Next(&value), CursorStep::kValue);
+  EXPECT_EQ(cursor.Next(&value), CursorStep::kEnd);
+  EXPECT_TRUE(cursor.status().IsInvalidArgument())
+      << cursor.status().ToString();
+}
+
+TEST(CompositeCursorTest, DiskBackedColumnsZipIdentically) {
+  auto dir = TempDir::Make("spider-composite-disk");
+  ASSERT_TRUE(dir.ok());
+  auto writer = DiskCatalogWriter::Create((*dir)->path(), "db");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->BeginTable("t").ok());
+  ASSERT_TRUE((*writer)->AddColumn("a", TypeId::kString).ok());
+  ASSERT_TRUE((*writer)->AddColumn("b", TypeId::kString).ok());
+  ASSERT_TRUE(
+      (*writer)->AppendRow({Value::String("x"), Value::String("1")}).ok());
+  ASSERT_TRUE((*writer)->AppendRow({Value::String("y"), Value::Null()}).ok());
+  ASSERT_TRUE(
+      (*writer)->AppendRow({Value::String("z"), Value::String("3")}).ok());
+  ASSERT_TRUE((*writer)->FinishTable().ok());
+  auto disk_catalog = (*writer)->Finish();
+  ASSERT_TRUE(disk_catalog.ok());
+  ASSERT_TRUE((*disk_catalog)->out_of_core());
+
+  Catalog memory_catalog = TwoColumnCatalog();
+  auto memory_cursor =
+      OpenCompositeCursor(memory_catalog, {{"t", "a"}, {"t", "b"}});
+  auto disk_cursor =
+      OpenCompositeCursor(**disk_catalog, {{"t", "a"}, {"t", "b"}});
+  ASSERT_TRUE(memory_cursor.ok() && disk_cursor.ok());
+  EXPECT_EQ(Drain(**memory_cursor), Drain(**disk_cursor));
+}
+
+TEST(CompositeSetFileNameTest, DeterministicDistinctAndOrderSensitive) {
+  const std::vector<AttributeRef> ab = {{"t", "a"}, {"t", "b"}};
+  const std::vector<AttributeRef> ba = {{"t", "b"}, {"t", "a"}};
+  const std::vector<AttributeRef> a = {{"t", "a"}};
+  EXPECT_EQ(ValueSetExtractor::CompositeSetFileName(ab),
+            ValueSetExtractor::CompositeSetFileName(ab));
+  EXPECT_NE(ValueSetExtractor::CompositeSetFileName(ab),
+            ValueSetExtractor::CompositeSetFileName(ba));
+  // Disjoint from the unary namespace even at arity 1.
+  EXPECT_NE(ValueSetExtractor::CompositeSetFileName(a),
+            ValueSetExtractor::SetFileName(a[0]));
+  // Boundary-sensitive: ("t", "a+b") vs ("t", "a", "b").
+  EXPECT_NE(ValueSetExtractor::CompositeSetFileName({{"t", "a+b"}}),
+            ValueSetExtractor::CompositeSetFileName(ab));
+}
+
+TEST(ExtractCompositeTest, SortedDistinctTupleSet) {
+  Catalog catalog;
+  Table* t = *catalog.CreateTable("t");
+  ASSERT_TRUE(t->AddColumn("a", TypeId::kString).ok());
+  ASSERT_TRUE(t->AddColumn("b", TypeId::kString).ok());
+  // Duplicate tuple, NULL-bearing tuple, and two distinct tuples.
+  ASSERT_TRUE(t->AppendRow({Value::String("k"), Value::String("1")}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::String("k"), Value::String("1")}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::Null(), Value::String("9")}).ok());
+  ASSERT_TRUE(t->AppendRow({Value::String("k"), Value::String("2")}).ok());
+
+  auto dir = TempDir::Make("spider-extract-composite");
+  ASSERT_TRUE(dir.ok());
+  ValueSetExtractor extractor((*dir)->path());
+  const std::vector<AttributeRef> attrs = {{"t", "a"}, {"t", "b"}};
+  auto info = extractor.ExtractComposite(catalog, attrs);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->distinct_count, 2);
+  EXPECT_EQ(info->path.filename().string(),
+            ValueSetExtractor::CompositeSetFileName(attrs));
+
+  auto reader = SortedSetReader::Open(info->path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> values;
+  while ((*reader)->HasNext()) values.push_back((*reader)->Next());
+  EXPECT_EQ(values, (std::vector<std::string>{EncodeCompositeKey({"k", "1"}),
+                                              EncodeCompositeKey({"k", "2"})}));
+
+  // Cache hit: the same attribute list maps to the same materialized file.
+  auto again = extractor.ExtractComposite(catalog, attrs);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->path, info->path);
+}
+
+}  // namespace
+}  // namespace spider

@@ -17,6 +17,74 @@ TEST(RegistryTest, AllBuiltinApproachesAreRegistered) {
         "spider-merge", "de-marchi", "bell-brockhausen"}) {
     EXPECT_TRUE(AlgorithmRegistry::Global().Contains(expected)) << expected;
   }
+  const std::vector<std::string> nary_names =
+      AlgorithmRegistry::Global().NaryNames();
+  EXPECT_EQ(nary_names,
+            (std::vector<std::string>{"nary", "clique-nary", "zigzag"}));
+  for (const std::string& name : nary_names) {
+    EXPECT_TRUE(AlgorithmRegistry::Global().Contains(name)) << name;
+  }
+}
+
+TEST(RegistryTest, NaryCapabilitiesStreamOutOfCore) {
+  for (const std::string& name : AlgorithmRegistry::Global().NaryNames()) {
+    auto capabilities = AlgorithmRegistry::Global().GetCapabilities(name);
+    ASSERT_TRUE(capabilities.ok()) << name;
+    EXPECT_TRUE(capabilities->nary) << name;
+    EXPECT_TRUE(capabilities->supports_out_of_core) << name;
+    EXPECT_TRUE(capabilities->needs_extractor) << name;
+    EXPECT_TRUE(capabilities->parallel_safe) << name;
+  }
+  // Unary capabilities never carry the nary flag.
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    auto capabilities = AlgorithmRegistry::Global().GetCapabilities(name);
+    ASSERT_TRUE(capabilities.ok()) << name;
+    EXPECT_FALSE(capabilities->nary) << name;
+  }
+}
+
+TEST(RegistryTest, CreateAndCreateNaryRejectTheWrongKind) {
+  auto dir = TempDir::Make("spider-registry-nary");
+  ASSERT_TRUE(dir.ok());
+  ValueSetExtractor extractor((*dir)->path());
+  AlgorithmConfig config;
+  config.extractor = &extractor;
+
+  // A unary name through CreateNary (and vice versa) is a usage error,
+  // not NotFound — the name exists, the kind is wrong.
+  EXPECT_TRUE(AlgorithmRegistry::Global()
+                  .Create("zigzag", config)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AlgorithmRegistry::Global()
+                  .CreateNary("spider-merge", config)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AlgorithmRegistry::Global()
+                  .CreateNary("no-such-approach", config)
+                  .status()
+                  .IsNotFound());
+
+  // The extractor requirement is enforced for n-ary expansions too.
+  EXPECT_TRUE(AlgorithmRegistry::Global()
+                  .CreateNary("nary", {})
+                  .status()
+                  .IsInvalidArgument());
+
+  // And σ-partial coverage is rejected: the expansions verify exact tuple
+  // containment only.
+  AlgorithmConfig partial = config;
+  partial.min_coverage = 0.9;
+  EXPECT_TRUE(AlgorithmRegistry::Global()
+                  .CreateNary("nary", partial)
+                  .status()
+                  .IsInvalidArgument());
+  for (const std::string& name : AlgorithmRegistry::Global().NaryNames()) {
+    auto algorithm = AlgorithmRegistry::Global().CreateNary(name, config);
+    ASSERT_TRUE(algorithm.ok()) << name << ": "
+                                << algorithm.status().ToString();
+    EXPECT_EQ((*algorithm)->name(), name);
+  }
 }
 
 TEST(RegistryTest, BuiltinCapabilitiesAreParallelSafe) {

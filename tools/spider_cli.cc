@@ -13,16 +13,22 @@
 //                   [--no-surrogate-filter]
 //   spider links <source_csv_dir> <target_csv_dir> [--strip-prefixes]
 //                [--min-coverage=C]
-//   spider approaches
+//   spider approaches [--json]
+//   spider version | --version
 //
-// `profile` prints the satisfied INDs (σ < 1 switches to partial INDs);
+// `profile` prints the satisfied INDs (σ < 1 switches to partial INDs;
+// an n-ary approach appends the discovered composite INDs);
 // `import` streams a CSV dump into an out-of-core disk-store workspace
 // (pay the parse once, profile many times with bounded memory);
 // `discover` runs the whole Aladin-style pipeline and prints the report;
 // `links` finds cross-database links into the target's accession columns;
 // `approaches` lists every registered verification approach with its
-// capabilities. Approach names come from the algorithm registry — the CLI
-// has no hard-coded list.
+// capabilities (--json emits the machine-readable form the docs
+// capability matrix is generated from). Approach names come from the
+// algorithm registry — the CLI has no hard-coded list.
+//
+// Exit codes: 0 success, 1 runtime failure (I/O, bad data), 2 usage error
+// (unknown command/flag/approach, malformed flag value).
 //
 // Every command that takes a data directory accepts either a CSV dump or
 // an already-imported workspace (auto-detected via its manifest). With
@@ -96,14 +102,34 @@ void PrintProgress(const RunProgress& progress) {
 }
 
 // The approach list in the usage text is derived from the registry, so a
-// newly registered algorithm shows up without touching the CLI.
+// newly registered algorithm shows up without touching the CLI. N-ary
+// expansions are listed alongside the unary verifiers — the session runs
+// them on top of --nary-base.
 std::string ApproachList() {
   std::string out;
   for (const std::string& name : AlgorithmRegistry::Global().Names()) {
     if (!out.empty()) out += ", ";
     out += name;
   }
+  for (const std::string& name : AlgorithmRegistry::Global().NaryNames()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
   return out;
+}
+
+// Build identity injected at configure time (tools/CMakeLists.txt).
+#ifndef SPIDER_GIT_DESCRIBE
+#define SPIDER_GIT_DESCRIBE "unknown"
+#endif
+#ifndef SPIDER_BUILD_TYPE
+#define SPIDER_BUILD_TYPE "unknown"
+#endif
+
+int RunVersion() {
+  std::cout << "spider " << SPIDER_GIT_DESCRIBE << " (" << SPIDER_BUILD_TYPE
+            << " build)\n";
+  return 0;
 }
 
 int Usage() {
@@ -123,7 +149,9 @@ int Usage() {
          "[--no-surrogate-filter] [--dot=FILE]\n"
          "  spider links <source_dir> <target_dir> [--strip-prefixes]\n"
          "               [--min-coverage=C]\n"
-         "  spider approaches\n"
+         "  spider approaches [--json]\n"
+         "  spider version\n"
+         "\nn-ary approaches take [--nary-base=NAME] [--max-arity=K]\n"
          "\napproaches: "
       << ApproachList() << "\n";
   return 2;
@@ -132,6 +160,8 @@ int Usage() {
 struct Flags {
   std::vector<std::string> positional;
   std::string approach = "brute-force";
+  std::string nary_base = "spider-merge";
+  int max_arity = 0;  // 0 = algorithm default
   StorageBackend backend = StorageBackend::kMemory;
   bool backend_set = false;  // --backend was given explicitly
   std::string workspace;
@@ -163,6 +193,34 @@ Flags ParseFlags(int argc, char** argv, int first) {
         return flags;
       }
       flags.approach = std::move(name);
+    } else if (arg.rfind("--nary-base=", 0) == 0) {
+      std::string name = arg.substr(12);
+      auto capabilities = AlgorithmRegistry::Global().GetCapabilities(name);
+      if (!capabilities.ok()) {
+        std::cerr << "unknown --nary-base approach: " << name
+                  << " (available: " << ApproachList() << ")\n";
+        flags.ok = false;
+        return flags;
+      }
+      if (capabilities->nary) {
+        std::cerr << "--nary-base must name a unary approach, got n-ary "
+                     "expansion '"
+                  << name << "'\n";
+        flags.ok = false;
+        return flags;
+      }
+      flags.nary_base = std::move(name);
+    } else if (arg.rfind("--max-arity=", 0) == 0) {
+      const std::string value = arg.substr(12);
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed < 2 || parsed > 64) {
+        std::cerr << "--max-arity must be an integer in [2, 64], got '"
+                  << value << "'\n";
+        flags.ok = false;
+        return flags;
+      }
+      flags.max_arity = static_cast<int>(parsed);
     } else if (arg.rfind("--backend=", 0) == 0) {
       const std::string value = arg.substr(10);
       flags.backend_set = true;
@@ -234,6 +292,8 @@ Flags ParseFlags(int argc, char** argv, int first) {
 RunOptions MakeRunOptions(const Flags& flags) {
   RunOptions options;
   options.approach = flags.approach;
+  options.nary_base = flags.nary_base;
+  options.nary_max_arity = flags.max_arity;
   options.generator.max_value_pretest = flags.max_value_pretest;
   options.generator.sampling_pretest = flags.sampling_pretest;
   options.time_budget_seconds = flags.time_budget_seconds;
@@ -381,6 +441,31 @@ int RunProfile(const Flags& flags) {
         json.EndObject();
       }
       json.EndArray();
+      if (report->nary) {
+        json.KV("nary_base", report->nary_base);
+        json.KV("nary_finished", report->nary_run.finished);
+        json.KV("nary_tests", report->nary_run.tests);
+        json.KV("nary_tuples_read", report->nary_run.counters.tuples_read);
+        json.Key("nary_inds");
+        json.BeginArray();
+        for (const NaryInd& ind : report->nary_run.satisfied) {
+          json.BeginObject();
+          json.Key("dependent");
+          json.BeginArray();
+          for (const AttributeRef& attr : ind.dependent) {
+            json.String(attr.ToString());
+          }
+          json.EndArray();
+          json.Key("referenced");
+          json.BeginArray();
+          for (const AttributeRef& attr : ind.referenced) {
+            json.String(attr.ToString());
+          }
+          json.EndArray();
+          json.EndObject();
+        }
+        json.EndArray();
+      }
       json.EndObject();
       std::cout << json.str() << "\n";
       return 0;
@@ -394,6 +479,13 @@ int RunProfile(const Flags& flags) {
               << ":\n";
     for (const Ind& ind : report->run.satisfied) {
       std::cout << "  " << ind.ToString() << "\n";
+    }
+    if (report->nary) {
+      std::cout << "\nn-ary INDs (via " << report->nary_base << " base"
+                << (report->nary_run.finished ? "" : ", partial") << "):\n";
+      for (const NaryInd& ind : report->nary_run.satisfied) {
+        std::cout << "  " << ind.ToString() << "\n";
+      }
     }
     return 0;
   }
@@ -472,12 +564,43 @@ int RunLinks(const Flags& flags) {
   return 0;
 }
 
-int RunApproaches() {
+int RunApproaches(const Flags& flags) {
   const AlgorithmRegistry& registry = AlgorithmRegistry::Global();
-  for (const std::string& name : registry.Names()) {
+  std::vector<std::string> names = registry.Names();
+  for (const std::string& name : registry.NaryNames()) names.push_back(name);
+  if (flags.json) {
+    // Machine-readable capability listing: the source of truth for the
+    // docs capability matrix (tools/gen_capability_docs.sh).
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("approaches");
+    json.BeginArray();
+    for (const std::string& name : names) {
+      auto capabilities = registry.GetCapabilities(name);
+      if (!capabilities.ok()) return Fail(capabilities.status());
+      json.BeginObject();
+      json.KV("name", name);
+      json.KV("summary", capabilities->summary);
+      json.KV("nary", capabilities->nary);
+      json.KV("database_internal", capabilities->database_internal);
+      json.KV("needs_extractor", capabilities->needs_extractor);
+      json.KV("supports_partial", capabilities->supports_partial);
+      json.KV("supports_time_budget", capabilities->supports_time_budget);
+      json.KV("parallel_safe", capabilities->parallel_safe);
+      json.KV("supports_out_of_core", capabilities->supports_out_of_core);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    std::cout << json.str() << "\n";
+    return 0;
+  }
+  for (const std::string& name : names) {
     auto capabilities = registry.GetCapabilities(name);
     if (!capabilities.ok()) return Fail(capabilities.status());
     std::cout << name << "\n    " << capabilities->summary << "\n    "
+              << (capabilities->nary ? "n-ary expansion, "
+                                     : "")
               << (capabilities->database_internal ? "database-internal"
                                                   : "database-external")
               << (capabilities->needs_extractor ? ", needs value-set extractor"
@@ -495,12 +618,13 @@ int RunApproaches() {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "version" || command == "--version") return RunVersion();
   Flags flags = ParseFlags(argc, argv, 2);
   if (!flags.ok) return 2;
   if (command == "profile") return RunProfile(flags);
   if (command == "import") return RunImport(flags);
   if (command == "discover") return RunDiscover(flags);
   if (command == "links") return RunLinks(flags);
-  if (command == "approaches") return RunApproaches();
+  if (command == "approaches") return RunApproaches(flags);
   return Usage();
 }
