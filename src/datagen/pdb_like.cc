@@ -153,6 +153,36 @@ Status WritePdbLike(const PdbLikeOptions& options, CatalogSink& sink) {
     SPIDER_RETURN_NOT_OK(sink.FinishTable());
   }
 
+  // ---- dependency ground-truth tables (optional) -------------------------
+  // Purely arithmetic (no rng draws), so enabling them cannot perturb the
+  // historical tables above and every dependency is known exactly: see the
+  // PdbLikeOptions::dependency_tables contract.
+  for (int k = 0; k < options.dependency_tables; ++k) {
+    const std::string table_name = "pdb_dep_" + std::to_string(k);
+    SPIDER_RETURN_NOT_OK(sink.BeginTable(table_name));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("entry_id", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("ordinal", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("group_id", TypeId::kInteger));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("group_code", TypeId::kString));
+    SPIDER_RETURN_NOT_OK(sink.AddColumn("noisy_code", TypeId::kString));
+    const int64_t groups = std::max(1, options.dependency_groups);
+    int64_t row_index = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t group = i % groups;
+      for (int j = 1; j <= options.dependency_rows_per_entry; ++j) {
+        std::string noisy_code =
+            row_index < options.dependency_afd_violations
+                ? "nz_" + std::to_string(k) + "_" + std::to_string(row_index)
+                : "code_" + std::to_string(group);
+        SPIDER_RETURN_NOT_OK(sink.AppendRow(
+            {Str(entry_codes[static_cast<size_t>(i)]), Int(j), Int(group),
+             Str("grp_" + std::to_string(group)), Str(std::move(noisy_code))}));
+        ++row_index;
+      }
+    }
+    SPIDER_RETURN_NOT_OK(sink.FinishTable());
+  }
+
   return Status::OK();
 }
 

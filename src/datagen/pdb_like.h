@@ -44,6 +44,28 @@ struct PdbLikeOptions {
   /// (value_3, value_4, ...). The paper's PDB fraction averages ~15
   /// attributes per table; the default keeps the historical narrow shape.
   int extra_data_columns = 0;
+  /// Ground-truth dependency tables ("pdb_dep_0", ...) for the UCC/FD/AFD
+  /// discoverers, appended after the historical tables so the classic
+  /// shape (and the tracked bench counters over it) is untouched when 0.
+  /// Each table carries, by construction:
+  ///  * a minimal composite key (entry_id, ordinal) — no single column and
+  ///    no other pair is unique;
+  ///  * exact FDs entry_id -> group_id -> group_code (and group_code ->
+  ///    group_id: the code is a bijection of the group);
+  ///  * an approximate FD group_id -> noisy_code whose g3-style
+  ///    distinct-tuple error is exactly dependency_afd_violations /
+  ///    (dependency_groups + dependency_afd_violations).
+  int dependency_tables = 0;
+  /// Rows per entry in each dependency table (ordinal cycles 1..N). Keep
+  /// >= 3 so the AFD noise never exhausts an entry's rows.
+  int dependency_rows_per_entry = 3;
+  /// Distinct group_id values. Keep 2 * dependency_groups < entries so
+  /// group-derived column pairs stay non-unique.
+  int dependency_groups = 7;
+  /// Rows (the first ones of each dependency table) whose noisy_code is
+  /// replaced with a per-row unique noise value — the exact violation
+  /// count behind the AFD error above.
+  int dependency_afd_violations = 1;
   uint64_t seed = 42;
 
   /// The paper's full PDB fraction: 167 tables / ~2,560 attributes

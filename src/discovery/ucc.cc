@@ -1,143 +1,20 @@
 #include "src/discovery/ucc.h"
 
-#include <algorithm>
-#include <memory>
-#include <set>
-#include <unordered_set>
-
 #include "src/common/logging.h"
-#include "src/common/string_util.h"
-#include "src/storage/composite_cursor.h"  // EncodeCompositeKey
+#include "src/ind/ucc_levelwise.h"
 
 namespace spider {
-
-std::string Ucc::ToString() const {
-  return table + "(" + JoinStrings(columns, ", ") + ")";
-}
 
 UccDiscovery::UccDiscovery(UccOptions options) : options_(options) {
   SPIDER_CHECK_GE(options_.max_arity, 1);
 }
 
-namespace {
-
-// True when the projection of `table` onto `columns` (by index) has no
-// duplicate non-NULL tuple. Scans the projected columns in lockstep
-// through streaming cursors, so the test works unchanged over the disk
-// backend. `tuples_read` is advanced per scanned row.
-Result<bool> IsUniqueProjection(const Table& table,
-                                const std::vector<int>& columns,
-                                bool require_non_null, RunCounters* counters) {
-  if (table.row_count() == 0) return false;  // vacuous keys are useless
-  std::vector<std::unique_ptr<ValueCursor>> cursors;
-  cursors.reserve(columns.size());
-  for (int c : columns) {
-    SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
-                            table.column(c).OpenCursor());
-    cursors.push_back(std::move(cursor));
-  }
-  std::unordered_set<std::string> seen;
-  seen.reserve(static_cast<size_t>(table.row_count()));
-  std::vector<std::string> components(columns.size());
-  int64_t usable_rows = 0;
-  for (int64_t row = 0; row < table.row_count(); ++row) {
-    if (counters != nullptr) ++counters->tuples_read;
-    bool has_null = false;
-    for (size_t i = 0; i < columns.size(); ++i) {
-      // Every cursor advances every row (lockstep), even past NULL rows.
-      std::string_view view;
-      const CursorStep step = cursors[i]->Next(&view);
-      if (step == CursorStep::kEnd) {
-        SPIDER_RETURN_NOT_OK(cursors[i]->status());
-        return Status::IOError("column ended before its table's row count");
-      }
-      if (step == CursorStep::kNull) {
-        has_null = true;
-        continue;
-      }
-      if (!has_null) components[i].assign(view.data(), view.size());
-    }
-    if (has_null) {
-      if (require_non_null) return false;  // a key column may not be NULL
-      continue;
-    }
-    ++usable_rows;
-    if (!seen.insert(EncodeCompositeKey(components)).second) return false;
-  }
-  return usable_rows > 0;
-}
-
-}  // namespace
-
-Result<std::vector<Ucc>> UccDiscovery::FindInTable(const Table& table,
-                                                   RunCounters* counters) const {
-  std::vector<Ucc> result;
-  const int n = table.column_count();
-  if (n == 0 || table.row_count() == 0) return result;
-
-  // Level 1.
-  std::vector<std::vector<int>> non_unique;
-  std::set<std::vector<int>> unique_sets;
-  for (int c = 0; c < n; ++c) {
-    if (!IsIndEligibleType(table.column(c).type())) continue;
-    std::vector<int> combo{c};
-    if (counters != nullptr) ++counters->candidates_tested;
-    SPIDER_ASSIGN_OR_RETURN(
-        bool unique,
-        IsUniqueProjection(table, combo, options_.require_non_null, counters));
-    if (unique) {
-      unique_sets.insert(combo);
-      result.push_back(Ucc{table.name(), {table.column(c).name()}});
-    } else {
-      non_unique.push_back(std::move(combo));
-    }
-  }
-
-  // Levels 2..max: extend non-unique combinations (supersets of a UCC are
-  // never minimal; supersets of a non-unique set may become unique).
-  for (int arity = 2;
-       arity <= options_.max_arity && !non_unique.empty(); ++arity) {
-    std::set<std::vector<int>> candidates;
-    for (const std::vector<int>& base : non_unique) {
-      for (int c = base.back() + 1; c < n; ++c) {
-        if (!IsIndEligibleType(table.column(c).type())) continue;
-        std::vector<int> combo = base;
-        combo.push_back(c);
-        // Minimality pre-check: no subset may be a known UCC. (All proper
-        // subsets of size k-1 must be non-unique; it suffices to check the
-        // known unique sets since every unique set is recorded.)
-        bool contains_ucc = false;
-        for (const std::vector<int>& ucc : unique_sets) {
-          if (std::includes(combo.begin(), combo.end(), ucc.begin(),
-                            ucc.end())) {
-            contains_ucc = true;
-            break;
-          }
-        }
-        if (!contains_ucc) candidates.insert(std::move(combo));
-      }
-    }
-    std::vector<std::vector<int>> next_non_unique;
-    for (const std::vector<int>& combo : candidates) {
-      if (counters != nullptr) ++counters->candidates_tested;
-      SPIDER_ASSIGN_OR_RETURN(
-          bool unique, IsUniqueProjection(table, combo,
-                                          options_.require_non_null, counters));
-      if (unique) {
-        unique_sets.insert(combo);
-        Ucc ucc;
-        ucc.table = table.name();
-        for (int c : combo) ucc.columns.push_back(table.column(c).name());
-        result.push_back(std::move(ucc));
-      } else {
-        next_non_unique.push_back(combo);
-      }
-    }
-    non_unique = std::move(next_non_unique);
-  }
-
-  std::sort(result.begin(), result.end());
-  return result;
+Result<std::vector<Ucc>> UccDiscovery::FindInTable(
+    const Table& table, RunCounters* counters) const {
+  return FindMinimalUccs(
+      table, options_.max_arity,
+      MakeHashUniquenessTester(options_.require_non_null, counters),
+      /*context=*/nullptr, counters, /*finished=*/nullptr);
 }
 
 Result<std::vector<Ucc>> UccDiscovery::Find(const Catalog& catalog,

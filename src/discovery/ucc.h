@@ -1,47 +1,24 @@
 // Minimal unique column combination (UCC) discovery — composite
 // primary-key candidates.
 //
-// Aladin's step 2 (paper Sec. 1.1) computes "candidates for primary keys
-// ... using the uniqueness constraint for keys". Single-column uniqueness
-// is covered by ColumnStats; real schemas also use composite keys
-// (OpenMMS-style (entry_id, ordinal) pairs), which requires searching the
-// lattice of column combinations. This module finds all MINIMAL unique
-// column combinations per table, levelwise with Apriori pruning:
-//
-//   * a combination containing NULLs in every row can never be a key;
-//   * any superset of a unique combination is unique but not minimal, so
-//     satisfied nodes are not expanded;
-//   * only combinations whose every (k-1)-subset is non-unique are
-//     candidates at level k.
+// Compatibility wrapper: the Ucc struct and the levelwise lattice engine
+// moved to the registry layer (src/ind/dependency.h and
+// src/ind/ucc_levelwise.h) when UCC discovery became a first-class
+// registered algorithm ("ucc-levelwise", out-of-core over sorted sets).
+// UccDiscovery keeps the original in-memory hash-scan behaviour — the
+// schema report uses it directly and it supports the null-tolerant mode
+// (`require_non_null = false`) the registered algorithm does not.
 
 #pragma once
 
-#include <string>
 #include <vector>
 
 #include "src/common/counters.h"
 #include "src/common/result.h"
+#include "src/ind/dependency.h"  // Ucc
 #include "src/storage/catalog.h"
 
 namespace spider {
-
-/// One minimal unique column combination.
-struct Ucc {
-  std::string table;
-  /// Column names, ascending.
-  std::vector<std::string> columns;
-
-  int arity() const { return static_cast<int>(columns.size()); }
-  std::string ToString() const;
-
-  friend bool operator==(const Ucc& a, const Ucc& b) {
-    return a.table == b.table && a.columns == b.columns;
-  }
-  friend bool operator<(const Ucc& a, const Ucc& b) {
-    if (a.table != b.table) return a.table < b.table;
-    return a.columns < b.columns;
-  }
-};
 
 /// Options for UccDiscovery.
 struct UccOptions {
@@ -52,7 +29,7 @@ struct UccOptions {
   bool require_non_null = true;
 };
 
-/// \brief Levelwise minimal-UCC discovery.
+/// \brief Levelwise minimal-UCC discovery (in-memory hash scans).
 class UccDiscovery {
  public:
   explicit UccDiscovery(UccOptions options = {});

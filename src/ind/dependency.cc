@@ -1,0 +1,39 @@
+#include "src/ind/dependency.h"
+
+#include "src/common/string_util.h"
+
+namespace spider {
+
+std::string_view KindName(DependencyKind kind) {
+  switch (kind) {
+    case DependencyKind::kInd:
+      return "ind";
+    case DependencyKind::kUcc:
+      return "ucc";
+    case DependencyKind::kFd:
+      return "fd";
+    case DependencyKind::kAfd:
+      return "afd";
+  }
+  return "ind";
+}
+
+Result<DependencyKind> ParseDependencyKind(std::string_view name) {
+  if (name == "ind") return DependencyKind::kInd;
+  if (name == "ucc") return DependencyKind::kUcc;
+  if (name == "fd") return DependencyKind::kFd;
+  if (name == "afd") return DependencyKind::kAfd;
+  return Status::InvalidArgument("unknown dependency kind '" +
+                                 std::string(name) +
+                                 "' (valid kinds: ind, ucc, fd, afd)");
+}
+
+std::string Ucc::ToString() const {
+  return table + "(" + JoinStrings(columns, ", ") + ")";
+}
+
+std::string Fd::ToString() const {
+  return table + "(" + JoinStrings(lhs, ", ") + " -> " + rhs + ")";
+}
+
+}  // namespace spider

@@ -1,0 +1,228 @@
+#include "src/ind/fd_levelwise.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/ind/nary_algorithm.h"  // RunNaryBatch
+#include "src/ind/registry.h"
+
+namespace spider {
+
+namespace {
+
+struct TableOutcome {
+  std::vector<Fd> fds;
+  RunCounters counters;
+  bool finished = true;
+};
+
+// One table's levelwise search. Serial within the table; the caller
+// parallelizes across tables.
+Result<TableOutcome> FindFdsInTable(const Catalog& catalog,
+                                    const Table& table,
+                                    const FdLevelwiseOptions& options,
+                                    RunContext& context) {
+  TableOutcome outcome;
+  if (table.row_count() == 0) return outcome;
+  std::vector<int> eligible;
+  for (int c = 0; c < table.column_count(); ++c) {
+    if (IsIndEligibleType(table.column(c).type())) eligible.push_back(c);
+  }
+  if (eligible.size() < 2) return outcome;
+
+  // Distinct-tuple counts, one cached streaming extraction per column set
+  // (ascending order — distinct counts are order-invariant, and the
+  // canonical order maximizes extractor cache hits across candidates).
+  std::map<std::vector<int>, int64_t> distinct_cache;
+  auto distinct_of = [&](const std::vector<int>& combo) -> Result<int64_t> {
+    auto it = distinct_cache.find(combo);
+    if (it != distinct_cache.end()) return it->second;
+    SortedSetInfo info;
+    if (combo.size() == 1) {
+      SPIDER_ASSIGN_OR_RETURN(
+          info, options.extractor->Extract(
+                    catalog, AttributeRef{table.name(),
+                                          table.column(combo[0]).name()}));
+    } else {
+      std::vector<AttributeRef> attributes;
+      attributes.reserve(combo.size());
+      for (int c : combo) {
+        attributes.push_back(
+            AttributeRef{table.name(), table.column(c).name()});
+      }
+      SPIDER_ASSIGN_OR_RETURN(
+          info, options.extractor->ExtractComposite(catalog, attributes));
+    }
+    distinct_cache.emplace(combo, info.distinct_count);
+    return info.distinct_count;
+  };
+
+  for (int a : eligible) {
+    // Level 1 candidates: every other eligible column as a singleton LHS.
+    std::set<std::vector<int>> candidates;
+    for (int c : eligible) {
+      if (c != a) candidates.insert({c});
+    }
+    std::vector<std::vector<int>> satisfied_sets;
+    for (int arity = 1;
+         arity <= options.max_lhs_arity && !candidates.empty(); ++arity) {
+      std::vector<std::vector<int>> unsatisfied;
+      for (const std::vector<int>& lhs : candidates) {
+        if (context.ShouldStop()) {
+          outcome.finished = false;
+          std::sort(outcome.fds.begin(), outcome.fds.end());
+          return outcome;
+        }
+        ++outcome.counters.candidates_tested;
+        SPIDER_ASSIGN_OR_RETURN(const int64_t lhs_distinct, distinct_of(lhs));
+        std::vector<int> lhs_rhs = lhs;
+        lhs_rhs.insert(
+            std::lower_bound(lhs_rhs.begin(), lhs_rhs.end(), a), a);
+        SPIDER_ASSIGN_OR_RETURN(const int64_t pair_distinct,
+                                distinct_of(lhs_rhs));
+        // g3-style over distinct tuples; the clamp covers NULLs in A
+        // (dropped rows can make |π_XA| < |π_X|) per MATCH SIMPLE.
+        const int64_t violations =
+            std::max<int64_t>(0, pair_distinct - lhs_distinct);
+        const double error =
+            pair_distinct > 0
+                ? static_cast<double>(violations) /
+                      static_cast<double>(pair_distinct)
+                : 0.0;
+        context.Step();
+        if (error <= options.error_threshold) {
+          satisfied_sets.push_back(lhs);
+          Fd fd;
+          fd.table = table.name();
+          for (int c : lhs) fd.lhs.push_back(table.column(c).name());
+          fd.rhs = table.column(a).name();
+          fd.error = error;
+          outcome.fds.push_back(std::move(fd));
+        } else {
+          unsatisfied.push_back(lhs);
+        }
+      }
+      candidates.clear();
+      if (arity == options.max_lhs_arity) break;
+      // Next level: extend unsatisfied LHSs; a candidate containing a
+      // satisfied subset can only yield a non-minimal FD, so it is pruned
+      // (every minimal candidate survives — its max-column-removed prefix
+      // is an unsatisfied base).
+      for (const std::vector<int>& base : unsatisfied) {
+        for (int c : eligible) {
+          if (c <= base.back() || c == a) continue;
+          std::vector<int> combo = base;
+          combo.push_back(c);
+          bool contains_satisfied = false;
+          for (const std::vector<int>& satisfied : satisfied_sets) {
+            if (std::includes(combo.begin(), combo.end(), satisfied.begin(),
+                              satisfied.end())) {
+              contains_satisfied = true;
+              break;
+            }
+          }
+          if (!contains_satisfied) candidates.insert(std::move(combo));
+        }
+      }
+    }
+  }
+  std::sort(outcome.fds.begin(), outcome.fds.end());
+  return outcome;
+}
+
+}  // namespace
+
+FdLevelwiseAlgorithm::FdLevelwiseAlgorithm(FdLevelwiseOptions options,
+                                           std::string name)
+    : options_(options), name_(std::move(name)) {
+  SPIDER_CHECK(options_.extractor != nullptr)
+      << name_ << " requires a value-set extractor";
+  SPIDER_CHECK_GE(options_.max_lhs_arity, 1);
+  SPIDER_CHECK_GE(options_.error_threshold, 0);
+  SPIDER_CHECK_LT(options_.error_threshold, 1.0);
+}
+
+Result<DependencyRunResult> FdLevelwiseAlgorithm::Run(const Catalog& catalog,
+                                                      RunContext& context) {
+  Stopwatch watch;
+  watch.Start();
+  context.Begin(/*total_work=*/0);  // candidate count unknown up front
+  DependencyRunResult result;
+
+  // Per-table searches are independent; batch results fold in table order,
+  // so output and counters are identical at any thread count.
+  auto outcomes = RunNaryBatch<TableOutcome>(
+      options_.pool, static_cast<size_t>(catalog.table_count()),
+      [&](size_t t) -> Result<TableOutcome> {
+        return FindFdsInTable(catalog, catalog.table(static_cast<int>(t)),
+                              options_, context);
+      });
+  for (Result<TableOutcome>& outcome : outcomes) {
+    SPIDER_RETURN_NOT_OK(outcome.status());
+    result.fds.insert(result.fds.end(),
+                      std::make_move_iterator(outcome->fds.begin()),
+                      std::make_move_iterator(outcome->fds.end()));
+    result.counters.Merge(outcome->counters);
+    result.finished = result.finished && outcome->finished;
+  }
+  std::sort(result.fds.begin(), result.fds.end());
+  result.tests = result.counters.candidates_tested;
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+void RegisterFdLevelwiseAlgorithms(AlgorithmRegistry& registry) {
+  AlgorithmCapabilities capabilities;
+  capabilities.needs_extractor = true;
+  capabilities.supports_time_budget = true;
+  capabilities.parallel_safe = true;
+  capabilities.supports_out_of_core = true;
+
+  capabilities.kind = DependencyKind::kFd;
+  capabilities.supports_partial = false;
+  capabilities.summary =
+      "levelwise minimal exact FDs via distinct-tuple counts over sorted "
+      "composite sets";
+  Status status = registry.RegisterDependency(
+      "fd-levelwise", capabilities,
+      [](const AlgorithmConfig& config)
+          -> Result<std::unique_ptr<DependencyAlgorithm>> {
+        FdLevelwiseOptions options;
+        options.extractor = config.extractor;
+        options.pool = config.pool;
+        if (config.max_lhs_arity >= 1) {
+          options.max_lhs_arity = config.max_lhs_arity;
+        }
+        return std::unique_ptr<DependencyAlgorithm>(
+            std::make_unique<FdLevelwiseAlgorithm>(options, "fd-levelwise"));
+      });
+  SPIDER_CHECK(status.ok()) << status.ToString();
+
+  capabilities.kind = DependencyKind::kAfd;
+  capabilities.supports_partial = true;  // honors error_threshold
+  capabilities.summary =
+      "approximate FDs: g3-style distinct-tuple error up to the configured "
+      "threshold";
+  status = registry.RegisterDependency(
+      "afd-levelwise", capabilities,
+      [](const AlgorithmConfig& config)
+          -> Result<std::unique_ptr<DependencyAlgorithm>> {
+        FdLevelwiseOptions options;
+        options.extractor = config.extractor;
+        options.pool = config.pool;
+        options.error_threshold = config.error_threshold;
+        if (config.max_lhs_arity >= 1) {
+          options.max_lhs_arity = config.max_lhs_arity;
+        }
+        return std::unique_ptr<DependencyAlgorithm>(
+            std::make_unique<FdLevelwiseAlgorithm>(options, "afd-levelwise"));
+      });
+  SPIDER_CHECK(status.ok()) << status.ToString();
+}
+
+}  // namespace spider

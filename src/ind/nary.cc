@@ -21,11 +21,18 @@ std::vector<NaryInd> NaryDiscoveryResult::AllNary() const {
 NaryIndDiscovery::NaryIndDiscovery(NaryDiscoveryOptions options)
     : options_(options), verifier_(options.extractor) {
   SPIDER_CHECK_GE(options_.max_arity, 2);
+  SPIDER_CHECK_GE(options_.error_threshold, 0);
+  SPIDER_CHECK_LT(options_.error_threshold, 1.0);
 }
 
 Result<bool> NaryIndDiscovery::Verify(const Catalog& catalog,
                                       const NaryInd& candidate,
                                       RunCounters* counters) const {
+  if (options_.error_threshold > 0) {
+    SPIDER_ASSIGN_OR_RETURN(const double error,
+                            verifier_.Error(catalog, candidate, counters));
+    return error <= options_.error_threshold;
+  }
   return verifier_.VerifyIncluded(catalog, candidate, counters,
                                   options_.early_stop);
 }
@@ -146,12 +153,12 @@ Result<NaryDiscoveryResult> NaryIndDiscovery::Run(
                                       VerifyOutcome outcome;
                                       if (context.ShouldStop()) return outcome;
                                       outcome.tested = true;
+                                      // Exact containment, or g3' error up
+                                      // to the partial threshold.
                                       SPIDER_ASSIGN_OR_RETURN(
                                           outcome.satisfied,
-                                          verifier_.VerifyIncluded(
-                                              catalog, batch[i],
-                                              &outcome.counters,
-                                              options_.early_stop));
+                                          Verify(catalog, batch[i],
+                                                 &outcome.counters));
                                       context.Step();
                                       return outcome;
                                     });
@@ -215,9 +222,13 @@ void RegisterNaryAlgorithm(AlgorithmRegistry& registry) {
   capabilities.needs_extractor = true;
   capabilities.parallel_safe = true;
   capabilities.supports_out_of_core = true;
+  // Partial here means the g3' error threshold (AlgorithmConfig::
+  // error_threshold), not σ-coverage — the session still rejects a
+  // σ-partial unary base under any expansion.
+  capabilities.supports_partial = true;
   capabilities.summary =
       "levelwise (MIND-style) n-ary expansion: Apriori-join level k-1, "
-      "verify by sorted composite-set merges";
+      "verify by sorted composite-set merges (exact or g3'-partial)";
   Status status = registry.RegisterNary(
       "nary", capabilities,
       [](const AlgorithmConfig& config)
@@ -225,6 +236,7 @@ void RegisterNaryAlgorithm(AlgorithmRegistry& registry) {
         NaryDiscoveryOptions options;
         options.extractor = config.extractor;
         options.pool = config.pool;
+        options.error_threshold = config.error_threshold;
         if (config.max_nary_arity >= 2) {
           options.max_arity = config.max_nary_arity;
         }

@@ -46,7 +46,13 @@ struct NaryDiscoveryOptions {
   /// level k-1 produced at least one IND.
   int max_arity = 4;
   /// Stop verifying a candidate at the first missing dependent tuple.
+  /// Ignored under a partial threshold (the g3' error needs a full scan).
   bool early_stop = true;
+  /// Partial n-ary validation in [0, 1): a candidate counts as satisfied
+  /// when its g3' error (CompositeSetVerifier::Error — the fraction of
+  /// distinct dependent tuples with no referenced match) is <= the
+  /// threshold. 0 = exact containment only.
+  double error_threshold = 0;
   /// Sorted composite sets are materialized and cached here. Borrowed, may
   /// be shared (it is thread-safe); nullptr = a scoped temp-dir extractor
   /// owned by the discovery object.

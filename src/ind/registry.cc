@@ -1,17 +1,43 @@
 #include "src/ind/registry.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
+#include "src/common/string_util.h"
 #include "src/ind/bell_brockhausen.h"
 #include "src/ind/brute_force.h"
 #include "src/ind/clique_nary.h"
 #include "src/ind/de_marchi.h"
+#include "src/ind/fd_levelwise.h"
 #include "src/ind/nary.h"
 #include "src/ind/single_pass.h"
 #include "src/ind/spider_merge.h"
 #include "src/ind/sql_algorithms.h"
+#include "src/ind/ucc_levelwise.h"
 #include "src/ind/zigzag.h"
 
 namespace spider {
+
+namespace {
+
+// Classic Levenshtein distance, small inputs only (approach names).
+size_t EditDistance(std::string_view a, std::string_view b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t previous = row[j];
+      const size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+      diagonal = previous;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
 
 AlgorithmRegistry& AlgorithmRegistry::Global() {
   // Each algorithm's registration code lives next to its implementation;
@@ -29,6 +55,10 @@ AlgorithmRegistry& AlgorithmRegistry::Global() {
     RegisterNaryAlgorithm(*r);
     RegisterCliqueNaryAlgorithm(*r);
     RegisterZigzagAlgorithm(*r);
+    // Non-IND dependency kinds (UCC / FD / AFD); first registration per
+    // kind is that kind's default approach.
+    RegisterUccLevelwiseAlgorithm(*r);
+    RegisterFdLevelwiseAlgorithms(*r);
     return r;
   }();
   return *registry;
@@ -45,6 +75,7 @@ Status AlgorithmRegistry::Register(std::string name,
   }
   SPIDER_CHECK(factory != nullptr) << "null factory for " << name;
   capabilities.nary = false;
+  capabilities.kind = DependencyKind::kInd;
   entries_.push_back(
       Entry{std::move(name), capabilities, std::move(factory)});
   return Status::OK();
@@ -61,8 +92,31 @@ Status AlgorithmRegistry::RegisterNary(std::string name,
   }
   SPIDER_CHECK(factory != nullptr) << "null factory for " << name;
   capabilities.nary = true;
+  capabilities.kind = DependencyKind::kInd;
   nary_entries_.push_back(
       NaryEntry{std::move(name), capabilities, std::move(factory)});
+  return Status::OK();
+}
+
+Status AlgorithmRegistry::RegisterDependency(std::string name,
+                                             AlgorithmCapabilities capabilities,
+                                             DependencyFactory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("algorithm name must be non-empty");
+  }
+  if (capabilities.kind == DependencyKind::kInd) {
+    return Status::InvalidArgument(
+        "IND approaches register through Register/RegisterNary, not "
+        "RegisterDependency: " +
+        name);
+  }
+  if (Contains(name)) {
+    return Status::AlreadyExists("algorithm already registered: " + name);
+  }
+  SPIDER_CHECK(factory != nullptr) << "null factory for " << name;
+  capabilities.nary = false;
+  dependency_entries_.push_back(
+      DependencyEntry{std::move(name), capabilities, std::move(factory)});
   return Status::OK();
 }
 
@@ -82,15 +136,86 @@ const AlgorithmRegistry::NaryEntry* AlgorithmRegistry::FindNary(
   return nullptr;
 }
 
+const AlgorithmRegistry::DependencyEntry* AlgorithmRegistry::FindDependency(
+    std::string_view name) const {
+  for (const DependencyEntry& entry : dependency_entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
 bool AlgorithmRegistry::Contains(std::string_view name) const {
-  return Find(name) != nullptr || FindNary(name) != nullptr;
+  return Find(name) != nullptr || FindNary(name) != nullptr ||
+         FindDependency(name) != nullptr;
+}
+
+Status AlgorithmRegistry::UnknownNameError(std::string_view name) const {
+  std::string message = "unknown approach '" + std::string(name) + "'";
+
+  // Nearest registered name, when plausibly a typo (distance bounded by
+  // roughly a third of the name so unrelated strings suggest nothing).
+  std::string best;
+  size_t best_distance = std::max<size_t>(2, name.size() / 3) + 1;
+  auto consider = [&](const std::string& candidate) {
+    const size_t distance = EditDistance(name, candidate);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = candidate;
+    }
+  };
+  for (const Entry& entry : entries_) consider(entry.name);
+  for (const NaryEntry& entry : nary_entries_) consider(entry.name);
+  for (const DependencyEntry& entry : dependency_entries_) {
+    consider(entry.name);
+  }
+  if (!best.empty()) {
+    message += " — did you mean '" + best + "'?";
+  } else {
+    message += ".";
+  }
+  message += " Valid approaches:";
+  for (DependencyKind kind : {DependencyKind::kInd, DependencyKind::kUcc,
+                              DependencyKind::kFd, DependencyKind::kAfd}) {
+    const std::vector<std::string> names = NamesForKind(kind);
+    if (names.empty()) continue;
+    message += " " + std::string(KindName(kind)) + ": " +
+               JoinStrings(names, ", ") + ";";
+  }
+  if (message.back() == ';') message.pop_back();
+  return Status::NotFound(message);
+}
+
+Status AlgorithmRegistry::ValidateConfig(
+    const std::string& name, const AlgorithmCapabilities& capabilities,
+    const AlgorithmConfig& config) const {
+  if (capabilities.needs_extractor && config.extractor == nullptr) {
+    return Status::InvalidArgument(name + " requires a value-set extractor");
+  }
+  if (config.min_coverage <= 0 || config.min_coverage > 1.0) {
+    return Status::InvalidArgument("min_coverage must be in (0, 1]");
+  }
+  if (config.min_coverage < 1.0 && !capabilities.supports_partial) {
+    return Status::InvalidArgument(
+        name + " does not support partial (sigma < 1) coverage");
+  }
+  if (config.error_threshold < 0 || config.error_threshold >= 1.0) {
+    return Status::InvalidArgument("error_threshold must be in [0, 1)");
+  }
+  if (config.error_threshold > 0 && !capabilities.supports_partial) {
+    return Status::InvalidArgument(
+        name + " does not support an error threshold (error > 0)");
+  }
+  return Status::OK();
 }
 
 Result<AlgorithmCapabilities> AlgorithmRegistry::GetCapabilities(
     std::string_view name) const {
   if (const Entry* entry = Find(name)) return entry->capabilities;
   if (const NaryEntry* entry = FindNary(name)) return entry->capabilities;
-  return Status::NotFound("unknown algorithm: " + std::string(name));
+  if (const DependencyEntry* entry = FindDependency(name)) {
+    return entry->capabilities;
+  }
+  return UnknownNameError(name);
 }
 
 Result<std::unique_ptr<IndAlgorithm>> AlgorithmRegistry::Create(
@@ -103,19 +228,17 @@ Result<std::unique_ptr<IndAlgorithm>> AlgorithmRegistry::Create(
           " is an n-ary expansion, not a unary verifier (use CreateNary, or "
           "run it through SpiderSession)");
     }
-    return Status::NotFound("unknown algorithm: " + std::string(name));
+    if (const DependencyEntry* dep = FindDependency(name)) {
+      return Status::InvalidArgument(
+          std::string(name) + " discovers " +
+          std::string(KindName(dep->capabilities.kind)) +
+          "s, not INDs (use CreateDependency, or run it through "
+          "SpiderSession)");
+    }
+    return UnknownNameError(name);
   }
-  if (entry->capabilities.needs_extractor && config.extractor == nullptr) {
-    return Status::InvalidArgument(entry->name +
-                                   " requires a value-set extractor");
-  }
-  if (config.min_coverage <= 0 || config.min_coverage > 1.0) {
-    return Status::InvalidArgument("min_coverage must be in (0, 1]");
-  }
-  if (config.min_coverage < 1.0 && !entry->capabilities.supports_partial) {
-    return Status::InvalidArgument(
-        entry->name + " does not support partial (sigma < 1) coverage");
-  }
+  SPIDER_RETURN_NOT_OK(
+      ValidateConfig(entry->name, entry->capabilities, config));
   return entry->factory(config);
 }
 
@@ -123,24 +246,33 @@ Result<std::unique_ptr<NaryAlgorithm>> AlgorithmRegistry::CreateNary(
     std::string_view name, const AlgorithmConfig& config) const {
   const NaryEntry* entry = FindNary(name);
   if (entry == nullptr) {
-    if (Find(name) != nullptr) {
+    if (Find(name) != nullptr || FindDependency(name) != nullptr) {
       return Status::InvalidArgument(std::string(name) +
-                                     " is a unary verifier, not an n-ary "
-                                     "expansion (use Create)");
+                                     " is not an n-ary expansion (use Create "
+                                     "or CreateDependency)");
     }
-    return Status::NotFound("unknown algorithm: " + std::string(name));
+    return UnknownNameError(name);
   }
-  if (entry->capabilities.needs_extractor && config.extractor == nullptr) {
-    return Status::InvalidArgument(entry->name +
-                                   " requires a value-set extractor");
+  SPIDER_RETURN_NOT_OK(
+      ValidateConfig(entry->name, entry->capabilities, config));
+  return entry->factory(config);
+}
+
+Result<std::unique_ptr<DependencyAlgorithm>>
+AlgorithmRegistry::CreateDependency(std::string_view name,
+                                    const AlgorithmConfig& config) const {
+  const DependencyEntry* entry = FindDependency(name);
+  if (entry == nullptr) {
+    if (Find(name) != nullptr || FindNary(name) != nullptr) {
+      return Status::InvalidArgument(
+          std::string(name) +
+          " is an IND approach, not a dependency discoverer (use Create / "
+          "CreateNary, or run it through SpiderSession)");
+    }
+    return UnknownNameError(name);
   }
-  if (config.min_coverage <= 0 || config.min_coverage > 1.0) {
-    return Status::InvalidArgument("min_coverage must be in (0, 1]");
-  }
-  if (config.min_coverage < 1.0 && !entry->capabilities.supports_partial) {
-    return Status::InvalidArgument(
-        entry->name + " does not support partial (sigma < 1) coverage");
-  }
+  SPIDER_RETURN_NOT_OK(
+      ValidateConfig(entry->name, entry->capabilities, config));
   return entry->factory(config);
 }
 
@@ -156,6 +288,39 @@ std::vector<std::string> AlgorithmRegistry::NaryNames() const {
   names.reserve(nary_entries_.size());
   for (const NaryEntry& entry : nary_entries_) names.push_back(entry.name);
   return names;
+}
+
+std::vector<std::string> AlgorithmRegistry::DependencyNames() const {
+  std::vector<std::string> names;
+  names.reserve(dependency_entries_.size());
+  for (const DependencyEntry& entry : dependency_entries_) {
+    names.push_back(entry.name);
+  }
+  return names;
+}
+
+std::vector<std::string> AlgorithmRegistry::NamesForKind(
+    DependencyKind kind) const {
+  std::vector<std::string> names;
+  if (kind == DependencyKind::kInd) {
+    for (const Entry& entry : entries_) names.push_back(entry.name);
+    for (const NaryEntry& entry : nary_entries_) names.push_back(entry.name);
+    return names;
+  }
+  for (const DependencyEntry& entry : dependency_entries_) {
+    if (entry.capabilities.kind == kind) names.push_back(entry.name);
+  }
+  return names;
+}
+
+Result<std::string> AlgorithmRegistry::DefaultNameForKind(
+    DependencyKind kind) const {
+  const std::vector<std::string> names = NamesForKind(kind);
+  if (names.empty()) {
+    return Status::NotFound("no approach registered for kind '" +
+                            std::string(KindName(kind)) + "'");
+  }
+  return names.front();
 }
 
 }  // namespace spider

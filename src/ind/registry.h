@@ -1,10 +1,14 @@
-// Name-based registry of IND verification algorithms.
+// Name-based registry of dependency-discovery algorithms.
 //
 // Every approach registers a factory plus a Capabilities descriptor under
-// its display name ("brute-force", "sql-join", ...). Consumers — the
-// SpiderSession, the CLI, the benchmarks — resolve approaches by string,
-// so adding an algorithm means one registration call instead of touching
-// an enum, a name table and every switch over it.
+// its display name ("brute-force", "sql-join", "ucc-levelwise", ...).
+// Consumers — the SpiderSession, the CLI, the benchmarks — resolve
+// approaches by string, so adding an algorithm means one registration call
+// instead of touching an enum, a name table and every switch over it.
+// Capabilities carry a DependencyKind (IND / UCC / FD / AFD), turning the
+// registry into a multi-dependency platform: IND verification keeps its
+// two interfaces (unary IndAlgorithm, n-ary NaryAlgorithm), the other
+// kinds implement DependencyAlgorithm.
 
 #pragma once
 
@@ -18,6 +22,7 @@
 #include "src/common/thread_pool.h"
 #include "src/extsort/value_set_extractor.h"
 #include "src/ind/algorithm.h"
+#include "src/ind/dependency.h"
 #include "src/ind/nary_algorithm.h"
 
 namespace spider {
@@ -26,10 +31,18 @@ namespace spider {
 /// validate configurations up front (e.g. σ < 1 with an approach that has
 /// no partial-coverage semantics) and to pick defaults.
 struct AlgorithmCapabilities {
+  /// The dependency class the approach discovers. IND approaches (unary
+  /// verifiers and n-ary expansions) are kInd; UCC/FD/AFD discoverers
+  /// register through RegisterDependency with their kind.
+  DependencyKind kind = DependencyKind::kInd;
   /// Reads sorted value sets materialized by a ValueSetExtractor; creating
   /// the algorithm without one fails.
   bool needs_extractor = false;
-  /// Understands σ-partial coverage (AlgorithmConfig::min_coverage < 1).
+  /// Understands approximate discovery: σ-partial coverage
+  /// (AlgorithmConfig::min_coverage < 1) for IND verifiers, or a g3-style
+  /// error threshold (AlgorithmConfig::error_threshold > 0) for the n-ary
+  /// expansion and the AFD discoverer. Configs requesting either knob are
+  /// rejected up front when this is false.
   bool supports_partial = false;
   /// Honors RunContext::time_budget_seconds mid-run (all built-ins do).
   bool supports_time_budget = true;
@@ -76,6 +89,13 @@ struct AlgorithmConfig {
   /// Maximum arity for n-ary expansions; values < 2 select each
   /// algorithm's default.
   int max_nary_arity = 0;
+  /// g3-style error threshold in [0, 1): 0 = exact. An n-ary candidate or
+  /// FD whose measured error is <= the threshold counts as satisfied.
+  /// Values > 0 require supports_partial.
+  double error_threshold = 0;
+  /// Maximum determinant (LHS) arity for FD/AFD discovery; values < 1
+  /// select each algorithm's default. Ignored by other kinds.
+  int max_lhs_arity = 0;
 };
 
 /// \brief String-keyed algorithm registry. Thread-compatible: all built-in
@@ -87,6 +107,9 @@ class AlgorithmRegistry {
       const AlgorithmConfig&)>;
   using NaryFactory = std::function<Result<std::unique_ptr<NaryAlgorithm>>(
       const AlgorithmConfig&)>;
+  using DependencyFactory =
+      std::function<Result<std::unique_ptr<DependencyAlgorithm>>(
+          const AlgorithmConfig&)>;
 
   /// The process-wide registry, with all built-in approaches registered.
   static AlgorithmRegistry& Global();
@@ -101,11 +124,19 @@ class AlgorithmRegistry {
   Status RegisterNary(std::string name, AlgorithmCapabilities capabilities,
                       NaryFactory factory);
 
-  /// True for any registered name, unary or n-ary.
+  /// Registers a non-IND dependency discoverer; `capabilities.kind` must
+  /// be kUcc, kFd or kAfd. Fails with AlreadyExists on a duplicate name
+  /// (across all registration families).
+  Status RegisterDependency(std::string name,
+                            AlgorithmCapabilities capabilities,
+                            DependencyFactory factory);
+
+  /// True for any registered name, unary, n-ary or dependency.
   bool Contains(std::string_view name) const;
 
-  /// Capabilities for a registered name (unary or n-ary), or NotFound.
-  /// `capabilities.nary` tells the kinds apart.
+  /// Capabilities for any registered name, or NotFound with the valid
+  /// names per kind (and a nearest-match suggestion). `capabilities.kind`
+  /// and `capabilities.nary` tell the families apart.
   Result<AlgorithmCapabilities> GetCapabilities(std::string_view name) const;
 
   /// Builds a unary algorithm instance after validating `config` against
@@ -119,11 +150,28 @@ class AlgorithmRegistry {
   Result<std::unique_ptr<NaryAlgorithm>> CreateNary(
       std::string_view name, const AlgorithmConfig& config = {}) const;
 
+  /// Builds a dependency discoverer (extractor / error threshold
+  /// validated). An IND name fails with InvalidArgument (use Create or
+  /// CreateNary).
+  Result<std::unique_ptr<DependencyAlgorithm>> CreateDependency(
+      std::string_view name, const AlgorithmConfig& config = {}) const;
+
   /// All registered unary names, in registration order (deterministic).
   std::vector<std::string> Names() const;
 
   /// All registered n-ary expansion names, in registration order.
   std::vector<std::string> NaryNames() const;
+
+  /// All registered dependency-discoverer names, in registration order.
+  std::vector<std::string> DependencyNames() const;
+
+  /// Every name registered under `kind`, in registration order (unary
+  /// before n-ary for kInd). Empty when nothing handles the kind.
+  std::vector<std::string> NamesForKind(DependencyKind kind) const;
+
+  /// The default approach for a kind: its first registered name, or
+  /// NotFound when no approach handles the kind.
+  Result<std::string> DefaultNameForKind(DependencyKind kind) const;
 
  private:
   struct Entry {
@@ -136,12 +184,30 @@ class AlgorithmRegistry {
     AlgorithmCapabilities capabilities;
     NaryFactory factory;
   };
+  struct DependencyEntry {
+    std::string name;
+    AlgorithmCapabilities capabilities;
+    DependencyFactory factory;
+  };
 
   const Entry* Find(std::string_view name) const;
   const NaryEntry* FindNary(std::string_view name) const;
+  const DependencyEntry* FindDependency(std::string_view name) const;
+
+  /// NotFound carrying the valid names grouped by kind plus a
+  /// nearest-match "did you mean" suggestion (satellite of the platform
+  /// refactor: lookup failures teach the namespace instead of restating
+  /// the bad input).
+  Status UnknownNameError(std::string_view name) const;
+
+  /// Shared knob validation against an entry's capabilities.
+  Status ValidateConfig(const std::string& name,
+                        const AlgorithmCapabilities& capabilities,
+                        const AlgorithmConfig& config) const;
 
   std::vector<Entry> entries_;
   std::vector<NaryEntry> nary_entries_;
+  std::vector<DependencyEntry> dependency_entries_;
 };
 
 }  // namespace spider

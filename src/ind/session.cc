@@ -238,13 +238,46 @@ Result<SessionReport> SpiderSession::Run(const RunOptions& options) {
   SPIDER_ASSIGN_OR_RETURN(
       AlgorithmCapabilities capabilities,
       AlgorithmRegistry::Global().GetCapabilities(options.approach));
+  if (options.kind.has_value() && *options.kind != capabilities.kind) {
+    const std::vector<std::string> names =
+        AlgorithmRegistry::Global().NamesForKind(*options.kind);
+    return Status::InvalidArgument(
+        "approach '" + options.approach + "' discovers " +
+        std::string(KindName(capabilities.kind)) + "s, not " +
+        std::string(KindName(*options.kind)) +
+        "s (approaches for that kind: " +
+        (names.empty() ? std::string("none") : JoinStrings(names, ", ")) +
+        ")");
+  }
   if (catalog_->out_of_core() && !capabilities.supports_out_of_core) {
     return Status::InvalidArgument(
         "approach '" + options.approach +
         "' random-accesses materialized columns and cannot profile an "
         "out-of-core (disk-backend) catalog");
   }
-  if (capabilities.nary) return RunNary(options);
+  if (capabilities.kind != DependencyKind::kInd) {
+    return RunDependency(options, capabilities);
+  }
+  if (capabilities.nary) {
+    // Fail a bad threshold before the (possibly long) unary base run.
+    if (options.error_threshold < 0 || options.error_threshold >= 1.0) {
+      return Status::InvalidArgument("error_threshold must be in [0, 1)");
+    }
+    if (options.error_threshold > 0 && !capabilities.supports_partial) {
+      return Status::InvalidArgument(
+          options.approach +
+          " does not support an error threshold (error > 0)");
+    }
+    return RunNary(options);
+  }
+  // Unary IND verification knows σ-partial coverage, not the g3' error
+  // threshold (that knob drives the n-ary expansion and AFD discovery).
+  if (options.error_threshold != 0) {
+    return Status::InvalidArgument(
+        "approach '" + options.approach +
+        "' verifies unary INDs; use min_coverage (σ) for partial coverage "
+        "instead of an error threshold");
+  }
   if (capabilities.needs_extractor) {
     SPIDER_ASSIGN_OR_RETURN(config.extractor, extractor());
   }
@@ -309,6 +342,10 @@ Result<SessionReport> SpiderSession::RunNary(const RunOptions& options) {
   }
   RunOptions base_options = options;
   base_options.approach = options.nary_base;
+  base_options.kind.reset();  // the base is validated as unary below
+  // The error threshold parameterizes the expansion's g3' validation; the
+  // unary base stays exact.
+  base_options.error_threshold = 0;
   SPIDER_ASSIGN_OR_RETURN(SessionReport report, Run(base_options));
   report.approach = options.approach;
   report.nary = true;
@@ -328,6 +365,7 @@ Result<SessionReport> SpiderSession::RunNary(const RunOptions& options) {
   AlgorithmConfig config;
   SPIDER_ASSIGN_OR_RETURN(config.extractor, extractor());
   config.max_nary_arity = options.nary_max_arity;
+  config.error_threshold = options.error_threshold;
   const int threads = ThreadPool::ResolveThreadCount(options.threads);
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) {
@@ -352,9 +390,84 @@ Result<SessionReport> SpiderSession::RunNary(const RunOptions& options) {
   return report;
 }
 
+Result<SessionReport> SpiderSession::RunDependency(
+    const RunOptions& options, const AlgorithmCapabilities& capabilities) {
+  SessionReport report;
+  report.approach = options.approach;
+  report.kind = capabilities.kind;
+  Stopwatch total_watch;
+  total_watch.Start();
+
+  // σ-coverage is an IND notion; the approximate kinds use the error
+  // threshold instead, so reject the knob instead of ignoring it.
+  if (options.min_coverage != 1.0) {
+    return Status::InvalidArgument(
+        "min_coverage (σ) applies to IND verification; use error_threshold "
+        "for approximate " +
+        std::string(KindName(capabilities.kind)) + " discovery");
+  }
+
+  AlgorithmConfig config;
+  config.error_threshold = options.error_threshold;
+  config.max_lhs_arity = options.max_lhs_arity;
+  config.max_nary_arity = options.nary_max_arity;
+  if (capabilities.needs_extractor) {
+    SPIDER_ASSIGN_OR_RETURN(config.extractor, extractor());
+  }
+  int threads = ThreadPool::ResolveThreadCount(options.threads);
+  if (!capabilities.parallel_safe) threads = 1;
+  report.threads_used = threads;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    config.pool = pool.get();
+  }
+  SPIDER_ASSIGN_OR_RETURN(
+      std::unique_ptr<DependencyAlgorithm> algorithm,
+      AlgorithmRegistry::Global().CreateDependency(options.approach, config));
+  RunContext context;
+  context.time_budget_seconds = options.time_budget_seconds;
+  context.cancel = options.cancel;
+  context.progress = options.progress;
+  SPIDER_ASSIGN_OR_RETURN(report.dependency,
+                          algorithm->Run(*catalog_, context));
+  report.total_seconds = total_watch.ElapsedSeconds();
+  return report;
+}
+
 std::string SessionReport::ToString() const {
   std::string out;
   out += "approach:        " + approach + "\n";
+  out += "kind:            " + std::string(KindName(kind)) + "\n";
+  if (kind != DependencyKind::kInd) {
+    const bool fds = kind != DependencyKind::kUcc;
+    const int64_t found = static_cast<int64_t>(
+        fds ? dependency.fds.size() : dependency.uccs.size());
+    out += std::string(fds ? "FDs found:       " : "UCCs found:      ") +
+           FormatWithCommas(found) + "\n";
+    out += "tests:           " + FormatWithCommas(dependency.tests) + "\n";
+    out += "finished:        " +
+           std::string(dependency.finished ? "yes" : "NO (budget)") + "\n";
+    if (threads_used > 1) {
+      out += "threads:         " + std::to_string(threads_used) + "\n";
+    }
+    out += "test time:       " + Stopwatch::FormatDuration(dependency.seconds) +
+           "\n";
+    out += "total time:      " + Stopwatch::FormatDuration(total_seconds) +
+           "\n";
+    out += "counters:        " + dependency.counters.ToString() + "\n";
+    for (const Ucc& ucc : dependency.uccs) {
+      out += "  " + ucc.ToString() + "\n";
+    }
+    for (const Fd& fd : dependency.fds) {
+      out += "  " + fd.ToString();
+      if (kind == DependencyKind::kAfd) {
+        out += " [error " + std::to_string(fd.error) + "]";
+      }
+      out += "\n";
+    }
+    return out;
+  }
   if (nary) out += "unary base:      " + nary_base + "\n";
   out += "raw pairs:       " + FormatWithCommas(candidates.raw_pair_count) + "\n";
   out += "pretest pruned:  " + FormatWithCommas(candidates.total_pruned()) + "\n";

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,8 +49,12 @@ struct SessionOptions {
 
 /// Per-run knobs, honored uniformly across all registered approaches.
 struct RunOptions {
-  /// Registry name of the verification approach.
+  /// Registry name of the approach (any dependency kind).
   std::string approach = "brute-force";
+  /// Expected dependency kind; unset = whatever the approach discovers. A
+  /// set kind that contradicts the approach's capabilities fails up front
+  /// with the valid approaches for that kind.
+  std::optional<DependencyKind> kind;
   /// Candidate generation and pretests.
   CandidateGeneratorOptions generator;
   /// Wall-clock budget for the verification phase; 0 = unlimited. On
@@ -78,15 +83,28 @@ struct RunOptions {
   /// session first profiles unary INDs with this approach, then feeds the
   /// satisfied set into the expansion. Must itself be a unary approach.
   std::string nary_base = "spider-merge";
-  /// Maximum arity for n-ary expansions; values < 2 select the
-  /// algorithm's default.
+  /// Maximum arity for n-ary expansions and UCC combinations; values < 2
+  /// select the algorithm's default.
   int nary_max_arity = 0;
+  /// g3-style error threshold in [0, 1); 0 = exact. Applies to the n-ary
+  /// expansion ("nary": candidates satisfied when the g3' error is <= the
+  /// threshold) and to AFD discovery. Rejected up front for approaches
+  /// without supports_partial, and for unary IND verification (σ-partial
+  /// coverage is `min_coverage`).
+  double error_threshold = 0;
+  /// Maximum determinant (LHS) arity for FD/AFD discovery; values < 1
+  /// select the algorithm's default.
+  int max_lhs_arity = 0;
 };
 
 /// Everything one session run produces.
 struct SessionReport {
   /// Registry name of the approach that ran.
   std::string approach;
+  /// The dependency kind the approach discovers. For kInd the `candidates`
+  /// / `run` / `nary_run` sections apply; for the other kinds the result
+  /// lives in `dependency`.
+  DependencyKind kind = DependencyKind::kInd;
   CandidateSet candidates;
   /// The verification outcome. `run.satisfied` is sorted (deterministic
   /// across thread counts).
@@ -106,6 +124,9 @@ struct SessionReport {
   /// The unary base approach the n-ary phase ran on.
   std::string nary_base;
   NaryRunResult nary_run;
+  /// The non-IND outcome (UCCs or FDs), populated when `kind` != kInd.
+  /// Sorted, deterministic across backends and thread counts.
+  DependencyRunResult dependency;
 
   /// Human-readable multi-line summary.
   std::string ToString() const;
@@ -151,6 +172,13 @@ class SpiderSession {
   /// then expand them with the named n-ary approach (per-level batches on
   /// a worker pool when options.threads != 1), under one overall budget.
   Result<SessionReport> RunNary(const RunOptions& options);
+
+  /// The non-IND path (UCC/FD/AFD): no candidate generation — the
+  /// discoverer enumerates its own lattice per table, on a worker pool
+  /// when options.threads != 1, under the same budget/cancel/progress
+  /// controls.
+  Result<SessionReport> RunDependency(
+      const RunOptions& options, const AlgorithmCapabilities& capabilities);
 
   const Catalog* catalog_;
   std::unique_ptr<Catalog> owned_catalog_;

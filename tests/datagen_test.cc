@@ -284,6 +284,66 @@ TEST(PdbLikeTest, PaperScalePresetMatchesThePapersShape) {
   EXPECT_NE((*catalog)->FindTable("pdb_category_159"), nullptr);
 }
 
+TEST(PdbLikeTest, DependencyTablesCarryTheDocumentedGroundTruth) {
+  PdbLikeOptions options;
+  options.entries = 30;
+  options.category_tables = 2;
+  options.dependency_tables = 2;
+  auto catalog = MakePdbLike(options);
+  ASSERT_TRUE(catalog.ok());
+  for (int k = 0; k < options.dependency_tables; ++k) {
+    const Table* table =
+        (*catalog)->FindTable("pdb_dep_" + std::to_string(k));
+    ASSERT_NE(table, nullptr);
+    ASSERT_EQ(table->column_count(), 5);
+    EXPECT_NE(table->FindColumn("entry_id"), nullptr);
+    EXPECT_NE(table->FindColumn("ordinal"), nullptr);
+    EXPECT_NE(table->FindColumn("group_id"), nullptr);
+    EXPECT_NE(table->FindColumn("group_code"), nullptr);
+    const Column* noisy = table->FindColumn("noisy_code");
+    ASSERT_NE(noisy, nullptr);
+    EXPECT_EQ(table->row_count(),
+              options.entries * options.dependency_rows_per_entry);
+    // Exactly dependency_afd_violations rows carry per-row noise values;
+    // they are what puts group_id -> noisy_code at its documented error.
+    int64_t noise_rows = 0;
+    for (int64_t r = 0; r < table->row_count(); ++r) {
+      if (noisy->value(r).string().rfind("nz_", 0) == 0) ++noise_rows;
+    }
+    EXPECT_EQ(noise_rows, options.dependency_afd_violations);
+  }
+}
+
+TEST(PdbLikeTest, DependencyTablesAreOffByDefaultAndPerturbNothing) {
+  PdbLikeOptions with;
+  with.entries = 40;
+  with.category_tables = 3;
+  with.dependency_tables = 2;
+  PdbLikeOptions without = with;
+  without.dependency_tables = 0;
+  auto a = MakePdbLike(with);
+  auto b = MakePdbLike(without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->table_count(), (*b)->table_count() + 2);
+  EXPECT_EQ((*b)->FindTable("pdb_dep_0"), nullptr);
+  // Enabling the dependency tables must leave every historical table
+  // byte-identical (their generation draws no extra randomness).
+  for (int t = 0; t < (*b)->table_count(); ++t) {
+    const Table& old_table = (*b)->table(t);
+    const Table* new_table = (*a)->FindTable(old_table.name());
+    ASSERT_NE(new_table, nullptr) << old_table.name();
+    ASSERT_EQ(new_table->row_count(), old_table.row_count());
+    ASSERT_EQ(new_table->column_count(), old_table.column_count());
+    for (int c = 0; c < old_table.column_count(); ++c) {
+      for (int64_t r = 0; r < old_table.row_count(); ++r) {
+        ASSERT_EQ(new_table->column(c).value(r), old_table.column(c).value(r))
+            << old_table.name() << "." << old_table.column(c).name();
+      }
+    }
+  }
+}
+
 TEST(PdbLikeTest, Deterministic) {
   PdbLikeOptions options;
   options.entries = 40;

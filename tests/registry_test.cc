@@ -24,6 +24,134 @@ TEST(RegistryTest, AllBuiltinApproachesAreRegistered) {
   for (const std::string& name : nary_names) {
     EXPECT_TRUE(AlgorithmRegistry::Global().Contains(name)) << name;
   }
+  const std::vector<std::string> dependency_names =
+      AlgorithmRegistry::Global().DependencyNames();
+  EXPECT_EQ(dependency_names,
+            (std::vector<std::string>{"ucc-levelwise", "fd-levelwise",
+                                      "afd-levelwise"}));
+  for (const std::string& name : dependency_names) {
+    EXPECT_TRUE(AlgorithmRegistry::Global().Contains(name)) << name;
+  }
+}
+
+TEST(RegistryTest, NamesForKindPartitionTheNamespace) {
+  const AlgorithmRegistry& registry = AlgorithmRegistry::Global();
+  // kInd spans both IND families: unary verifiers then n-ary expansions.
+  std::vector<std::string> ind_names = registry.Names();
+  for (const std::string& name : registry.NaryNames()) {
+    ind_names.push_back(name);
+  }
+  EXPECT_EQ(registry.NamesForKind(DependencyKind::kInd), ind_names);
+  EXPECT_EQ(registry.NamesForKind(DependencyKind::kUcc),
+            std::vector<std::string>{"ucc-levelwise"});
+  EXPECT_EQ(registry.NamesForKind(DependencyKind::kFd),
+            std::vector<std::string>{"fd-levelwise"});
+  EXPECT_EQ(registry.NamesForKind(DependencyKind::kAfd),
+            std::vector<std::string>{"afd-levelwise"});
+
+  // The per-kind default is the kind's first registered name.
+  auto default_ind = registry.DefaultNameForKind(DependencyKind::kInd);
+  ASSERT_TRUE(default_ind.ok());
+  EXPECT_EQ(*default_ind, ind_names.front());
+  auto default_ucc = registry.DefaultNameForKind(DependencyKind::kUcc);
+  ASSERT_TRUE(default_ucc.ok());
+  EXPECT_EQ(*default_ucc, "ucc-levelwise");
+}
+
+TEST(RegistryTest, DependencyCapabilitiesCarryTheirKind) {
+  const AlgorithmRegistry& registry = AlgorithmRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    auto capabilities = registry.GetCapabilities(name);
+    ASSERT_TRUE(capabilities.ok()) << name;
+    EXPECT_EQ(capabilities->kind, DependencyKind::kInd) << name;
+  }
+  for (const std::string& name : registry.NaryNames()) {
+    auto capabilities = registry.GetCapabilities(name);
+    ASSERT_TRUE(capabilities.ok()) << name;
+    EXPECT_EQ(capabilities->kind, DependencyKind::kInd) << name;
+  }
+  for (const std::string& name : registry.DependencyNames()) {
+    auto capabilities = registry.GetCapabilities(name);
+    ASSERT_TRUE(capabilities.ok()) << name;
+    EXPECT_NE(capabilities->kind, DependencyKind::kInd) << name;
+    EXPECT_FALSE(capabilities->nary) << name;
+    // The discoverers ride the sorted-set seam: they stream, so they can
+    // profile disk workspaces, and they dispatch per-table on the pool.
+    EXPECT_TRUE(capabilities->needs_extractor) << name;
+    EXPECT_TRUE(capabilities->supports_out_of_core) << name;
+    EXPECT_TRUE(capabilities->parallel_safe) << name;
+    EXPECT_TRUE(capabilities->supports_time_budget) << name;
+  }
+}
+
+TEST(RegistryTest, CreateDependencyValidatesFamilyAndConfig) {
+  auto dir = TempDir::Make("spider-registry-dependency");
+  ASSERT_TRUE(dir.ok());
+  ValueSetExtractor extractor((*dir)->path());
+  AlgorithmConfig config;
+  config.extractor = &extractor;
+  const AlgorithmRegistry& registry = AlgorithmRegistry::Global();
+
+  for (const std::string& name : registry.DependencyNames()) {
+    auto algorithm = registry.CreateDependency(name, config);
+    ASSERT_TRUE(algorithm.ok())
+        << name << ": " << algorithm.status().ToString();
+    EXPECT_EQ((*algorithm)->name(), name);
+    // Cross-family misuse is a usage error, not NotFound.
+    EXPECT_TRUE(registry.Create(name, config).status().IsInvalidArgument())
+        << name;
+    EXPECT_TRUE(
+        registry.CreateNary(name, config).status().IsInvalidArgument())
+        << name;
+  }
+  EXPECT_TRUE(registry.CreateDependency("spider-merge", config)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(registry.CreateDependency("no-such-approach", config)
+                  .status()
+                  .IsNotFound());
+
+  // The extractor requirement holds for the dependency family too.
+  EXPECT_TRUE(registry.CreateDependency("ucc-levelwise", {})
+                  .status()
+                  .IsInvalidArgument());
+
+  // An error threshold needs an approach that understands approximate
+  // discovery: the AFD discoverer does, the exact ones don't.
+  AlgorithmConfig approximate = config;
+  approximate.error_threshold = 0.25;
+  EXPECT_TRUE(registry.CreateDependency("afd-levelwise", approximate).ok());
+  EXPECT_TRUE(registry.CreateDependency("fd-levelwise", approximate)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(registry.CreateDependency("ucc-levelwise", approximate)
+                  .status()
+                  .IsInvalidArgument());
+  // And it must be a valid g3' error: [0, 1).
+  approximate.error_threshold = 1.0;
+  EXPECT_TRUE(registry.CreateDependency("afd-levelwise", approximate)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RegistryTest, UnknownNameSuggestsTheNearestApproach) {
+  // Lookup failures teach the namespace: valid names grouped per kind
+  // plus a nearest-match suggestion for plausible typos.
+  Status status =
+      AlgorithmRegistry::Global().Create("spider-merg", {}).status();
+  ASSERT_TRUE(status.IsNotFound()) << status.ToString();
+  EXPECT_NE(status.message().find("did you mean 'spider-merge'?"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("ucc: ucc-levelwise"), std::string::npos)
+      << status.ToString();
+
+  // Unrelated garbage gets the listing but no far-fetched suggestion.
+  Status garbage =
+      AlgorithmRegistry::Global().Create("qqqqqqqqqqqq", {}).status();
+  ASSERT_TRUE(garbage.IsNotFound());
+  EXPECT_EQ(garbage.message().find("did you mean"), std::string::npos)
+      << garbage.ToString();
 }
 
 TEST(RegistryTest, NaryCapabilitiesStreamOutOfCore) {
@@ -71,12 +199,24 @@ TEST(RegistryTest, CreateAndCreateNaryRejectTheWrongKind) {
                   .status()
                   .IsInvalidArgument());
 
-  // And σ-partial coverage is rejected: the expansions verify exact tuple
+  // Approximate discovery is gated per approach: the levelwise expansion
+  // accepts a g3' error threshold, the maximal-IND searches verify exact
   // containment only.
   AlgorithmConfig partial = config;
   partial.min_coverage = 0.9;
   EXPECT_TRUE(AlgorithmRegistry::Global()
-                  .CreateNary("nary", partial)
+                  .CreateNary("clique-nary", partial)
+                  .status()
+                  .IsInvalidArgument());
+  AlgorithmConfig approximate = config;
+  approximate.error_threshold = 0.1;
+  EXPECT_TRUE(AlgorithmRegistry::Global().CreateNary("nary", approximate).ok());
+  EXPECT_TRUE(AlgorithmRegistry::Global()
+                  .CreateNary("clique-nary", approximate)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AlgorithmRegistry::Global()
+                  .CreateNary("zigzag", approximate)
                   .status()
                   .IsInvalidArgument());
   for (const std::string& name : AlgorithmRegistry::Global().NaryNames()) {

@@ -1,10 +1,12 @@
 // spider — command-line schema discovery for CSV dumps.
 //
 // Usage:
-//   spider profile <csv_dir|workspace> [--approach=NAME]
+//   spider profile <csv_dir|workspace> [--kind=ind|ucc|fd|afd]
+//                            [--approach=NAME]
 //                            [--backend=memory|disk] [--workspace=DIR]
 //                            [--max-value-pretest]
 //                            [--sampling-pretest] [--sigma=S]
+//                            [--error=E] [--max-lhs=K]
 //                            [--time-budget=S] [--threads=N] [--progress]
 //                            [--json]
 //   spider import <csv_dir> --workspace=DIR [--backend=memory|disk]
@@ -17,7 +19,12 @@
 //   spider version | --version
 //
 // `profile` prints the satisfied INDs (σ < 1 switches to partial INDs;
-// an n-ary approach appends the discovered composite INDs);
+// an n-ary approach appends the discovered composite INDs). With
+// --kind=ucc|fd|afd it runs a dependency discoverer over the same data
+// instead: minimal unique column combinations, exact functional
+// dependencies, or approximate FDs whose g3-style error stays within
+// --error=E (--max-lhs caps the determinant arity). Omitting --approach
+// picks the kind's default discoverer;
 // `import` streams a CSV dump into an out-of-core disk-store workspace
 // (pay the parse once, profile many times with bounded memory);
 // `discover` runs the whole Aladin-style pipeline and prints the report;
@@ -59,6 +66,7 @@
 #include "src/discovery/link_discovery.h"
 #include "src/discovery/report.h"
 #include "src/common/string_util.h"
+#include "src/ind/dependency.h"
 #include "src/ind/partial_ind.h"
 #include "src/ind/registry.h"
 #include "src/ind/session.h"
@@ -115,6 +123,11 @@ std::string ApproachList() {
     if (!out.empty()) out += ", ";
     out += name;
   }
+  for (const std::string& name :
+       AlgorithmRegistry::Global().DependencyNames()) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
   return out;
 }
 
@@ -135,11 +148,13 @@ int RunVersion() {
 int Usage() {
   std::cerr
       << "usage:\n"
-         "  spider profile <csv_dir|workspace> [--approach=NAME]\n"
+         "  spider profile <csv_dir|workspace> [--kind=ind|ucc|fd|afd]\n"
+         "                           [--approach=NAME]\n"
          "                           [--backend=memory|disk] "
          "[--workspace=DIR]\n"
          "                           [--max-value-pretest]\n"
          "                           [--sampling-pretest] [--sigma=S]\n"
+         "                           [--error=E] [--max-lhs=K]\n"
          "                           [--time-budget=S] [--threads=N]\n"
          "                           [--progress] [--json]\n"
          "  spider import <csv_dir> --workspace=DIR "
@@ -152,6 +167,8 @@ int Usage() {
          "  spider approaches [--json]\n"
          "  spider version\n"
          "\nn-ary approaches take [--nary-base=NAME] [--max-arity=K]\n"
+         "--kind=ucc|fd|afd runs dependency discovery (--error=E accepts "
+         "g3'\nerror up to E; --max-lhs=K caps the FD determinant arity)\n"
          "\napproaches: "
       << ApproachList() << "\n";
   return 2;
@@ -159,7 +176,9 @@ int Usage() {
 
 struct Flags {
   std::vector<std::string> positional;
-  std::string approach = "brute-force";
+  /// Empty = default for the requested kind ("brute-force" for INDs).
+  std::string approach;
+  std::optional<DependencyKind> kind;
   std::string nary_base = "spider-merge";
   int max_arity = 0;  // 0 = algorithm default
   StorageBackend backend = StorageBackend::kMemory;
@@ -175,6 +194,8 @@ struct Flags {
   std::string dot_path;
   double sigma = 1.0;
   double min_coverage = 1.0;
+  double error_threshold = 0;
+  int max_lhs = 0;  // 0 = algorithm default
   double time_budget_seconds = 0;
   int threads = 1;
   bool ok = true;
@@ -186,13 +207,23 @@ Flags ParseFlags(int argc, char** argv, int first) {
     std::string arg = argv[i];
     if (arg.rfind("--approach=", 0) == 0) {
       std::string name = arg.substr(11);
-      if (!AlgorithmRegistry::Global().Contains(name)) {
-        std::cerr << "unknown approach: " << name
-                  << " (available: " << ApproachList() << ")\n";
+      // The registry's lookup error carries the valid names per kind plus
+      // a nearest-match suggestion — surface it verbatim.
+      auto capabilities = AlgorithmRegistry::Global().GetCapabilities(name);
+      if (!capabilities.ok()) {
+        std::cerr << capabilities.status().message() << "\n";
         flags.ok = false;
         return flags;
       }
       flags.approach = std::move(name);
+    } else if (arg.rfind("--kind=", 0) == 0) {
+      auto kind = ParseDependencyKind(arg.substr(7));
+      if (!kind.ok()) {
+        std::cerr << kind.status().message() << "\n";
+        flags.ok = false;
+        return flags;
+      }
+      flags.kind = *kind;
     } else if (arg.rfind("--nary-base=", 0) == 0) {
       std::string name = arg.substr(12);
       auto capabilities = AlgorithmRegistry::Global().GetCapabilities(name);
@@ -263,6 +294,28 @@ Flags ParseFlags(int argc, char** argv, int first) {
       flags.sigma = std::atof(arg.substr(8).c_str());
     } else if (arg.rfind("--min-coverage=", 0) == 0) {
       flags.min_coverage = std::atof(arg.substr(15).c_str());
+    } else if (arg.rfind("--error=", 0) == 0) {
+      const std::string value = arg.substr(8);
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0' || parsed < 0 || parsed >= 1.0) {
+        std::cerr << "--error must be a number in [0, 1), got '" << value
+                  << "'\n";
+        flags.ok = false;
+        return flags;
+      }
+      flags.error_threshold = parsed;
+    } else if (arg.rfind("--max-lhs=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed < 1 || parsed > 64) {
+        std::cerr << "--max-lhs must be an integer in [1, 64], got '" << value
+                  << "'\n";
+        flags.ok = false;
+        return flags;
+      }
+      flags.max_lhs = static_cast<int>(parsed);
     } else if (arg.rfind("--time-budget=", 0) == 0) {
       flags.time_budget_seconds = std::atof(arg.substr(14).c_str());
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -292,6 +345,18 @@ Flags ParseFlags(int argc, char** argv, int first) {
 RunOptions MakeRunOptions(const Flags& flags) {
   RunOptions options;
   options.approach = flags.approach;
+  if (options.approach.empty()) {
+    // --kind without --approach selects the kind's default discoverer;
+    // plain `spider profile` keeps the historical brute-force default.
+    options.approach = "brute-force";
+    if (flags.kind && *flags.kind != DependencyKind::kInd) {
+      auto name = AlgorithmRegistry::Global().DefaultNameForKind(*flags.kind);
+      if (name.ok()) options.approach = *name;
+    }
+  }
+  options.kind = flags.kind;
+  options.error_threshold = flags.error_threshold;
+  options.max_lhs_arity = flags.max_lhs;
   options.nary_base = flags.nary_base;
   options.nary_max_arity = flags.max_arity;
   options.generator.max_value_pretest = flags.max_value_pretest;
@@ -397,6 +462,12 @@ int RunImport(const Flags& flags) {
 
 int RunProfile(const Flags& flags) {
   if (flags.positional.size() != 1) return Usage();
+  if (flags.sigma < 1.0 && flags.kind &&
+      *flags.kind != DependencyKind::kInd) {
+    std::cerr << "--sigma is σ-partial IND coverage; approximate --kind="
+              << KindName(*flags.kind) << " discovery takes --error=E\n";
+    return 2;
+  }
   auto catalog = LoadCatalog(flags.positional[0], flags);
   if (!catalog.ok()) return Fail(catalog.status());
   if (!flags.json) {
@@ -410,12 +481,73 @@ int RunProfile(const Flags& flags) {
     auto report = session.Run(MakeRunOptions(flags));
     if (flags.progress) std::cerr << "\n";
     if (!report.ok()) return Fail(report.status());
+    if (report->kind != DependencyKind::kInd) {
+      if (flags.json) {
+        // Same partial-run contract as the IND form: finished=false means
+        // the listed dependencies are confirmed but the sweep is cut short.
+        JsonWriter json;
+        json.BeginObject();
+        json.KV("approach", report->approach);
+        json.KV("kind", std::string(KindName(report->kind)));
+        json.KV("backend",
+                catalog->catalog->out_of_core() ? std::string("disk")
+                                                : std::string("memory"));
+        json.KV("tables",
+                static_cast<int64_t>(catalog->catalog->table_count()));
+        json.KV("attributes",
+                static_cast<int64_t>(catalog->catalog->attribute_count()));
+        json.KV("finished", report->dependency.finished);
+        json.KV("budget_expired", !report->dependency.finished);
+        json.KV("cancelled", g_sigint_token.cancelled());
+        json.KV("threads", static_cast<int64_t>(report->threads_used));
+        json.KV("seconds", report->total_seconds);
+        json.KV("tests", report->dependency.tests);
+        json.KV("tuples_read", report->dependency.counters.tuples_read);
+        if (report->kind == DependencyKind::kUcc) {
+          json.Key("uccs");
+          json.BeginArray();
+          for (const Ucc& ucc : report->dependency.uccs) {
+            json.BeginObject();
+            json.KV("table", ucc.table);
+            json.Key("columns");
+            json.BeginArray();
+            for (const std::string& column : ucc.columns) {
+              json.String(column);
+            }
+            json.EndArray();
+            json.EndObject();
+          }
+          json.EndArray();
+        } else {
+          json.Key("fds");
+          json.BeginArray();
+          for (const Fd& fd : report->dependency.fds) {
+            json.BeginObject();
+            json.KV("table", fd.table);
+            json.Key("lhs");
+            json.BeginArray();
+            for (const std::string& column : fd.lhs) json.String(column);
+            json.EndArray();
+            json.KV("rhs", fd.rhs);
+            json.KV("error", fd.error);
+            json.EndObject();
+          }
+          json.EndArray();
+        }
+        json.EndObject();
+        std::cout << json.str() << "\n";
+        return 0;
+      }
+      std::cout << report->ToString();
+      return 0;
+    }
     if (flags.json) {
       // `finished: false` marks a budget-expired run: `satisfied_inds` is
       // then a confirmed-but-partial set, not the complete answer.
       JsonWriter json;
       json.BeginObject();
       json.KV("approach", report->approach);
+      json.KV("kind", std::string(KindName(report->kind)));
       json.KV("backend",
               catalog->catalog->out_of_core() ? std::string("disk")
                                               : std::string("memory"));
@@ -568,6 +700,9 @@ int RunApproaches(const Flags& flags) {
   const AlgorithmRegistry& registry = AlgorithmRegistry::Global();
   std::vector<std::string> names = registry.Names();
   for (const std::string& name : registry.NaryNames()) names.push_back(name);
+  for (const std::string& name : registry.DependencyNames()) {
+    names.push_back(name);
+  }
   if (flags.json) {
     // Machine-readable capability listing: the source of truth for the
     // docs capability matrix (tools/gen_capability_docs.sh).
@@ -580,6 +715,7 @@ int RunApproaches(const Flags& flags) {
       if (!capabilities.ok()) return Fail(capabilities.status());
       json.BeginObject();
       json.KV("name", name);
+      json.KV("kind", std::string(KindName(capabilities->kind)));
       json.KV("summary", capabilities->summary);
       json.KV("nary", capabilities->nary);
       json.KV("database_internal", capabilities->database_internal);
@@ -599,13 +735,19 @@ int RunApproaches(const Flags& flags) {
     auto capabilities = registry.GetCapabilities(name);
     if (!capabilities.ok()) return Fail(capabilities.status());
     std::cout << name << "\n    " << capabilities->summary << "\n    "
+              << KindName(capabilities->kind) << ", "
               << (capabilities->nary ? "n-ary expansion, "
                                      : "")
               << (capabilities->database_internal ? "database-internal"
                                                   : "database-external")
               << (capabilities->needs_extractor ? ", needs value-set extractor"
                                                 : "")
-              << (capabilities->supports_partial ? ", sigma-partial" : "")
+              << (capabilities->supports_partial
+                      ? (capabilities->kind == DependencyKind::kInd &&
+                                 !capabilities->nary
+                             ? ", sigma-partial"
+                             : ", g3'-partial")
+                      : "")
               << (capabilities->supports_time_budget ? ", time budget" : "")
               << (capabilities->supports_out_of_core ? ", out-of-core" : "")
               << "\n";
