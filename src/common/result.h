@@ -14,14 +14,19 @@ namespace spider {
 ///
 /// Mirrors arrow::Result. A Result constructed from a value is ok(); a
 /// Result constructed from a Status must carry a non-OK status.
+///
+/// [[nodiscard]] like Status: a dropped Result hides both the value and
+/// the error. Deliberate drops use (void) plus `// ignore-status:`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit on purpose, like arrow::Result).
-  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  // NOLINT(google-explicit-constructor): implicit by design, so functions
+  // can `return value;` / `return status;` like arrow::Result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor): see above
 
   /// Constructs from an error status. `status` must not be OK.
-  Result(Status status) : status_(std::move(status)) {  // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor): see above
     assert(!status_.ok() && "Result constructed from OK status without value");
   }
 

@@ -33,7 +33,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// A Status is cheap to copy in the OK case (no allocation) and carries a
 /// code plus a free-form message otherwise. Use the factory functions
 /// (Status::OK(), Status::IOError(...), ...) to construct one.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status return hides failures, so the
+/// compiler rejects it under -Werror. Sites that genuinely cannot act on
+/// the error cast to (void) with an adjacent `// ignore-status:` reason
+/// comment (enforced by tools/spider_lint.py).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

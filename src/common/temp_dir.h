@@ -20,6 +20,7 @@ class TempDir {
  public:
   /// Creates a fresh directory under the system temp root (or under `parent`
   /// if non-empty), named `<prefix>-<unique>`.
+  [[nodiscard]]
   static Result<std::unique_ptr<TempDir>> Make(const std::string& prefix,
                                                const std::string& parent = "");
 

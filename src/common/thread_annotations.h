@@ -1,0 +1,77 @@
+// Clang thread-safety-analysis annotations (no-ops on other compilers).
+//
+// The locking protocol of every shared-state class in spider is declared
+// with these macros and checked at compile time by Clang's -Wthread-safety
+// analysis (enabled automatically for Clang builds, see the root
+// CMakeLists.txt; the CI static-analysis job builds with clang++ so the
+// annotations are enforced on every merge). GCC builds compile the macros
+// away, so the annotations cost nothing outside the analysis.
+//
+// The analysis only understands capability-annotated lock types, and
+// libstdc++'s std::mutex is not annotated — guarded classes therefore use
+// spider::Mutex / spider::MutexLock / spider::CondVar (src/common/mutex.h),
+// thin zero-overhead wrappers that carry the capability attributes.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SPIDER_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SPIDER_THREAD_ANNOTATION__(x)  // no-op
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis can track.
+#define SPIDER_LOCKABLE SPIDER_THREAD_ANNOTATION__(capability("mutex"))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SPIDER_SCOPED_LOCKABLE SPIDER_THREAD_ANNOTATION__(scoped_lockable)
+
+/// The annotated field/variable may only be accessed while holding `x`.
+#define SPIDER_GUARDED_BY(x) SPIDER_THREAD_ANNOTATION__(guarded_by(x))
+
+/// The data *pointed to* by the annotated pointer is guarded by `x` (the
+/// pointer itself may be read freely).
+#define SPIDER_PT_GUARDED_BY(x) SPIDER_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// The annotated function must be called with the listed capabilities held
+/// exclusively; it does not acquire or release them.
+#define SPIDER_REQUIRES(...) \
+  SPIDER_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of SPIDER_REQUIRES.
+#define SPIDER_REQUIRES_SHARED(...) \
+  SPIDER_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the listed capabilities (held on return).
+#define SPIDER_ACQUIRE(...) \
+  SPIDER_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// The annotated function releases the listed capabilities.
+#define SPIDER_RELEASE(...) \
+  SPIDER_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability when it returns the given
+/// boolean value, e.g. SPIDER_TRY_ACQUIRE(true, mutex_).
+#define SPIDER_TRY_ACQUIRE(...) \
+  SPIDER_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (deadlock prevention
+/// for self-locking member functions).
+#define SPIDER_EXCLUDES(...) \
+  SPIDER_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, to the analysis) that the capability is held.
+#define SPIDER_ASSERT_CAPABILITY(x) \
+  SPIDER_THREAD_ANNOTATION__(assert_capability(x))
+
+/// The annotated function returns a reference to the named capability.
+#define SPIDER_RETURN_CAPABILITY(x) \
+  SPIDER_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function body is exempt from the analysis. Every use
+/// must carry a comment explaining why the protocol cannot be expressed.
+#define SPIDER_NO_THREAD_SAFETY_ANALYSIS \
+  SPIDER_THREAD_ANNOTATION__(no_thread_safety_analysis)

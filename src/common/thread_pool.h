@@ -10,14 +10,15 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace spider {
 
@@ -41,7 +42,7 @@ class ThreadPool {
   int size() const { return static_cast<int>(threads_.size()); }
 
   /// Enqueues a fire-and-forget task.
-  void Schedule(std::function<void()> task);
+  void Schedule(std::function<void()> task) SPIDER_EXCLUDES(mutex_);
 
   /// Enqueues a task and returns a future for its result. The future's
   /// destructor does not block; keep it and get() to synchronize.
@@ -60,12 +61,14 @@ class ThreadPool {
   static int ResolveThreadCount(int requested);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SPIDER_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar cv_{&mutex_};
+  std::deque<std::function<void()>> queue_ SPIDER_GUARDED_BY(mutex_);
+  bool shutdown_ SPIDER_GUARDED_BY(mutex_) = false;
+  /// Written only by the constructor, before any concurrency; joined by the
+  /// destructor after the workers observe shutdown_. Not guarded.
   std::vector<std::thread> threads_;
 };
 

@@ -17,6 +17,7 @@
 namespace spider {
 
 /// Appends one record to `out`.
+[[nodiscard]]
 Status WriteValueRecord(std::ostream& out, std::string_view value);
 
 /// Appends the LEB128 encoding of `v` to `*out`.

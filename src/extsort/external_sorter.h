@@ -47,16 +47,19 @@ class ExternalSorter {
   ExternalSorter& operator=(const ExternalSorter&) = delete;
 
   /// Adds one value. May spill a sorted run to disk.
+  [[nodiscard]]
   Status Add(std::string value);
 
   /// Merges all runs plus the in-memory buffer into a sorted-distinct file
   /// at `path`. The sorter is consumed; further Add() calls fail.
+  [[nodiscard]]
   Result<SortedSetInfo> WriteSortedSet(const std::filesystem::path& path);
 
   /// Number of spill runs written so far (observable for tests).
   int spill_count() const { return static_cast<int>(runs_.size()); }
 
  private:
+  [[nodiscard]]
   Status SpillBuffer();
 
   ExternalSorterOptions options_;

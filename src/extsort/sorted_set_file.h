@@ -25,13 +25,16 @@ namespace spider {
 /// every appended value must be greater than its predecessor.
 class SortedSetWriter {
  public:
+  [[nodiscard]]
   static Result<std::unique_ptr<SortedSetWriter>> Create(
       const std::filesystem::path& path);
 
   /// Appends `value`; fails with InvalidArgument if ordering is violated.
+  [[nodiscard]]
   Status Append(std::string_view value);
 
   /// Flushes and closes the file. Must be called before reading.
+  [[nodiscard]]
   Status Finish();
 
   int64_t count() const { return count_; }
@@ -61,6 +64,7 @@ class SortedSetReader {
   /// Default read-buffer size; values larger than the buffer grow it.
   static constexpr size_t kDefaultBufferBytes = 64 * 1024;
 
+  [[nodiscard]]
   static Result<std::unique_ptr<SortedSetReader>> Open(
       const std::filesystem::path& path, RunCounters* counters = nullptr,
       size_t buffer_bytes = kDefaultBufferBytes);

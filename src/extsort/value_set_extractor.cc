@@ -89,14 +89,14 @@ Result<SortedSetInfo> ValueSetExtractor::DoExtractComposite(
 }
 
 template <typename Key, typename ExtractFn>
-Result<SortedSetInfo> ValueSetExtractor::ExtractCached(
-    std::map<Key, std::shared_future<Result<SortedSetInfo>>>& cache,
-    const Key& key, ExtractFn&& do_extract) {
+Result<SortedSetInfo> ValueSetExtractor::ExtractCached(const Key& key,
+                                                       ExtractFn&& do_extract) {
   std::promise<Result<SortedSetInfo>> promise;
   std::shared_future<Result<SortedSetInfo>> future;
   bool owner = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
+    auto& cache = LockedCacheFor(key);
     auto it = cache.find(key);
     if (it != cache.end()) {
       future = it->second;
@@ -114,8 +114,8 @@ Result<SortedSetInfo> ValueSetExtractor::ExtractCached(
   if (!result.ok()) {
     // Failures are not cached — a later call may retry (concurrent waiters
     // still observe this failure through the shared state).
-    std::lock_guard<std::mutex> lock(mutex_);
-    cache.erase(key);
+    MutexLock lock(&mutex_);
+    LockedCacheFor(key).erase(key);
   }
   promise.set_value(result);
   return result;
@@ -123,7 +123,7 @@ Result<SortedSetInfo> ValueSetExtractor::ExtractCached(
 
 Result<SortedSetInfo> ValueSetExtractor::Extract(const Catalog& catalog,
                                                  const AttributeRef& attribute) {
-  return ExtractCached(cache_, attribute, [&] {
+  return ExtractCached(attribute, [&] {
     return DoExtract(catalog, attribute);
   });
 }
@@ -133,7 +133,7 @@ Result<SortedSetInfo> ValueSetExtractor::ExtractComposite(
   if (attributes.empty()) {
     return Status::InvalidArgument("composite extraction over zero attributes");
   }
-  return ExtractCached(composite_cache_, attributes, [&] {
+  return ExtractCached(attributes, [&] {
     return DoExtractComposite(catalog, attributes);
   });
 }
@@ -173,7 +173,7 @@ Result<SortedSetInfo> ValueSetExtractor::Lookup(
     const AttributeRef& attribute) const {
   std::shared_future<Result<SortedSetInfo>> future;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = cache_.find(attribute);
     if (it == cache_.end()) {
       return Status::NotFound("no extracted value set for " +

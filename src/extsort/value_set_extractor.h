@@ -11,11 +11,12 @@
 #include <filesystem>
 #include <future>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/result.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/extsort/external_sorter.h"
 #include "src/extsort/sorted_set_file.h"
@@ -47,18 +48,21 @@ class ValueSetExtractor {
   /// Extracts the given attribute from the catalog. NULLs are dropped
   /// (inclusion dependencies are defined over non-NULL values). Re-runs for
   /// the same attribute return the cached file.
+  [[nodiscard]]
   Result<SortedSetInfo> Extract(const Catalog& catalog,
                                 const AttributeRef& attribute);
 
   /// Extracts all listed attributes; returns infos in the same order. When
   /// `pool` is non-null the per-attribute sorts run concurrently on it
   /// (duplicates in `attributes` are coalesced by the cache).
+  [[nodiscard]]
   Result<std::vector<SortedSetInfo>> ExtractAll(
       const Catalog& catalog, const std::vector<AttributeRef>& attributes,
       ThreadPool* pool = nullptr);
 
   /// Info for an already extracted attribute, or NotFound. Blocks if the
   /// extraction is still in flight on another thread.
+  [[nodiscard]]
   Result<SortedSetInfo> Lookup(const AttributeRef& attribute) const;
 
   /// Extracts the sorted-distinct COMPOSITE value set of an attribute
@@ -68,6 +72,7 @@ class ValueSetExtractor {
   /// CompositeValueCursor, so peak memory is one storage block per
   /// component plus the sort budget — the n-ary algorithms' out-of-core
   /// path. Cached and thread-safe exactly like Extract().
+  [[nodiscard]]
   Result<SortedSetInfo> ExtractComposite(
       const Catalog& catalog, const std::vector<AttributeRef>& attributes);
 
@@ -82,35 +87,53 @@ class ValueSetExtractor {
 
  private:
   /// The uncached sort-and-materialize step.
+  [[nodiscard]]
   Result<SortedSetInfo> DoExtract(const Catalog& catalog,
                                   const AttributeRef& attribute);
+  [[nodiscard]]
   Result<SortedSetInfo> DoExtractComposite(
       const Catalog& catalog, const std::vector<AttributeRef>& attributes);
 
-  /// Claim-or-wait against a cache map: the first caller for `key` runs
-  /// `do_extract`, concurrent callers block on its shared future; failures
-  /// are evicted so later calls may retry.
+  /// Claim-or-wait against the cache selected by `Key`: the first caller
+  /// for `key` runs `do_extract`, concurrent callers block on its shared
+  /// future; failures are evicted so later calls may retry.
   template <typename Key, typename ExtractFn>
-  Result<SortedSetInfo> ExtractCached(
-      std::map<Key, std::shared_future<Result<SortedSetInfo>>>& cache,
-      const Key& key, ExtractFn&& do_extract);
+  [[nodiscard]]
+  Result<SortedSetInfo> ExtractCached(const Key& key, ExtractFn&& do_extract)
+      SPIDER_EXCLUDES(mutex_);
+
+  /// Locked accessors mapping a key type to its cache, so the guarded maps
+  /// are only ever touched under mutex_ (the thread-safety analysis rejects
+  /// handing out references to guarded fields from unlocked contexts).
+  std::map<AttributeRef, std::shared_future<Result<SortedSetInfo>>>&
+  LockedCacheFor(const AttributeRef&) SPIDER_REQUIRES(mutex_) {
+    return cache_;
+  }
+  std::map<std::vector<AttributeRef>,
+           std::shared_future<Result<SortedSetInfo>>>&
+  LockedCacheFor(const std::vector<AttributeRef>&) SPIDER_REQUIRES(mutex_) {
+    return composite_cache_;
+  }
 
   /// Streams one cursor's non-NULL values through an ExternalSorter into
   /// `file_name` under the output dir.
+  [[nodiscard]]
   Result<SortedSetInfo> SortCursorToSet(ValueCursor& cursor,
                                         const std::string& file_name);
 
   std::filesystem::path output_dir_;
   ValueSetExtractorOptions options_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Completed or in-flight extractions. shared_future so that concurrent
-  /// requesters of the same attribute all wait on one extraction.
-  std::map<AttributeRef, std::shared_future<Result<SortedSetInfo>>> cache_;
+  /// requesters of the same attribute all wait on one extraction. Only the
+  /// map is guarded — waiting on a future happens outside the lock.
+  std::map<AttributeRef, std::shared_future<Result<SortedSetInfo>>> cache_
+      SPIDER_GUARDED_BY(mutex_);
   /// Same discipline for composite (tuple) sets, keyed by the ordered
   /// attribute list.
   std::map<std::vector<AttributeRef>,
            std::shared_future<Result<SortedSetInfo>>>
-      composite_cache_;
+      composite_cache_ SPIDER_GUARDED_BY(mutex_);
 };
 
 }  // namespace spider

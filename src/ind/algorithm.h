@@ -41,12 +41,14 @@ class IndAlgorithm {
   /// satisfied INDs. Candidates must reference existing attributes. The
   /// context carries the unified run controls — time budget, cancellation
   /// and progress — which every implementation honors.
+  [[nodiscard]]
   virtual Result<IndRunResult> Run(const Catalog& catalog,
                                    const std::vector<IndCandidate>& candidates,
                                    RunContext& context) = 0;
 
   /// Convenience overload: unbounded run with no callbacks. Derived
   /// classes re-expose it with `using IndAlgorithm::Run;`.
+  [[nodiscard]]
   Result<IndRunResult> Run(const Catalog& catalog,
                            const std::vector<IndCandidate>& candidates) {
     RunContext context;

@@ -40,6 +40,7 @@ class BellBrockhausenAlgorithm final : public IndAlgorithm {
       : options_(options) {}
 
   using IndAlgorithm::Run;
+  [[nodiscard]]
   Result<IndRunResult> Run(const Catalog& catalog,
                            const std::vector<IndCandidate>& candidates,
                            RunContext& context) override;

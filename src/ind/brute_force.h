@@ -42,6 +42,7 @@ class BruteForceAlgorithm final : public IndAlgorithm {
   explicit BruteForceAlgorithm(BruteForceOptions options);
 
   using IndAlgorithm::Run;
+  [[nodiscard]]
   Result<IndRunResult> Run(const Catalog& catalog,
                            const std::vector<IndCandidate>& candidates,
                            RunContext& context) override;
@@ -58,6 +59,7 @@ void RegisterBruteForceAlgorithm(AlgorithmRegistry& registry);
 /// \brief Tests a single candidate given two already-extracted sorted sets.
 /// Exposed for unit tests and for the partial-IND checker. Returns true iff
 /// dep ⊆ ref.
+[[nodiscard]]
 Result<bool> TestCandidateBruteForce(const SortedSetInfo& dep,
                                      const SortedSetInfo& ref,
                                      RunCounters* counters,

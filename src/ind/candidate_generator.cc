@@ -69,6 +69,9 @@ Result<CandidateSet> CandidateGenerator::Generate(const Catalog& catalog) const 
       if (!dep.dependent_eligible) continue;
       std::vector<std::string> sample;
       if (!dep.column->out_of_core()) {
+        // Random access is the point of sampling; the out-of-core branch
+        // below streams instead.
+        // spider-lint: allow(column-values): in-memory column, gated on !out_of_core() above
         const auto& values = dep.column->values();
         for (int i = 0; i < options_.sample_size; ++i) {
           // Rejection-sample a non-NULL row; the column is non-empty.

@@ -94,6 +94,7 @@ class CandidateGenerator {
 
   /// Scans the catalog once for statistics, then produces all surviving
   /// dep ⊆ ref candidates.
+  [[nodiscard]]
   Result<CandidateSet> Generate(const Catalog& catalog) const;
 
   const CandidateGeneratorOptions& options() const { return options_; }

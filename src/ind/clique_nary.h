@@ -66,10 +66,12 @@ class CliqueNaryDiscovery {
   explicit CliqueNaryDiscovery(CliqueNaryOptions options = {});
 
   /// `unary` must be the complete satisfied unary IND set over the catalog.
+  [[nodiscard]]
   Result<CliqueNaryResult> Run(const Catalog& catalog,
                                const std::vector<Ind>& unary) const;
 
   /// As above, honoring the context's budget/cancellation.
+  [[nodiscard]]
   Result<CliqueNaryResult> Run(const Catalog& catalog,
                                const std::vector<Ind>& unary,
                                RunContext& context) const;

@@ -28,7 +28,7 @@ Status ValidateCandidate(const NaryInd& candidate) {
 
 Result<ValueSetExtractor*> CompositeSetVerifier::ExtractorOrCreate() {
   if (extractor_ != nullptr) return extractor_;
-  std::lock_guard<std::mutex> lock(init_mutex_);
+  MutexLock lock(&init_mutex_);
   if (owned_extractor_ == nullptr) {
     SPIDER_ASSIGN_OR_RETURN(owned_dir_, TempDir::Make("spider-composite"));
     owned_extractor_ = std::make_unique<ValueSetExtractor>(owned_dir_->path());

@@ -14,9 +14,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
 #include "src/common/counters.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/result.h"
 #include "src/common/temp_dir.h"
 #include "src/extsort/value_set_extractor.h"
@@ -39,11 +40,13 @@ class CompositeSetVerifier {
   /// True when every dependent composite tuple occurs among the referenced
   /// ones. With `early_stop` the merge aborts at the first missing tuple.
   /// Validates the candidate (equal non-zero arity, one table per side).
+  [[nodiscard]]
   Result<bool> VerifyIncluded(const Catalog& catalog, const NaryInd& candidate,
                               RunCounters* counters, bool early_stop);
 
   /// The g3' error: the fraction of distinct dependent tuples with no
   /// referenced match (0 ⇔ satisfied). Always scans the full dependent set.
+  [[nodiscard]]
   Result<double> Error(const Catalog& catalog, const NaryInd& candidate,
                        RunCounters* counters);
 
@@ -56,15 +59,23 @@ class CompositeSetVerifier {
   /// Extracts both sides and merges them; stops at the first miss when
   /// `early_stop` (misses is then a lower bound, which is all the boolean
   /// verdict needs).
+  [[nodiscard]]
   Result<MergeOutcome> Merge(const Catalog& catalog, const NaryInd& candidate,
                              RunCounters* counters, bool early_stop);
 
-  Result<ValueSetExtractor*> ExtractorOrCreate();
+  [[nodiscard]]
+  Result<ValueSetExtractor*> ExtractorOrCreate() SPIDER_EXCLUDES(init_mutex_);
 
+  /// Set at construction, read-only afterwards; nullptr selects the lazily
+  /// created owned extractor below.
   ValueSetExtractor* extractor_;
-  std::mutex init_mutex_;
-  std::unique_ptr<TempDir> owned_dir_;
-  std::unique_ptr<ValueSetExtractor> owned_extractor_;
+  Mutex init_mutex_;
+  /// Lazy-init state: created once under init_mutex_ by whichever thread
+  /// verifies first, then only read through the pointer handed out by
+  /// ExtractorOrCreate (the extractor itself is thread-safe).
+  std::unique_ptr<TempDir> owned_dir_ SPIDER_GUARDED_BY(init_mutex_);
+  std::unique_ptr<ValueSetExtractor> owned_extractor_
+      SPIDER_GUARDED_BY(init_mutex_);
 };
 
 }  // namespace spider

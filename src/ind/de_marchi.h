@@ -32,6 +32,7 @@ class DeMarchiAlgorithm final : public IndAlgorithm {
       : options_(options) {}
 
   using IndAlgorithm::Run;
+  [[nodiscard]]
   Result<IndRunResult> Run(const Catalog& catalog,
                            const std::vector<IndCandidate>& candidates,
                            RunContext& context) override;

@@ -42,6 +42,7 @@ std::string_view KindName(DependencyKind kind);
 
 /// Parses a kind name; unknown names fail with InvalidArgument listing the
 /// valid names.
+[[nodiscard]]
 Result<DependencyKind> ParseDependencyKind(std::string_view name);
 
 /// One minimal unique column combination.
@@ -116,10 +117,12 @@ class DependencyAlgorithm {
   /// Discovers the algorithm's dependency kind across the catalog. The
   /// context carries the unified run controls — time budget, cancellation
   /// and progress — which every implementation honors.
+  [[nodiscard]]
   virtual Result<DependencyRunResult> Run(const Catalog& catalog,
                                           RunContext& context) = 0;
 
   /// Convenience overload: unbounded run with no callbacks.
+  [[nodiscard]]
   Result<DependencyRunResult> Run(const Catalog& catalog) {
     RunContext context;
     return Run(catalog, context);

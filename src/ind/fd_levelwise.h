@@ -64,6 +64,7 @@ class FdLevelwiseAlgorithm : public DependencyAlgorithm {
   FdLevelwiseAlgorithm(FdLevelwiseOptions options, std::string name);
 
   using DependencyAlgorithm::Run;
+  [[nodiscard]]
   Result<DependencyRunResult> Run(const Catalog& catalog,
                                   RunContext& context) override;
 

@@ -87,11 +87,13 @@ class NaryIndDiscovery {
   /// `unary` must be the complete set of satisfied unary INDs over the
   /// catalog (an incomplete seed only shrinks the discovered set — the
   /// levelwise property guarantees no false positives either way).
+  [[nodiscard]]
   Result<NaryDiscoveryResult> Run(const Catalog& catalog,
                                   const std::vector<Ind>& unary) const;
 
   /// As above, honoring the context's budget/cancellation (partial result
   /// with finished=false) and reporting per-candidate progress.
+  [[nodiscard]]
   Result<NaryDiscoveryResult> Run(const Catalog& catalog,
                                   const std::vector<Ind>& unary,
                                   RunContext& context) const;
@@ -99,6 +101,7 @@ class NaryIndDiscovery {
   /// Verifies one n-ary candidate directly against the data. Exposed for
   /// tests; `candidate.dependent`/`referenced` must be non-empty, equal
   /// length, and single-table per side.
+  [[nodiscard]]
   Result<bool> Verify(const Catalog& catalog, const NaryInd& candidate,
                       RunCounters* counters) const;
 

@@ -51,6 +51,7 @@ class PartialIndFinder {
   explicit PartialIndFinder(PartialIndOptions options);
 
   /// Measures every candidate; the result vector parallels the input.
+  [[nodiscard]]
   Result<std::vector<PartialInd>> Run(const Catalog& catalog,
                                       const std::vector<IndCandidate>& candidates,
                                       RunCounters* counters = nullptr);

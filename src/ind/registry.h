@@ -116,17 +116,20 @@ class AlgorithmRegistry {
 
   /// Registers a unary approach. Fails with AlreadyExists on a duplicate
   /// name (across both kinds).
+  [[nodiscard]]
   Status Register(std::string name, AlgorithmCapabilities capabilities,
                   Factory factory);
 
   /// Registers an n-ary expansion; `capabilities.nary` is forced true.
   /// Fails with AlreadyExists on a duplicate name (across both kinds).
+  [[nodiscard]]
   Status RegisterNary(std::string name, AlgorithmCapabilities capabilities,
                       NaryFactory factory);
 
   /// Registers a non-IND dependency discoverer; `capabilities.kind` must
   /// be kUcc, kFd or kAfd. Fails with AlreadyExists on a duplicate name
   /// (across all registration families).
+  [[nodiscard]]
   Status RegisterDependency(std::string name,
                             AlgorithmCapabilities capabilities,
                             DependencyFactory factory);
@@ -137,22 +140,26 @@ class AlgorithmRegistry {
   /// Capabilities for any registered name, or NotFound with the valid
   /// names per kind (and a nearest-match suggestion). `capabilities.kind`
   /// and `capabilities.nary` tell the families apart.
+  [[nodiscard]]
   Result<AlgorithmCapabilities> GetCapabilities(std::string_view name) const;
 
   /// Builds a unary algorithm instance after validating `config` against
   /// the approach's capabilities (extractor present, σ supported). An
   /// n-ary name fails with InvalidArgument (use CreateNary).
+  [[nodiscard]]
   Result<std::unique_ptr<IndAlgorithm>> Create(
       std::string_view name, const AlgorithmConfig& config = {}) const;
 
   /// Builds an n-ary expansion instance (extractor validated). A unary
   /// name fails with InvalidArgument (use Create).
+  [[nodiscard]]
   Result<std::unique_ptr<NaryAlgorithm>> CreateNary(
       std::string_view name, const AlgorithmConfig& config = {}) const;
 
   /// Builds a dependency discoverer (extractor / error threshold
   /// validated). An IND name fails with InvalidArgument (use Create or
   /// CreateNary).
+  [[nodiscard]]
   Result<std::unique_ptr<DependencyAlgorithm>> CreateDependency(
       std::string_view name, const AlgorithmConfig& config = {}) const;
 
@@ -171,6 +178,7 @@ class AlgorithmRegistry {
 
   /// The default approach for a kind: its first registered name, or
   /// NotFound when no approach handles the kind.
+  [[nodiscard]]
   Result<std::string> DefaultNameForKind(DependencyKind kind) const;
 
  private:
@@ -198,9 +206,11 @@ class AlgorithmRegistry {
   /// nearest-match "did you mean" suggestion (satellite of the platform
   /// refactor: lookup failures teach the namespace instead of restating
   /// the bad input).
+  [[nodiscard]]
   Status UnknownNameError(std::string_view name) const;
 
   /// Shared knob validation against an entry's capabilities.
+  [[nodiscard]]
   Status ValidateConfig(const std::string& name,
                         const AlgorithmCapabilities& capabilities,
                         const AlgorithmConfig& config) const;

@@ -13,9 +13,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 
+#include "src/common/mutex.h"
 #include "src/common/stopwatch.h"
+#include "src/common/thread_annotations.h"
 
 namespace spider {
 
@@ -84,12 +85,12 @@ class RunContext {
   /// Thread-safe: the done counter is atomic, and when a callback is set
   /// the count-and-report pair runs under one mutex, so threads sharing a
   /// context observe monotonically non-decreasing `done` values.
-  void Step(int64_t units = 1) {
+  void Step(int64_t units = 1) SPIDER_EXCLUDES(progress_mutex_) {
     if (!progress) {
       done_.fetch_add(units, std::memory_order_relaxed);
       return;
     }
-    std::lock_guard<std::mutex> lock(progress_mutex_);
+    MutexLock lock(&progress_mutex_);
     const int64_t done =
         done_.fetch_add(units, std::memory_order_relaxed) + units;
     progress(RunProgress{done, total_, watch_.ElapsedSeconds()});
@@ -99,9 +100,13 @@ class RunContext {
 
  private:
   Stopwatch watch_;
+  /// Written by Begin() before worker threads exist, read-only afterwards.
   int64_t total_ = 0;
+  /// Atomic so Step() needs no lock on the no-callback fast path; the
+  /// fetch_add + callback pair is additionally serialized by
+  /// progress_mutex_ so observers see monotonically non-decreasing values.
   std::atomic<int64_t> done_{0};
-  std::mutex progress_mutex_;
+  Mutex progress_mutex_;
 };
 
 }  // namespace spider

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <future>
 #include <map>
-#include <mutex>
 #include <numeric>
 #include <set>
 #include <utility>
 
+#include "src/common/mutex.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
 
@@ -86,6 +86,9 @@ SpiderSession::SpiderSession(std::unique_ptr<Catalog> catalog,
       options_(std::move(options)) {}
 
 Result<ValueSetExtractor*> SpiderSession::extractor() {
+  // Serialized: two concurrent Run() calls (the spiderd configuration) must
+  // not both materialize a workspace and leak one of them.
+  MutexLock lock(&mutex_);
   if (extractor_ == nullptr) {
     std::filesystem::path work_dir;
     if (options_.work_dir.empty()) {
@@ -143,9 +146,9 @@ Result<IndRunResult> SpiderSession::RunParallel(
   // sees run-wide, monotonically consistent numbers. One mutex guards both
   // the counters and the callback so no observer sees progress regress.
   struct ProgressAggregator {
-    std::mutex mutex;
-    int64_t done = 0;
-    int64_t total = 0;
+    Mutex mutex;
+    int64_t done SPIDER_GUARDED_BY(mutex) = 0;
+    int64_t total SPIDER_GUARDED_BY(mutex) = 0;
   };
   auto aggregator = std::make_shared<ProgressAggregator>();
 
@@ -154,6 +157,9 @@ Result<IndRunResult> SpiderSession::RunParallel(
   // begins and reports its real total (some algorithms count blocks, not
   // candidates), the delta below corrects the seed.
   if (options.progress) {
+    // No worker can race yet; locked anyway so the guarded-field invariant
+    // holds unconditionally (uncontended locks are cheap).
+    MutexLock lock(&aggregator->mutex);
     for (const std::vector<IndCandidate>& partition : partitions) {
       aggregator->total += static_cast<int64_t>(partition.size());
     }
@@ -185,7 +191,7 @@ Result<IndRunResult> SpiderSession::RunParallel(
                             last_done = int64_t{0},
                             last_total = static_cast<int64_t>(partition.size())](
                                const RunProgress& partition_progress) mutable {
-          std::lock_guard<std::mutex> lock(aggregator->mutex);
+          MutexLock lock(&aggregator->mutex);
           aggregator->done += partition_progress.done - last_done;
           aggregator->total += partition_progress.total - last_total;
           last_done = partition_progress.done;

@@ -29,8 +29,10 @@
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/common/temp_dir.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/extsort/value_set_extractor.h"
 #include "src/ind/candidate_generator.h"
@@ -154,15 +156,19 @@ class SpiderSession {
 
   /// Generates candidates and runs the named approach. Value-set
   /// extraction is cached across calls.
+  [[nodiscard]]
   Result<SessionReport> Run(const RunOptions& options = {});
 
-  /// The session's sorted-set extractor (created on first use). Exposed
-  /// for callers that mix session runs with direct algorithm use, e.g.
-  /// the partial-IND finder.
-  Result<ValueSetExtractor*> extractor();
+  /// The session's sorted-set extractor (created on first use, thread-safe
+  /// — concurrent Run() calls share one workspace). Exposed for callers
+  /// that mix session runs with direct algorithm use, e.g. the partial-IND
+  /// finder.
+  [[nodiscard]]
+  Result<ValueSetExtractor*> extractor() SPIDER_EXCLUDES(mutex_);
 
  private:
   /// Dispatches partitions onto `threads` workers and merges the results.
+  [[nodiscard]]
   Result<IndRunResult> RunParallel(const RunOptions& options,
                                    const AlgorithmConfig& config,
                                    const std::vector<IndCandidate>& candidates,
@@ -171,20 +177,26 @@ class SpiderSession {
   /// The two-phase n-ary path: profile unary INDs with options.nary_base,
   /// then expand them with the named n-ary approach (per-level batches on
   /// a worker pool when options.threads != 1), under one overall budget.
+  [[nodiscard]]
   Result<SessionReport> RunNary(const RunOptions& options);
 
   /// The non-IND path (UCC/FD/AFD): no candidate generation — the
   /// discoverer enumerates its own lattice per table, on a worker pool
   /// when options.threads != 1, under the same budget/cancel/progress
   /// controls.
+  [[nodiscard]]
   Result<SessionReport> RunDependency(
       const RunOptions& options, const AlgorithmCapabilities& capabilities);
 
   const Catalog* catalog_;
   std::unique_ptr<Catalog> owned_catalog_;
   SessionOptions options_;
-  std::unique_ptr<TempDir> temp_dir_;
-  std::unique_ptr<ValueSetExtractor> extractor_;
+  Mutex mutex_;
+  /// Lazy-init workspace state: created once under mutex_ by the first
+  /// extractor() call, then only read through the returned raw pointer
+  /// (the extractor is itself thread-safe, so concurrent runs share it).
+  std::unique_ptr<TempDir> temp_dir_ SPIDER_GUARDED_BY(mutex_);
+  std::unique_ptr<ValueSetExtractor> extractor_ SPIDER_GUARDED_BY(mutex_);
 };
 
 }  // namespace spider

@@ -44,6 +44,7 @@ class SinglePassAlgorithm final : public IndAlgorithm {
   explicit SinglePassAlgorithm(SinglePassOptions options);
 
   using IndAlgorithm::Run;
+  [[nodiscard]]
   Result<IndRunResult> Run(const Catalog& catalog,
                            const std::vector<IndCandidate>& candidates,
                            RunContext& context) override;

@@ -59,6 +59,7 @@ class BottomKSketch {
 };
 
 /// Builds a sketch over a column's distinct non-NULL canonical values.
+[[nodiscard]]
 Result<BottomKSketch> SketchColumn(const Column& column, int k = 128);
 
 /// Options for the approximate candidate screen.
@@ -79,6 +80,7 @@ struct SketchFilterResult {
 /// \brief Screens candidates by estimated containment. APPROXIMATE: may
 /// drop true INDs (probability shrinks with k); never invents one (kept
 /// candidates are still verified by a sound algorithm).
+[[nodiscard]]
 Result<SketchFilterResult> SketchFilterCandidates(
     const Catalog& catalog, const std::vector<IndCandidate>& candidates,
     const SketchFilterOptions& options = {});

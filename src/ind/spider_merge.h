@@ -41,6 +41,7 @@ class SpiderMergeAlgorithm final : public IndAlgorithm {
   explicit SpiderMergeAlgorithm(SpiderMergeOptions options);
 
   using IndAlgorithm::Run;
+  [[nodiscard]]
   Result<IndRunResult> Run(const Catalog& catalog,
                            const std::vector<IndCandidate>& candidates,
                            RunContext& context) override;

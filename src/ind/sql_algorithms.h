@@ -39,6 +39,7 @@ class SqlJoinAlgorithm final : public IndAlgorithm {
                             JoinStrategy strategy = JoinStrategy::kHash)
       : options_(options), strategy_(strategy) {}
   using IndAlgorithm::Run;
+  [[nodiscard]]
   Result<IndRunResult> Run(const Catalog& catalog,
                            const std::vector<IndCandidate>& candidates,
                            RunContext& context) override;
@@ -57,6 +58,7 @@ class SqlMinusAlgorithm final : public IndAlgorithm {
   explicit SqlMinusAlgorithm(SqlAlgorithmOptions options = {})
       : options_(options) {}
   using IndAlgorithm::Run;
+  [[nodiscard]]
   Result<IndRunResult> Run(const Catalog& catalog,
                            const std::vector<IndCandidate>& candidates,
                            RunContext& context) override;
@@ -74,6 +76,7 @@ class SqlNotInAlgorithm final : public IndAlgorithm {
   explicit SqlNotInAlgorithm(SqlAlgorithmOptions options = {})
       : options_(options) {}
   using IndAlgorithm::Run;
+  [[nodiscard]]
   Result<IndRunResult> Run(const Catalog& catalog,
                            const std::vector<IndCandidate>& candidates,
                            RunContext& context) override;

@@ -69,6 +69,7 @@ UniquenessTester MakeSortedSetUniquenessTester(const Catalog& catalog,
 /// cancellation `*finished` is set false and the UCCs found so far are
 /// returned. `counters` (optional) gets candidates_tested; progress steps
 /// once per tested candidate.
+[[nodiscard]]
 Result<std::vector<Ucc>> FindMinimalUccs(const Table& table, int max_arity,
                                          const UniquenessTester& tester,
                                          RunContext* context,
@@ -93,6 +94,7 @@ class UccLevelwiseAlgorithm : public DependencyAlgorithm {
   explicit UccLevelwiseAlgorithm(UccLevelwiseOptions options);
 
   using DependencyAlgorithm::Run;
+  [[nodiscard]]
   Result<DependencyRunResult> Run(const Catalog& catalog,
                                   RunContext& context) override;
 

@@ -80,10 +80,12 @@ class ZigzagDiscovery {
 
   /// `unary` must be the complete satisfied unary IND set (as for
   /// NaryIndDiscovery).
+  [[nodiscard]]
   Result<ZigzagResult> Run(const Catalog& catalog,
                            const std::vector<Ind>& unary) const;
 
   /// As above, honoring the context's budget/cancellation.
+  [[nodiscard]]
   Result<ZigzagResult> Run(const Catalog& catalog,
                            const std::vector<Ind>& unary,
                            RunContext& context) const;
@@ -91,6 +93,7 @@ class ZigzagDiscovery {
   /// Measures the g3' error of a candidate: the fraction of distinct
   /// dependent tuples with no referenced match (0 ⇔ satisfied). Exposed
   /// for tests.
+  [[nodiscard]]
   Result<double> Error(const Catalog& catalog, const NaryInd& candidate,
                        RunCounters* counters) const;
 

@@ -63,9 +63,11 @@ class Catalog {
 
   /// Creates an empty table; fails on duplicate names. Returns the table
   /// for schema definition and loading.
+  [[nodiscard]]
   Result<Table*> CreateTable(const std::string& name);
 
   /// Adds a fully built table.
+  [[nodiscard]]
   Status AddTable(std::unique_ptr<Table> table);
 
   int table_count() const { return static_cast<int>(tables_.size()); }
@@ -76,6 +78,7 @@ class Catalog {
   Table* FindTable(std::string_view name);
 
   /// Resolves an attribute reference; NotFound if table or column is absent.
+  [[nodiscard]]
   Result<const Column*> ResolveAttribute(const AttributeRef& ref) const;
 
   /// All attributes in the catalog, in table order.

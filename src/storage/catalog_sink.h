@@ -27,12 +27,16 @@ class CatalogSink {
  public:
   virtual ~CatalogSink() = default;
 
+  [[nodiscard]]
   virtual Status BeginTable(const std::string& name) = 0;
+  [[nodiscard]]
   virtual Status AddColumn(std::string name, TypeId type,
                            bool declared_unique = false) = 0;
   /// `row` must have one value per added column, types matching (NULL is
   /// allowed everywhere).
+  [[nodiscard]]
   virtual Status AppendRow(std::vector<Value> row) = 0;
+  [[nodiscard]]
   virtual Status FinishTable() = 0;
 
   /// Declares a gold-standard foreign key on the finished catalog (used in
@@ -40,6 +44,7 @@ class CatalogSink {
   virtual void DeclareForeignKey(ForeignKey fk) = 0;
 
   /// Completes the catalog; the sink is consumed.
+  [[nodiscard]]
   virtual Result<std::unique_ptr<Catalog>> Finish() = 0;
 };
 
@@ -51,6 +56,7 @@ class MemoryCatalogSink final : public CatalogSink {
   explicit MemoryCatalogSink(std::string catalog_name = "db")
       : catalog_(std::make_unique<Catalog>(std::move(catalog_name))) {}
 
+  [[nodiscard]]
   Status BeginTable(const std::string& name) override {
     if (table_ != nullptr) {
       return Status::InvalidArgument("previous table not finished");
@@ -59,17 +65,20 @@ class MemoryCatalogSink final : public CatalogSink {
     return Status::OK();
   }
 
+  [[nodiscard]]
   Status AddColumn(std::string name, TypeId type,
                    bool declared_unique = false) override {
     if (table_ == nullptr) return Status::InvalidArgument("no open table");
     return table_->AddColumn(std::move(name), type, declared_unique);
   }
 
+  [[nodiscard]]
   Status AppendRow(std::vector<Value> row) override {
     if (table_ == nullptr) return Status::InvalidArgument("no open table");
     return table_->AppendRow(std::move(row));
   }
 
+  [[nodiscard]]
   Status FinishTable() override {
     if (table_ == nullptr) return Status::InvalidArgument("no open table");
     table_ = nullptr;
@@ -80,6 +89,7 @@ class MemoryCatalogSink final : public CatalogSink {
     catalog_->DeclareForeignKey(std::move(fk));
   }
 
+  [[nodiscard]]
   Result<std::unique_ptr<Catalog>> Finish() override {
     if (table_ != nullptr) {
       return Status::InvalidArgument("table not finished");

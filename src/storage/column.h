@@ -73,6 +73,7 @@ class Column {
   }
 
   /// Streams the column in storage order; works over every backend.
+  [[nodiscard]]
   Result<std::unique_ptr<ValueCursor>> OpenCursor() const {
     return store_->OpenCursor();
   }

@@ -57,9 +57,11 @@ class ColumnStore {
 
   /// Appends one row during load. Out-of-core stores are written through
   /// their own writer and are sealed read-only, so they reject this.
+  [[nodiscard]]
   virtual Status Append(Value v) = 0;
 
   /// Opens a fresh cursor at the first row.
+  [[nodiscard]]
   virtual Result<std::unique_ptr<ValueCursor>> OpenCursor() const = 0;
 
   /// Approximate footprint in bytes: resident bytes for the memory
@@ -87,12 +89,14 @@ class MemoryColumnStore final : public ColumnStore {
   }
   int64_t non_null_count() const override { return non_null_count_; }
 
+  [[nodiscard]]
   Status Append(Value v) override {
     if (!v.is_null()) ++non_null_count_;
     values_.push_back(std::move(v));
     return Status::OK();
   }
 
+  [[nodiscard]]
   Result<std::unique_ptr<ValueCursor>> OpenCursor() const override;
 
   int64_t ApproximateByteSize() const override;

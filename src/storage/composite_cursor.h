@@ -56,6 +56,7 @@ class CompositeValueCursor final : public ValueCursor {
 /// Opens a composite cursor over `attributes` (all from one table, in the
 /// given order). Fails with InvalidArgument on an empty list or mixed
 /// tables, NotFound on an unresolvable attribute.
+[[nodiscard]]
 Result<std::unique_ptr<ValueCursor>> OpenCompositeCursor(
     const Catalog& catalog, const std::vector<AttributeRef>& attributes);
 

@@ -57,6 +57,7 @@ class CsvRecordReader {
   /// end of input. On a malformed record the rest of its physical line is
   /// consumed before the error returns, so lenient callers can skip it and
   /// continue with the next record.
+  [[nodiscard]]
   Result<bool> Next(std::vector<std::string>* fields);
 
   /// True when the record just returned came from an empty physical line
@@ -79,6 +80,7 @@ class CsvRecordReader {
 /// \brief Streams one CSV file into `sink` as one table (named after the
 /// file stem unless `table_name` is given). Runs a type-sniffing pass first
 /// when the file has no "#types:" line.
+[[nodiscard]]
 Status ImportCsvTable(const std::filesystem::path& path,
                       const CsvOptions& options, CatalogSink& sink,
                       const std::string& table_name = "");
@@ -87,23 +89,27 @@ Status ImportCsvTable(const std::filesystem::path& path,
 /// name) and finishes the sink. This is the backend-agnostic quickstart
 /// entry point: point it at a dump of an undocumented database with a
 /// MemoryCatalogSink or a DiskCatalogWriter and run discovery.
+[[nodiscard]]
 Result<std::unique_ptr<Catalog>> ImportCsvDirectory(
     const std::filesystem::path& dir, const CsvOptions& options,
     CatalogSink& sink);
 
 /// \brief Reads one table from a CSV file into memory. The table is named
 /// after the file stem unless `table_name` is given.
+[[nodiscard]]
 Result<std::unique_ptr<Table>> ReadCsvTable(const std::filesystem::path& path,
                                             const CsvOptions& options = {},
                                             const std::string& table_name = "");
 
 /// \brief Loads every "*.csv" file in `dir` into an in-memory catalog named
 /// after the directory.
+[[nodiscard]]
 Result<std::unique_ptr<Catalog>> ReadCsvDirectory(
     const std::filesystem::path& dir, const CsvOptions& options = {});
 
 /// Writes `table` as CSV with a "#types:" line (round-trips through
 /// ReadCsvTable losslessly).
+[[nodiscard]]
 Status WriteCsvTable(const Table& table, const std::filesystem::path& path,
                      const CsvOptions& options = {});
 
@@ -118,12 +124,17 @@ class CsvCatalogSink final : public CatalogSink {
   explicit CsvCatalogSink(std::filesystem::path dir, CsvOptions options = {});
   ~CsvCatalogSink() override;
 
+  [[nodiscard]]
   Status BeginTable(const std::string& name) override;
+  [[nodiscard]]
   Status AddColumn(std::string name, TypeId type,
                    bool declared_unique = false) override;
+  [[nodiscard]]
   Status AppendRow(std::vector<Value> row) override;
+  [[nodiscard]]
   Status FinishTable() override;
   void DeclareForeignKey(ForeignKey fk) override;
+  [[nodiscard]]
   Result<std::unique_ptr<Catalog>> Finish() override;
 
  private:
@@ -133,6 +144,7 @@ class CsvCatalogSink final : public CatalogSink {
 
 /// Parses one CSV record from an already-split physical line (no embedded
 /// newlines; handles quoting). Exposed for testing.
+[[nodiscard]]
 Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
                                               char delimiter);
 

@@ -57,6 +57,7 @@ class DiskColumnStore final : public ColumnStore {
   int64_t row_count() const override { return stats_.row_count; }
   int64_t non_null_count() const override { return stats_.non_null_count; }
 
+  [[nodiscard]]
   Status Append(Value v) override {
     (void)v;
     return Status::InvalidArgument("disk-backed column '" + path_.string() +
@@ -64,6 +65,7 @@ class DiskColumnStore final : public ColumnStore {
                                    "DiskCatalogWriter)");
   }
 
+  [[nodiscard]]
   Result<std::unique_ptr<ValueCursor>> OpenCursor() const override;
 
   int64_t ApproximateByteSize() const override { return file_bytes_; }
@@ -90,21 +92,27 @@ class DiskCatalogWriter final : public CatalogSink {
  public:
   /// Creates `dir` (and parents) if needed. Fails if the directory already
   /// contains a manifest — workspaces are written once.
+  [[nodiscard]]
   static Result<std::unique_ptr<DiskCatalogWriter>> Create(
       std::filesystem::path dir, std::string catalog_name,
       DiskStoreOptions options = {});
 
   ~DiskCatalogWriter() override;
 
+  [[nodiscard]]
   Status BeginTable(const std::string& name) override;
+  [[nodiscard]]
   Status AddColumn(std::string name, TypeId type,
                    bool declared_unique = false) override;
+  [[nodiscard]]
   Status AppendRow(std::vector<Value> row) override;
+  [[nodiscard]]
   Status FinishTable() override;
   void DeclareForeignKey(ForeignKey fk) override;
 
   /// Seals the workspace: writes the manifest and returns the catalog with
   /// every column disk-backed.
+  [[nodiscard]]
   Result<std::unique_ptr<Catalog>> Finish() override;
 
  private:
@@ -113,6 +121,7 @@ class DiskCatalogWriter final : public CatalogSink {
   DiskCatalogWriter(std::filesystem::path dir, std::string catalog_name,
                     DiskStoreOptions options);
 
+  [[nodiscard]]
   Status WriteManifest() const;
 
   std::filesystem::path dir_;
@@ -131,6 +140,7 @@ bool IsDiskCatalogDir(const std::filesystem::path& dir);
 /// Reopens a workspace written by DiskCatalogWriter: rebuilds the catalog
 /// (schema, counts, cached statistics) from the manifest; column data stays
 /// on disk until cursors stream it.
+[[nodiscard]]
 Result<std::unique_ptr<Catalog>> OpenDiskCatalog(
     const std::filesystem::path& dir);
 

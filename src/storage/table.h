@@ -20,11 +20,13 @@ class Table {
 
   /// Adds a column. Fails if a column with the same name exists or if the
   /// table already holds rows (schema must be fixed before data loads).
+  [[nodiscard]]
   Status AddColumn(std::string name, TypeId type, bool declared_unique = false);
 
   /// Adds a column backed by a sealed (already loaded) store — the path the
   /// out-of-core catalog builders use. Every stored column of a table must
   /// agree on the row count; rows cannot be appended afterwards.
+  [[nodiscard]]
   Status AttachStoredColumn(std::string name, TypeId type, bool declared_unique,
                             std::unique_ptr<ColumnStore> store);
 
@@ -44,6 +46,7 @@ class Table {
 
   /// Appends one row. `row` must have exactly column_count() values whose
   /// types match the column types (NULL is allowed everywhere).
+  [[nodiscard]]
   Status AppendRow(std::vector<Value> row);
 
   /// Approximate in-memory footprint in bytes.

@@ -29,6 +29,7 @@ enum class TypeId {
 std::string_view TypeIdToString(TypeId type);
 
 /// Parses a type name produced by TypeIdToString (case-insensitive).
+[[nodiscard]]
 Result<TypeId> TypeIdFromString(std::string_view name);
 
 /// True for types that may appear as (potentially) dependent attributes.

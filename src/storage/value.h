@@ -48,6 +48,7 @@ class Value {
   std::string ToString() const;
 
   /// Parses `text` into a value of type `type`. Empty text parses as NULL.
+  [[nodiscard]]
   static Result<Value> Parse(std::string_view text, TypeId type);
 
   /// Structural equality (NULL == NULL here; SQL three-valued logic is the

@@ -1,0 +1,54 @@
+// spider_lint self-test fixture: every line tagged `// expect-lint: <rule>`
+// must fire exactly that rule, and nothing else may fire. The file is never
+// compiled — it only has to look like C++ to the linter, which lints it as
+// if it lived under src/ with every rule armed (tools/spider_lint.py
+// --fixtures). Keep one firing example per rule here so a regressed or
+// accidentally-disabled rule fails tests/spider_lint_test.
+
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+namespace spider {
+
+void MaterializedColumnAccess(Column& column) {
+  const auto& values = column.values();  // expect-lint: column-values
+  const Value& third = column.value(3);  // expect-lint: column-values
+}
+
+void RawStdout(int count) {
+  std::cout << "profiled " << count << " candidates\n";  // expect-lint: raw-stdout
+  printf("%d candidates\n", count);  // expect-lint: raw-stdout
+}
+
+void CheckSideEffects(int count, std::set<int>& seen) {
+  SPIDER_CHECK(++count > 0);  // expect-lint: check-side-effect
+  SPIDER_DCHECK(seen.insert(count).second);  // expect-lint: check-side-effect
+  SPIDER_CHECK_EQ(count += 1, 1);  // expect-lint: check-side-effect
+}
+
+void NakedThread() {
+  std::thread worker([] {});  // expect-lint: naked-thread
+  worker.join();
+}
+
+std::string HandBuiltWorkspaceNames(const std::string& stem) {
+  std::string set_path = stem + ".set";  // expect-lint: set-col-literal
+  return stem + ".col";  // expect-lint: set-col-literal
+}
+
+void DroppedStatus(Writer& writer) {
+  (void)writer.Flush();  // expect-lint: ignore-status-reason
+}
+
+void BareNolint() {
+  int magic = 42;  // NOLINT — no check name, no reason  // expect-lint: nolint-reason
+}
+
+void AllowanceHygiene(Column& column) {
+  // spider-lint: allow(column-values)
+  const auto& unjustified = column.values();  // expect-lint: column-values
+  // spider-lint: allow(no-such-rule): typos must not silence anything  // expect-lint: unknown-rule
+}
+
+}  // namespace spider

@@ -1,0 +1,63 @@
+// spider_lint self-test fixture: the blessed counterparts of everything
+// failing_rules.cc flags. No line here may fire any rule — a false positive
+// on these idioms fails tests/spider_lint_test. Never compiled; linted as if
+// under src/ with every rule armed.
+
+#include <memory>
+#include <string>
+
+namespace spider {
+
+Status StreamedColumnAccess(const Column& column) {
+  // Streaming through a cursor is the out-of-core-safe idiom.
+  SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
+                          column.OpenCursor());
+  while (true) {
+    SPIDER_ASSIGN_OR_RETURN(std::optional<Value> value, cursor->Next());
+    if (!value.has_value()) break;  // Result::has_value() is not Column::value().
+  }
+  return Status::OK();
+}
+
+void LoggingNotStdout(int count) {
+  SPIDER_LOG(INFO) << "profiled " << count << " candidates";
+  // Mentions of std::cout inside string literals are prose, not I/O:
+  const std::string docs = "never use std::cout or printf( in src/";
+}
+
+void EffectFreeChecks(int count, const std::set<int>& seen) {
+  SPIDER_CHECK(count >= 0);
+  SPIDER_CHECK_EQ(seen.count(count), 0u);
+  const bool inserted = Register(count);  // effect hoisted out of the check
+  SPIDER_CHECK(inserted);
+}
+
+void PooledWork(ThreadPool& pool) {
+  pool.Schedule([] {});
+  // Naming the type without spawning is fine; the rule targets construction.
+  const unsigned hw = std::thread::hardware_concurrency();
+  (void)hw;  // (void) on a non-call needs no ignore-status reason
+}
+
+std::string BlessedWorkspaceNames(const ValueSetExtractor& extractor,
+                                  const AttributeRef& attribute) {
+  // Workspace file names come from the blessed helpers, never literals.
+  return extractor.SetFileName(attribute);
+}
+
+void JustifiedDrops(Writer& writer) {
+  // ignore-status: best-effort flush on the shutdown path; the close below reports errors
+  (void)writer.Flush();
+}
+
+void ReasonedNolint() {
+  double ratio = 42;  // NOLINT(bugprone-integer-division): demonstration of a reasoned suppression
+  (void)ratio;  // (void) on a non-call needs no ignore-status reason
+}
+
+void JustifiedAllowance(Column& column) {
+  // spider-lint: allow(column-values): fixture demonstrating a justified allowance
+  const auto& values = column.values();
+}
+
+}  // namespace spider
