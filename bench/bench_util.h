@@ -118,7 +118,8 @@ inline Dataset& PdbPaperScaleDataset() {
 inline IndRunResult RunApproach(const Dataset& dataset,
                                 std::string_view approach,
                                 double time_budget_seconds = 0,
-                                int max_open_files = 0) {
+                                int max_open_files = 0,
+                                bool block_skip = true) {
   auto dir = TempDir::Make("spider-bench");
   SPIDER_CHECK(dir.ok());
   ValueSetExtractor extractor((*dir)->path());
@@ -126,6 +127,7 @@ inline IndRunResult RunApproach(const Dataset& dataset,
   AlgorithmConfig config;
   config.extractor = &extractor;
   config.max_open_files = max_open_files;
+  config.block_skip = block_skip;
   auto algorithm = AlgorithmRegistry::Global().Create(approach, config);
   SPIDER_CHECK(algorithm.ok()) << algorithm.status().ToString();
 
@@ -145,6 +147,8 @@ inline void ReportRun(benchmark::State& state, const Dataset& dataset,
   state.counters["satisfied"] = static_cast<double>(result.satisfied.size());
   state.counters["tuples_read"] =
       static_cast<double>(result.counters.tuples_read);
+  state.counters["blocks_skipped"] =
+      static_cast<double>(result.counters.blocks_skipped);
   state.counters["finished"] = result.finished ? 1 : 0;
   if (!result.finished) state.SetLabel("DNF(budget)");
 }

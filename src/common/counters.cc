@@ -7,6 +7,7 @@ namespace spider {
 std::string RunCounters::ToString() const {
   std::string out;
   out += "tuples_read=" + FormatWithCommas(tuples_read);
+  out += " blocks_skipped=" + FormatWithCommas(blocks_skipped);
   out += " comparisons=" + FormatWithCommas(comparisons);
   out += " candidates_tested=" + FormatWithCommas(candidates_tested);
   out += " pretest_pruned=" + FormatWithCommas(candidates_pretest_pruned);

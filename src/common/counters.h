@@ -14,6 +14,10 @@ namespace spider {
 struct RunCounters {
   /// Attribute values read from sorted value sets ("items read", Fig. 5).
   int64_t tuples_read = 0;
+  /// Whole set-file blocks bypassed via the footer zonemap
+  /// (SortedSetReader::SkipToAtLeast). A skipped block's records are never
+  /// decoded and never count into tuples_read.
+  int64_t blocks_skipped = 0;
   /// Value-to-value comparisons performed.
   int64_t comparisons = 0;
   /// IND candidates actually tested (after pretests).
@@ -32,6 +36,7 @@ struct RunCounters {
   /// Merges another counter set into this one.
   void Merge(const RunCounters& other) {
     tuples_read += other.tuples_read;
+    blocks_skipped += other.blocks_skipped;
     comparisons += other.comparisons;
     candidates_tested += other.candidates_tested;
     candidates_pretest_pruned += other.candidates_pretest_pruned;

@@ -6,6 +6,7 @@
 #include "src/common/logging.h"
 #include "src/common/tournament_tree.h"
 #include "src/common/value_codec.h"
+#include "src/extsort/readahead.h"
 
 namespace spider {
 
@@ -128,6 +129,9 @@ Result<SortedSetInfo> ExternalSorter::WriteSortedSet(const fs::path& path) {
 
   std::vector<std::unique_ptr<MergeSource>> sources;
   for (const auto& run : runs_) {
+    // The k-way merge is about to stream every run front to back; telling
+    // the kernel now overlaps their readahead with the merge itself.
+    AdviseFileWillNeed(run);
     auto src = std::make_unique<RunSource>(run);
     if (!src->ok()) {
       return Status::IOError("cannot reopen spill run " + run.string());
@@ -138,8 +142,9 @@ Result<SortedSetInfo> ExternalSorter::WriteSortedSet(const fs::path& path) {
     sources.push_back(std::make_unique<VectorSource>(&buffer_));
   }
 
-  SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<SortedSetWriter> writer,
-                          SortedSetWriter::Create(path));
+  SPIDER_ASSIGN_OR_RETURN(
+      std::unique_ptr<SortedSetWriter> writer,
+      SortedSetWriter::Create(path, options_.set_writer));
 
   // K-way merge with duplicate elimination via a tournament tree of
   // source indexes: advancing the winning source replays one leaf-to-root
@@ -182,6 +187,7 @@ Result<SortedSetInfo> ExternalSorter::WriteSortedSet(const fs::path& path) {
   }
 
   SPIDER_RETURN_NOT_OK(writer->Finish());
+  info.block_count = writer->block_count();
   return info;
 }
 

@@ -29,6 +29,8 @@ struct ExternalSorterOptions {
   /// directory (e.g. concurrent per-attribute extractions) must use
   /// distinct prefixes so their run files cannot collide.
   std::string run_prefix = "run";
+  /// Format knobs for the final sorted-set file (block size, legacy mode).
+  SortedSetWriterOptions set_writer;
 };
 
 /// \brief Sorts and deduplicates an unbounded stream of strings using

@@ -1,0 +1,40 @@
+// Best-effort page-cache hints and positioned-read helpers for the
+// sorted-set I/O path.
+//
+// posix_fadvise is advisory: every function here degrades to a no-op on
+// platforms (or filesystems) that do not support the hint, so callers never
+// branch on availability. The hints matter on the merge hot path — readers
+// declare their access pattern up front (SEQUENTIAL) and the external
+// sorter warms spill runs it is about to re-read (WILLNEED) — which lets
+// the kernel schedule readahead instead of discovering the pattern one
+// page fault at a time.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+
+namespace spider {
+
+/// Declares whole-file sequential access on an open descriptor
+/// (POSIX_FADV_SEQUENTIAL): the kernel roughly doubles its readahead
+/// window. Best effort; no-op where unsupported.
+void AdviseSequential(int fd);
+
+/// Asks the kernel to populate the page cache for `[offset, offset+len)`
+/// (POSIX_FADV_WILLNEED). Non-blocking; best effort.
+void AdviseWillNeed(int fd, uint64_t offset, uint64_t len);
+
+/// Opens `path`, issues WILLNEED for the whole file and closes it again —
+/// the hint outlives the descriptor. Used to warm spill runs before the
+/// k-way merge re-reads them through buffered streams.
+void AdviseFileWillNeed(const std::filesystem::path& path);
+
+/// Reads exactly `len` bytes at `offset` via pread, retrying on EINTR and
+/// short reads. Returns false on an I/O error or premature EOF. Thread-safe
+/// on a shared descriptor: pread never touches the file position.
+[[nodiscard]]
+bool PreadExact(int fd, uint64_t offset, char* dst, size_t len);
+
+}  // namespace spider

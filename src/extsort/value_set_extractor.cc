@@ -58,6 +58,7 @@ Result<SortedSetInfo> ValueSetExtractor::SortCursorToSet(
   // Spill runs inherit the set file's stem so concurrent extractions
   // sharing this directory never collide.
   sorter_options.run_prefix = file_name;
+  sorter_options.set_writer = options_.set_writer;
   ExternalSorter sorter(sorter_options);
   // Stream the cursor into the sorter: with the disk backend, peak memory
   // is one storage block per component plus the sorter's budget — never

@@ -28,6 +28,9 @@ namespace spider {
 struct ValueSetExtractorOptions {
   /// Memory budget handed to each per-attribute external sort.
   int64_t sort_memory_budget_bytes = 64LL << 20;
+  /// Format knobs for the materialized set files (block size, legacy
+  /// mode), forwarded to every SortedSetWriter this extractor creates.
+  SortedSetWriterOptions set_writer;
 };
 
 /// \brief Materializes sorted-distinct value sets for catalog attributes.

@@ -111,7 +111,7 @@ std::vector<std::vector<int>> MaximalCliques(
 }
 
 CliqueNaryDiscovery::CliqueNaryDiscovery(CliqueNaryOptions options)
-    : options_(options), verifier_(options.extractor) {
+    : options_(options), verifier_(options.extractor, options.block_skip) {
   SPIDER_CHECK_GE(options_.max_arity, 2);
 }
 
@@ -358,6 +358,7 @@ void RegisterCliqueNaryAlgorithm(AlgorithmRegistry& registry) {
         CliqueNaryOptions options;
         options.extractor = config.extractor;
         options.pool = config.pool;
+        options.block_skip = config.block_skip;
         if (config.max_nary_arity >= 2) {
           options.max_arity = config.max_nary_arity;
         }

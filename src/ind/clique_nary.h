@@ -47,6 +47,9 @@ struct CliqueNaryOptions {
   /// When set, independent table pairs are processed concurrently on this
   /// pool. Results and counters are identical to the serial run. Borrowed.
   ThreadPool* pool = nullptr;
+  /// Zonemap block skipping on the verifier's referenced-side cursor
+  /// (AlgorithmConfig::block_skip). Identical results either way.
+  bool block_skip = true;
 };
 
 /// Result of a clique-based run.

@@ -52,29 +52,31 @@ Result<CompositeSetVerifier::MergeOutcome> CompositeSetVerifier::Merge(
       SortedSetInfo ref_info,
       extractor->ExtractComposite(catalog, candidate.referenced));
 
-  // Open() counts files_opened; the merge holds both sets at once.
+  // Open() counts files_opened; the merge holds both sets at once. Only
+  // the referenced side ever fast-forwards, so only it gets the zonemap
+  // knob — the dependent side is decoded value by value regardless.
   SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<SortedSetReader> dep,
                           SortedSetReader::Open(dep_info.path, counters));
-  SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<SortedSetReader> ref,
-                          SortedSetReader::Open(ref_info.path, counters));
+  SortedSetReaderOptions ref_options;
+  ref_options.allow_block_skip = block_skip_;
+  SPIDER_ASSIGN_OR_RETURN(
+      std::unique_ptr<SortedSetReader> ref,
+      SortedSetReader::Open(ref_info.path, counters, ref_options));
   if (counters != nullptr && counters->peak_open_files < 2) {
     counters->peak_open_files = 2;
   }
 
   // Lockstep merge over the two sorted-distinct tuple sets: both advance
-  // monotonically, so each side is read at most once.
+  // monotonically, so each side is read at most once. The referenced
+  // cursor gallops to each dependent tuple — on block-indexed files whole
+  // zonemap blocks between two dependent tuples are never decoded.
   while (dep->HasNext()) {
     const std::string_view current_dep = dep->Peek();
+    ref->SkipToAtLeast(current_dep);
     bool matched = false;
-    while (ref->HasNext()) {
+    if (ref->HasNext()) {
       if (counters != nullptr) ++counters->comparisons;
-      const std::string_view current_ref = ref->Peek();
-      if (current_ref > current_dep) break;
-      if (current_ref == current_dep) {
-        matched = true;
-        break;
-      }
-      ref->Skip();
+      matched = ref->Peek() == current_dep;
     }
     dep->Skip();
     if (!matched) {

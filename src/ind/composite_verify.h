@@ -33,9 +33,12 @@ class CompositeSetVerifier {
   /// `extractor` is borrowed and must outlive the verifier; pass nullptr to
   /// have the verifier own a scoped temp-dir extractor (created lazily on
   /// first use — the convenient configuration for tests and standalone
-  /// discovery objects).
-  explicit CompositeSetVerifier(ValueSetExtractor* extractor = nullptr)
-      : extractor_(extractor) {}
+  /// discovery objects). `block_skip` toggles zonemap block skipping on
+  /// the referenced-side cursor (AlgorithmConfig::block_skip); misses and
+  /// errors are identical either way.
+  explicit CompositeSetVerifier(ValueSetExtractor* extractor = nullptr,
+                                bool block_skip = true)
+      : extractor_(extractor), block_skip_(block_skip) {}
 
   /// True when every dependent composite tuple occurs among the referenced
   /// ones. With `early_stop` the merge aborts at the first missing tuple.
@@ -69,6 +72,8 @@ class CompositeSetVerifier {
   /// Set at construction, read-only afterwards; nullptr selects the lazily
   /// created owned extractor below.
   ValueSetExtractor* extractor_;
+  /// Set at construction, read-only afterwards.
+  bool block_skip_ = true;
   Mutex init_mutex_;
   /// Lazy-init state: created once under init_mutex_ by whichever thread
   /// verifies first, then only read through the pointer handed out by

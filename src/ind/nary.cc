@@ -19,7 +19,7 @@ std::vector<NaryInd> NaryDiscoveryResult::AllNary() const {
 }
 
 NaryIndDiscovery::NaryIndDiscovery(NaryDiscoveryOptions options)
-    : options_(options), verifier_(options.extractor) {
+    : options_(options), verifier_(options.extractor, options.block_skip) {
   SPIDER_CHECK_GE(options_.max_arity, 2);
   SPIDER_CHECK_GE(options_.error_threshold, 0);
   SPIDER_CHECK_LT(options_.error_threshold, 1.0);
@@ -236,6 +236,7 @@ void RegisterNaryAlgorithm(AlgorithmRegistry& registry) {
         NaryDiscoveryOptions options;
         options.extractor = config.extractor;
         options.pool = config.pool;
+        options.block_skip = config.block_skip;
         options.error_threshold = config.error_threshold;
         if (config.max_nary_arity >= 2) {
           options.max_arity = config.max_nary_arity;

@@ -61,6 +61,9 @@ struct NaryDiscoveryOptions {
   /// this pool. Results and counters are identical to the serial run.
   /// Borrowed, not owned.
   ThreadPool* pool = nullptr;
+  /// Zonemap block skipping on the verifier's referenced-side cursor
+  /// (AlgorithmConfig::block_skip). Identical results either way.
+  bool block_skip = true;
 };
 
 /// Result of a levelwise run.

@@ -96,6 +96,17 @@ struct AlgorithmConfig {
   /// Maximum determinant (LHS) arity for FD/AFD discovery; values < 1
   /// select each algorithm's default. Ignored by other kinds.
   int max_lhs_arity = 0;
+  /// Honor set-file footer zonemaps in the merge loops
+  /// (SortedSetReader::SkipToAtLeast). On by default; turning it off
+  /// forces the pre-block linear scans — same satisfied sets, more
+  /// tuples_read — which is what the skip-parity tests compare against.
+  bool block_skip = true;
+  /// Optional pool dedicated to background block prefetch on the merge
+  /// path. Must NOT be the pool the algorithms run on: ThreadPool tasks
+  /// must not block on other tasks' futures, and a reader waiting for its
+  /// prefetch from inside a worker would do exactly that. Not owned;
+  /// nullptr = synchronous reads.
+  ThreadPool* io_pool = nullptr;
 };
 
 /// \brief String-keyed algorithm registry. Thread-compatible: all built-in

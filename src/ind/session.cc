@@ -76,6 +76,28 @@ std::vector<std::vector<IndCandidate>> PartitionCandidatesByComponent(
   return partitions;
 }
 
+std::vector<std::vector<IndCandidate>> SplitPartitionsForParallelism(
+    std::vector<std::vector<IndCandidate>> partitions, size_t target) {
+  while (partitions.size() < target) {
+    size_t largest = 0;
+    for (size_t i = 1; i < partitions.size(); ++i) {
+      if (partitions[i].size() > partitions[largest].size()) largest = i;
+    }
+    if (partitions[largest].size() < 2 * kMinSplitPartition) break;
+    std::vector<IndCandidate>& whole = partitions[largest];
+    const size_t half = whole.size() / 2;
+    std::vector<IndCandidate> back(
+        std::make_move_iterator(whole.begin() + static_cast<ptrdiff_t>(half)),
+        std::make_move_iterator(whole.end()));
+    whole.resize(half);
+    // Inserting right after the front half keeps the concatenation of all
+    // partitions equal to the input candidate order.
+    partitions.insert(partitions.begin() + static_cast<ptrdiff_t>(largest) + 1,
+                      std::move(back));
+  }
+  return partitions;
+}
+
 SpiderSession::SpiderSession(const Catalog& catalog, SessionOptions options)
     : catalog_(&catalog), options_(std::move(options)) {}
 
@@ -112,6 +134,12 @@ Result<IndRunResult> SpiderSession::RunParallel(
     SessionReport* report) {
   std::vector<std::vector<IndCandidate>> partitions =
       PartitionCandidatesByComponent(candidates);
+  // A collapsed candidate graph (few components) would idle most workers;
+  // oversubscribing the pool slightly lets it balance uneven partitions.
+  if (partitions.size() < static_cast<size_t>(threads)) {
+    partitions = SplitPartitionsForParallelism(
+        std::move(partitions), static_cast<size_t>(threads));
+  }
   report->partitions = static_cast<int>(partitions.size());
 
   Stopwatch verify_watch;
@@ -241,6 +269,7 @@ Result<SessionReport> SpiderSession::Run(const RunOptions& options) {
   AlgorithmConfig config;
   config.max_open_files = options.max_open_files;
   config.min_coverage = options.min_coverage;
+  config.block_skip = options.block_skip;
   SPIDER_ASSIGN_OR_RETURN(
       AlgorithmCapabilities capabilities,
       AlgorithmRegistry::Global().GetCapabilities(options.approach));
@@ -286,6 +315,14 @@ Result<SessionReport> SpiderSession::Run(const RunOptions& options) {
   }
   if (capabilities.needs_extractor) {
     SPIDER_ASSIGN_OR_RETURN(config.extractor, extractor());
+  }
+  // The prefetch pool is session-owned and distinct from the worker pool
+  // RunParallel builds: readers block on their prefetch futures, which a
+  // shared pool's workers would end up servicing for each other.
+  std::unique_ptr<ThreadPool> io_pool;
+  if (options.io_threads > 0 && capabilities.needs_extractor) {
+    io_pool = std::make_unique<ThreadPool>(options.io_threads);
+    config.io_pool = io_pool.get();
   }
 
   Stopwatch generation_watch;
@@ -372,6 +409,7 @@ Result<SessionReport> SpiderSession::RunNary(const RunOptions& options) {
   SPIDER_ASSIGN_OR_RETURN(config.extractor, extractor());
   config.max_nary_arity = options.nary_max_arity;
   config.error_threshold = options.error_threshold;
+  config.block_skip = options.block_skip;
   const int threads = ThreadPool::ResolveThreadCount(options.threads);
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) {
@@ -417,6 +455,7 @@ Result<SessionReport> SpiderSession::RunDependency(
   config.error_threshold = options.error_threshold;
   config.max_lhs_arity = options.max_lhs_arity;
   config.max_nary_arity = options.nary_max_arity;
+  config.block_skip = options.block_skip;
   if (capabilities.needs_extractor) {
     SPIDER_ASSIGN_OR_RETURN(config.extractor, extractor());
   }

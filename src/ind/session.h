@@ -97,6 +97,16 @@ struct RunOptions {
   /// Maximum determinant (LHS) arity for FD/AFD discovery; values < 1
   /// select the algorithm's default.
   int max_lhs_arity = 0;
+  /// Honor set-file footer zonemaps in the merge loops
+  /// (SortedSetReader::SkipToAtLeast). The satisfied set is identical
+  /// either way; off forces the pre-block linear scans that the
+  /// skip-parity tests compare against.
+  bool block_skip = true;
+  /// Threads for a session-owned pool dedicated to background block
+  /// prefetch on the merge path; 0 = no prefetch (synchronous reads).
+  /// Deliberately separate from `threads`: a worker must never wait on a
+  /// prefetch future scheduled onto its own pool (no-nesting rule).
+  int io_threads = 0;
 };
 
 /// Everything one session run produces.
@@ -141,6 +151,23 @@ struct SessionReport {
 /// the input's candidate order. Exposed for the dispatcher's tests.
 std::vector<std::vector<IndCandidate>> PartitionCandidatesByComponent(
     const std::vector<IndCandidate>& candidates);
+
+/// Refines a component partitioning for a worker count: while there are
+/// fewer partitions than `target`, the largest partition (ties: the
+/// earliest) is split in half at a candidate boundary, each half keeping
+/// its candidate order. Candidates of one component stay verifiable in
+/// isolation — parallel_safe approaches only require disjoint candidate
+/// lists, not whole components — so a fully connected attribute graph no
+/// longer collapses --threads=N to one worker. Partitions below
+/// 2 × kMinSplitPartition candidates never split: below that the
+/// duplicated referenced-side reads outweigh the parallelism. The
+/// satisfied set is identical with or without splitting (the session
+/// sorts it); only cursor-sharing counters like tuples_read may differ.
+/// Deterministic for a given (partitioning, target). Exposed for the
+/// dispatcher's tests.
+inline constexpr size_t kMinSplitPartition = 8;
+std::vector<std::vector<IndCandidate>> SplitPartitionsForParallelism(
+    std::vector<std::vector<IndCandidate>> partitions, size_t target);
 
 /// \brief Owns the catalog binding, workspace and extractor cache for any
 /// number of profiling runs over one database instance.

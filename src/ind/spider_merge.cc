@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -34,6 +35,9 @@ struct AttributeCursor {
   int64_t allowed_misses = 0;  // derived from distinct_count and sigma
   bool exhausted = false;
   bool closed = false;       // stream dropped (no live candidate needs it)
+  // This cursor's slot in the dependent-frontier multiset while it is
+  // dep-active and carries a value (see dep_currents in Run).
+  std::optional<std::multiset<std::string_view>::iterator> dep_entry;
 
   bool dep_active() const { return !open_refs.empty(); }
   bool needed() const { return dep_active() || ref_use_count > 0; }
@@ -65,8 +69,12 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
     if (it != cursor_index.end()) return it->second;
     SPIDER_ASSIGN_OR_RETURN(SortedSetInfo info,
                             options_.extractor->Extract(catalog, attr));
-    SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<SortedSetReader> reader,
-                            SortedSetReader::Open(info.path, &result.counters));
+    SortedSetReaderOptions reader_options;
+    reader_options.allow_block_skip = options_.block_skip;
+    reader_options.prefetch_pool = options_.io_pool;
+    SPIDER_ASSIGN_OR_RETURN(
+        std::unique_ptr<SortedSetReader> reader,
+        SortedSetReader::Open(info.path, &result.counters, reader_options));
     AttributeCursor cursor;
     cursor.attr = attr;
     cursor.reader = std::move(reader);
@@ -103,6 +111,16 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
       static_cast<int64_t>(cursors.size())) {
     result.counters.peak_open_files = static_cast<int64_t>(cursors.size());
   }
+
+  // The dependent frontier: the current value of every dep-active cursor
+  // that still carries one, ordered like the merge. Its minimum is a sound
+  // galloping target for any pure-reference cursor — values below it can
+  // never match a current or future dependent value (dependents advance
+  // monotonically), so the reference may SkipToAtLeast it, hopping whole
+  // zonemap blocks on block-indexed files. Entries are views into reader
+  // buffers; each is erased before its cursor advances (see the advance
+  // loop), so the multiset never holds a dangling view.
+  std::multiset<std::string_view> dep_currents;
 
   // Satisfies every open candidate of dependent cursor `d`.
   auto satisfy_all = [&](int d) {
@@ -141,6 +159,9 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
     AttributeCursor& cursor = cursors[i];
     if (cursor.reader->HasNext()) {
       cursor.current = cursor.reader->Peek();
+      if (cursor.dep_active()) {
+        cursor.dep_entry = dep_currents.insert(cursor.current);
+      }
       heap.Push(static_cast<int>(i));
     } else {
       SPIDER_RETURN_NOT_OK(cursor.reader->status());
@@ -201,6 +222,12 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
     // counted every value entering the heap.
     for (int index : group) {
       AttributeCursor& cursor = cursors[static_cast<size_t>(index)];
+      // The frontier entry views the value about to be consumed; remove it
+      // before the advance invalidates the view (re-inserted below).
+      if (cursor.dep_entry) {
+        dep_currents.erase(*cursor.dep_entry);
+        cursor.dep_entry.reset();
+      }
       cursor.reader->Skip();
       if (!cursor.needed()) {
         cursor.closed = true;
@@ -211,8 +238,19 @@ Result<IndRunResult> SpiderMergeAlgorithm::Run(
         cursor.current = std::string_view();
         continue;
       }
+      if (options_.block_skip && !cursor.dep_active() &&
+          !dep_currents.empty()) {
+        // Pure reference stream: gallop to the dependent frontier. Deps
+        // from this group that have not advanced yet still hold the group
+        // value, making the target conservative (never beyond a value a
+        // dependent could still need).
+        cursor.reader->SkipToAtLeast(*dep_currents.begin());
+      }
       if (cursor.reader->HasNext()) {
         cursor.current = cursor.reader->Peek();
+        if (cursor.dep_active()) {
+          cursor.dep_entry = dep_currents.insert(cursor.current);
+        }
         heap.Push(index);
       } else {
         // Distinguish clean exhaustion from a read error before concluding
@@ -259,6 +297,8 @@ void RegisterSpiderMergeAlgorithm(AlgorithmRegistry& registry) {
         SpiderMergeOptions options;
         options.extractor = config.extractor;
         options.min_coverage = config.min_coverage;
+        options.block_skip = config.block_skip;
+        options.io_pool = config.io_pool;
         return std::unique_ptr<IndAlgorithm>(
             std::make_unique<SpiderMergeAlgorithm>(options));
       });

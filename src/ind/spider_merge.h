@@ -32,6 +32,16 @@ struct SpiderMergeOptions {
   /// in the same single pass (the per-candidate generalization that
   /// PartialIndFinder runs one scan at a time).
   double min_coverage = 1.0;
+
+  /// Gallop pure-reference cursors to the dependent frontier with
+  /// SkipToAtLeast, hopping whole zonemap blocks where the file format
+  /// allows. The satisfied set is identical either way; off forces the
+  /// decode-every-record scan the parity tests compare against.
+  bool block_skip = true;
+
+  /// Dedicated I/O pool for background block prefetch (see
+  /// AlgorithmConfig::io_pool for the no-nesting constraint). Not owned.
+  ThreadPool* io_pool = nullptr;
 };
 
 /// \brief Heap-based single-pass IND verification: every value read at most

@@ -78,7 +78,7 @@ std::vector<NaryInd> Children(const NaryInd& candidate) {
 }  // namespace
 
 ZigzagDiscovery::ZigzagDiscovery(ZigzagOptions options)
-    : options_(options), verifier_(options.extractor) {
+    : options_(options), verifier_(options.extractor, options.block_skip) {
   SPIDER_CHECK_GE(options_.max_arity, 2);
   SPIDER_CHECK_GE(options_.epsilon, 0.0);
   SPIDER_CHECK_LE(options_.epsilon, 1.0);
@@ -280,6 +280,7 @@ void RegisterZigzagAlgorithm(AlgorithmRegistry& registry) {
         ZigzagOptions options;
         options.extractor = config.extractor;
         options.pool = config.pool;
+        options.block_skip = config.block_skip;
         if (config.max_nary_arity >= 2) {
           options.max_arity = config.max_nary_arity;
         }

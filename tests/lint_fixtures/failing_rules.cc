@@ -41,6 +41,10 @@ void DroppedStatus(Writer& writer) {
   (void)writer.Flush();  // expect-lint: ignore-status-reason
 }
 
+bool HandRolledSetFileSniff(const char* header) {
+  return memcmp(header, "SpSetBlk", 8) == 0;  // expect-lint: set-format-magic
+}
+
 void BareNolint() {
   int magic = 42;  // NOLINT — no check name, no reason  // expect-lint: nolint-reason
 }

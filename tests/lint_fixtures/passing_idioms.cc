@@ -45,6 +45,11 @@ std::string BlessedWorkspaceNames(const ValueSetExtractor& extractor,
   return extractor.SetFileName(attribute);
 }
 
+bool BlessedSetFileSniff(std::string_view header) {
+  // The set-file magic is spelled through its one constant, never re-typed.
+  return header.substr(0, kSortedSetMagic.size()) == kSortedSetMagic;
+}
+
 void JustifiedDrops(Writer& writer) {
   // ignore-status: best-effort flush on the shutdown path; the close below reports errors
   (void)writer.Flush();

@@ -272,6 +272,47 @@ TEST(PartitionTest, DisjointCandidatesSplitIntoComponents) {
   EXPECT_EQ(partitions[1][0], candidates[1]);
 }
 
+TEST(PartitionTest, SplitForParallelismHalvesTheLargestPartition) {
+  // One fully connected component of 32 candidates, one small one of 2.
+  std::vector<IndCandidate> candidates;
+  std::vector<std::vector<IndCandidate>> partitions(2);
+  for (int i = 0; i < 32; ++i) {
+    partitions[0].push_back(
+        {{"t", "c" + std::to_string(i)}, {"t", "hub"}});
+  }
+  partitions[1].push_back({{"u", "a"}, {"u", "b"}});
+  partitions[1].push_back({{"u", "b"}, {"u", "a"}});
+  const std::vector<std::vector<IndCandidate>> original = partitions;
+
+  auto split = SplitPartitionsForParallelism(std::move(partitions), 4);
+  ASSERT_EQ(split.size(), 4u);
+  // 32 → 16+16, then the first 16 (earliest tie) → 8+8.
+  EXPECT_EQ(split[0].size(), 8u);
+  EXPECT_EQ(split[1].size(), 8u);
+  EXPECT_EQ(split[2].size(), 16u);
+  EXPECT_EQ(split[3].size(), 2u);
+  // Concatenating the splits reproduces the input candidate order.
+  std::vector<IndCandidate> flattened;
+  for (const auto& partition : split) {
+    flattened.insert(flattened.end(), partition.begin(), partition.end());
+  }
+  std::vector<IndCandidate> expected = original[0];
+  expected.insert(expected.end(), original[1].begin(), original[1].end());
+  EXPECT_EQ(flattened, expected);
+}
+
+TEST(PartitionTest, SplitForParallelismLeavesSmallPartitionsAlone) {
+  // Below 2 × kMinSplitPartition nothing splits: duplicated
+  // referenced-side reads would outweigh the parallelism.
+  std::vector<std::vector<IndCandidate>> partitions(1);
+  for (size_t i = 0; i < 2 * kMinSplitPartition - 1; ++i) {
+    partitions[0].push_back(
+        {{"t", "c" + std::to_string(i)}, {"t", "hub"}});
+  }
+  auto split = SplitPartitionsForParallelism(std::move(partitions), 8);
+  EXPECT_EQ(split.size(), 1u);
+}
+
 TEST(PartitionTest, ChainedAttributesStayInOnePartition) {
   // a ⊆ b, b ⊆ c: one transitive component even though no candidate names
   // both a and c.
@@ -346,6 +387,9 @@ TEST(SessionTest, ParallelRunMatchesSerialForEveryApproach) {
   auto parallel_report = connected.Run(parallel);
   ASSERT_TRUE(parallel_report.ok());
   EXPECT_EQ(parallel_report->run.satisfied, serial_report->run.satisfied);
+  // The single component is split so --threads=4 actually engages more
+  // than one worker (the candidate set is large enough to halve).
+  EXPECT_GT(parallel_report->partitions, 1);
 }
 
 TEST(SessionTest, ThreadsZeroResolvesToHardwareConcurrency) {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <random>
+
 #include "src/common/temp_dir.h"
+#include "src/common/thread_pool.h"
 #include "src/extsort/sorted_set_file.h"
 
 namespace spider {
@@ -15,9 +19,10 @@ class SortedSetFileTest : public ::testing::Test {
   }
 
   std::filesystem::path WriteSet(const std::vector<std::string>& values,
-                                 const std::string& name = "a.set") {
+                                 const std::string& name = "a.set",
+                                 SortedSetWriterOptions options = {}) {
     auto path = dir_->FilePath(name);
-    auto writer = SortedSetWriter::Create(path);
+    auto writer = SortedSetWriter::Create(path, options);
     EXPECT_TRUE(writer.ok());
     for (const auto& v : values) EXPECT_TRUE((*writer)->Append(v).ok());
     EXPECT_TRUE((*writer)->Finish().ok());
@@ -160,7 +165,293 @@ TEST_F(SortedSetFileTest, TinyBufferStillDecodesEveryRecord) {
   EXPECT_TRUE((*reader)->status().ok());
 }
 
+// --- Block-indexed format ------------------------------------------------
+
+// The default write path emits the block-indexed format and the reader
+// sniffs it from the magic; a legacy flat file (no header, no footer) is
+// the absence case and must stream exactly as before.
+TEST_F(SortedSetFileTest, FormatSniffingBlockedAndLegacy) {
+  const std::vector<std::string> values = {"apple", "banana", "cherry"};
+
+  auto blocked = SortedSetReader::Open(WriteSet(values, "blocked.set"));
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_TRUE((*blocked)->block_indexed());
+  EXPECT_EQ((*blocked)->block_count(), 1);
+
+  SortedSetWriterOptions legacy_options;
+  legacy_options.legacy_flat = true;
+  auto legacy = SortedSetReader::Open(
+      WriteSet(values, "legacy.set", legacy_options));
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_FALSE((*legacy)->block_indexed());
+  EXPECT_EQ((*legacy)->block_count(), 0);
+
+  for (auto* reader : {&*blocked, &*legacy}) {
+    std::vector<std::string> got;
+    while ((*reader)->HasNext()) got.push_back((*reader)->Next());
+    EXPECT_EQ(got, values);
+    EXPECT_TRUE((*reader)->status().ok());
+  }
+}
+
+TEST_F(SortedSetFileTest, MultiBlockRoundTrip) {
+  // A tiny block target forces many blocks; every record must still come
+  // back in order, and writer and reader must agree on the block count.
+  std::vector<std::string> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back("key-" + std::to_string(1000 + i));
+  }
+  SortedSetWriterOptions options;
+  options.target_block_bytes = 64;
+  auto path = dir_->FilePath("multi.set");
+  auto writer = SortedSetWriter::Create(path, options);
+  ASSERT_TRUE(writer.ok());
+  for (const auto& v : values) ASSERT_TRUE((*writer)->Append(v).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  EXPECT_GT((*writer)->block_count(), 10);
+
+  auto reader = SortedSetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->block_count(), (*writer)->block_count());
+  std::vector<std::string> got;
+  while ((*reader)->HasNext()) got.push_back((*reader)->Next());
+  EXPECT_EQ(got, values);
+  EXPECT_TRUE((*reader)->status().ok());
+}
+
+TEST_F(SortedSetFileTest, SkipToAtLeastMatchesLinearScanReference) {
+  // Property test: on the same monotone key sequence, the zonemap path and
+  // the forced linear scan must land on identical values and read counts
+  // that differ only by records the zonemap never decoded.
+  std::mt19937 rng(20260808);
+  std::vector<std::string> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back("v" + std::to_string(100000 + i * 7));
+  }
+  SortedSetWriterOptions write_options;
+  write_options.target_block_bytes = 128;
+  auto path = WriteSet(values, "prop.set", write_options);
+
+  for (int round = 0; round < 5; ++round) {
+    SortedSetReaderOptions skip_options;
+    skip_options.allow_block_skip = true;
+    SortedSetReaderOptions linear_options;
+    linear_options.allow_block_skip = false;
+    auto skip = SortedSetReader::Open(path, nullptr, skip_options);
+    auto linear = SortedSetReader::Open(path, nullptr, linear_options);
+    ASSERT_TRUE(skip.ok());
+    ASSERT_TRUE(linear.ok());
+
+    std::uniform_int_distribution<int> step(0, 400);
+    int target = 100000;
+    while (true) {
+      target += step(rng) * 7 + step(rng) % 3;  // sometimes between records
+      const std::string key = "v" + std::to_string(target);
+      (*skip)->SkipToAtLeast(key);
+      (*linear)->SkipToAtLeast(key);
+      ASSERT_EQ((*skip)->HasNext(), (*linear)->HasNext()) << key;
+      if (!(*skip)->HasNext()) break;
+      ASSERT_EQ((*skip)->Peek(), (*linear)->Peek()) << key;
+      ASSERT_GE((*skip)->Peek(), key);
+    }
+    EXPECT_TRUE((*skip)->status().ok());
+    EXPECT_TRUE((*linear)->status().ok());
+    EXPECT_GT((*skip)->blocks_skipped(), 0);
+    EXPECT_EQ((*linear)->blocks_skipped(), 0);
+  }
+}
+
+TEST_F(SortedSetFileTest, SkipToAtLeastAccounting) {
+  // Bypassed blocks count blocks_skipped, never tuples_read; records
+  // decoded on the way inside a block count tuples_read exactly like
+  // Skip().
+  std::vector<std::string> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back("k" + std::to_string(10000 + i));
+  }
+  SortedSetWriterOptions options;
+  options.target_block_bytes = 128;
+  auto path = WriteSet(values, "acct.set", options);
+
+  RunCounters counters;
+  auto reader = SortedSetReader::Open(path, &counters);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_GT((*reader)->block_count(), 4);
+  (*reader)->SkipToAtLeast("k10900");
+  ASSERT_TRUE((*reader)->HasNext());
+  EXPECT_EQ((*reader)->Peek(), "k10900");
+  EXPECT_GT((*reader)->blocks_skipped(), 0);
+  EXPECT_EQ(counters.blocks_skipped, (*reader)->blocks_skipped());
+  // The zonemap jump must have decoded far fewer records than the 900 a
+  // linear scan pays (at most the two partially-scanned boundary blocks).
+  EXPECT_LT(counters.tuples_read, 100);
+
+  // A skip target below the current value is a no-op and counts nothing.
+  const int64_t tuples_before = counters.tuples_read;
+  const int64_t blocks_before = counters.blocks_skipped;
+  (*reader)->SkipToAtLeast("k10000");
+  EXPECT_EQ((*reader)->Peek(), "k10900");
+  EXPECT_EQ(counters.tuples_read, tuples_before);
+  EXPECT_EQ(counters.blocks_skipped, blocks_before);
+
+  // Skipping past EOF consumes the tail without a value.
+  (*reader)->SkipToAtLeast("z");
+  EXPECT_FALSE((*reader)->HasNext());
+  EXPECT_TRUE((*reader)->status().ok());
+}
+
+TEST_F(SortedSetFileTest, PrefetchPoolReadsEverything) {
+  // A dedicated I/O pool prefetches the next window in the background; the
+  // decoded stream must be identical to synchronous reads.
+  std::vector<std::string> values;
+  for (int i = 0; i < 3000; ++i) {
+    values.push_back("pf" + std::to_string(100000 + i));
+  }
+  SortedSetWriterOptions write_options;
+  write_options.target_block_bytes = 256;
+  auto path = WriteSet(values, "prefetch.set", write_options);
+
+  ThreadPool io_pool(2);
+  SortedSetReaderOptions options;
+  options.buffer_bytes = 1024;  // many windows → many prefetches
+  options.prefetch_pool = &io_pool;
+  RunCounters counters;
+  auto reader = SortedSetReader::Open(path, &counters, options);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> got;
+  while ((*reader)->HasNext()) got.push_back((*reader)->Next());
+  EXPECT_EQ(got, values);
+  EXPECT_TRUE((*reader)->status().ok());
+  EXPECT_EQ(counters.tuples_read, static_cast<int64_t>(values.size()));
+}
+
+TEST_F(SortedSetFileTest, PrefetchedWindowDiscardedAfterSkip) {
+  // SkipToAtLeast can jump past the window a prefetch is fetching; the
+  // stale prefetch must be discarded, not spliced in.
+  std::vector<std::string> values;
+  for (int i = 0; i < 3000; ++i) {
+    values.push_back("sk" + std::to_string(100000 + i));
+  }
+  SortedSetWriterOptions write_options;
+  write_options.target_block_bytes = 256;
+  auto path = WriteSet(values, "skip-prefetch.set", write_options);
+
+  ThreadPool io_pool(1);
+  SortedSetReaderOptions options;
+  options.buffer_bytes = 1024;
+  options.prefetch_pool = &io_pool;
+  auto reader = SortedSetReader::Open(path, nullptr, options);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE((*reader)->HasNext());  // loads window 0, prefetches window 1
+  (*reader)->SkipToAtLeast("sk102500");  // far past the prefetched window
+  ASSERT_TRUE((*reader)->HasNext());
+  EXPECT_EQ((*reader)->Peek(), "sk102500");
+  std::vector<std::string> tail;
+  while ((*reader)->HasNext()) tail.push_back((*reader)->Next());
+  EXPECT_EQ(tail.size(), 500u);
+  EXPECT_EQ(tail.back(), values.back());
+  EXPECT_TRUE((*reader)->status().ok());
+}
+
+TEST_F(SortedSetFileTest, BlockBiggerThanBufferStillDecodes) {
+  // A single record (and thus block) larger than the read window grows the
+  // buffer on demand instead of failing.
+  std::vector<std::string> values = {std::string(1, 'a'),
+                                     std::string(8000, 'b'),
+                                     std::string(8000, 'c')};
+  SortedSetWriterOptions write_options;
+  write_options.target_block_bytes = 512;
+  auto path = WriteSet(values, "big.set", write_options);
+
+  SortedSetReaderOptions options;
+  options.buffer_bytes = 64;
+  auto reader = SortedSetReader::Open(path, nullptr, options);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::string> got;
+  while ((*reader)->HasNext()) got.push_back((*reader)->Next());
+  EXPECT_EQ(got, values);
+  EXPECT_TRUE((*reader)->status().ok());
+}
+
+TEST_F(SortedSetFileTest, TruncatedFooterFailsCleanly) {
+  // A blocked file whose trailer survives but whose footer bytes are
+  // damaged must fail Open with IOError, not crash.
+  auto path = WriteSet({"aa", "bb", "cc"}, "trunc.set");
+  const auto size = std::filesystem::file_size(path);
+  uint64_t footer_offset = 0;
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.seekg(static_cast<std::streamoff>(size) -
+             static_cast<std::streamoff>(kSortedSetTrailerBytes));
+    for (int i = 0; i < 8; ++i) {
+      char byte = 0;
+      in.read(&byte, 1);
+      footer_offset |= static_cast<uint64_t>(static_cast<unsigned char>(byte))
+                       << (8 * i);
+    }
+  }
+  {
+    // Clobber the footer's block-count varint with a continuation byte:
+    // the decoded count can no longer match the footer's real extent.
+    std::ofstream out(path, std::ios::binary | std::ios::in);
+    out.seekp(static_cast<std::streamoff>(footer_offset));
+    const char corrupted = '\xff';
+    out.write(&corrupted, 1);
+  }
+  auto reader = SortedSetReader::Open(path);
+  EXPECT_TRUE(reader.status().IsIOError());
+}
+
 using SortedSetFileDeathTest = SortedSetFileTest;
+
+TEST_F(SortedSetFileDeathTest, CorruptFirstRecordTripsZonemapCheck) {
+  // Flip a payload byte of the first record: the decoded key no longer
+  // matches the footer's first_key and the block-entry check aborts.
+  auto path = WriteSet({"aaaa", "bbbb", "cccc"}, "zfirst.set");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::in);
+    out.seekp(static_cast<std::streamoff>(kSortedSetHeaderBytes) + 1);
+    const char corrupted = 'z';
+    out.write(&corrupted, 1);
+  }
+  auto reader = SortedSetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_DEATH((*reader)->HasNext(), "zonemap out of sync");
+}
+
+TEST_F(SortedSetFileDeathTest, CorruptLastRecordTripsZonemapCheck) {
+  // Flip the last payload byte of the final record: the block-exit check
+  // against the footer's last_key aborts.
+  auto path = WriteSet({"aaaa", "bbbb", "cccc"}, "zlast.set");
+  const auto size = std::filesystem::file_size(path);
+  // Footer offset is the 8 bytes before the closing magic; the last record
+  // payload ends right where the footer begins.
+  uint64_t footer_offset = 0;
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.seekg(static_cast<std::streamoff>(size) -
+             static_cast<std::streamoff>(kSortedSetTrailerBytes));
+    for (int i = 0; i < 8; ++i) {
+      char byte = 0;
+      in.read(&byte, 1);
+      footer_offset |= static_cast<uint64_t>(static_cast<unsigned char>(byte))
+                       << (8 * i);
+    }
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::in);
+    out.seekp(static_cast<std::streamoff>(footer_offset) - 1);
+    const char corrupted = 'z';
+    out.write(&corrupted, 1);
+  }
+  auto reader = SortedSetReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_DEATH(
+      {
+        while ((*reader)->HasNext()) (*reader)->Skip();
+      },
+      "zonemap out of sync");
+}
 
 TEST_F(SortedSetFileDeathTest, NextPastEofAborts) {
   // Regression: Next() at EOF used to dereference an empty std::optional

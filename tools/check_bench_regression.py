@@ -23,6 +23,7 @@ import sys
 WORK_COUNTERS = (
     "comparisons",
     "tuples_read",
+    "blocks_skipped",
     "candidates",
     "candidates_tested",
     "satisfied",

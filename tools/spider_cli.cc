@@ -8,7 +8,7 @@
 //                            [--sampling-pretest] [--sigma=S]
 //                            [--error=E] [--max-lhs=K]
 //                            [--time-budget=S] [--threads=N] [--progress]
-//                            [--json]
+//                            [--no-block-skip] [--io-threads=N] [--json]
 //   spider import <csv_dir> --workspace=DIR [--backend=memory|disk]
 //                           [--block-bytes=N]
 //   spider discover <csv_dir|workspace> [--approach=NAME]
@@ -47,7 +47,10 @@
 // at the next poll and the partial finished=false report is still printed.
 // --progress writes a live progress line to stderr; --threads=N runs the
 // verification phase on N workers (0 = hardware concurrency) with results
-// identical to --threads=1.
+// identical to --threads=1. --no-block-skip disables zonemap block
+// skipping in the merge loops (same INDs, more tuples read — the parity
+// baseline); --io-threads=N adds a dedicated background prefetch pool for
+// set-file reads (0 = synchronous).
 
 #include <atomic>
 #include <csignal>
@@ -156,6 +159,7 @@ int Usage() {
          "                           [--sampling-pretest] [--sigma=S]\n"
          "                           [--error=E] [--max-lhs=K]\n"
          "                           [--time-budget=S] [--threads=N]\n"
+         "                           [--no-block-skip] [--io-threads=N]\n"
          "                           [--progress] [--json]\n"
          "  spider import <csv_dir> --workspace=DIR "
          "[--backend=memory|disk]\n"
@@ -198,6 +202,8 @@ struct Flags {
   int max_lhs = 0;  // 0 = algorithm default
   double time_budget_seconds = 0;
   int threads = 1;
+  bool block_skip = true;
+  int io_threads = 0;
   bool ok = true;
 };
 
@@ -329,6 +335,19 @@ Flags ParseFlags(int argc, char** argv, int first) {
         return flags;
       }
       flags.threads = static_cast<int>(parsed);
+    } else if (arg == "--no-block-skip") {
+      flags.block_skip = false;
+    } else if (arg.rfind("--io-threads=", 0) == 0) {
+      const std::string value = arg.substr(13);
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed < 0 || parsed > 4096) {
+        std::cerr << "--io-threads must be an integer in [0, 4096] "
+                     "(0 = no prefetch), got '" << value << "'\n";
+        flags.ok = false;
+        return flags;
+      }
+      flags.io_threads = static_cast<int>(parsed);
     } else if (arg == "--progress") {
       flags.progress = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -363,6 +382,8 @@ RunOptions MakeRunOptions(const Flags& flags) {
   options.generator.sampling_pretest = flags.sampling_pretest;
   options.time_budget_seconds = flags.time_budget_seconds;
   options.threads = flags.threads;
+  options.block_skip = flags.block_skip;
+  options.io_threads = flags.io_threads;
   options.cancel = &g_sigint_token;
   if (flags.progress) options.progress = PrintProgress;
   return options;

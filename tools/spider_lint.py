@@ -219,6 +219,22 @@ def rule_nolint_reason(path, stripped, raw_lines):
             )
 
 
+def rule_set_format_magic(path, stripped, raw_lines):
+    del path, raw_lines
+    # The 8-byte magic of block-indexed set files has exactly one home
+    # (sorted_set_file.{h,cc}); a re-derived literal elsewhere is a format
+    # fork waiting to drift.
+    pattern = re.compile(r'"SpSetBlk"')
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        if pattern.search(line):
+            yield (
+                lineno,
+                'hand-rolled set-file magic "SpSetBlk"; use kSortedSetMagic '
+                "/ kSortedSetHeaderBytes from src/extsort/sorted_set_file.h "
+                "so the format has a single definition",
+            )
+
+
 # (rule id, function, include prefixes, exclude prefixes)
 RULES = [
     (
@@ -262,6 +278,12 @@ RULES = [
         rule_nolint_reason,
         ("src/", "tools/", "tests/"),
         (),
+    ),
+    (
+        "set-format-magic",
+        rule_set_format_magic,
+        ("src/", "tools/", "tests/"),
+        ("src/extsort/sorted_set_file.h", "src/extsort/sorted_set_file.cc"),
     ),
 ]
 
