@@ -1,0 +1,293 @@
+#include "src/common/json_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+namespace spider {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  const JsonValue* found = nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) found = &value;  // duplicates: last occurrence wins
+  }
+  return found;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    SPIDER_RETURN_NOT_OK(ParseValue(value, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  // Deep enough for any real request body; bounds recursion on hostile
+  // input (the daemon parses bytes straight off a socket).
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return ParseString(out.string);
+      case 't':
+        SPIDER_RETURN_NOT_OK(ParseLiteral("true"));
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return Status::OK();
+      case 'f':
+        SPIDER_RETURN_NOT_OK(ParseLiteral("false"));
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return Status::OK();
+      case 'n':
+        SPIDER_RETURN_NOT_OK(ParseLiteral("null"));
+        out.kind = JsonValue::Kind::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("invalid literal");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    out.kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      SPIDER_RETURN_NOT_OK(ParseString(key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SkipWhitespace();
+      JsonValue value;
+      SPIDER_RETURN_NOT_OK(ParseValue(value, depth + 1));
+      out.members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    out.kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      SPIDER_RETURN_NOT_OK(ParseValue(value, depth + 1));
+      out.array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          SPIDER_ASSIGN_OR_RETURN(uint32_t code, ParseHex4());
+          // Surrogate pair: a high surrogate must be followed by \uXXXX
+          // with a low surrogate; decode the pair to one code point.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              SPIDER_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Error("invalid low surrogate in \\u escape");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return Error("unpaired high surrogate in \\u escape");
+            }
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate in \\u escape");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Error("invalid escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  static void AppendUtf8(uint32_t code, std::string& out) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+      // sign consumed
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Error("invalid value");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // a leading zero cannot be followed by more digits
+    } else {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("expected digits after decimal point");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("expected digits in exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.raw_number = std::string(text_.substr(start, pos_ - start));
+    out.number = std::strtod(out.raw_number.c_str(), nullptr);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace spider

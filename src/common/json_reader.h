@@ -1,0 +1,53 @@
+// Minimal JSON parsing for daemon request bodies.
+//
+// The counterpart of JsonWriter: a small recursive-descent parser that
+// materializes one document as a JsonValue tree. It exists so spiderd can
+// accept the same run-options documents the CLI emits without pulling in
+// an external JSON dependency. Numbers keep their raw source spelling
+// (`raw_number`) in addition to the parsed double, so an option value like
+// "2" round-trips into the key/value option parser byte-identically to the
+// CLI flag `--max-arity 2`.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace spider {
+
+/// \brief One parsed JSON value (tagged union over the seven JSON kinds).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  /// The number token exactly as written ("2", "0.95", "1e3"); empty for
+  /// non-numbers. Preferred over `number` when re-serializing to text.
+  std::string raw_number;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered members; duplicate keys keep the last occurrence.
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// The member named `key`, or nullptr when absent (objects only).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses one complete JSON document. Trailing non-whitespace after the
+/// document, control characters in strings, and all other RFC 8259
+/// violations are InvalidArgument (with a byte offset in the message).
+[[nodiscard]] Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace spider

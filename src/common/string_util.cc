@@ -1,7 +1,9 @@
 #include "src/common/string_util.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <vector>
 
 namespace spider {
 
@@ -71,6 +73,22 @@ bool ContainsLetter(std::string_view s) {
     if (std::isalpha(static_cast<unsigned char>(c))) return true;
   }
   return false;
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t previous = row[j];
+      const size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+      diagonal = previous;
+    }
+  }
+  return row[b.size()];
 }
 
 std::string FormatWithCommas(int64_t n) {

@@ -31,6 +31,11 @@ bool IsAllDigits(std::string_view s);
 /// True if `s` contains at least one ASCII letter.
 bool ContainsLetter(std::string_view s);
 
+/// Classic Levenshtein edit distance. Quadratic — for short identifiers
+/// (approach and option names), where lookup errors use it to suggest the
+/// nearest valid spelling.
+size_t EditDistance(std::string_view a, std::string_view b);
+
 /// Formats a count with thousands separators, e.g. 139356 -> "139,356"
 /// (matches the paper's table style).
 std::string FormatWithCommas(int64_t n);

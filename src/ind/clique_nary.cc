@@ -290,7 +290,8 @@ Result<CliqueNaryResult> CliqueNaryDiscovery::Run(
 
   std::vector<Result<PairOutcome>> outcomes =
       RunNaryBatch<PairOutcome>(options_.pool, work.size(), run_pair);
-  int64_t peak_sum = 0;
+  std::vector<int64_t> pair_peaks;
+  pair_peaks.reserve(outcomes.size());
   for (Result<PairOutcome>& pair_result : outcomes) {
     SPIDER_RETURN_NOT_OK(pair_result.status());
     PairOutcome& outcome = *pair_result;
@@ -299,10 +300,11 @@ Result<CliqueNaryResult> CliqueNaryDiscovery::Run(
                           std::make_move_iterator(outcome.maximal.end()));
     result.tests += outcome.tests;
     result.counters.Merge(outcome.counters);
-    peak_sum += outcome.counters.peak_open_files;
+    pair_peaks.push_back(outcome.counters.peak_open_files);
     result.finished = result.finished && outcome.finished;
   }
-  ApplyConcurrentPeakBound(options_.pool, peak_sum, result.counters);
+  ApplyConcurrentPeakBound(options_.pool, std::move(pair_peaks),
+                           result.counters);
 
   std::sort(result.maximal.begin(), result.maximal.end());
   result.maximal.erase(

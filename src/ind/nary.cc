@@ -163,7 +163,8 @@ Result<NaryDiscoveryResult> NaryIndDiscovery::Run(
                                       return outcome;
                                     });
     std::vector<NaryInd> satisfied;
-    int64_t level_peak_sum = 0;
+    std::vector<int64_t> level_peaks;
+    level_peaks.reserve(outcomes.size());
     for (size_t i = 0; i < outcomes.size(); ++i) {
       SPIDER_RETURN_NOT_OK(outcomes[i].status());
       const VerifyOutcome& outcome = *outcomes[i];
@@ -173,10 +174,11 @@ Result<NaryDiscoveryResult> NaryIndDiscovery::Run(
       }
       ++result.counters.candidates_tested;
       result.counters.Merge(outcome.counters);
-      level_peak_sum += outcome.counters.peak_open_files;
+      level_peaks.push_back(outcome.counters.peak_open_files);
       if (outcome.satisfied) satisfied.push_back(batch[i]);
     }
-    ApplyConcurrentPeakBound(options_.pool, level_peak_sum, result.counters);
+    ApplyConcurrentPeakBound(options_.pool, std::move(level_peaks),
+                             result.counters);
     result.by_level.push_back(std::move(satisfied));
     if (!result.finished) break;
   }

@@ -18,27 +18,6 @@
 
 namespace spider {
 
-namespace {
-
-// Classic Levenshtein distance, small inputs only (approach names).
-size_t EditDistance(std::string_view a, std::string_view b) {
-  std::vector<size_t> row(b.size() + 1);
-  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (size_t i = 1; i <= a.size(); ++i) {
-    size_t diagonal = row[0];
-    row[0] = i;
-    for (size_t j = 1; j <= b.size(); ++j) {
-      const size_t previous = row[j];
-      const size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
-      diagonal = previous;
-    }
-  }
-  return row[b.size()];
-}
-
-}  // namespace
-
 AlgorithmRegistry& AlgorithmRegistry::Global() {
   // Each algorithm's registration code lives next to its implementation;
   // calling the hooks here (instead of via static initializers) keeps the

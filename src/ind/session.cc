@@ -10,6 +10,7 @@
 #include "src/common/mutex.h"
 #include "src/common/stopwatch.h"
 #include "src/common/string_util.h"
+#include "src/ind/nary_algorithm.h"
 
 namespace spider {
 
@@ -239,21 +240,24 @@ Result<IndRunResult> SpiderSession::RunParallel(
   for (auto& future : futures) results.push_back(future.get());
 
   IndRunResult merged;
-  int64_t peak_open_files_sum = 0;
+  std::vector<int64_t> partition_peaks;
+  partition_peaks.reserve(results.size());
   for (Result<IndRunResult>& result : results) {
     SPIDER_RETURN_NOT_OK(result.status());
     IndRunResult& partial = *result;
     merged.satisfied.insert(merged.satisfied.end(),
                             std::make_move_iterator(partial.satisfied.begin()),
                             std::make_move_iterator(partial.satisfied.end()));
-    peak_open_files_sum += partial.counters.peak_open_files;
+    partition_peaks.push_back(partial.counters.peak_open_files);
     merged.counters.Merge(partial.counters);
     merged.finished = merged.finished && partial.finished;
   }
-  // Concurrent partitions hold their files simultaneously: the honest peak
-  // bound is the sum over partitions, not the max that Merge() keeps for
-  // sequential runs.
-  merged.counters.peak_open_files = peak_open_files_sum;
+  // Concurrent partitions hold their files simultaneously, but at most
+  // `threads` of them at once — the high-water bound is the sum of the
+  // largest min(threads, partitions) per-partition peaks, not the sum over
+  // all partitions (ApplyConcurrentPeakBound) nor the max Merge() keeps.
+  ApplyConcurrentPeakBound(&pool, std::move(partition_peaks),
+                           merged.counters);
   merged.seconds = verify_watch.ElapsedSeconds();
   return merged;
 }

@@ -215,7 +215,8 @@ Result<ZigzagResult> ZigzagDiscovery::Run(const Catalog& catalog,
 
   std::vector<Result<PairOutcome>> outcomes =
       RunNaryBatch<PairOutcome>(options_.pool, work.size(), run_pair);
-  int64_t peak_sum = 0;
+  std::vector<int64_t> pair_peaks;
+  pair_peaks.reserve(outcomes.size());
   for (Result<PairOutcome>& pair_result : outcomes) {
     SPIDER_RETURN_NOT_OK(pair_result.status());
     PairOutcome& outcome = *pair_result;
@@ -225,10 +226,11 @@ Result<ZigzagResult> ZigzagDiscovery::Run(const Catalog& catalog,
     result.tests += outcome.tests;
     result.optimistic_hits += outcome.optimistic_hits;
     result.counters.Merge(outcome.counters);
-    peak_sum += outcome.counters.peak_open_files;
+    pair_peaks.push_back(outcome.counters.peak_open_files);
     result.finished = result.finished && outcome.finished;
   }
-  ApplyConcurrentPeakBound(options_.pool, peak_sum, result.counters);
+  ApplyConcurrentPeakBound(options_.pool, std::move(pair_peaks),
+                           result.counters);
 
   std::sort(result.maximal.begin(), result.maximal.end());
   return result;

@@ -1,0 +1,49 @@
+// spiderd's endpoint logic, independent of any socket machinery.
+//
+// RequestRouter turns one parsed HttpRequest into one HttpResponse using
+// only the workspace cache and the job manager, so the whole API surface
+// is unit-testable without binding a port. The daemon's event loop and the
+// tests call the same Handle().
+//
+// Endpoints:
+//   GET    /healthz          liveness probe
+//   GET    /approaches       registry capability listing (CLI-identical)
+//   GET    /workspaces       disk workspaces under the served root
+//   POST   /jobs             enqueue a profile (default) or import job;
+//                            the body carries "workspace" plus the same
+//                            option keys `spider profile` takes as flags
+//   GET    /jobs             all job snapshots
+//   GET    /jobs/<id>        one job snapshot (state, progress percent)
+//   GET    /jobs/<id>/report the finished report document, byte-identical
+//                            to `spider profile --json`
+//   DELETE /jobs/<id>        cooperative cancel
+
+#pragma once
+
+#include "src/common/json_reader.h"
+#include "src/server/http.h"
+#include "src/server/job_manager.h"
+#include "src/server/workspace_cache.h"
+
+namespace spider {
+
+/// \brief Maps requests to responses. Stateless besides the two borrowed
+/// collaborators, which must outlive the router.
+class RequestRouter {
+ public:
+  RequestRouter(WorkspaceCache* workspaces, JobManager* jobs)
+      : workspaces_(workspaces), jobs_(jobs) {}
+
+  HttpResponse Handle(const HttpRequest& request) const;
+
+ private:
+  HttpResponse HandleJobsCollection(const HttpRequest& request) const;
+  HttpResponse HandleJobItem(const HttpRequest& request) const;
+  HttpResponse SubmitProfile(const JsonValue& body) const;
+  HttpResponse SubmitImport(const JsonValue& body) const;
+
+  WorkspaceCache* workspaces_;
+  JobManager* jobs_;
+};
+
+}  // namespace spider

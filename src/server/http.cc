@@ -1,0 +1,184 @@
+#include "src/server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+namespace spider {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Status HttpParser::Feed(std::string_view bytes) {
+  // A parse error found while consuming bytes buffered behind an earlier
+  // pipelined request (TakeRequest's reparse) surfaces here.
+  SPIDER_RETURN_NOT_OK(pending_error_);
+  buffer_.append(bytes.data(), bytes.size());
+  return Parse();
+}
+
+Status HttpParser::Parse() {
+  if (!headers_done_) {
+    const size_t end = buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      if (buffer_.size() > kMaxHeaderBytes) {
+        return Status::InvalidArgument("HTTP header section too large");
+      }
+      return Status::OK();
+    }
+    SPIDER_RETURN_NOT_OK(
+        ParseHeaderSection(std::string_view(buffer_).substr(0, end)));
+    buffer_.erase(0, end + 4);
+    headers_done_ = true;
+  }
+  if (headers_done_ && !ready_ && buffer_.size() >= body_needed_) {
+    request_.body = buffer_.substr(0, body_needed_);
+    buffer_.erase(0, body_needed_);
+    ready_ = true;
+  }
+  return Status::OK();
+}
+
+Status HttpParser::ParseHeaderSection(std::string_view header_text) {
+  const size_t line_end = header_text.find("\r\n");
+  const std::string_view request_line = header_text.substr(
+      0, line_end == std::string_view::npos ? header_text.size() : line_end);
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const size_t method_end = request_line.find(' ');
+  if (method_end == std::string_view::npos) {
+    return Status::InvalidArgument("malformed HTTP request line");
+  }
+  const size_t target_end = request_line.find(' ', method_end + 1);
+  if (target_end == std::string_view::npos) {
+    return Status::InvalidArgument("malformed HTTP request line");
+  }
+  const std::string_view version = request_line.substr(target_end + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Status::InvalidArgument("unsupported HTTP version");
+  }
+  request_.method = std::string(request_line.substr(0, method_end));
+  std::string_view target =
+      request_line.substr(method_end + 1, target_end - method_end - 1);
+  const size_t question = target.find('?');
+  if (question == std::string_view::npos) {
+    request_.path = std::string(target);
+    request_.query.clear();
+  } else {
+    request_.path = std::string(target.substr(0, question));
+    request_.query = std::string(target.substr(question + 1));
+  }
+  request_.want_close = (version == "HTTP/1.0");
+
+  // Header lines.
+  size_t pos = line_end == std::string_view::npos ? header_text.size()
+                                                  : line_end + 2;
+  while (pos < header_text.size()) {
+    size_t next = header_text.find("\r\n", pos);
+    if (next == std::string_view::npos) next = header_text.size();
+    const std::string_view line = header_text.substr(pos, next - pos);
+    pos = next + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("malformed HTTP header line");
+    }
+    const std::string name = ToLower(Trim(line.substr(0, colon)));
+    const std::string value(Trim(line.substr(colon + 1)));
+    request_.headers[name] = value;
+  }
+
+  auto connection = request_.headers.find("connection");
+  if (connection != request_.headers.end()) {
+    const std::string value = ToLower(connection->second);
+    if (value == "close") request_.want_close = true;
+    if (value == "keep-alive") request_.want_close = false;
+  }
+
+  body_needed_ = 0;
+  auto length = request_.headers.find("content-length");
+  if (length != request_.headers.end()) {
+    const std::string& text = length->second;
+    // The digit-count cap keeps stoull from throwing on absurd lengths.
+    if (text.empty() || text.size() > 12 ||
+        !std::all_of(text.begin(), text.end(), [](unsigned char c) {
+          return std::isdigit(c) != 0;
+        })) {
+      return Status::InvalidArgument("invalid Content-Length");
+    }
+    const unsigned long long parsed = std::stoull(text);
+    if (parsed > kMaxBodyBytes) {
+      return Status::InvalidArgument("request body too large");
+    }
+    body_needed_ = static_cast<size_t>(parsed);
+  }
+  if (request_.headers.contains("transfer-encoding")) {
+    return Status::InvalidArgument("chunked requests are not supported");
+  }
+  return Status::OK();
+}
+
+HttpRequest HttpParser::TakeRequest() {
+  HttpRequest out = std::move(request_);
+  request_ = HttpRequest{};
+  headers_done_ = false;
+  ready_ = false;
+  body_needed_ = 0;
+  // A pipelined request may be fully buffered already — reparse now so
+  // ready() reflects it without waiting for more socket bytes.
+  pending_error_ = Parse();
+  return out;
+}
+
+std::string_view HttpReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 200:
+      return "OK";
+    case 202:
+      return "Accepted";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status_code) + " " +
+                    std::string(HttpReasonPhrase(response.status_code)) +
+                    "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += response.close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace spider

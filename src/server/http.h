@@ -1,0 +1,88 @@
+// A deliberately small HTTP/1.1 subset for spiderd.
+//
+// The daemon serves a handful of JSON endpoints on a trusted interface, so
+// this implements exactly what those need: request-line + headers +
+// Content-Length bodies in, fixed-length responses out. No chunked
+// transfer, no multipart, no TLS. The parser is incremental (feed it bytes
+// as they arrive off a non-blocking socket) and reusable across keep-alive
+// requests on one connection.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace spider {
+
+/// One parsed request. Header names are lower-cased; values are trimmed.
+struct HttpRequest {
+  std::string method;
+  /// Path only — the query string (if any) is split off into `query`.
+  std::string path;
+  std::string query;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// True when the client asked to close the connection after the
+  /// response (HTTP/1.0 default, or "Connection: close").
+  bool want_close = false;
+};
+
+/// \brief Incremental request parser for one connection.
+///
+/// Feed() consumes bytes; once a complete request (headers plus declared
+/// body) has arrived, ready() turns true and TakeRequest() hands it out,
+/// resetting the parser for the next pipelined request. Malformed input or
+/// a body over the limit is a non-retryable InvalidArgument — the
+/// connection should be closed.
+class HttpParser {
+ public:
+  /// Upper bound on Content-Length; larger bodies are rejected before
+  /// buffering (requests are small JSON documents).
+  static constexpr size_t kMaxBodyBytes = 4 << 20;
+  /// Upper bound on the header section.
+  static constexpr size_t kMaxHeaderBytes = 64 << 10;
+
+  [[nodiscard]] Status Feed(std::string_view bytes);
+
+  bool ready() const { return ready_; }
+
+  /// Valid only when ready(); resets the parser for the next request.
+  HttpRequest TakeRequest();
+
+ private:
+  /// Consumes whatever is in `buffer_`; sets ready_ when a request
+  /// completes. Called from Feed and from TakeRequest (pipelining).
+  [[nodiscard]] Status Parse();
+  [[nodiscard]] Status ParseHeaderSection(std::string_view header_text);
+
+  std::string buffer_;
+  HttpRequest request_;
+  size_t body_needed_ = 0;
+  bool headers_done_ = false;
+  bool ready_ = false;
+  /// Error from TakeRequest's reparse, reported by the next Feed.
+  Status pending_error_ = Status::OK();
+};
+
+/// One response to serialize. Only the pieces the handlers set.
+struct HttpResponse {
+  int status_code = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// True to answer with "Connection: close" and drop the connection.
+  bool close = false;
+};
+
+/// The canonical reason phrase for the status codes spiderd uses.
+std::string_view HttpReasonPhrase(int status_code);
+
+/// Serializes status line, headers (Content-Type, Content-Length,
+/// Connection) and body.
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+}  // namespace spider

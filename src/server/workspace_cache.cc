@@ -1,0 +1,82 @@
+#include "src/server/workspace_cache.h"
+
+#include <algorithm>
+#include <system_error>
+#include <utility>
+
+#include "src/storage/disk_store.h"
+
+namespace spider {
+
+WorkspaceCache::WorkspaceCache(std::filesystem::path root)
+    : root_(std::move(root)) {}
+
+bool WorkspaceCache::ValidName(std::string_view name) {
+  if (name.empty() || name.size() > 255) return false;
+  if (name.front() == '.') return false;
+  return name.find('/') == std::string_view::npos &&
+         name.find('\\') == std::string_view::npos;
+}
+
+std::filesystem::path WorkspaceCache::WorkspacePath(
+    const std::string& name) const {
+  return root_ / name;
+}
+
+std::filesystem::path WorkspaceCache::SetCachePath(
+    const std::string& name) const {
+  // Dot-prefixed so List() (which skips dot-dirs via ValidName) never
+  // mistakes a set cache for a workspace.
+  return root_ / (".sets-" + name);
+}
+
+Result<SpiderSession*> WorkspaceCache::GetOrOpen(const std::string& name) {
+  if (!ValidName(name)) {
+    return Status::InvalidArgument("invalid workspace name '" + name + "'");
+  }
+  MutexLock lock(&mutex_);
+  auto it = sessions_.find(name);
+  if (it != sessions_.end()) return it->second.get();
+
+  const std::filesystem::path dir = WorkspacePath(name);
+  if (!IsDiskCatalogDir(dir)) {
+    return Status::NotFound("workspace '" + name + "' not found under " +
+                            root_.string());
+  }
+  SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<Catalog> catalog,
+                          OpenDiskCatalog(dir));
+  SessionOptions options;
+  const std::filesystem::path set_dir = SetCachePath(name);
+  std::error_code ec;
+  std::filesystem::create_directories(set_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create set cache dir " + set_dir.string() +
+                           ": " + ec.message());
+  }
+  options.work_dir = set_dir.string();
+  auto session =
+      std::make_unique<SpiderSession>(std::move(catalog), options);
+  SpiderSession* raw = session.get();
+  sessions_.emplace(name, std::move(session));
+  return raw;
+}
+
+Result<std::vector<std::string>> WorkspaceCache::List() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(root_, ec);
+  if (ec) {
+    return Status::IOError("cannot list workspace root " + root_.string() +
+                           ": " + ec.message());
+  }
+  for (const auto& entry : it) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!ValidName(name)) continue;
+    if (IsDiskCatalogDir(entry.path())) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace spider

@@ -1,0 +1,66 @@
+// The daemon's view of persisted disk workspaces: one long-lived
+// SpiderSession per workspace, shared by every request that profiles it.
+//
+// Sharing the session is the point of running a daemon at all — the
+// session owns the ValueSetExtractor cache, so two jobs against the same
+// workspace extract and sort each attribute once (the extractor
+// deduplicates in-flight work across threads). Sorted set files live in a
+// per-workspace cache directory next to the catalog data and survive
+// across jobs.
+
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/result.h"
+#include "src/common/thread_annotations.h"
+#include "src/ind/session.h"
+
+namespace spider {
+
+/// \brief Maps workspace names to open sessions under one root directory.
+///
+/// A workspace is a subdirectory of the root that holds a disk catalog
+/// (DiskCatalogWriter layout). Thread-safe; sessions, once opened, live
+/// until the cache is destroyed, so pointers handed out stay valid for the
+/// daemon's lifetime.
+class WorkspaceCache {
+ public:
+  explicit WorkspaceCache(std::filesystem::path root);
+
+  /// True when `name` is usable as a workspace name: non-empty, no path
+  /// separators, no leading dot (names map to subdirectories).
+  static bool ValidName(std::string_view name);
+
+  /// The open (or newly opened) session for `name`. NotFound when the
+  /// subdirectory is missing or not a disk catalog.
+  [[nodiscard]]
+  Result<SpiderSession*> GetOrOpen(const std::string& name)
+      SPIDER_EXCLUDES(mutex_);
+
+  /// Sorted names of the root's disk-catalog subdirectories (on-disk
+  /// truth, not just what is open).
+  [[nodiscard]]
+  Result<std::vector<std::string>> List() const;
+
+  /// The directory a workspace's catalog data lives in.
+  std::filesystem::path WorkspacePath(const std::string& name) const;
+
+  /// The directory a workspace's sorted set files are cached in.
+  std::filesystem::path SetCachePath(const std::string& name) const;
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  const std::filesystem::path root_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<SpiderSession>> sessions_
+      SPIDER_GUARDED_BY(mutex_);
+};
+
+}  // namespace spider

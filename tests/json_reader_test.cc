@@ -1,0 +1,107 @@
+// JSON reader tests: the parser behind spiderd's request bodies. The
+// round-trip guarantee matters most — numbers keep their source spelling
+// (raw_number), so a JSON body and the equivalent CLI flag produce the
+// same RunOptionKv text and therefore identical validation behaviour.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/json_reader.h"
+#include "src/common/json_writer.h"
+
+namespace spider {
+namespace {
+
+TEST(JsonReaderTest, ParsesScalars) {
+  auto null_value = ParseJson("null");
+  ASSERT_TRUE(null_value.ok());
+  EXPECT_TRUE(null_value->is_null());
+
+  auto boolean = ParseJson("true");
+  ASSERT_TRUE(boolean.ok());
+  ASSERT_TRUE(boolean->is_bool());
+  EXPECT_TRUE(boolean->boolean);
+
+  auto number = ParseJson("-12.5e2");
+  ASSERT_TRUE(number.ok());
+  ASSERT_TRUE(number->is_number());
+  EXPECT_DOUBLE_EQ(number->number, -1250.0);
+  EXPECT_EQ(number->raw_number, "-12.5e2");  // source spelling preserved
+
+  auto text = ParseJson("\"hi\\nthere\"");
+  ASSERT_TRUE(text.ok());
+  ASSERT_TRUE(text->is_string());
+  EXPECT_EQ(text->string, "hi\nthere");
+}
+
+TEST(JsonReaderTest, ParsesNestedDocument) {
+  auto value = ParseJson(
+      "{\"workspace\":\"smoke\",\"threads\":2,"
+      "\"tags\":[1,2,{\"deep\":true}]}");
+  ASSERT_TRUE(value.ok());
+  ASSERT_TRUE(value->is_object());
+  const JsonValue* workspace = value->Find("workspace");
+  ASSERT_NE(workspace, nullptr);
+  EXPECT_EQ(workspace->string, "smoke");
+  const JsonValue* threads = value->Find("threads");
+  ASSERT_NE(threads, nullptr);
+  EXPECT_EQ(threads->raw_number, "2");
+  const JsonValue* tags = value->Find("tags");
+  ASSERT_NE(tags, nullptr);
+  ASSERT_TRUE(tags->is_array());
+  ASSERT_EQ(tags->array.size(), 3u);
+  EXPECT_TRUE(tags->array[2].is_object());
+  EXPECT_EQ(value->Find("missing"), nullptr);
+}
+
+TEST(JsonReaderTest, LastDuplicateKeyWins) {
+  auto value = ParseJson("{\"k\":1,\"k\":2}");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->Find("k")->raw_number, "2");
+}
+
+TEST(JsonReaderTest, DecodesUnicodeEscapes) {
+  auto value = ParseJson("\"\\u00e9\\ud83d\\ude00\"");  // é + 😀
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->string, "\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(JsonReaderTest, ErrorsCarryByteOffsets) {
+  auto value = ParseJson("{\"k\": }");
+  ASSERT_TRUE(value.status().IsInvalidArgument());
+  EXPECT_NE(value.status().message().find("byte 6"), std::string::npos)
+      << value.status().message();
+}
+
+TEST(JsonReaderTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("'single'").ok());
+  EXPECT_FALSE(ParseJson("01").ok());       // leading zero
+  EXPECT_FALSE(ParseJson("\"\\x\"").ok());  // bad escape
+  EXPECT_FALSE(ParseJson("nul").ok());
+}
+
+TEST(JsonReaderTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonReaderTest, RoundTripsWriterOutput) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.KV("name", std::string("a \"quoted\" value\n"));
+  writer.KV("count", static_cast<int64_t>(42));
+  writer.EndObject();
+  auto value = ParseJson(writer.str());
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_EQ(value->Find("name")->string, "a \"quoted\" value\n");
+  EXPECT_EQ(value->Find("count")->raw_number, "42");
+}
+
+}  // namespace
+}  // namespace spider

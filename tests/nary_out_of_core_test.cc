@@ -108,9 +108,9 @@ ParityCatalogs BuildCatalogs() {
 }
 
 // peak_open_files is the one thread-count-dependent counter: under
-// parallel dispatch it reports the honest sum over concurrent tasks (the
-// same caveat the unary session documents), so it is only compared
-// between runs with matching thread counts.
+// parallel dispatch it reports the high-water bound of the pool's largest
+// concurrent per-task peaks (ApplyConcurrentPeakBound), so it is only
+// compared between runs with matching thread counts.
 void ExpectCountersEqual(const RunCounters& a, const RunCounters& b,
                          const std::string& label, bool include_peak) {
   EXPECT_EQ(a.tuples_read, b.tuples_read) << label;

@@ -16,6 +16,7 @@
 //   spider links <source_csv_dir> <target_csv_dir> [--strip-prefixes]
 //                [--min-coverage=C]
 //   spider approaches [--json]
+//   spider serve <workspace_root> [--host=ADDR] [--port=N] [--threads=N]
 //   spider version | --version
 //
 // `profile` prints the satisfied INDs (σ < 1 switches to partial INDs;
@@ -29,6 +30,9 @@
 // (pay the parse once, profile many times with bounded memory);
 // `discover` runs the whole Aladin-style pipeline and prints the report;
 // `links` finds cross-database links into the target's accession columns;
+// `serve` runs the spiderd daemon (docs/SERVER.md) over a directory of
+// imported workspaces — the same HTTP/JSON API as the standalone spiderd
+// binary, sharing one extractor cache per workspace across requests;
 // `approaches` lists every registered verification approach with its
 // capabilities (--json emits the machine-readable form the docs
 // capability matrix is generated from). Approach names come from the
@@ -52,6 +56,8 @@
 // baseline); --io-threads=N adds a dedicated background prefetch pool for
 // set-file reads (0 = synchronous).
 
+#include <unistd.h>
+
 #include <atomic>
 #include <csignal>
 #include <cstdlib>
@@ -62,7 +68,6 @@
 
 #include <fstream>
 
-#include "src/common/json_writer.h"
 #include "src/common/stopwatch.h"
 #include "src/common/temp_dir.h"
 #include "src/discovery/graph_export.h"
@@ -72,7 +77,10 @@
 #include "src/ind/dependency.h"
 #include "src/ind/partial_ind.h"
 #include "src/ind/registry.h"
+#include "src/ind/report_json.h"
+#include "src/ind/run_options_parse.h"
 #include "src/ind/session.h"
+#include "src/server/server.h"
 #include "src/storage/csv.h"
 #include "src/storage/disk_store.h"
 
@@ -169,6 +177,8 @@ int Usage() {
          "  spider links <source_dir> <target_dir> [--strip-prefixes]\n"
          "               [--min-coverage=C]\n"
          "  spider approaches [--json]\n"
+         "  spider serve <workspace_root> [--host=ADDR] [--port=N] "
+         "[--threads=N]\n"
          "  spider version\n"
          "\nn-ary approaches take [--nary-base=NAME] [--max-arity=K]\n"
          "--kind=ucc|fd|afd runs dependency discovery (--error=E accepts "
@@ -180,85 +190,37 @@ int Usage() {
 
 struct Flags {
   std::vector<std::string> positional;
-  /// Empty = default for the requested kind ("brute-force" for INDs).
-  std::string approach;
-  std::optional<DependencyKind> kind;
-  std::string nary_base = "spider-merge";
-  int max_arity = 0;  // 0 = algorithm default
+  /// The unified run options — everything `spider profile` and a spiderd
+  /// request body share. Built by ParseRunOptions from `pairs`, so the CLI
+  /// and the daemon validate values with byte-identical messages.
+  RunOptions run;
+  /// The raw option key/values handed to ParseRunOptions (kept so `serve`
+  /// can tell whether a key was set explicitly).
+  std::vector<RunOptionKv> pairs;
   StorageBackend backend = StorageBackend::kMemory;
   bool backend_set = false;  // --backend was given explicitly
   std::string workspace;
   int64_t block_bytes = 0;  // 0 = DiskStoreOptions default
-  bool max_value_pretest = false;
-  bool sampling_pretest = false;
   bool surrogate_filter = true;
   bool strip_prefixes = false;
   bool json = false;
   bool progress = false;
   std::string dot_path;
-  double sigma = 1.0;
-  double min_coverage = 1.0;
-  double error_threshold = 0;
-  int max_lhs = 0;  // 0 = algorithm default
-  double time_budget_seconds = 0;
-  int threads = 1;
-  bool block_skip = true;
-  int io_threads = 0;
+  double min_coverage = 1.0;  // links --min-coverage
+  std::string host = "127.0.0.1";  // serve --host
+  int port = 4280;                 // serve --port
   bool ok = true;
 };
 
+// CLI-specific flags (transport, output shape) are handled here; every
+// run-option flag falls through into key/value pairs for ParseRunOptions —
+// the same parser spiderd feeds JSON bodies into — so validation and error
+// texts cannot diverge between the two front-ends.
 Flags ParseFlags(int argc, char** argv, int first) {
   Flags flags;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--approach=", 0) == 0) {
-      std::string name = arg.substr(11);
-      // The registry's lookup error carries the valid names per kind plus
-      // a nearest-match suggestion — surface it verbatim.
-      auto capabilities = AlgorithmRegistry::Global().GetCapabilities(name);
-      if (!capabilities.ok()) {
-        std::cerr << capabilities.status().message() << "\n";
-        flags.ok = false;
-        return flags;
-      }
-      flags.approach = std::move(name);
-    } else if (arg.rfind("--kind=", 0) == 0) {
-      auto kind = ParseDependencyKind(arg.substr(7));
-      if (!kind.ok()) {
-        std::cerr << kind.status().message() << "\n";
-        flags.ok = false;
-        return flags;
-      }
-      flags.kind = *kind;
-    } else if (arg.rfind("--nary-base=", 0) == 0) {
-      std::string name = arg.substr(12);
-      auto capabilities = AlgorithmRegistry::Global().GetCapabilities(name);
-      if (!capabilities.ok()) {
-        std::cerr << "unknown --nary-base approach: " << name
-                  << " (available: " << ApproachList() << ")\n";
-        flags.ok = false;
-        return flags;
-      }
-      if (capabilities->nary) {
-        std::cerr << "--nary-base must name a unary approach, got n-ary "
-                     "expansion '"
-                  << name << "'\n";
-        flags.ok = false;
-        return flags;
-      }
-      flags.nary_base = std::move(name);
-    } else if (arg.rfind("--max-arity=", 0) == 0) {
-      const std::string value = arg.substr(12);
-      char* end = nullptr;
-      const long parsed = std::strtol(value.c_str(), &end, 10);
-      if (value.empty() || *end != '\0' || parsed < 2 || parsed > 64) {
-        std::cerr << "--max-arity must be an integer in [2, 64], got '"
-                  << value << "'\n";
-        flags.ok = false;
-        return flags;
-      }
-      flags.max_arity = static_cast<int>(parsed);
-    } else if (arg.rfind("--backend=", 0) == 0) {
+    if (arg.rfind("--backend=", 0) == 0) {
       const std::string value = arg.substr(10);
       flags.backend_set = true;
       if (value == "memory") {
@@ -284,10 +246,6 @@ Flags ParseFlags(int argc, char** argv, int first) {
         return flags;
       }
       flags.block_bytes = static_cast<int64_t>(parsed);
-    } else if (arg == "--max-value-pretest") {
-      flags.max_value_pretest = true;
-    } else if (arg == "--sampling-pretest") {
-      flags.sampling_pretest = true;
     } else if (arg == "--no-surrogate-filter") {
       flags.surrogate_filter = false;
     } else if (arg == "--strip-prefixes") {
@@ -296,94 +254,46 @@ Flags ParseFlags(int argc, char** argv, int first) {
       flags.json = true;
     } else if (arg.rfind("--dot=", 0) == 0) {
       flags.dot_path = arg.substr(6);
-    } else if (arg.rfind("--sigma=", 0) == 0) {
-      flags.sigma = std::atof(arg.substr(8).c_str());
     } else if (arg.rfind("--min-coverage=", 0) == 0) {
       flags.min_coverage = std::atof(arg.substr(15).c_str());
-    } else if (arg.rfind("--error=", 0) == 0) {
-      const std::string value = arg.substr(8);
-      char* end = nullptr;
-      const double parsed = std::strtod(value.c_str(), &end);
-      if (value.empty() || *end != '\0' || parsed < 0 || parsed >= 1.0) {
-        std::cerr << "--error must be a number in [0, 1), got '" << value
-                  << "'\n";
-        flags.ok = false;
-        return flags;
-      }
-      flags.error_threshold = parsed;
-    } else if (arg.rfind("--max-lhs=", 0) == 0) {
-      const std::string value = arg.substr(10);
-      char* end = nullptr;
-      const long parsed = std::strtol(value.c_str(), &end, 10);
-      if (value.empty() || *end != '\0' || parsed < 1 || parsed > 64) {
-        std::cerr << "--max-lhs must be an integer in [1, 64], got '" << value
-                  << "'\n";
-        flags.ok = false;
-        return flags;
-      }
-      flags.max_lhs = static_cast<int>(parsed);
-    } else if (arg.rfind("--time-budget=", 0) == 0) {
-      flags.time_budget_seconds = std::atof(arg.substr(14).c_str());
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      const std::string value = arg.substr(10);
-      char* end = nullptr;
-      const long parsed = std::strtol(value.c_str(), &end, 10);
-      if (value.empty() || *end != '\0' || parsed < 0 || parsed > 4096) {
-        std::cerr << "--threads must be an integer in [0, 4096] "
-                     "(0 = hardware concurrency), got '" << value << "'\n";
-        flags.ok = false;
-        return flags;
-      }
-      flags.threads = static_cast<int>(parsed);
-    } else if (arg == "--no-block-skip") {
-      flags.block_skip = false;
-    } else if (arg.rfind("--io-threads=", 0) == 0) {
-      const std::string value = arg.substr(13);
-      char* end = nullptr;
-      const long parsed = std::strtol(value.c_str(), &end, 10);
-      if (value.empty() || *end != '\0' || parsed < 0 || parsed > 4096) {
-        std::cerr << "--io-threads must be an integer in [0, 4096] "
-                     "(0 = no prefetch), got '" << value << "'\n";
-        flags.ok = false;
-        return flags;
-      }
-      flags.io_threads = static_cast<int>(parsed);
     } else if (arg == "--progress") {
       flags.progress = true;
+    } else if (arg.rfind("--host=", 0) == 0) {
+      flags.host = arg.substr(7);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      const std::string value = arg.substr(7);
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed < 0 || parsed > 65535) {
+        std::cerr << "--port must be an integer in [0, 65535], got '" << value
+                  << "'\n";
+        flags.ok = false;
+        return flags;
+      }
+      flags.port = static_cast<int>(parsed);
     } else if (arg.rfind("--", 0) == 0) {
-      std::cerr << "unknown flag: " << arg << "\n";
-      flags.ok = false;
-      return flags;
+      const size_t eq = arg.find('=');
+      std::string key = eq == std::string::npos ? arg.substr(2)
+                                                : arg.substr(2, eq - 2);
+      std::string value =
+          eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+      flags.pairs.push_back(RunOptionKv{std::move(key), std::move(value)});
     } else {
       flags.positional.push_back(arg);
     }
   }
+  auto run = ParseRunOptions(flags.pairs);
+  if (!run.ok()) {
+    std::cerr << run.status().message() << "\n";
+    flags.ok = false;
+    return flags;
+  }
+  flags.run = std::move(*run);
   return flags;
 }
 
 RunOptions MakeRunOptions(const Flags& flags) {
-  RunOptions options;
-  options.approach = flags.approach;
-  if (options.approach.empty()) {
-    // --kind without --approach selects the kind's default discoverer;
-    // plain `spider profile` keeps the historical brute-force default.
-    options.approach = "brute-force";
-    if (flags.kind && *flags.kind != DependencyKind::kInd) {
-      auto name = AlgorithmRegistry::Global().DefaultNameForKind(*flags.kind);
-      if (name.ok()) options.approach = *name;
-    }
-  }
-  options.kind = flags.kind;
-  options.error_threshold = flags.error_threshold;
-  options.max_lhs_arity = flags.max_lhs;
-  options.nary_base = flags.nary_base;
-  options.nary_max_arity = flags.max_arity;
-  options.generator.max_value_pretest = flags.max_value_pretest;
-  options.generator.sampling_pretest = flags.sampling_pretest;
-  options.time_budget_seconds = flags.time_budget_seconds;
-  options.threads = flags.threads;
-  options.block_skip = flags.block_skip;
-  options.io_threads = flags.io_threads;
+  RunOptions options = flags.run;
   options.cancel = &g_sigint_token;
   if (flags.progress) options.progress = PrintProgress;
   return options;
@@ -483,10 +393,10 @@ int RunImport(const Flags& flags) {
 
 int RunProfile(const Flags& flags) {
   if (flags.positional.size() != 1) return Usage();
-  if (flags.sigma < 1.0 && flags.kind &&
-      *flags.kind != DependencyKind::kInd) {
+  if (flags.run.min_coverage < 1.0 && flags.run.kind &&
+      *flags.run.kind != DependencyKind::kInd) {
     std::cerr << "--sigma is σ-partial IND coverage; approximate --kind="
-              << KindName(*flags.kind) << " discovery takes --error=E\n";
+              << KindName(*flags.run.kind) << " discovery takes --error=E\n";
     return 2;
   }
   auto catalog = LoadCatalog(flags.positional[0], flags);
@@ -496,131 +406,27 @@ int RunProfile(const Flags& flags) {
               << catalog->catalog->attribute_count() << " attributes\n\n";
   }
 
-  if (flags.sigma >= 1.0) {
+  if (flags.run.min_coverage >= 1.0) {
     InstallSigintHandler();
     SpiderSession session(*catalog->catalog);
     auto report = session.Run(MakeRunOptions(flags));
     if (flags.progress) std::cerr << "\n";
     if (!report.ok()) return Fail(report.status());
-    if (report->kind != DependencyKind::kInd) {
-      if (flags.json) {
-        // Same partial-run contract as the IND form: finished=false means
-        // the listed dependencies are confirmed but the sweep is cut short.
-        JsonWriter json;
-        json.BeginObject();
-        json.KV("approach", report->approach);
-        json.KV("kind", std::string(KindName(report->kind)));
-        json.KV("backend",
-                catalog->catalog->out_of_core() ? std::string("disk")
-                                                : std::string("memory"));
-        json.KV("tables",
-                static_cast<int64_t>(catalog->catalog->table_count()));
-        json.KV("attributes",
-                static_cast<int64_t>(catalog->catalog->attribute_count()));
-        json.KV("finished", report->dependency.finished);
-        json.KV("budget_expired", !report->dependency.finished);
-        json.KV("cancelled", g_sigint_token.cancelled());
-        json.KV("threads", static_cast<int64_t>(report->threads_used));
-        json.KV("seconds", report->total_seconds);
-        json.KV("tests", report->dependency.tests);
-        json.KV("tuples_read", report->dependency.counters.tuples_read);
-        if (report->kind == DependencyKind::kUcc) {
-          json.Key("uccs");
-          json.BeginArray();
-          for (const Ucc& ucc : report->dependency.uccs) {
-            json.BeginObject();
-            json.KV("table", ucc.table);
-            json.Key("columns");
-            json.BeginArray();
-            for (const std::string& column : ucc.columns) {
-              json.String(column);
-            }
-            json.EndArray();
-            json.EndObject();
-          }
-          json.EndArray();
-        } else {
-          json.Key("fds");
-          json.BeginArray();
-          for (const Fd& fd : report->dependency.fds) {
-            json.BeginObject();
-            json.KV("table", fd.table);
-            json.Key("lhs");
-            json.BeginArray();
-            for (const std::string& column : fd.lhs) json.String(column);
-            json.EndArray();
-            json.KV("rhs", fd.rhs);
-            json.KV("error", fd.error);
-            json.EndObject();
-          }
-          json.EndArray();
-        }
-        json.EndObject();
-        std::cout << json.str() << "\n";
-        return 0;
-      }
-      std::cout << report->ToString();
+    if (flags.json) {
+      // The shared serializer — the exact document spiderd's job-result
+      // endpoint returns for the same run (docs/SERVER.md).
+      ReportJsonContext context;
+      context.backend =
+          catalog->catalog->out_of_core() ? "disk" : "memory";
+      context.tables = static_cast<int64_t>(catalog->catalog->table_count());
+      context.attributes =
+          static_cast<int64_t>(catalog->catalog->attribute_count());
+      context.cancelled = g_sigint_token.cancelled();
+      std::cout << SessionReportToJson(*report, context) << "\n";
       return 0;
     }
-    if (flags.json) {
-      // `finished: false` marks a budget-expired run: `satisfied_inds` is
-      // then a confirmed-but-partial set, not the complete answer.
-      JsonWriter json;
-      json.BeginObject();
-      json.KV("approach", report->approach);
-      json.KV("kind", std::string(KindName(report->kind)));
-      json.KV("backend",
-              catalog->catalog->out_of_core() ? std::string("disk")
-                                              : std::string("memory"));
-      json.KV("tables", static_cast<int64_t>(catalog->catalog->table_count()));
-      json.KV("attributes", static_cast<int64_t>(catalog->catalog->attribute_count()));
-      json.KV("raw_pairs", report->candidates.raw_pair_count);
-      json.KV("candidates",
-              static_cast<int64_t>(report->candidates.candidates.size()));
-      json.KV("pretest_pruned", report->candidates.total_pruned());
-      json.KV("finished", report->run.finished);
-      json.KV("budget_expired", !report->run.finished);
-      json.KV("cancelled", g_sigint_token.cancelled());
-      json.KV("threads", static_cast<int64_t>(report->threads_used));
-      json.KV("partitions", static_cast<int64_t>(report->partitions));
-      json.KV("seconds", report->total_seconds);
-      json.KV("tuples_read", report->run.counters.tuples_read);
-      json.Key("satisfied_inds");
-      json.BeginArray();
-      for (const Ind& ind : report->run.satisfied) {
-        json.BeginObject();
-        json.KV("dependent", ind.dependent.ToString());
-        json.KV("referenced", ind.referenced.ToString());
-        json.EndObject();
-      }
-      json.EndArray();
-      if (report->nary) {
-        json.KV("nary_base", report->nary_base);
-        json.KV("nary_finished", report->nary_run.finished);
-        json.KV("nary_tests", report->nary_run.tests);
-        json.KV("nary_tuples_read", report->nary_run.counters.tuples_read);
-        json.Key("nary_inds");
-        json.BeginArray();
-        for (const NaryInd& ind : report->nary_run.satisfied) {
-          json.BeginObject();
-          json.Key("dependent");
-          json.BeginArray();
-          for (const AttributeRef& attr : ind.dependent) {
-            json.String(attr.ToString());
-          }
-          json.EndArray();
-          json.Key("referenced");
-          json.BeginArray();
-          for (const AttributeRef& attr : ind.referenced) {
-            json.String(attr.ToString());
-          }
-          json.EndArray();
-          json.EndObject();
-        }
-        json.EndArray();
-      }
-      json.EndObject();
-      std::cout << json.str() << "\n";
+    if (report->kind != DependencyKind::kInd) {
+      std::cout << report->ToString();
       return 0;
     }
     std::cout << report->ToString() << "\nsatisfied INDs"
@@ -644,7 +450,7 @@ int RunProfile(const Flags& flags) {
   }
 
   // Partial-IND mode: generate candidates, then measure coverage.
-  if (flags.time_budget_seconds > 0) {
+  if (flags.run.time_budget_seconds > 0) {
     std::cerr << "note: --time-budget is not supported in partial-IND mode "
                  "(sigma < 1); running unbounded\n";
   }
@@ -657,11 +463,11 @@ int RunProfile(const Flags& flags) {
   ValueSetExtractor extractor((*dir)->path());
   PartialIndOptions partial_options;
   partial_options.extractor = &extractor;
-  partial_options.min_coverage = flags.sigma;
+  partial_options.min_coverage = flags.run.min_coverage;
   PartialIndFinder finder(partial_options);
   auto results = finder.Run(*catalog->catalog, candidates->candidates);
   if (!results.ok()) return Fail(results.status());
-  std::cout << "partial INDs with sigma=" << flags.sigma << ":\n";
+  std::cout << "partial INDs with sigma=" << flags.run.min_coverage << ":\n";
   for (const PartialInd& p : *results) {
     if (p.satisfied) {
       std::cout << "  " << p.candidate.ToString() << "  (coverage "
@@ -679,6 +485,9 @@ int RunDiscover(const Flags& flags) {
   InstallSigintHandler();
   SchemaReportOptions options;
   options.ind = MakeRunOptions(flags);
+  // `discover` has always run exact INDs; a stray --sigma must not flip
+  // the pipeline into σ-partial mode.
+  options.ind.min_coverage = 1.0;
   options.filter_surrogates = flags.surrogate_filter;
   auto report = BuildSchemaReport(*catalog->catalog, options);
   if (!report.ok()) return Fail(report.status());
@@ -726,30 +535,9 @@ int RunApproaches(const Flags& flags) {
   }
   if (flags.json) {
     // Machine-readable capability listing: the source of truth for the
-    // docs capability matrix (tools/gen_capability_docs.sh).
-    JsonWriter json;
-    json.BeginObject();
-    json.Key("approaches");
-    json.BeginArray();
-    for (const std::string& name : names) {
-      auto capabilities = registry.GetCapabilities(name);
-      if (!capabilities.ok()) return Fail(capabilities.status());
-      json.BeginObject();
-      json.KV("name", name);
-      json.KV("kind", std::string(KindName(capabilities->kind)));
-      json.KV("summary", capabilities->summary);
-      json.KV("nary", capabilities->nary);
-      json.KV("database_internal", capabilities->database_internal);
-      json.KV("needs_extractor", capabilities->needs_extractor);
-      json.KV("supports_partial", capabilities->supports_partial);
-      json.KV("supports_time_budget", capabilities->supports_time_budget);
-      json.KV("parallel_safe", capabilities->parallel_safe);
-      json.KV("supports_out_of_core", capabilities->supports_out_of_core);
-      json.EndObject();
-    }
-    json.EndArray();
-    json.EndObject();
-    std::cout << json.str() << "\n";
+    // docs capability matrix (tools/gen_capability_docs.sh) and the body
+    // of spiderd's GET /approaches.
+    std::cout << ApproachesToJson() << "\n";
     return 0;
   }
   for (const std::string& name : names) {
@@ -776,6 +564,50 @@ int RunApproaches(const Flags& flags) {
   return 0;
 }
 
+// `spider serve` — the spiderd daemon behind the main CLI (tools/spiderd.cc
+// is the standalone binary over the same server library). The signal
+// handler may only write(2) to the self-pipe, so the fd lives in a
+// sig_atomic_t set before handlers are installed.
+volatile std::sig_atomic_t g_serve_stop_fd = -1;
+
+void HandleServeStop(int /*signum*/) {
+  if (g_serve_stop_fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t ignored = write(g_serve_stop_fd, &byte, 1);
+  }
+}
+
+int RunServe(const Flags& flags) {
+  if (flags.positional.size() != 1) return Usage();
+  ServerOptions options;
+  options.root = flags.positional[0];
+  options.host = flags.host;
+  options.port = flags.port;
+  // The daemon's worker-pool default is hardware concurrency, not the
+  // profile command's single-threaded paper configuration — only an
+  // explicit --threads=N overrides it.
+  for (const RunOptionKv& kv : flags.pairs) {
+    if (kv.key == "threads") options.worker_threads = flags.run.threads;
+  }
+  SpiderServer server(std::move(options));
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+
+  g_serve_stop_fd = server.stop_write_fd();
+  struct sigaction action{};
+  action.sa_handler = HandleServeStop;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  // A client that disappears mid-response must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::cerr << "spiderd serving " << flags.positional[0] << " on "
+            << flags.host << ":" << server.port() << "\n";
+  Status served = server.Run();
+  if (!served.ok()) return Fail(served);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -789,5 +621,6 @@ int main(int argc, char** argv) {
   if (command == "discover") return RunDiscover(flags);
   if (command == "links") return RunLinks(flags);
   if (command == "approaches") return RunApproaches(flags);
+  if (command == "serve") return RunServe(flags);
   return Usage();
 }
