@@ -14,6 +14,8 @@ std::string RunCounters::ToString() const {
   out += " engine_rows=" + FormatWithCommas(engine_rows_scanned);
   out += " files_opened=" + FormatWithCommas(files_opened);
   out += " peak_open_files=" + FormatWithCommas(peak_open_files);
+  out += " sets_extracted=" + FormatWithCommas(sets_extracted);
+  out += " sets_reused=" + FormatWithCommas(sets_reused);
   return out;
 }
 

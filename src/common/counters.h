@@ -30,6 +30,11 @@ struct RunCounters {
   int64_t files_opened = 0;
   /// Peak number of simultaneously open sorted-set files.
   int64_t peak_open_files = 0;
+  /// Sorted value sets extracted (sorted fresh from column data).
+  int64_t sets_extracted = 0;
+  /// Sorted value sets reused from a persisted profile instead of
+  /// re-extracting (fingerprints verified).
+  int64_t sets_reused = 0;
 
   void Reset() { *this = RunCounters(); }
 
@@ -45,6 +50,8 @@ struct RunCounters {
     if (other.peak_open_files > peak_open_files) {
       peak_open_files = other.peak_open_files;
     }
+    sets_extracted += other.sets_extracted;
+    sets_reused += other.sets_reused;
   }
 
   std::string ToString() const;

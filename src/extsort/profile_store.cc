@@ -1,0 +1,294 @@
+#include "src/extsort/profile_store.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/string_util.h"
+#include "src/storage/disk_store.h"
+
+namespace spider {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Profile manifest format (TSV, percent-escaped fields, version 1):
+//
+//   spider-profile\t1
+//   set\t<file>\t<bytes>\t<content_fp>\t<source_fp>\t<distinct>\t<blocks>
+//      \t<min_flag>\t<min>\t<max_flag>\t<max>
+//   verdict\t<dep_table>\t<dep_col>\t<ref_table>\t<ref_col>\t<satisfied>
+//      \t<dep_fp>\t<ref_fp>
+//   end
+//   checksum\t<hex over every preceding byte>
+//
+// The trailing checksum makes any torn write or bit flip in the manifest
+// itself detectable: Load() then starts from an empty profile instead of
+// trusting damaged fingerprints.
+
+constexpr char kProfileHeader[] = "spider-profile\t1";
+
+std::string FormatHex64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool ParseHex64(const std::string& field, uint64_t* out) {
+  if (field.empty() || field.size() > 16) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(field.c_str(), &end, 16);
+  if (end != field.c_str() + field.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseInt64(const std::string& field, int64_t* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  if (end != field.c_str() + field.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+ProfileStore::ProfileStore(fs::path dir)
+    : path_(std::move(dir) / kProfileManifestName) {}
+
+uint64_t ProfileStore::StatsFingerprint(const ColumnStats& stats) {
+  // Every field an append can move is folded in (an append always moves
+  // row_count, so this can never miss a data change); the unit separator
+  // keeps field boundaries significant for the value strings.
+  std::string buf;
+  auto add = [&buf](const std::string& field) {
+    buf += field;
+    buf += '\x1f';
+  };
+  add(std::to_string(stats.row_count));
+  add(std::to_string(stats.null_count));
+  add(std::to_string(stats.non_null_count));
+  add(std::to_string(stats.distinct_count));
+  add(std::to_string(stats.min_length));
+  add(std::to_string(stats.max_length));
+  add(std::to_string(stats.letter_count));
+  add(std::to_string(stats.digit_count));
+  add(stats.min_value ? "1" : "0");
+  if (stats.min_value) add(*stats.min_value);
+  add(stats.max_value ? "1" : "0");
+  if (stats.max_value) add(*stats.max_value);
+  return HashString(buf);
+}
+
+Result<uint64_t> ProfileStore::FileFingerprint(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open " + path.string() +
+                           " for fingerprinting");
+  }
+  uint64_t hash = kFnvOffsetBasis;
+  std::vector<char> buffer(64 << 10);
+  while (in) {
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    const std::streamsize got = in.gcount();
+    if (got > 0) {
+      hash = HashString(
+          std::string_view(buffer.data(), static_cast<size_t>(got)), hash);
+    }
+  }
+  if (in.bad()) {
+    return Status::IOError("failed reading " + path.string() +
+                           " for fingerprinting");
+  }
+  return hash;
+}
+
+void ProfileStore::Load() {
+  MutexLock lock(&mutex_);
+  sets_.clear();
+  verdicts_.clear();
+
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;  // no profile yet — empty is the correct state
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) return;
+
+  // The last line must be "checksum\t<hex>" covering every byte before it.
+  const size_t marker = content.rfind("\nchecksum\t");
+  if (marker == std::string::npos) return;
+  const size_t line_start = marker + 1;
+  std::string checksum_line = content.substr(line_start);
+  while (!checksum_line.empty() &&
+         (checksum_line.back() == '\n' || checksum_line.back() == '\r')) {
+    checksum_line.pop_back();
+  }
+  uint64_t expected = 0;
+  if (!ParseHex64(checksum_line.substr(std::string("checksum\t").size()),
+                  &expected)) {
+    return;
+  }
+  if (HashString(std::string_view(content.data(), line_start)) != expected) {
+    return;  // torn write or bit flip — trust nothing
+  }
+
+  // Checksum holds; parse the records. Any structural surprise (version
+  // bump, bad field) still degrades to an empty profile.
+  std::map<std::string, ProfileSetEntry> sets;
+  std::map<std::pair<AttributeRef, AttributeRef>, ProfileVerdict> verdicts;
+  std::vector<std::string> lines =
+      SplitString(std::string_view(content.data(), line_start), '\n');
+  if (lines.empty()) return;
+  std::string header = lines[0];
+  if (!header.empty() && header.back() == '\r') header.pop_back();
+  if (header != kProfileHeader) return;
+  bool saw_end = false;
+  for (size_t i = 1; i < lines.size() && !saw_end; ++i) {
+    std::string& line = lines[i];
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    for (const std::string& raw : SplitString(line, '\t')) {
+      Result<std::string> unescaped = UnescapeManifestField(raw);
+      if (!unescaped.ok()) return;
+      fields.push_back(std::move(unescaped).value());
+    }
+    const std::string& kind = fields[0];
+    if (kind == "set") {
+      if (fields.size() != 11) return;
+      ProfileSetEntry entry;
+      entry.file_name = fields[1];
+      if (!ParseInt64(fields[2], &entry.file_bytes) ||
+          !ParseHex64(fields[3], &entry.content_fingerprint) ||
+          !ParseHex64(fields[4], &entry.source_fingerprint) ||
+          !ParseInt64(fields[5], &entry.distinct_count) ||
+          !ParseInt64(fields[6], &entry.block_count)) {
+        return;
+      }
+      if (fields[7] == "1") entry.min_value = fields[8];
+      if (fields[9] == "1") entry.max_value = fields[10];
+      sets[entry.file_name] = std::move(entry);
+    } else if (kind == "verdict") {
+      if (fields.size() != 8) return;
+      ProfileVerdict verdict;
+      int64_t satisfied = 0;
+      if (!ParseInt64(fields[5], &satisfied) ||
+          !ParseHex64(fields[6], &verdict.dependent_fingerprint) ||
+          !ParseHex64(fields[7], &verdict.referenced_fingerprint)) {
+        return;
+      }
+      verdict.satisfied = satisfied != 0;
+      verdicts[{AttributeRef{fields[1], fields[2]},
+                AttributeRef{fields[3], fields[4]}}] = verdict;
+    } else if (kind == "end") {
+      saw_end = true;
+    } else {
+      return;
+    }
+  }
+  if (!saw_end) return;
+  sets_ = std::move(sets);
+  verdicts_ = std::move(verdicts);
+}
+
+Status ProfileStore::Save() const {
+  std::string content = kProfileHeader;
+  content += '\n';
+  {
+    MutexLock lock(&mutex_);
+    for (const auto& [file_name, entry] : sets_) {
+      content += "set\t" + EscapeManifestField(file_name) + "\t" +
+                 std::to_string(entry.file_bytes) + "\t" +
+                 FormatHex64(entry.content_fingerprint) + "\t" +
+                 FormatHex64(entry.source_fingerprint) + "\t" +
+                 std::to_string(entry.distinct_count) + "\t" +
+                 std::to_string(entry.block_count) + "\t";
+      content += entry.min_value
+                     ? "1\t" + EscapeManifestField(*entry.min_value)
+                     : "0\t";
+      content += "\t";
+      content += entry.max_value
+                     ? "1\t" + EscapeManifestField(*entry.max_value)
+                     : "0\t";
+      content += "\n";
+    }
+    for (const auto& [pair, verdict] : verdicts_) {
+      content += "verdict\t" + EscapeManifestField(pair.first.table) + "\t" +
+                 EscapeManifestField(pair.first.column) + "\t" +
+                 EscapeManifestField(pair.second.table) + "\t" +
+                 EscapeManifestField(pair.second.column) + "\t" +
+                 (verdict.satisfied ? "1" : "0") + "\t" +
+                 FormatHex64(verdict.dependent_fingerprint) + "\t" +
+                 FormatHex64(verdict.referenced_fingerprint) + "\n";
+    }
+  }
+  content += "end\n";
+  content += "checksum\t" + FormatHex64(HashString(content)) + "\n";
+
+  const fs::path tmp = path_.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot create profile manifest " + tmp.string());
+    }
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.close();
+    if (out.fail()) {
+      return Status::IOError("failed writing profile manifest " +
+                             tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path_, ec);
+  if (ec) {
+    return Status::IOError("cannot commit profile manifest " +
+                           path_.string() + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+std::optional<ProfileSetEntry> ProfileStore::FindSet(
+    const std::string& file_name) const {
+  MutexLock lock(&mutex_);
+  const auto it = sets_.find(file_name);
+  if (it == sets_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ProfileStore::PutSet(ProfileSetEntry entry) {
+  MutexLock lock(&mutex_);
+  sets_[entry.file_name] = std::move(entry);
+}
+
+std::optional<ProfileVerdict> ProfileStore::FindVerdict(
+    const AttributeRef& dependent, const AttributeRef& referenced) const {
+  MutexLock lock(&mutex_);
+  const auto it = verdicts_.find({dependent, referenced});
+  if (it == verdicts_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ProfileStore::PutVerdict(const AttributeRef& dependent,
+                              const AttributeRef& referenced,
+                              ProfileVerdict verdict) {
+  MutexLock lock(&mutex_);
+  verdicts_[{dependent, referenced}] = verdict;
+}
+
+int64_t ProfileStore::set_count() const {
+  MutexLock lock(&mutex_);
+  return static_cast<int64_t>(sets_.size());
+}
+
+int64_t ProfileStore::verdict_count() const {
+  MutexLock lock(&mutex_);
+  return static_cast<int64_t>(verdicts_.size());
+}
+
+}  // namespace spider

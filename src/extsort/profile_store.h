@@ -1,0 +1,114 @@
+// Persistent profile of a workspace: which sorted value sets exist on disk,
+// what source data they were sealed under, and which candidate verdicts
+// were already verified — "spider_profile.manifest", written next to the
+// ".set" files (and, for a disk workspace profiled in place, next to
+// "spider_store.manifest").
+//
+// The profile is a cache, never a source of truth: every entry carries two
+// fingerprints — a source fingerprint over the originating column
+// statistics (stale the moment an append changes the column) and a content
+// fingerprint over the set file's bytes (stale the moment the file is
+// truncated, bit-flipped or replaced). A mismatch of either silently falls
+// back to re-extraction / re-verification; a corrupt or missing manifest
+// loads as an empty profile. Nothing in this file may crash the profiler.
+
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/mutex.h"
+#include "src/common/result.h"
+#include "src/common/thread_annotations.h"
+#include "src/storage/catalog.h"
+#include "src/storage/column_stats.h"
+
+namespace spider {
+
+/// Name of the profile manifest inside a set-file directory.
+inline constexpr const char* kProfileManifestName = "spider_profile.manifest";
+
+/// One persisted set file: identity (file name), the data it was extracted
+/// from (source fingerprint over the column statistics), the exact bytes it
+/// was sealed as (content fingerprint), and the SortedSetInfo fields needed
+/// to reopen it without touching the data.
+struct ProfileSetEntry {
+  std::string file_name;
+  int64_t file_bytes = 0;
+  /// Chained FNV-1a over the set file's bytes (ProfileStore::FileFingerprint).
+  uint64_t content_fingerprint = 0;
+  /// ProfileStore::StatsFingerprint of the source column (chained over the
+  /// components for composite sets).
+  uint64_t source_fingerprint = 0;
+  int64_t distinct_count = 0;
+  int64_t block_count = 0;
+  std::optional<std::string> min_value;
+  std::optional<std::string> max_value;
+};
+
+/// A remembered exact-IND verdict for one (dependent, referenced) pair,
+/// valid only while both sides' source fingerprints still match.
+struct ProfileVerdict {
+  bool satisfied = false;
+  uint64_t dependent_fingerprint = 0;
+  uint64_t referenced_fingerprint = 0;
+};
+
+/// \brief Thread-safe store backing spider_profile.manifest.
+///
+/// Load() tolerates any corruption (missing file, torn write, bit flip —
+/// the manifest carries a whole-file checksum) by starting empty; Save()
+/// commits atomically via write-to-temp-and-rename.
+class ProfileStore {
+ public:
+  /// The manifest lives at `dir`/spider_profile.manifest. Nothing is read
+  /// until Load().
+  explicit ProfileStore(std::filesystem::path dir);
+
+  /// Fingerprint of the statistics a column was sealed under. Any data
+  /// change an append can make moves at least row_count, so stale sets and
+  /// verdicts are always detected.
+  static uint64_t StatsFingerprint(const ColumnStats& stats);
+
+  /// Chained FNV-1a over a file's bytes (streamed; bounded memory).
+  [[nodiscard]]
+  static Result<uint64_t> FileFingerprint(const std::filesystem::path& path);
+
+  /// Replaces the in-memory profile with the manifest's contents. A
+  /// missing, torn or checksum-failing manifest loads as empty — reusing
+  /// nothing is always safe.
+  void Load() SPIDER_EXCLUDES(mutex_);
+
+  /// Atomically rewrites the manifest from the in-memory profile.
+  [[nodiscard]]
+  Status Save() const SPIDER_EXCLUDES(mutex_);
+
+  std::optional<ProfileSetEntry> FindSet(const std::string& file_name) const
+      SPIDER_EXCLUDES(mutex_);
+  void PutSet(ProfileSetEntry entry) SPIDER_EXCLUDES(mutex_);
+
+  std::optional<ProfileVerdict> FindVerdict(const AttributeRef& dependent,
+                                            const AttributeRef& referenced)
+      const SPIDER_EXCLUDES(mutex_);
+  void PutVerdict(const AttributeRef& dependent,
+                  const AttributeRef& referenced, ProfileVerdict verdict)
+      SPIDER_EXCLUDES(mutex_);
+
+  int64_t set_count() const SPIDER_EXCLUDES(mutex_);
+  int64_t verdict_count() const SPIDER_EXCLUDES(mutex_);
+
+  const std::filesystem::path& manifest_path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  mutable Mutex mutex_;
+  std::map<std::string, ProfileSetEntry> sets_ SPIDER_GUARDED_BY(mutex_);
+  std::map<std::pair<AttributeRef, AttributeRef>, ProfileVerdict> verdicts_
+      SPIDER_GUARDED_BY(mutex_);
+};
+
+}  // namespace spider

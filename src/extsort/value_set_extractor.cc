@@ -48,7 +48,57 @@ std::string ValueSetExtractor::CompositeSetFileName(
 
 ValueSetExtractor::ValueSetExtractor(fs::path output_dir,
                                      ValueSetExtractorOptions options)
-    : output_dir_(std::move(output_dir)), options_(options) {}
+    : output_dir_(std::move(output_dir)), options_(options) {
+  if (options_.persist_profile) {
+    profile_ = std::make_unique<ProfileStore>(output_dir_);
+    profile_->Load();
+  }
+}
+
+std::optional<SortedSetInfo> ValueSetExtractor::TryReuse(
+    const std::string& file_name, uint64_t source_fingerprint) {
+  std::optional<ProfileSetEntry> entry = profile_->FindSet(file_name);
+  if (!entry || entry->source_fingerprint != source_fingerprint) {
+    return std::nullopt;  // never extracted, or the source data changed
+  }
+  const fs::path path = output_dir_ / file_name;
+  std::error_code ec;
+  const auto on_disk = fs::file_size(path, ec);
+  if (ec || static_cast<int64_t>(on_disk) != entry->file_bytes) {
+    return std::nullopt;  // deleted or truncated — recompute
+  }
+  Result<uint64_t> content = ProfileStore::FileFingerprint(path);
+  if (!content.ok() || *content != entry->content_fingerprint) {
+    return std::nullopt;  // bit rot / torn write — recompute
+  }
+  SortedSetInfo info;
+  info.path = path;
+  info.distinct_count = entry->distinct_count;
+  info.block_count = entry->block_count;
+  info.min_value = entry->min_value;
+  info.max_value = entry->max_value;
+  return info;
+}
+
+void ValueSetExtractor::RecordSet(const SortedSetInfo& info,
+                                  const std::string& file_name,
+                                  uint64_t source_fingerprint) {
+  std::error_code ec;
+  const auto on_disk = fs::file_size(info.path, ec);
+  if (ec) return;
+  Result<uint64_t> content = ProfileStore::FileFingerprint(info.path);
+  if (!content.ok()) return;
+  ProfileSetEntry entry;
+  entry.file_name = file_name;
+  entry.file_bytes = static_cast<int64_t>(on_disk);
+  entry.content_fingerprint = *content;
+  entry.source_fingerprint = source_fingerprint;
+  entry.distinct_count = info.distinct_count;
+  entry.block_count = info.block_count;
+  entry.min_value = info.min_value;
+  entry.max_value = info.max_value;
+  profile_->PutSet(std::move(entry));
+}
 
 Result<SortedSetInfo> ValueSetExtractor::SortCursorToSet(
     ValueCursor& cursor, const std::string& file_name) {
@@ -77,16 +127,63 @@ Result<SortedSetInfo> ValueSetExtractor::DoExtract(
     const Catalog& catalog, const AttributeRef& attribute) {
   SPIDER_ASSIGN_OR_RETURN(const Column* column,
                           catalog.ResolveAttribute(attribute));
+  const std::string file_name = SetFileName(attribute);
+  std::optional<uint64_t> source_fp;
+  if (profile_ != nullptr && column->cached_stats() != nullptr) {
+    source_fp = ProfileStore::StatsFingerprint(*column->cached_stats());
+    if (std::optional<SortedSetInfo> reused = TryReuse(file_name, *source_fp)) {
+      sets_reused_.fetch_add(1, std::memory_order_relaxed);
+      return *std::move(reused);
+    }
+  }
   SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
                           column->OpenCursor());
-  return SortCursorToSet(*cursor, SetFileName(attribute));
+  SPIDER_ASSIGN_OR_RETURN(SortedSetInfo info,
+                          SortCursorToSet(*cursor, file_name));
+  sets_extracted_.fetch_add(1, std::memory_order_relaxed);
+  if (source_fp) RecordSet(info, file_name, *source_fp);
+  return info;
 }
 
 Result<SortedSetInfo> ValueSetExtractor::DoExtractComposite(
     const Catalog& catalog, const std::vector<AttributeRef>& attributes) {
+  const std::string file_name = CompositeSetFileName(attributes);
+  std::optional<uint64_t> source_fp;
+  if (profile_ != nullptr) {
+    // The composite source fingerprint chains the component columns'
+    // stats fingerprints in tuple order; any component's data change
+    // invalidates the tuple set.
+    uint64_t chained = kFnvOffsetBasis;
+    bool all_have_stats = true;
+    for (const AttributeRef& attr : attributes) {
+      Result<const Column*> column = catalog.ResolveAttribute(attr);
+      if (!column.ok() || (*column)->cached_stats() == nullptr) {
+        all_have_stats = false;
+        break;
+      }
+      const uint64_t component =
+          ProfileStore::StatsFingerprint(*(*column)->cached_stats());
+      chained = HashString(
+          std::string_view(reinterpret_cast<const char*>(&component),
+                           sizeof(component)),
+          chained);
+    }
+    if (all_have_stats) {
+      source_fp = chained;
+      if (std::optional<SortedSetInfo> reused =
+              TryReuse(file_name, *source_fp)) {
+        sets_reused_.fetch_add(1, std::memory_order_relaxed);
+        return *std::move(reused);
+      }
+    }
+  }
   SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ValueCursor> cursor,
                           OpenCompositeCursor(catalog, attributes));
-  return SortCursorToSet(*cursor, CompositeSetFileName(attributes));
+  SPIDER_ASSIGN_OR_RETURN(SortedSetInfo info,
+                          SortCursorToSet(*cursor, file_name));
+  sets_extracted_.fetch_add(1, std::memory_order_relaxed);
+  if (source_fp) RecordSet(info, file_name, *source_fp);
+  return info;
 }
 
 template <typename Key, typename ExtractFn>

@@ -8,9 +8,13 @@
 
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <filesystem>
 #include <future>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +23,7 @@
 #include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/extsort/external_sorter.h"
+#include "src/extsort/profile_store.h"
 #include "src/extsort/sorted_set_file.h"
 #include "src/storage/catalog.h"
 
@@ -31,6 +36,14 @@ struct ValueSetExtractorOptions {
   /// Format knobs for the materialized set files (block size, legacy
   /// mode), forwarded to every SortedSetWriter this extractor creates.
   SortedSetWriterOptions set_writer;
+  /// Persist the profile: load spider_profile.manifest from the output dir
+  /// at construction, reuse recorded set files whose source and content
+  /// fingerprints still verify instead of re-extracting, and record fresh
+  /// extractions for the next session (committed by SaveProfile()). Only
+  /// columns with cached statistics (the disk backend) participate —
+  /// without sealed stats there is no source fingerprint to validate
+  /// against.
+  bool persist_profile = false;
 };
 
 /// \brief Materializes sorted-distinct value sets for catalog attributes.
@@ -88,6 +101,26 @@ class ValueSetExtractor {
   static std::string CompositeSetFileName(
       const std::vector<AttributeRef>& attributes);
 
+  /// The persistent profile, or null unless options.persist_profile.
+  ProfileStore* profile() const { return profile_.get(); }
+
+  /// Persists the profile (no-op without one). Callers decide the commit
+  /// points — typically once per finished session run.
+  [[nodiscard]]
+  Status SaveProfile() const {
+    return profile_ == nullptr ? Status::OK() : profile_->Save();
+  }
+
+  /// Monotonic counters: sets sorted fresh vs. reused from the persisted
+  /// profile since construction. Sessions diff them around a run to report
+  /// per-run work.
+  int64_t sets_extracted() const {
+    return sets_extracted_.load(std::memory_order_relaxed);
+  }
+  int64_t sets_reused() const {
+    return sets_reused_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// The uncached sort-and-materialize step.
   [[nodiscard]]
@@ -124,8 +157,24 @@ class ValueSetExtractor {
   Result<SortedSetInfo> SortCursorToSet(ValueCursor& cursor,
                                         const std::string& file_name);
 
+  /// Returns the recorded set for `file_name` when its profile entry's
+  /// source fingerprint matches and the on-disk bytes still verify;
+  /// nullopt (never an error) otherwise.
+  std::optional<SortedSetInfo> TryReuse(const std::string& file_name,
+                                        uint64_t source_fingerprint);
+
+  /// Records a fresh extraction in the profile (fingerprints the new file;
+  /// best-effort — an unreadable file is simply not recorded).
+  void RecordSet(const SortedSetInfo& info, const std::string& file_name,
+                 uint64_t source_fingerprint);
+
   std::filesystem::path output_dir_;
   ValueSetExtractorOptions options_;
+  /// Non-null iff options_.persist_profile; ProfileStore is internally
+  /// thread-safe.
+  std::unique_ptr<ProfileStore> profile_;
+  std::atomic<int64_t> sets_extracted_{0};
+  std::atomic<int64_t> sets_reused_{0};
   mutable Mutex mutex_;
   /// Completed or in-flight extractions. shared_future so that concurrent
   /// requesters of the same attribute all wait on one extraction. Only the

@@ -62,6 +62,11 @@ void WriteIndReport(const SessionReport& report,
   json.KV("partitions", static_cast<int64_t>(report.partitions));
   json.KV("seconds", report.total_seconds);
   json.KV("tuples_read", report.run.counters.tuples_read);
+  json.KV("sets_extracted", report.run.counters.sets_extracted);
+  json.KV("sets_reused", report.run.counters.sets_reused);
+  json.KV("profile_reused", report.profile_reused);
+  json.KV("candidates_revalidated", report.candidates_revalidated);
+  json.KV("verdicts_reused", report.verdicts_reused);
   json.Key("satisfied_inds");
   json.BeginArray();
   for (const Ind& ind : report.run.satisfied) {

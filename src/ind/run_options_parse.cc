@@ -20,7 +20,8 @@ const char* const kKeys[] = {
     "threads",        "io-threads",
     "max-open-files", "block-skip",
     "no-block-skip",  "max-value-pretest",
-    "sampling-pretest",
+    "sampling-pretest", "profile-cache",
+    "no-profile-cache",
 };
 
 Result<int> ParseIntInRange(const std::string& key, const std::string& value,
@@ -167,6 +168,15 @@ Status Apply(const RunOptionKv& kv, RunOptions& options) {
   if (key == "no-block-skip") {
     SPIDER_ASSIGN_OR_RETURN(const bool no_skip, ParseBool(key, value));
     options.block_skip = !no_skip;
+    return Status::OK();
+  }
+  if (key == "profile-cache") {
+    SPIDER_ASSIGN_OR_RETURN(options.profile_cache, ParseBool(key, value));
+    return Status::OK();
+  }
+  if (key == "no-profile-cache") {
+    SPIDER_ASSIGN_OR_RETURN(const bool no_cache, ParseBool(key, value));
+    options.profile_cache = !no_cache;
     return Status::OK();
   }
   if (key == "max-value-pretest") {

@@ -123,6 +123,7 @@ Result<ValueSetExtractor*> SpiderSession::extractor() {
     ValueSetExtractorOptions extractor_options;
     extractor_options.sort_memory_budget_bytes =
         options_.sort_memory_budget_bytes;
+    extractor_options.persist_profile = options_.persist_profile;
     extractor_ =
         std::make_unique<ValueSetExtractor>(work_dir, extractor_options);
   }
@@ -335,12 +336,65 @@ Result<SessionReport> SpiderSession::Run(const RunOptions& options) {
   SPIDER_ASSIGN_OR_RETURN(report.candidates, generator.Generate(*catalog_));
   report.generation_seconds = generation_watch.ElapsedSeconds();
 
+  // Delta revalidation against the persisted profile: a verdict remembered
+  // under the exact statistics both attributes still carry holds for any
+  // exact (σ = 1) approach — verification order and algorithm choice never
+  // change an IND's truth. Candidates whose data moved (fingerprint
+  // mismatch) or that were never decided go to the algorithm as usual.
+  ProfileStore* profile =
+      config.extractor != nullptr ? config.extractor->profile() : nullptr;
+  const bool delta_eligible =
+      profile != nullptr && options.profile_cache && options.min_coverage >= 1.0;
+  std::map<AttributeRef, uint64_t> attr_fps;
+  auto fingerprint_of = [&](const AttributeRef& attr) -> const uint64_t* {
+    const auto cached = attr_fps.find(attr);
+    if (cached != attr_fps.end()) return &cached->second;
+    const auto stats = report.candidates.stats.find(attr);
+    if (stats == report.candidates.stats.end()) return nullptr;
+    return &attr_fps
+                .emplace(attr, ProfileStore::StatsFingerprint(stats->second))
+                .first->second;
+  };
+  std::vector<IndCandidate> to_verify;
+  std::vector<Ind> reused_inds;
+  if (delta_eligible) {
+    for (const IndCandidate& candidate : report.candidates.candidates) {
+      const uint64_t* dep_fp = fingerprint_of(candidate.dependent);
+      const uint64_t* ref_fp = fingerprint_of(candidate.referenced);
+      std::optional<ProfileVerdict> verdict;
+      if (dep_fp != nullptr && ref_fp != nullptr) {
+        verdict =
+            profile->FindVerdict(candidate.dependent, candidate.referenced);
+      }
+      if (verdict.has_value() && verdict->dependent_fingerprint == *dep_fp &&
+          verdict->referenced_fingerprint == *ref_fp) {
+        ++report.verdicts_reused;
+        if (verdict->satisfied) {
+          reused_inds.push_back(Ind{candidate.dependent, candidate.referenced});
+        }
+      } else {
+        to_verify.push_back(candidate);
+      }
+    }
+  } else {
+    to_verify = report.candidates.candidates;
+  }
+  report.candidates_revalidated = static_cast<int64_t>(to_verify.size());
+
+  const int64_t sets_extracted_before =
+      config.extractor != nullptr ? config.extractor->sets_extracted() : 0;
+  const int64_t sets_reused_before =
+      config.extractor != nullptr ? config.extractor->sets_reused() : 0;
+
   int threads = ThreadPool::ResolveThreadCount(options.threads);
   if (!capabilities.parallel_safe) threads = 1;
-  if (report.candidates.candidates.size() < 2) threads = 1;
+  if (to_verify.size() < 2) threads = 1;
   report.threads_used = threads;
 
-  if (threads <= 1) {
+  if (to_verify.empty()) {
+    // Everything was answered from the profile (or there were no
+    // candidates): report.run stays at its finished, zero-work default.
+  } else if (threads <= 1) {
     SPIDER_ASSIGN_OR_RETURN(
         std::unique_ptr<IndAlgorithm> algorithm,
         AlgorithmRegistry::Global().Create(options.approach, config));
@@ -348,17 +402,57 @@ Result<SessionReport> SpiderSession::Run(const RunOptions& options) {
     context.time_budget_seconds = options.time_budget_seconds;
     context.cancel = options.cancel;
     context.progress = options.progress;
-    SPIDER_ASSIGN_OR_RETURN(
-        report.run,
-        algorithm->Run(*catalog_, report.candidates.candidates, context));
+    SPIDER_ASSIGN_OR_RETURN(report.run,
+                            algorithm->Run(*catalog_, to_verify, context));
   } else {
     SPIDER_ASSIGN_OR_RETURN(
-        report.run, RunParallel(options, config, report.candidates.candidates,
-                                threads, &report));
+        report.run,
+        RunParallel(options, config, to_verify, threads, &report));
   }
 
-  // One canonical order regardless of approach, partitioning or thread
-  // count: parallel and serial runs return byte-identical reports.
+  if (config.extractor != nullptr) {
+    report.run.counters.sets_extracted +=
+        config.extractor->sets_extracted() - sets_extracted_before;
+    report.run.counters.sets_reused +=
+        config.extractor->sets_reused() - sets_reused_before;
+  }
+  report.profile_reused = report.verdicts_reused > 0 ||
+                          report.run.counters.sets_reused > 0;
+
+  bool verdicts_recorded = false;
+  if (delta_eligible && report.run.finished && !to_verify.empty()) {
+    // Only finished runs decide every submitted candidate; a budget- or
+    // cancellation-truncated satisfied set must not be remembered as
+    // "unsatisfied".
+    const std::set<Ind> satisfied(report.run.satisfied.begin(),
+                                  report.run.satisfied.end());
+    for (const IndCandidate& candidate : to_verify) {
+      const uint64_t* dep_fp = fingerprint_of(candidate.dependent);
+      const uint64_t* ref_fp = fingerprint_of(candidate.referenced);
+      if (dep_fp == nullptr || ref_fp == nullptr) continue;
+      ProfileVerdict verdict;
+      verdict.satisfied =
+          satisfied.count(Ind{candidate.dependent, candidate.referenced}) > 0;
+      verdict.dependent_fingerprint = *dep_fp;
+      verdict.referenced_fingerprint = *ref_fp;
+      profile->PutVerdict(candidate.dependent, candidate.referenced, verdict);
+      verdicts_recorded = true;
+    }
+  }
+  if (profile != nullptr &&
+      (verdicts_recorded || report.run.counters.sets_extracted > 0)) {
+    // The profile is a cache: failing to persist it (read-only workspace,
+    // disk full) degrades the next session to recomputation, it does not
+    // invalidate this run's results.
+    const Status saved = config.extractor->SaveProfile();
+    (void)saved;
+  }
+
+  report.run.satisfied.insert(report.run.satisfied.end(),
+                              std::make_move_iterator(reused_inds.begin()),
+                              std::make_move_iterator(reused_inds.end()));
+  // One canonical order regardless of approach, partitioning, thread count
+  // or verdict reuse: every configuration returns byte-identical reports.
   report.run.satisfied = SortedInds(std::move(report.run.satisfied));
   report.total_seconds = total_watch.ElapsedSeconds();
   return report;
@@ -411,6 +505,8 @@ Result<SessionReport> SpiderSession::RunNary(const RunOptions& options) {
   // dispatch onto a worker pool; results are identical at any count.
   AlgorithmConfig config;
   SPIDER_ASSIGN_OR_RETURN(config.extractor, extractor());
+  const int64_t sets_extracted_before = config.extractor->sets_extracted();
+  const int64_t sets_reused_before = config.extractor->sets_reused();
   config.max_nary_arity = options.nary_max_arity;
   config.error_threshold = options.error_threshold;
   config.block_skip = options.block_skip;
@@ -434,6 +530,18 @@ Result<SessionReport> SpiderSession::RunNary(const RunOptions& options) {
   SPIDER_ASSIGN_OR_RETURN(
       report.nary_run,
       algorithm->Run(*catalog_, report.run.satisfied, context));
+  report.nary_run.counters.sets_extracted +=
+      config.extractor->sets_extracted() - sets_extracted_before;
+  report.nary_run.counters.sets_reused +=
+      config.extractor->sets_reused() - sets_reused_before;
+  if (report.nary_run.counters.sets_reused > 0) report.profile_reused = true;
+  if (config.extractor->profile() != nullptr &&
+      report.nary_run.counters.sets_extracted > 0) {
+    // Commit freshly recorded composite sets; persistence failures degrade
+    // the next session to recomputation only.
+    const Status saved = config.extractor->SaveProfile();
+    (void)saved;
+  }
   report.total_seconds = total_watch.ElapsedSeconds();
   return report;
 }
@@ -530,6 +638,11 @@ std::string SessionReport::ToString() const {
   if (threads_used > 1) {
     out += "threads:         " + std::to_string(threads_used) + " (" +
            std::to_string(partitions) + " partitions)\n";
+  }
+  if (profile_reused) {
+    out += "profile:         reused " + FormatWithCommas(verdicts_reused) +
+           " verdicts, revalidated " + FormatWithCommas(candidates_revalidated) +
+           " candidates\n";
   }
   out += "generation time: " + Stopwatch::FormatDuration(generation_seconds) + "\n";
   out += "test time:       " + Stopwatch::FormatDuration(run.seconds) + "\n";

@@ -47,6 +47,11 @@ struct SessionOptions {
   std::string work_dir;
   /// Memory budget per external sort.
   int64_t sort_memory_budget_bytes = 64LL << 20;
+  /// Persist the workspace profile (spider_profile.manifest in work_dir):
+  /// reuse sorted set files and exact-IND verdicts whose fingerprints still
+  /// verify, and record fresh ones after each finished run. Pointless with
+  /// an empty work_dir (the temp workspace dies with the session).
+  bool persist_profile = false;
 };
 
 /// Per-run knobs, honored uniformly across all registered approaches.
@@ -107,6 +112,13 @@ struct RunOptions {
   /// Deliberately separate from `threads`: a worker must never wait on a
   /// prefetch future scheduled onto its own pool (no-nesting rule).
   int io_threads = 0;
+  /// Consult the persisted profile for this run (only meaningful with
+  /// SessionOptions::persist_profile): reuse remembered exact-IND verdicts
+  /// whose source fingerprints still match and hand only the rest to the
+  /// algorithm. Off forces every candidate through verification (set-file
+  /// reuse inside the extractor is a separate, always-safe layer). The
+  /// satisfied set is identical either way.
+  bool profile_cache = true;
 };
 
 /// Everything one session run produces.
@@ -139,6 +151,14 @@ struct SessionReport {
   /// The non-IND outcome (UCCs or FDs), populated when `kind` != kInd.
   /// Sorted, deterministic across backends and thread counts.
   DependencyRunResult dependency;
+  /// True when this run answered any work from the persisted profile —
+  /// reused verdicts or reused sorted set files.
+  bool profile_reused = false;
+  /// Unary candidates actually handed to the verification algorithm after
+  /// verdict reuse (== candidates.size() without a usable profile).
+  int64_t candidates_revalidated = 0;
+  /// Candidates answered from remembered verdicts without re-verification.
+  int64_t verdicts_reused = 0;
 
   /// Human-readable multi-line summary.
   std::string ToString() const;

@@ -179,7 +179,9 @@ HttpResponse RequestRouter::SubmitProfile(const JsonValue& body) const {
   auto options = ParseRunOptions(pairs);
   if (!options.ok()) return FromStatus(options.status());
 
-  SpiderSession* session_ptr = *session;
+  // The job owns a reference: an LRU eviction between submit and run must
+  // not pull the session out from under the closure.
+  std::shared_ptr<SpiderSession> session_ptr = *session;
   ReportJsonContext context;
   context.backend =
       session_ptr->catalog().out_of_core() ? "disk" : "memory";
@@ -226,25 +228,53 @@ HttpResponse RequestRouter::SubmitImport(const JsonValue& body) const {
   }
   const std::string name = workspace->string;
   const std::filesystem::path target = workspaces_->WorkspacePath(name);
-  if (IsDiskCatalogDir(target)) {
+  bool append = false;
+  if (const JsonValue* append_value = body.Find("append")) {
+    if (!append_value->is_bool()) {
+      return JsonError(400, "'append' must be a boolean");
+    }
+    append = append_value->boolean;
+  }
+  if (append) {
+    if (!IsDiskCatalogDir(target)) {
+      return FromStatus(Status::NotFound(
+          "workspace '" + name + "' does not exist (append needs one)"));
+    }
+  } else if (IsDiskCatalogDir(target)) {
     return FromStatus(
-        Status::AlreadyExists("workspace '" + name + "' already exists"));
+        Status::AlreadyExists("workspace '" + name +
+                              "' already exists (use \"append\": true to "
+                              "add rows)"));
   }
   const std::string csv_dir = source->string;
 
+  WorkspaceCache* workspaces = workspaces_;
   auto id = jobs_->Submit(
-      name, "import " + csv_dir,
-      [name, target, csv_dir](const JobControl&) -> Result<std::string> {
-        SPIDER_ASSIGN_OR_RETURN(
-            std::unique_ptr<DiskCatalogWriter> writer,
-            DiskCatalogWriter::Create(target, name, DiskStoreOptions{}));
+      name, (append ? "append " : "import ") + csv_dir,
+      [name, target, csv_dir, append,
+       workspaces](const JobControl&) -> Result<std::string> {
+        std::unique_ptr<DiskCatalogWriter> writer;
+        if (append) {
+          SPIDER_ASSIGN_OR_RETURN(
+              writer,
+              DiskCatalogWriter::OpenForAppend(target, DiskStoreOptions{}));
+        } else {
+          SPIDER_ASSIGN_OR_RETURN(
+              writer,
+              DiskCatalogWriter::Create(target, name, DiskStoreOptions{}));
+        }
         SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<Catalog> catalog,
                                 ImportCsvDirectory(csv_dir, CsvOptions{},
                                                    *writer));
+        // The cached session (if any) still sees the pre-append catalog;
+        // dropping it makes the next job reopen the grown data — and the
+        // persisted profile, which revalidates by fingerprint, keeps every
+        // verdict and set file untouched columns still justify.
+        if (append) workspaces->Invalidate(name);
         JsonWriter json;
         json.BeginObject();
         json.KV("schema_version", kReportSchemaVersion);
-        json.KV("op", std::string("import"));
+        json.KV("op", std::string(append ? "append" : "import"));
         json.KV("workspace", name);
         json.KV("tables", static_cast<int64_t>(catalog->table_count()));
         json.KV("attributes",

@@ -34,7 +34,7 @@ Status SetNonBlocking(int fd) {
 
 SpiderServer::SpiderServer(ServerOptions options)
     : options_(std::move(options)),
-      workspaces_(options_.root),
+      workspaces_(options_.root, options_.max_sessions),
       jobs_(options_.worker_threads),
       router_(&workspaces_, &jobs_) {}
 

@@ -43,6 +43,10 @@ struct ServerOptions {
   int port = 0;
   /// Job-manager worker threads; 0 = hardware concurrency.
   int worker_threads = 0;
+  /// Maximum concurrently open workspace sessions; beyond it the least
+  /// recently used session is evicted (jobs holding it finish unaffected,
+  /// and its persisted profile survives for the reopen). 0 = unlimited.
+  int max_sessions = 64;
 };
 
 /// \brief The daemon: listener, event loop, and the shared service state

@@ -8,8 +8,8 @@
 
 namespace spider {
 
-WorkspaceCache::WorkspaceCache(std::filesystem::path root)
-    : root_(std::move(root)) {}
+WorkspaceCache::WorkspaceCache(std::filesystem::path root, int max_sessions)
+    : root_(std::move(root)), max_sessions_(max_sessions) {}
 
 bool WorkspaceCache::ValidName(std::string_view name) {
   if (name.empty() || name.size() > 255) return false;
@@ -30,13 +30,17 @@ std::filesystem::path WorkspaceCache::SetCachePath(
   return root_ / (".sets-" + name);
 }
 
-Result<SpiderSession*> WorkspaceCache::GetOrOpen(const std::string& name) {
+Result<std::shared_ptr<SpiderSession>> WorkspaceCache::GetOrOpen(
+    const std::string& name) {
   if (!ValidName(name)) {
     return Status::InvalidArgument("invalid workspace name '" + name + "'");
   }
   MutexLock lock(&mutex_);
   auto it = sessions_.find(name);
-  if (it != sessions_.end()) return it->second.get();
+  if (it != sessions_.end()) {
+    it->second.last_used = ++clock_;
+    return it->second.session;
+  }
 
   const std::filesystem::path dir = WorkspacePath(name);
   if (!IsDiskCatalogDir(dir)) {
@@ -54,11 +58,41 @@ Result<SpiderSession*> WorkspaceCache::GetOrOpen(const std::string& name) {
                            ": " + ec.message());
   }
   options.work_dir = set_dir.string();
-  auto session =
-      std::make_unique<SpiderSession>(std::move(catalog), options);
-  SpiderSession* raw = session.get();
-  sessions_.emplace(name, std::move(session));
-  return raw;
+  // Daemon sessions always persist their profile: eviction and restarts
+  // would otherwise throw away every extracted set and verdict.
+  options.persist_profile = true;
+
+  // Make room before inserting: evict the least recently used session.
+  // In-flight jobs hold their own shared_ptr, so eviction only affects
+  // which sessions future requests can share.
+  if (max_sessions_ > 0 &&
+      sessions_.size() >= static_cast<size_t>(max_sessions_)) {
+    auto victim = sessions_.end();
+    for (auto candidate = sessions_.begin(); candidate != sessions_.end();
+         ++candidate) {
+      if (victim == sessions_.end() ||
+          candidate->second.last_used < victim->second.last_used) {
+        victim = candidate;
+      }
+    }
+    if (victim != sessions_.end()) sessions_.erase(victim);
+  }
+
+  Entry entry;
+  entry.session =
+      std::make_shared<SpiderSession>(std::move(catalog), options);
+  entry.last_used = ++clock_;
+  return sessions_.emplace(name, std::move(entry)).first->second.session;
+}
+
+void WorkspaceCache::Invalidate(const std::string& name) {
+  MutexLock lock(&mutex_);
+  sessions_.erase(name);
+}
+
+int64_t WorkspaceCache::open_session_count() const {
+  MutexLock lock(&mutex_);
+  return static_cast<int64_t>(sessions_.size());
 }
 
 Result<std::vector<std::string>> WorkspaceCache::List() const {

@@ -6,7 +6,15 @@
 // workspace extract and sort each attribute once (the extractor
 // deduplicates in-flight work across threads). Sorted set files live in a
 // per-workspace cache directory next to the catalog data and survive
-// across jobs.
+// across jobs AND across sessions: every daemon session persists its
+// profile (spider_profile.manifest), so an evicted-and-reopened workspace
+// — or a restarted daemon — revalidates fingerprints instead of
+// re-extracting.
+//
+// The cache is bounded: beyond `max_sessions` open sessions the least
+// recently used one is evicted. Sessions are handed out as shared_ptr, so
+// a job that captured a session before its eviction keeps it alive until
+// the job finishes; the cache just stops handing it to new requests.
 
 #pragma once
 
@@ -31,17 +39,30 @@ namespace spider {
 /// daemon's lifetime.
 class WorkspaceCache {
  public:
-  explicit WorkspaceCache(std::filesystem::path root);
+  /// `max_sessions` bounds the number of concurrently open sessions
+  /// (0 = unbounded — the pre-eviction behavior).
+  explicit WorkspaceCache(std::filesystem::path root, int max_sessions = 0);
 
   /// True when `name` is usable as a workspace name: non-empty, no path
   /// separators, no leading dot (names map to subdirectories).
   static bool ValidName(std::string_view name);
 
   /// The open (or newly opened) session for `name`. NotFound when the
-  /// subdirectory is missing or not a disk catalog.
+  /// subdirectory is missing or not a disk catalog. Opening may evict the
+  /// least recently used session once the cache is full; holders of its
+  /// shared_ptr are unaffected.
   [[nodiscard]]
-  Result<SpiderSession*> GetOrOpen(const std::string& name)
+  Result<std::shared_ptr<SpiderSession>> GetOrOpen(const std::string& name)
       SPIDER_EXCLUDES(mutex_);
+
+  /// Drops the cached session for `name` (no-op when absent). Called after
+  /// an append import: the next GetOrOpen reopens the grown catalog — and
+  /// its persisted profile — from disk.
+  void Invalidate(const std::string& name) SPIDER_EXCLUDES(mutex_);
+
+  /// Open sessions currently cached (for tests and introspection).
+  [[nodiscard]]
+  int64_t open_session_count() const SPIDER_EXCLUDES(mutex_);
 
   /// Sorted names of the root's disk-catalog subdirectories (on-disk
   /// truth, not just what is open).
@@ -57,10 +78,18 @@ class WorkspaceCache {
   const std::filesystem::path& root() const { return root_; }
 
  private:
+  struct Entry {
+    std::shared_ptr<SpiderSession> session;
+    /// Logical timestamp of the last GetOrOpen hit (monotonic counter, not
+    /// wall clock — eviction only needs relative order).
+    uint64_t last_used = 0;
+  };
+
   const std::filesystem::path root_;
+  const int max_sessions_;
   mutable Mutex mutex_;
-  std::map<std::string, std::unique_ptr<SpiderSession>> sessions_
-      SPIDER_GUARDED_BY(mutex_);
+  uint64_t clock_ SPIDER_GUARDED_BY(mutex_) = 0;
+  std::map<std::string, Entry> sessions_ SPIDER_GUARDED_BY(mutex_);
 };
 
 }  // namespace spider

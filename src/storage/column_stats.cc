@@ -53,6 +53,8 @@ ColumnStats ComputeColumnStats(const Column& column) {
   stats.distinct_count = static_cast<int64_t>(distinct.size());
   stats.verified_unique =
       stats.non_null_count > 0 && stats.distinct_count == stats.non_null_count;
+  stats.letter_count = with_letter;
+  stats.digit_count = all_digits;
   if (stats.non_null_count > 0) {
     stats.letter_fraction =
         static_cast<double>(with_letter) / static_cast<double>(stats.non_null_count);

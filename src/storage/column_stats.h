@@ -30,6 +30,10 @@ struct ColumnStats {
   /// Length extremes of the canonical strings.
   int64_t min_length = 0;
   int64_t max_length = 0;
+  /// Number of values containing at least one ASCII letter.
+  int64_t letter_count = 0;
+  /// Number of values that are all digits.
+  int64_t digit_count = 0;
   /// Fraction of values containing at least one ASCII letter.
   double letter_fraction = 0.0;
   /// Fraction of values that are all digits.

@@ -1,6 +1,7 @@
 #include "src/storage/disk_store.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -51,6 +52,10 @@ Status CorruptBlock(const fs::path& path) {
 
 // Streaming cursor over one ".col" file: decodes one block at a time; the
 // resident footprint is one block's dictionary plus its code bytes.
+//
+// file_bytes is the manifest-recorded (committed) length, not the on-disk
+// length: bytes past it — e.g. the torn tail of an interrupted append —
+// are treated as if they did not exist.
 class DiskValueCursor final : public ValueCursor {
  public:
   DiskValueCursor(fs::path path, std::ifstream in, int64_t file_bytes)
@@ -76,13 +81,17 @@ class DiskValueCursor final : public ValueCursor {
   const Status& status() const override { return status_; }
 
  private:
-  // Reads and decodes the next block. False at clean EOF or on error.
+  // Reads and decodes the next block. False at clean EOF (the committed
+  // byte count is exhausted) or on error.
   bool LoadBlock() {
     uint64_t payload_bytes = 0;
     switch (DecodeVarint(
         [this]() {
+          if (consumed_ >= file_bytes_) return -1;  // committed bytes end
           const int byte = in_.get();
-          return byte == std::char_traits<char>::eof() ? -1 : byte;
+          if (byte == std::char_traits<char>::eof()) return -1;
+          ++consumed_;
+          return byte;
         },
         &payload_bytes)) {
       case VarintDecode::kOk:
@@ -93,9 +102,9 @@ class DiskValueCursor final : public ValueCursor {
         status_ = CorruptBlock(path_);
         return false;
     }
-    // Bound allocations by the file itself before trusting the varint: a
-    // corrupt header must surface as a Status, not as std::bad_alloc.
-    if (payload_bytes > static_cast<uint64_t>(file_bytes_)) {
+    // Bound allocations by the committed bytes before trusting the varint:
+    // a corrupt header must surface as a Status, not as std::bad_alloc.
+    if (payload_bytes > static_cast<uint64_t>(file_bytes_ - consumed_)) {
       status_ = CorruptBlock(path_);
       return false;
     }
@@ -105,6 +114,7 @@ class DiskValueCursor final : public ValueCursor {
       status_ = CorruptBlock(path_);
       return false;
     }
+    consumed_ += static_cast<int64_t>(payload_bytes);
 
     const char* pos = payload_.data();
     const char* end = pos + payload_.size();
@@ -156,6 +166,7 @@ class DiskValueCursor final : public ValueCursor {
   fs::path path_;
   std::ifstream in_;
   int64_t file_bytes_;
+  int64_t consumed_ = 0;
   std::vector<char> payload_;
   std::vector<std::string> dict_;
   const char* codes_pos_ = nullptr;
@@ -247,8 +258,32 @@ class DictStreamCursor {
   Status status_;
 };
 
-// Manifest field escaping: fields are tab-separated, one record per line,
-// so tab / newline / carriage return / '%' are percent-encoded.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Result<int64_t> ParseManifestInt(const std::string& field) {
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  if (field.empty() || end != field.c_str() + field.size()) {
+    return Status::InvalidArgument("bad integer in manifest: '" + field + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseManifestDouble(const std::string& field) {
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (field.empty() || end != field.c_str() + field.size()) {
+    return Status::InvalidArgument("bad double in manifest: '" + field + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
 std::string EscapeManifestField(std::string_view field) {
   std::string out;
   out.reserve(field.size());
@@ -301,28 +336,177 @@ Result<std::string> UnescapeManifestField(std::string_view field) {
   return out;
 }
 
-std::string FormatDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+namespace {
 
-Result<int64_t> ParseManifestInt(const std::string& field) {
-  char* end = nullptr;
-  const long long v = std::strtoll(field.c_str(), &end, 10);
-  if (field.empty() || end != field.c_str() + field.size()) {
-    return Status::InvalidArgument("bad integer in manifest: '" + field + "'");
-  }
-  return static_cast<int64_t>(v);
-}
+// ---------------------------------------------------------------------------
+// Manifest records, decoded. Version history:
+//   1 — column record arity 18 (fractions only)
+//   2 — adds integer letter/digit counts (arity 20) so appends can continue
+//       the running totals exactly; v1 files reconstruct the counts from
+//       the fractions on read and are upgraded on the next write.
+// ---------------------------------------------------------------------------
 
-Result<double> ParseManifestDouble(const std::string& field) {
-  char* end = nullptr;
-  const double v = std::strtod(field.c_str(), &end);
-  if (field.empty() || end != field.c_str() + field.size()) {
-    return Status::InvalidArgument("bad double in manifest: '" + field + "'");
+struct ManifestColumn {
+  std::string name;
+  TypeId type = TypeId::kString;
+  bool declared_unique = false;
+  std::string file_name;
+  int64_t file_bytes = 0;
+  int64_t block_count = 0;
+  ColumnStats stats;
+};
+
+struct ManifestTable {
+  std::string name;
+  int64_t row_count = 0;
+  std::vector<ManifestColumn> columns;
+};
+
+struct ManifestData {
+  std::string catalog_name;
+  int64_t block_bytes = 0;
+  std::vector<ManifestTable> tables;
+  std::vector<ForeignKey> foreign_keys;
+};
+
+Result<ManifestData> ParseManifest(const fs::path& dir) {
+  const fs::path path = dir / kDiskStoreManifestName;
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open manifest " + path.string() +
+                           " (not a disk-store workspace?)");
   }
-  return v;
+
+  auto bad = [&path](const std::string& why) {
+    return Status::InvalidArgument("manifest " + path.string() + ": " + why);
+  };
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return bad("missing or unsupported version header");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  int version = 0;
+  if (line == "spider-store\t1") {
+    version = 1;
+  } else if (line == "spider-store\t2") {
+    version = 2;
+  } else {
+    return bad("missing or unsupported version header");
+  }
+  const size_t column_arity = version == 1 ? 18 : 20;
+
+  ManifestData data;
+  bool saw_catalog = false;
+  bool saw_end = false;
+  ManifestTable* table = nullptr;
+
+  auto flush_table = [&]() -> Status {
+    if (table == nullptr) return Status::OK();
+    const int64_t stored_rows =
+        table->columns.empty() ? 0 : table->columns.front().stats.row_count;
+    for (const ManifestColumn& column : table->columns) {
+      if (column.stats.row_count != stored_rows) {
+        return Status::InvalidArgument("table '" + table->name +
+                                       "' row count mismatch in manifest");
+      }
+    }
+    if (stored_rows != table->row_count) {
+      return Status::InvalidArgument("table '" + table->name +
+                                     "' row count mismatch in manifest");
+    }
+    table = nullptr;
+    return Status::OK();
+  };
+
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> raw = SplitString(line, '\t');
+    std::vector<std::string> fields;
+    fields.reserve(raw.size());
+    for (const std::string& f : raw) {
+      SPIDER_ASSIGN_OR_RETURN(std::string unescaped, UnescapeManifestField(f));
+      fields.push_back(std::move(unescaped));
+    }
+    const std::string& kind = fields[0];
+    if (kind == "catalog") {
+      if (fields.size() != 2) return bad("catalog record arity");
+      data.catalog_name = fields[1];
+      saw_catalog = true;
+    } else if (kind == "blocksize") {
+      if (fields.size() != 2) return bad("blocksize record arity");
+      SPIDER_ASSIGN_OR_RETURN(data.block_bytes, ParseManifestInt(fields[1]));
+    } else if (kind == "table") {
+      if (!saw_catalog) return bad("table before catalog");
+      if (fields.size() != 3) return bad("table record arity");
+      SPIDER_RETURN_NOT_OK(flush_table());
+      data.tables.emplace_back();
+      table = &data.tables.back();
+      table->name = fields[1];
+      SPIDER_ASSIGN_OR_RETURN(table->row_count, ParseManifestInt(fields[2]));
+    } else if (kind == "column") {
+      if (table == nullptr) return bad("column before table");
+      if (fields.size() != column_arity) return bad("column record arity");
+      ManifestColumn column;
+      column.name = fields[1];
+      SPIDER_ASSIGN_OR_RETURN(column.type, TypeIdFromString(fields[2]));
+      SPIDER_ASSIGN_OR_RETURN(int64_t unique, ParseManifestInt(fields[3]));
+      column.declared_unique = unique != 0;
+      column.file_name = fields[4];
+      SPIDER_ASSIGN_OR_RETURN(column.file_bytes, ParseManifestInt(fields[5]));
+      SPIDER_ASSIGN_OR_RETURN(column.block_count, ParseManifestInt(fields[6]));
+      ColumnStats& stats = column.stats;
+      SPIDER_ASSIGN_OR_RETURN(stats.row_count, ParseManifestInt(fields[7]));
+      SPIDER_ASSIGN_OR_RETURN(stats.non_null_count,
+                              ParseManifestInt(fields[8]));
+      stats.null_count = stats.row_count - stats.non_null_count;
+      SPIDER_ASSIGN_OR_RETURN(stats.distinct_count,
+                              ParseManifestInt(fields[9]));
+      if (fields[10] == "1") stats.min_value = fields[11];
+      if (fields[12] == "1") stats.max_value = fields[13];
+      SPIDER_ASSIGN_OR_RETURN(stats.min_length, ParseManifestInt(fields[14]));
+      SPIDER_ASSIGN_OR_RETURN(stats.max_length, ParseManifestInt(fields[15]));
+      SPIDER_ASSIGN_OR_RETURN(stats.letter_fraction,
+                              ParseManifestDouble(fields[16]));
+      SPIDER_ASSIGN_OR_RETURN(stats.digit_fraction,
+                              ParseManifestDouble(fields[17]));
+      if (version >= 2) {
+        SPIDER_ASSIGN_OR_RETURN(stats.letter_count,
+                                ParseManifestInt(fields[18]));
+        SPIDER_ASSIGN_OR_RETURN(stats.digit_count,
+                                ParseManifestInt(fields[19]));
+      } else {
+        stats.letter_count = std::llround(
+            stats.letter_fraction * static_cast<double>(stats.non_null_count));
+        stats.digit_count = std::llround(
+            stats.digit_fraction * static_cast<double>(stats.non_null_count));
+      }
+      stats.verified_unique = stats.non_null_count > 0 &&
+                              stats.distinct_count == stats.non_null_count;
+      const fs::path file = dir / column.file_name;
+      std::error_code ec;
+      if (!fs::is_regular_file(file, ec)) {
+        return Status::IOError("missing column file " + file.string());
+      }
+      table->columns.push_back(std::move(column));
+    } else if (kind == "fk") {
+      if (!saw_catalog) return bad("fk before catalog");
+      if (fields.size() != 5) return bad("fk record arity");
+      SPIDER_RETURN_NOT_OK(flush_table());
+      data.foreign_keys.push_back(
+          ForeignKey{{fields[1], fields[2]}, {fields[3], fields[4]}});
+    } else if (kind == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return bad("unknown record '" + kind + "'");
+    }
+  }
+  if (!saw_catalog) return bad("no catalog record");
+  if (!saw_end) return bad("truncated (no end record)");
+  SPIDER_RETURN_NOT_OK(flush_table());
+  return data;
 }
 
 }  // namespace
@@ -332,13 +516,11 @@ Result<std::unique_ptr<ValueCursor>> DiskColumnStore::OpenCursor() const {
   if (!in) {
     return Status::IOError("cannot open column file " + path_.string());
   }
-  std::error_code ec;
-  const auto file_bytes = fs::file_size(path_, ec);
-  if (ec) {
-    return Status::IOError("cannot stat column file " + path_.string());
-  }
+  // Scan exactly the manifest-recorded bytes, not the on-disk size: a torn
+  // append may have left extra bytes past the committed length, and those
+  // must stay invisible until a manifest rename commits them.
   return std::unique_ptr<ValueCursor>(std::make_unique<DiskValueCursor>(
-      path_, std::move(in), static_cast<int64_t>(file_bytes)));
+      path_, std::move(in), file_bytes_));
 }
 
 // ---------------------------------------------------------------------------
@@ -363,6 +545,51 @@ class DiskCatalogWriter::ColumnWriter {
     out_.open(path_, std::ios::binary | std::ios::trunc);
     if (!out_) {
       return Status::IOError("cannot create column file " + path_.string());
+    }
+    return Status::OK();
+  }
+
+  /// Reopens an existing sealed column for appending. `committed_bytes` is
+  /// the manifest-recorded length: any bytes past it (the torn tail of an
+  /// interrupted append) are truncated away, then the committed blocks are
+  /// rescanned header-by-header to rebuild the dictionary-region index the
+  /// seal-time statistics merge needs. Running totals (row/null/length/
+  /// letter/digit) continue from `old_stats`; distinct/min/max are cleared
+  /// here and recomputed over all blocks — old and new — at Seal().
+  Status OpenForAppend(int64_t committed_bytes, ColumnStats old_stats) {
+    std::error_code ec;
+    const auto on_disk = fs::file_size(path_, ec);
+    if (ec) {
+      return Status::IOError("cannot stat column file " + path_.string());
+    }
+    if (static_cast<int64_t>(on_disk) < committed_bytes) {
+      return Status::IOError("column file " + path_.string() +
+                             " is shorter than its manifest record");
+    }
+    if (static_cast<int64_t>(on_disk) > committed_bytes) {
+      fs::resize_file(path_, static_cast<uintmax_t>(committed_bytes), ec);
+      if (ec) {
+        return Status::IOError("cannot truncate torn tail of " +
+                               path_.string() + ": " + ec.message());
+      }
+    }
+    SPIDER_RETURN_NOT_OK(RescanDictRegions(committed_bytes));
+    file_bytes_ = committed_bytes;
+    stats_ = std::move(old_stats);
+    with_letter_ = stats_.letter_count;
+    all_digits_ = stats_.digit_count;
+    stats_.distinct_count = 0;
+    stats_.min_value.reset();
+    stats_.max_value.reset();
+    stats_.verified_unique = false;
+    out_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
+    if (!out_) {
+      return Status::IOError("cannot reopen column file " + path_.string() +
+                             " for append");
+    }
+    out_.seekp(committed_bytes);
+    if (!out_) {
+      return Status::IOError("cannot seek to end of " + path_.string());
     }
     return Status::OK();
   }
@@ -408,6 +635,8 @@ class DiskCatalogWriter::ColumnWriter {
     SPIDER_RETURN_NOT_OK(ComputeDistinctStats());
     stats_.verified_unique = stats_.non_null_count > 0 &&
                              stats_.distinct_count == stats_.non_null_count;
+    stats_.letter_count = with_letter_;
+    stats_.digit_count = all_digits_;
     if (stats_.non_null_count > 0) {
       stats_.letter_fraction = static_cast<double>(with_letter_) /
                                static_cast<double>(stats_.non_null_count);
@@ -531,6 +760,55 @@ class DiskCatalogWriter::ColumnWriter {
     return Status::OK();
   }
 
+  // Rebuilds the DictRegion index of an already-sealed file by walking the
+  // committed block headers (header varint + the three payload-head varints
+  // locate each dictionary; the codes are seeked over, never decoded).
+  Status RescanDictRegions(int64_t committed_bytes) {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) {
+      return Status::IOError("cannot reopen column file " + path_.string());
+    }
+    int64_t pos = 0;
+    while (pos < committed_bytes) {
+      in.clear();
+      in.seekg(pos);
+      int64_t consumed = 0;
+      auto next_byte = [&]() -> int {
+        if (pos + consumed >= committed_bytes) return -1;
+        const int byte = in.get();
+        if (byte == std::char_traits<char>::eof()) return -1;
+        ++consumed;
+        return byte;
+      };
+      uint64_t payload_bytes = 0;
+      if (DecodeVarint(next_byte, &payload_bytes) != VarintDecode::kOk) {
+        return CorruptBlock(path_);
+      }
+      const int64_t header_bytes = consumed;
+      if (payload_bytes >
+          static_cast<uint64_t>(committed_bytes - pos - header_bytes)) {
+        return CorruptBlock(path_);
+      }
+      uint64_t rows = 0;
+      uint64_t dict_count = 0;
+      uint64_t dict_bytes = 0;
+      if (DecodeVarint(next_byte, &rows) != VarintDecode::kOk ||
+          DecodeVarint(next_byte, &dict_count) != VarintDecode::kOk ||
+          DecodeVarint(next_byte, &dict_bytes) != VarintDecode::kOk) {
+        return CorruptBlock(path_);
+      }
+      const int64_t head_bytes = consumed - header_bytes;
+      if (static_cast<uint64_t>(head_bytes) > payload_bytes ||
+          dict_bytes > payload_bytes - static_cast<uint64_t>(head_bytes)) {
+        return CorruptBlock(path_);
+      }
+      dicts_.push_back(DictRegion{pos + header_bytes + head_bytes,
+                                  static_cast<int64_t>(dict_bytes)});
+      pos += header_bytes + static_cast<int64_t>(payload_bytes);
+    }
+    return Status::OK();
+  }
+
   std::string name_;
   TypeId type_;
   bool declared_unique_;
@@ -554,6 +832,23 @@ class DiskCatalogWriter::ColumnWriter {
 // ---------------------------------------------------------------------------
 // DiskCatalogWriter
 // ---------------------------------------------------------------------------
+
+// Append-session bookkeeping: what the workspace held before, which tables
+// this session resealed, and which it created.
+struct DiskCatalogWriter::AppendState {
+  ManifestData previous;
+  std::map<std::string, size_t> previous_index;  // table name → previous idx
+  // Tables sealed this session (appended-to or new), by name.
+  std::map<std::string, std::unique_ptr<Table>> sealed;
+  // Names of brand-new tables, in creation order (appended-to tables keep
+  // their original manifest position).
+  std::vector<std::string> new_tables;
+  std::vector<ForeignKey> declared_fks;
+  // The previous state of the table currently open in append mode; null
+  // when the open table is new.
+  const ManifestTable* appending = nullptr;
+  size_t next_column = 0;
+};
 
 DiskCatalogWriter::DiskCatalogWriter(fs::path dir, std::string catalog_name,
                                      DiskStoreOptions options)
@@ -582,11 +877,37 @@ Result<std::unique_ptr<DiskCatalogWriter>> DiskCatalogWriter::Create(
       std::move(dir), std::move(catalog_name), options));
 }
 
+Result<std::unique_ptr<DiskCatalogWriter>> DiskCatalogWriter::OpenForAppend(
+    fs::path dir, DiskStoreOptions options) {
+  SPIDER_ASSIGN_OR_RETURN(ManifestData previous, ParseManifest(dir));
+  // Keep the workspace's original block size so every block in a chain
+  // obeys the same bound.
+  if (previous.block_bytes >= 1024) options.block_bytes = previous.block_bytes;
+  auto writer = std::unique_ptr<DiskCatalogWriter>(new DiskCatalogWriter(
+      std::move(dir), previous.catalog_name, options));
+  writer->append_ = std::make_unique<AppendState>();
+  writer->append_->previous = std::move(previous);
+  const auto& tables = writer->append_->previous.tables;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    writer->append_->previous_index.emplace(tables[i].name, i);
+  }
+  return writer;
+}
+
 Status DiskCatalogWriter::BeginTable(const std::string& name) {
   if (finished_) return Status::InvalidArgument("writer already finished");
   if (table_open_) return Status::InvalidArgument("previous table not finished");
-  if (catalog_->FindTable(name) != nullptr) {
+  if (catalog_->FindTable(name) != nullptr ||
+      (append_ != nullptr && append_->sealed.count(name) != 0)) {
     return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  if (append_ != nullptr) {
+    const auto it = append_->previous_index.find(name);
+    append_->appending =
+        it == append_->previous_index.end()
+            ? nullptr
+            : &append_->previous.tables[it->second];
+    append_->next_column = 0;
   }
   table_name_ = name;
   column_writers_.clear();
@@ -608,6 +929,40 @@ Status DiskCatalogWriter::AddColumn(std::string name, TypeId type,
                                    table_name_ + "'");
     }
   }
+  if (append_ != nullptr && append_->appending != nullptr) {
+    // Appending to an existing table: the schema is fixed; columns must be
+    // re-declared in their sealed order and keep their sealed type.
+    const ManifestTable& previous = *append_->appending;
+    if (append_->next_column >= previous.columns.size()) {
+      return Status::InvalidArgument(
+          "append declares column '" + name + "' beyond the " +
+          std::to_string(previous.columns.size()) + " sealed columns of '" +
+          table_name_ + "'");
+    }
+    const ManifestColumn& old = previous.columns[append_->next_column];
+    if (old.name != name) {
+      return Status::InvalidArgument("append column order mismatch in '" +
+                                     table_name_ + "': expected '" + old.name +
+                                     "', got '" + name + "'");
+    }
+    const bool compatible =
+        type == old.type || old.type == TypeId::kString ||
+        old.type == TypeId::kLob ||
+        (old.type == TypeId::kDouble && type == TypeId::kInteger);
+    if (!compatible) {
+      return Status::InvalidArgument(
+          "appended values of type " + std::string(TypeIdToString(type)) +
+          " do not fit sealed column '" + name + "' of type " +
+          std::string(TypeIdToString(old.type)) + " in '" + table_name_ + "'");
+    }
+    ++append_->next_column;
+    auto writer = std::make_unique<ColumnWriter>(
+        std::move(name), old.type, old.declared_unique, dir_ / old.file_name,
+        options_);
+    SPIDER_RETURN_NOT_OK(writer->OpenForAppend(old.file_bytes, old.stats));
+    column_writers_.push_back(std::move(writer));
+    return Status::OK();
+  }
   const fs::path path =
       dir_ / (AttributeFileStem(AttributeRef{table_name_, name}) + ".col");
   auto writer = std::make_unique<ColumnWriter>(std::move(name), type,
@@ -624,6 +979,20 @@ Status DiskCatalogWriter::AppendRow(std::vector<Value> row) {
         "row arity " + std::to_string(row.size()) + " does not match table '" +
         table_name_ + "' with " + std::to_string(column_writers_.size()) +
         " columns");
+  }
+  if (append_ != nullptr && append_->appending != nullptr) {
+    // Widen where safe: a later batch may infer a narrower type than the
+    // sealed column (e.g. an all-digit CSV batch for a string column).
+    for (size_t i = 0; i < row.size(); ++i) {
+      Value& v = row[i];
+      if (v.is_null()) continue;
+      const TypeId t = column_writers_[i]->type();
+      if ((t == TypeId::kString || t == TypeId::kLob) && !v.is_string()) {
+        v = Value::String(v.ToCanonicalString());
+      } else if (t == TypeId::kDouble && v.is_integer()) {
+        v = Value::Double(static_cast<double>(v.integer()));
+      }
+    }
   }
   for (size_t i = 0; i < row.size(); ++i) {
     const Value& v = row[i];
@@ -648,6 +1017,14 @@ Status DiskCatalogWriter::AppendRow(std::vector<Value> row) {
 
 Status DiskCatalogWriter::FinishTable() {
   if (!table_open_) return Status::InvalidArgument("no open table");
+  if (append_ != nullptr && append_->appending != nullptr &&
+      append_->next_column != append_->appending->columns.size()) {
+    return Status::InvalidArgument(
+        "append to '" + table_name_ + "' declared " +
+        std::to_string(append_->next_column) + " of " +
+        std::to_string(append_->appending->columns.size()) +
+        " sealed columns");
+  }
   auto table = std::make_unique<Table>(table_name_);
   for (auto& writer : column_writers_) {
     SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<ColumnStore> store, writer->Seal());
@@ -655,23 +1032,40 @@ Status DiskCatalogWriter::FinishTable() {
         writer->name(), writer->type(), writer->declared_unique(),
         std::move(store)));
   }
-  SPIDER_RETURN_NOT_OK(catalog_->AddTable(std::move(table)));
+  if (append_ != nullptr) {
+    if (append_->appending == nullptr) {
+      append_->new_tables.push_back(table_name_);
+    }
+    append_->sealed.emplace(table_name_, std::move(table));
+    append_->appending = nullptr;
+  } else {
+    SPIDER_RETURN_NOT_OK(catalog_->AddTable(std::move(table)));
+  }
   column_writers_.clear();
   table_open_ = false;
   return Status::OK();
 }
 
 void DiskCatalogWriter::DeclareForeignKey(ForeignKey fk) {
+  if (append_ != nullptr) {
+    append_->declared_fks.push_back(std::move(fk));
+    return;
+  }
   catalog_->DeclareForeignKey(std::move(fk));
 }
 
 Status DiskCatalogWriter::WriteManifest() const {
   const fs::path path = dir_ / kDiskStoreManifestName;
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot create manifest " + path.string());
+  // Write-then-rename: the rename is the commit point. Readers either see
+  // the old manifest (with the old byte counts, so appended tail bytes are
+  // invisible) or the complete new one — never a torn manifest.
+  const fs::path tmp =
+      dir_ / (std::string(kDiskStoreManifestName) + ".tmp");
+  std::ofstream out(tmp, std::ios::trunc);
+  if (!out) return Status::IOError("cannot create manifest " + tmp.string());
 
   auto field = [](std::string_view s) { return EscapeManifestField(s); };
-  out << "spider-store\t1\n";
+  out << "spider-store\t2\n";
   out << "catalog\t" << field(catalog_->name()) << "\n";
   out << "blocksize\t" << options_.block_bytes << "\n";
   for (int t = 0; t < catalog_->table_count(); ++t) {
@@ -696,7 +1090,8 @@ Status DiskCatalogWriter::WriteManifest() const {
           << (stats.max_value ? "1\t" + field(*stats.max_value) : "0\t")
           << "\t" << stats.min_length << "\t" << stats.max_length << "\t"
           << FormatDouble(stats.letter_fraction) << "\t"
-          << FormatDouble(stats.digit_fraction) << "\n";
+          << FormatDouble(stats.digit_fraction) << "\t" << stats.letter_count
+          << "\t" << stats.digit_count << "\n";
     }
   }
   for (const ForeignKey& fk : catalog_->declared_foreign_keys()) {
@@ -707,7 +1102,13 @@ Status DiskCatalogWriter::WriteManifest() const {
   out << "end\n";
   out.close();
   if (out.fail()) {
-    return Status::IOError("failed writing manifest " + path.string());
+    return Status::IOError("failed writing manifest " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("cannot commit manifest " + path.string() + ": " +
+                           ec.message());
   }
   return Status::OK();
 }
@@ -716,6 +1117,38 @@ Result<std::unique_ptr<Catalog>> DiskCatalogWriter::Finish() {
   if (finished_) return Status::InvalidArgument("writer already finished");
   if (table_open_) return Status::InvalidArgument("table not finished");
   finished_ = true;
+  if (append_ != nullptr) {
+    // Merge: previous tables keep their manifest order (resealed ones swap
+    // in), new tables follow, then previous plus newly declared FKs.
+    auto merged = std::make_unique<Catalog>(append_->previous.catalog_name);
+    for (ManifestTable& previous : append_->previous.tables) {
+      auto it = append_->sealed.find(previous.name);
+      if (it != append_->sealed.end()) {
+        SPIDER_RETURN_NOT_OK(merged->AddTable(std::move(it->second)));
+        continue;
+      }
+      auto table = std::make_unique<Table>(previous.name);
+      for (ManifestColumn& column : previous.columns) {
+        auto store = std::make_unique<DiskColumnStore>(
+            dir_ / column.file_name, std::move(column.stats),
+            column.file_bytes, column.block_count);
+        SPIDER_RETURN_NOT_OK(table->AttachStoredColumn(
+            column.name, column.type, column.declared_unique,
+            std::move(store)));
+      }
+      SPIDER_RETURN_NOT_OK(merged->AddTable(std::move(table)));
+    }
+    for (const std::string& name : append_->new_tables) {
+      SPIDER_RETURN_NOT_OK(merged->AddTable(std::move(append_->sealed.at(name))));
+    }
+    for (ForeignKey& fk : append_->previous.foreign_keys) {
+      merged->DeclareForeignKey(std::move(fk));
+    }
+    for (ForeignKey& fk : append_->declared_fks) {
+      merged->DeclareForeignKey(std::move(fk));
+    }
+    catalog_ = std::move(merged);
+  }
   SPIDER_RETURN_NOT_OK(WriteManifest());
   return std::move(catalog_);
 }
@@ -730,107 +1163,22 @@ bool IsDiskCatalogDir(const fs::path& dir) {
 }
 
 Result<std::unique_ptr<Catalog>> OpenDiskCatalog(const fs::path& dir) {
-  const fs::path path = dir / kDiskStoreManifestName;
-  std::ifstream in(path);
-  if (!in) {
-    return Status::IOError("cannot open manifest " + path.string() +
-                           " (not a disk-store workspace?)");
-  }
-
-  auto bad = [&path](const std::string& why) {
-    return Status::InvalidArgument("manifest " + path.string() + ": " + why);
-  };
-
-  std::string line;
-  if (!std::getline(in, line) || line != "spider-store\t1") {
-    return bad("missing or unsupported version header");
-  }
-
-  std::unique_ptr<Catalog> catalog;
-  std::unique_ptr<Table> table;
-  int64_t table_rows = 0;
-  bool saw_end = false;
-
-  auto flush_table = [&]() -> Status {
-    if (table == nullptr) return Status::OK();
-    if (table->row_count() != table_rows) {
-      return Status::InvalidArgument("table '" + table->name() +
-                                     "' row count mismatch in manifest");
-    }
-    return catalog->AddTable(std::move(table));
-  };
-
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    std::vector<std::string> raw = SplitString(line, '\t');
-    std::vector<std::string> fields;
-    fields.reserve(raw.size());
-    for (const std::string& f : raw) {
-      SPIDER_ASSIGN_OR_RETURN(std::string unescaped, UnescapeManifestField(f));
-      fields.push_back(std::move(unescaped));
-    }
-    const std::string& kind = fields[0];
-    if (kind == "catalog") {
-      if (fields.size() != 2) return bad("catalog record arity");
-      catalog = std::make_unique<Catalog>(fields[1]);
-    } else if (kind == "blocksize") {
-      if (fields.size() != 2) return bad("blocksize record arity");
-    } else if (kind == "table") {
-      if (catalog == nullptr) return bad("table before catalog");
-      if (fields.size() != 3) return bad("table record arity");
-      SPIDER_RETURN_NOT_OK(flush_table());
-      table = std::make_unique<Table>(fields[1]);
-      SPIDER_ASSIGN_OR_RETURN(table_rows, ParseManifestInt(fields[2]));
-    } else if (kind == "column") {
-      if (table == nullptr) return bad("column before table");
-      if (fields.size() != 18) return bad("column record arity");
-      SPIDER_ASSIGN_OR_RETURN(TypeId type, TypeIdFromString(fields[2]));
-      SPIDER_ASSIGN_OR_RETURN(int64_t unique, ParseManifestInt(fields[3]));
-      SPIDER_ASSIGN_OR_RETURN(int64_t file_bytes, ParseManifestInt(fields[5]));
-      SPIDER_ASSIGN_OR_RETURN(int64_t blocks, ParseManifestInt(fields[6]));
-      ColumnStats stats;
-      SPIDER_ASSIGN_OR_RETURN(stats.row_count, ParseManifestInt(fields[7]));
-      SPIDER_ASSIGN_OR_RETURN(stats.non_null_count,
-                              ParseManifestInt(fields[8]));
-      stats.null_count = stats.row_count - stats.non_null_count;
-      SPIDER_ASSIGN_OR_RETURN(stats.distinct_count,
-                              ParseManifestInt(fields[9]));
-      if (fields[10] == "1") stats.min_value = fields[11];
-      if (fields[12] == "1") stats.max_value = fields[13];
-      SPIDER_ASSIGN_OR_RETURN(stats.min_length, ParseManifestInt(fields[14]));
-      SPIDER_ASSIGN_OR_RETURN(stats.max_length, ParseManifestInt(fields[15]));
-      SPIDER_ASSIGN_OR_RETURN(stats.letter_fraction,
-                              ParseManifestDouble(fields[16]));
-      SPIDER_ASSIGN_OR_RETURN(stats.digit_fraction,
-                              ParseManifestDouble(fields[17]));
-      stats.verified_unique = stats.non_null_count > 0 &&
-                              stats.distinct_count == stats.non_null_count;
-      const fs::path file = dir / fields[4];
-      std::error_code ec;
-      if (!fs::is_regular_file(file, ec)) {
-        return Status::IOError("missing column file " + file.string());
-      }
-      auto store = std::make_unique<DiskColumnStore>(file, std::move(stats),
-                                                     file_bytes, blocks);
+  SPIDER_ASSIGN_OR_RETURN(ManifestData data, ParseManifest(dir));
+  auto catalog = std::make_unique<Catalog>(data.catalog_name);
+  for (ManifestTable& manifest_table : data.tables) {
+    auto table = std::make_unique<Table>(manifest_table.name);
+    for (ManifestColumn& column : manifest_table.columns) {
+      auto store = std::make_unique<DiskColumnStore>(
+          dir / column.file_name, std::move(column.stats), column.file_bytes,
+          column.block_count);
       SPIDER_RETURN_NOT_OK(table->AttachStoredColumn(
-          fields[1], type, unique != 0, std::move(store)));
-    } else if (kind == "fk") {
-      if (catalog == nullptr) return bad("fk before catalog");
-      if (fields.size() != 5) return bad("fk record arity");
-      SPIDER_RETURN_NOT_OK(flush_table());
-      catalog->DeclareForeignKey(ForeignKey{{fields[1], fields[2]},
-                                            {fields[3], fields[4]}});
-    } else if (kind == "end") {
-      saw_end = true;
-      break;
-    } else {
-      return bad("unknown record '" + kind + "'");
+          column.name, column.type, column.declared_unique, std::move(store)));
     }
+    SPIDER_RETURN_NOT_OK(catalog->AddTable(std::move(table)));
   }
-  if (catalog == nullptr) return bad("no catalog record");
-  if (!saw_end) return bad("truncated (no end record)");
-  SPIDER_RETURN_NOT_OK(flush_table());
+  for (ForeignKey& fk : data.foreign_keys) {
+    catalog->DeclareForeignKey(std::move(fk));
+  }
   return catalog;
 }
 

@@ -19,6 +19,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/result.h"
@@ -43,6 +44,14 @@ struct DiskStoreOptions {
 
 /// Name of the manifest file inside a disk-store workspace.
 inline constexpr const char* kDiskStoreManifestName = "spider_store.manifest";
+
+/// Manifest TSV field escaping, shared by every manifest in a workspace
+/// (spider_store.manifest, spider_profile.manifest): fields are
+/// tab-separated with one record per line, so '%', tab, newline and
+/// carriage return are percent-encoded.
+std::string EscapeManifestField(std::string_view field);
+[[nodiscard]]
+Result<std::string> UnescapeManifestField(std::string_view field);
 
 /// \brief A sealed, read-only disk-backed column (one ".col" block file).
 class DiskColumnStore final : public ColumnStore {
@@ -91,11 +100,26 @@ class DiskColumnStore final : public ColumnStore {
 class DiskCatalogWriter final : public CatalogSink {
  public:
   /// Creates `dir` (and parents) if needed. Fails if the directory already
-  /// contains a manifest — workspaces are written once.
+  /// contains a manifest — Create() writes a workspace once; use
+  /// OpenForAppend() to add rows later.
   [[nodiscard]]
   static Result<std::unique_ptr<DiskCatalogWriter>> Create(
       std::filesystem::path dir, std::string catalog_name,
       DiskStoreOptions options = {});
+
+  /// Reopens an existing workspace to append rows. BeginTable() on a table
+  /// already in the manifest enters append mode for it: AddColumn() must
+  /// re-declare the existing columns in order (values widen to the sealed
+  /// column type where safe — integer into double, anything into string),
+  /// AppendRow() extends the `.col` block chains, and FinishTable() reseals
+  /// the per-column statistics by merging old and new block dictionaries.
+  /// Unknown tables are created as usual. Nothing is committed until
+  /// Finish() atomically rewrites the manifest: a crash mid-append leaves a
+  /// torn tail past the committed byte counts that readers never see and
+  /// the next OpenForAppend() truncates away.
+  [[nodiscard]]
+  static Result<std::unique_ptr<DiskCatalogWriter>> OpenForAppend(
+      std::filesystem::path dir, DiskStoreOptions options = {});
 
   ~DiskCatalogWriter() override;
 
@@ -117,6 +141,7 @@ class DiskCatalogWriter final : public CatalogSink {
 
  private:
   class ColumnWriter;
+  struct AppendState;
 
   DiskCatalogWriter(std::filesystem::path dir, std::string catalog_name,
                     DiskStoreOptions options);
@@ -132,6 +157,8 @@ class DiskCatalogWriter final : public CatalogSink {
   int64_t table_rows_ = 0;
   bool table_open_ = false;
   bool finished_ = false;
+  // Non-null when this writer extends an existing workspace (OpenForAppend).
+  std::unique_ptr<AppendState> append_;
 };
 
 /// True when `dir` holds a disk-store workspace (its manifest exists).

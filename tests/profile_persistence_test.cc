@@ -1,0 +1,270 @@
+// Persistent-profile tests: a sealed workspace profile survives session
+// restarts (warm runs re-verify nothing and re-extract nothing), appends
+// invalidate exactly the entries whose source columns changed, and any
+// corruption of the profile artifacts — manifest or set files — degrades
+// to a clean recompute with byte-identical results, never a crash.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/common/temp_dir.h"
+#include "src/extsort/profile_store.h"
+#include "src/ind/session.h"
+#include "src/storage/csv.h"
+#include "src/storage/disk_store.h"
+#include "tests/test_util.h"
+
+namespace spider {
+namespace {
+
+void WriteFile(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// A three-table dump with string-typed columns (append-stable types):
+// orders.customer ⊆ customers.id, and archive.id == customers.id so the
+// archive↔customers candidates never touch an orders append.
+void WriteDump(const std::filesystem::path& csv_dir) {
+  ASSERT_TRUE(std::filesystem::create_directories(csv_dir));
+  WriteFile(csv_dir / "orders.csv", "id,customer\no1,c1\no2,c2\no3,c1\n");
+  WriteFile(csv_dir / "customers.csv", "id,city\nc1,x1\nc2,x2\nc3,x2\n");
+  WriteFile(csv_dir / "archive.csv", "id\nc1\nc2\nc3\n");
+}
+
+// Imports `csv_dir` as a fresh disk workspace at `workspace`.
+Result<std::unique_ptr<Catalog>> ImportWorkspace(
+    const std::filesystem::path& csv_dir,
+    const std::filesystem::path& workspace) {
+  SPIDER_ASSIGN_OR_RETURN(
+      std::unique_ptr<DiskCatalogWriter> writer,
+      DiskCatalogWriter::Create(workspace, "wsp", DiskStoreOptions{}));
+  return ImportCsvDirectory(csv_dir, CsvOptions{}, *writer);
+}
+
+// One profiling run over `workspace` in a brand-new session whose set
+// files and profile live in the workspace itself (the CLI's layout for
+// `spider profile <workspace-dir>`).
+Result<SessionReport> PersistedRun(const std::filesystem::path& workspace,
+                                   bool profile_cache = true) {
+  SPIDER_ASSIGN_OR_RETURN(std::unique_ptr<Catalog> catalog,
+                          OpenDiskCatalog(workspace));
+  SessionOptions session_options;
+  session_options.work_dir = workspace.string();
+  session_options.persist_profile = true;
+  SpiderSession session(std::move(catalog), session_options);
+  RunOptions options;
+  options.approach = "spider-merge";
+  options.profile_cache = profile_cache;
+  return session.Run(options);
+}
+
+TEST(ProfilePersistenceTest, WarmSessionReusesEverythingAcrossRestart) {
+  auto dir = TempDir::Make("spider-profile-persist");
+  ASSERT_TRUE(dir.ok());
+  const std::filesystem::path root = (*dir)->path();
+  WriteDump(root / "csv");
+  auto imported = ImportWorkspace(root / "csv", root / "wsp");
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+
+  auto cold = PersistedRun(root / "wsp");
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_TRUE(cold->run.finished);
+  ASSERT_FALSE(cold->run.satisfied.empty());
+  EXPECT_TRUE(testing::ToSet(cold->run.satisfied)
+                  .contains(Ind{{"orders", "customer"}, {"customers", "id"}}));
+  EXPECT_GT(cold->run.counters.sets_extracted, 0);
+  EXPECT_EQ(cold->verdicts_reused, 0);
+  EXPECT_FALSE(cold->profile_reused);
+  EXPECT_TRUE(
+      std::filesystem::exists(root / "wsp" / kProfileManifestName));
+
+  // A fresh session over the same workspace — the daemon-restart case —
+  // answers every candidate from the profile: no extraction, no set reads.
+  auto warm = PersistedRun(root / "wsp");
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->run.finished);
+  EXPECT_EQ(warm->run.satisfied, cold->run.satisfied);
+  EXPECT_TRUE(warm->profile_reused);
+  EXPECT_EQ(warm->verdicts_reused,
+            static_cast<int64_t>(warm->candidates.candidates.size()));
+  EXPECT_EQ(warm->candidates_revalidated, 0);
+  EXPECT_EQ(warm->run.counters.sets_extracted, 0);
+  EXPECT_EQ(warm->run.counters.tuples_read, 0);
+}
+
+TEST(ProfilePersistenceTest, NoProfileCacheForcesReverification) {
+  auto dir = TempDir::Make("spider-profile-persist");
+  ASSERT_TRUE(dir.ok());
+  const std::filesystem::path root = (*dir)->path();
+  WriteDump(root / "csv");
+  auto imported = ImportWorkspace(root / "csv", root / "wsp");
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  auto cold = PersistedRun(root / "wsp");
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  // profile_cache=false hands every candidate to the algorithm again; only
+  // the extractor's set-file reuse (always sound) remains.
+  auto warm = PersistedRun(root / "wsp", /*profile_cache=*/false);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->run.satisfied, cold->run.satisfied);
+  EXPECT_EQ(warm->verdicts_reused, 0);
+  EXPECT_EQ(warm->candidates_revalidated,
+            static_cast<int64_t>(warm->candidates.candidates.size()));
+  EXPECT_GT(warm->run.counters.sets_reused, 0);
+  EXPECT_EQ(warm->run.counters.sets_extracted, 0);
+}
+
+TEST(ProfilePersistenceTest, AppendRevalidatesOnlyCandidatesTouchingTheTable) {
+  auto dir = TempDir::Make("spider-profile-persist");
+  ASSERT_TRUE(dir.ok());
+  const std::filesystem::path root = (*dir)->path();
+  WriteDump(root / "csv");
+  auto imported = ImportWorkspace(root / "csv", root / "wsp");
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  auto cold = PersistedRun(root / "wsp");
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  // Append one row to `orders` only.
+  const std::filesystem::path delta = root / "delta";
+  ASSERT_TRUE(std::filesystem::create_directories(delta));
+  WriteFile(delta / "orders.csv", "id,customer\no4,c3\n");
+  auto writer = DiskCatalogWriter::OpenForAppend(root / "wsp",
+                                                 DiskStoreOptions{});
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  auto appended = ImportCsvDirectory(delta, CsvOptions{}, **writer);
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+
+  auto warm = PersistedRun(root / "wsp");
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_TRUE(warm->run.finished);
+
+  // Exactly the candidates with an `orders` side were re-verified; every
+  // archive↔customers candidate came out of the profile.
+  int64_t touching = 0;
+  for (const IndCandidate& candidate : warm->candidates.candidates) {
+    if (candidate.dependent.table == "orders" ||
+        candidate.referenced.table == "orders") {
+      ++touching;
+    }
+  }
+  ASSERT_GT(touching, 0);
+  ASSERT_LT(touching,
+            static_cast<int64_t>(warm->candidates.candidates.size()));
+  EXPECT_EQ(warm->candidates_revalidated, touching);
+  EXPECT_EQ(warm->verdicts_reused,
+            static_cast<int64_t>(warm->candidates.candidates.size()) -
+                touching);
+  EXPECT_TRUE(warm->profile_reused);
+
+  // The delta result equals a from-scratch profile of the grown workspace
+  // (scratch session: temp work dir, no profile).
+  auto reopened = OpenDiskCatalog(root / "wsp");
+  ASSERT_TRUE(reopened.ok());
+  SpiderSession scratch(std::move(*reopened));
+  RunOptions options;
+  options.approach = "spider-merge";
+  auto scratch_report = scratch.Run(options);
+  ASSERT_TRUE(scratch_report.ok());
+  EXPECT_EQ(warm->run.satisfied, scratch_report->run.satisfied);
+  EXPECT_TRUE(testing::ToSet(warm->run.satisfied)
+                  .contains(Ind{{"orders", "customer"}, {"customers", "id"}}));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized corruption: whatever happens to the profile artifacts, a
+// fresh session must produce the pristine result through a clean Status
+// path. The seed is fixed and logged so a failure replays exactly.
+
+enum class Corruption { kTruncate, kBitFlip, kDelete };
+
+void Corrupt(const std::filesystem::path& path, Corruption kind,
+             std::mt19937& rng) {
+  std::error_code ec;
+  const int64_t size =
+      static_cast<int64_t>(std::filesystem::file_size(path, ec));
+  if (kind == Corruption::kDelete || ec || size == 0) {
+    std::filesystem::remove(path, ec);
+    return;
+  }
+  if (kind == Corruption::kTruncate) {
+    const int64_t keep = std::uniform_int_distribution<int64_t>(
+        0, size - 1)(rng);
+    std::filesystem::resize_file(path, static_cast<uintmax_t>(keep), ec);
+    ASSERT_FALSE(ec) << path;
+    return;
+  }
+  // Bit flip somewhere in the file.
+  const int64_t offset =
+      std::uniform_int_distribution<int64_t>(0, size - 1)(rng);
+  const int bit = std::uniform_int_distribution<int>(0, 7)(rng);
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good()) << path;
+  file.seekg(offset);
+  char byte = 0;
+  file.get(byte);
+  byte = static_cast<char>(byte ^ (1 << bit));
+  file.seekp(offset);
+  file.put(byte);
+  ASSERT_TRUE(file.good()) << path;
+}
+
+TEST(ProfilePersistenceTest, CorruptedArtifactsFallBackToPristineResults) {
+  constexpr uint32_t kSeed = 20260808;
+  SCOPED_TRACE("corruption seed " + std::to_string(kSeed));
+  std::mt19937 rng(kSeed);
+
+  auto dir = TempDir::Make("spider-profile-corrupt");
+  ASSERT_TRUE(dir.ok());
+  const std::filesystem::path root = (*dir)->path();
+  WriteDump(root / "csv");
+  const std::filesystem::path pristine = root / "pristine";
+  auto imported = ImportWorkspace(root / "csv", pristine);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  auto cold = PersistedRun(pristine);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  const std::vector<Ind> expected = cold->run.satisfied;
+  ASSERT_FALSE(expected.empty());
+
+  // The corruptible artifacts: the profile manifest plus every set file.
+  // Catalog data (spider_store.manifest, .col files) is the source of
+  // truth and stays intact.
+  std::vector<std::filesystem::path> targets = {pristine /
+                                                kProfileManifestName};
+  for (const auto& entry : std::filesystem::directory_iterator(pristine)) {
+    if (entry.path().extension() == ".set") targets.push_back(entry.path());
+  }
+  ASSERT_GT(targets.size(), 1u);
+
+  for (int round = 0; round < 12; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const std::filesystem::path scratch =
+        root / ("round-" + std::to_string(round));
+    std::filesystem::copy(pristine, scratch,
+                          std::filesystem::copy_options::recursive);
+    // One to three independent corruptions per round.
+    const int hits = std::uniform_int_distribution<int>(1, 3)(rng);
+    for (int hit = 0; hit < hits; ++hit) {
+      const auto& victim = targets[std::uniform_int_distribution<size_t>(
+          0, targets.size() - 1)(rng)];
+      const auto kind = static_cast<Corruption>(
+          std::uniform_int_distribution<int>(0, 2)(rng));
+      Corrupt(scratch / victim.filename(), kind, rng);
+    }
+    auto report = PersistedRun(scratch);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->run.finished);
+    EXPECT_EQ(report->run.satisfied, expected);
+    std::filesystem::remove_all(scratch);
+  }
+}
+
+}  // namespace
+}  // namespace spider

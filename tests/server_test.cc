@@ -367,6 +367,80 @@ TEST(WorkspaceCacheTest, GetOrOpenCachesOneSessionPerWorkspace) {
   EXPECT_TRUE(cache.GetOrOpen("../smoke").status().IsInvalidArgument());
 }
 
+TEST(WorkspaceCacheTest, EvictsLeastRecentlyUsedBeyondMaxSessions) {
+  auto dir = TempDir::Make("spider-server-test");
+  ASSERT_TRUE(dir.ok());
+  const std::filesystem::path root = (*dir)->path();
+  MakeWorkspace(root, "a");
+  MakeWorkspace(root, "b");
+  MakeWorkspace(root, "c");
+  WorkspaceCache cache(root, /*max_sessions=*/2);
+  auto a = cache.GetOrOpen("a");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = cache.GetOrOpen("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(cache.open_session_count(), 2);
+  // Touch a: b becomes the least recently used entry...
+  ASSERT_TRUE(cache.GetOrOpen("a").ok());
+  // ...so opening c evicts b, not a.
+  ASSERT_TRUE(cache.GetOrOpen("c").ok());
+  EXPECT_EQ(cache.open_session_count(), 2);
+  auto a_again = cache.GetOrOpen("a");
+  ASSERT_TRUE(a_again.ok());
+  EXPECT_EQ(*a_again, *a);  // survived: same shared session
+  auto b_again = cache.GetOrOpen("b");
+  ASSERT_TRUE(b_again.ok());
+  EXPECT_NE(*b_again, *b);  // evicted: reopened fresh from disk
+  // The shared_ptr handed out before eviction stays alive and usable.
+  EXPECT_EQ((*b)->catalog().table_count(), size_t{2});
+}
+
+// Counts the sorted set files the daemon's extractor materialized for a
+// workspace.
+int CountSetFiles(const std::filesystem::path& set_dir) {
+  int count = 0;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(set_dir, ec);
+  if (ec) return 0;
+  for (const auto& entry : it) {
+    if (entry.path().extension() == ".set") ++count;
+  }
+  return count;
+}
+
+TEST(WorkspaceCacheTest, EvictedWorkspaceReopensWithPersistedProfile) {
+  auto dir = TempDir::Make("spider-server-test");
+  ASSERT_TRUE(dir.ok());
+  const std::filesystem::path root = (*dir)->path();
+  MakeWorkspace(root, "wsp");
+  MakeWorkspace(root, "other");
+  WorkspaceCache cache(root, /*max_sessions=*/1);
+
+  RunOptions options;
+  options.approach = "spider-merge";
+
+  auto first = cache.GetOrOpen("wsp");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto cold = (*first)->Run(options);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_GT(cold->run.counters.sets_extracted, 0);
+  const int cold_set_files = CountSetFiles(cache.SetCachePath("wsp"));
+  EXPECT_GT(cold_set_files, 0);
+
+  // Evict wsp, then reopen it: the new session must answer from the
+  // persisted profile — same INDs, no re-extraction, no new set files.
+  ASSERT_TRUE(cache.GetOrOpen("other").ok());
+  auto reopened = cache.GetOrOpen("wsp");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_NE(*reopened, *first);
+  auto warm = (*reopened)->Run(options);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->profile_reused);
+  EXPECT_EQ(warm->run.counters.sets_extracted, 0);
+  EXPECT_EQ(warm->run.satisfied, cold->run.satisfied);
+  EXPECT_EQ(CountSetFiles(cache.SetCachePath("wsp")), cold_set_files);
+}
+
 TEST(WorkspaceCacheTest, ListReturnsCatalogDirsOnly) {
   auto dir = TempDir::Make("spider-server-test");
   ASSERT_TRUE(dir.ok());
@@ -434,15 +508,6 @@ ClientResponse Fetch(int port, const std::string& method,
 std::string StripSeconds(std::string json) {
   static const std::regex seconds("\"(nary_)?seconds\":[-+.eE0-9]+");
   return std::regex_replace(json, seconds, "\"$1seconds\":0");
-}
-
-int CountSetFiles(const std::filesystem::path& dir) {
-  int count = 0;
-  if (!std::filesystem::exists(dir)) return 0;
-  for (const auto& entry : std::filesystem::recursive_directory_iterator(dir)) {
-    if (entry.path().extension() == ".set") ++count;
-  }
-  return count;
 }
 
 class ServerE2eTest : public ::testing::Test {
@@ -563,13 +628,29 @@ TEST_F(ServerE2eTest, ConcurrentJobsShareOneExtractorCache) {
   EXPECT_NE(third.body.find("\"state\":\"finished\""), std::string::npos);
   EXPECT_EQ(CountSetFiles(set_dir), after_first);
 
-  // And all three produced byte-identical documents (modulo timings).
+  // All three agree on the discovered INDs; the later jobs answered from
+  // the persisted profile (remembered verdicts, no re-extraction), so
+  // their work counters record reuse instead of matching job 1's.
   ClientResponse first_report = Fetch(server_->port(), "GET", "/jobs/1/report");
   ClientResponse second_report =
       Fetch(server_->port(), "GET", "/jobs/2/report");
   ClientResponse third_report = Fetch(server_->port(), "GET", "/jobs/3/report");
-  EXPECT_EQ(StripSeconds(first_report.body), StripSeconds(second_report.body));
-  EXPECT_EQ(StripSeconds(first_report.body), StripSeconds(third_report.body));
+  auto satisfied_of = [](const std::string& body) {
+    const size_t begin = body.find("\"satisfied_inds\":");
+    EXPECT_NE(begin, std::string::npos) << body;
+    return body.substr(begin);
+  };
+  EXPECT_EQ(satisfied_of(first_report.body), satisfied_of(second_report.body));
+  EXPECT_EQ(satisfied_of(first_report.body), satisfied_of(third_report.body));
+  EXPECT_NE(first_report.body.find("\"profile_reused\":false"),
+            std::string::npos)
+      << first_report.body;
+  for (const ClientResponse* warm : {&second_report, &third_report}) {
+    EXPECT_NE(warm->body.find("\"profile_reused\":true"), std::string::npos)
+        << warm->body;
+    EXPECT_NE(warm->body.find("\"sets_extracted\":0"), std::string::npos)
+        << warm->body;
+  }
 }
 
 TEST_F(ServerE2eTest, InvalidOptionErrorsMatchTheCliParser) {

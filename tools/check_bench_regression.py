@@ -34,6 +34,10 @@ WORK_COUNTERS = (
     "index_entries",
     "attributes",
     "finished",
+    "sets_extracted",
+    "sets_reused",
+    "verdicts_reused",
+    "candidates_revalidated",
 )
 
 

@@ -10,13 +10,14 @@
 //                            [--time-budget=S] [--threads=N] [--progress]
 //                            [--no-block-skip] [--io-threads=N] [--json]
 //   spider import <csv_dir> --workspace=DIR [--backend=memory|disk]
-//                           [--block-bytes=N]
+//                           [--block-bytes=N] [--append]
 //   spider discover <csv_dir|workspace> [--approach=NAME]
 //                   [--no-surrogate-filter]
 //   spider links <source_csv_dir> <target_csv_dir> [--strip-prefixes]
 //                [--min-coverage=C]
 //   spider approaches [--json]
 //   spider serve <workspace_root> [--host=ADDR] [--port=N] [--threads=N]
+//                [--max-sessions=N]
 //   spider version | --version
 //
 // `profile` prints the satisfied INDs (σ < 1 switches to partial INDs;
@@ -27,7 +28,10 @@
 // --error=E (--max-lhs caps the determinant arity). Omitting --approach
 // picks the kind's default discoverer;
 // `import` streams a CSV dump into an out-of-core disk-store workspace
-// (pay the parse once, profile many times with bounded memory);
+// (pay the parse once, profile many times with bounded memory); with
+// --append the dump's rows are appended to an existing workspace instead —
+// new tables are created, existing tables grow, and the persisted profile
+// (spider_profile.manifest) invalidates exactly the touched columns;
 // `discover` runs the whole Aladin-style pipeline and prints the report;
 // `links` finds cross-database links into the target's accession columns;
 // `serve` runs the spiderd daemon (docs/SERVER.md) over a directory of
@@ -55,6 +59,12 @@
 // skipping in the merge loops (same INDs, more tuples read — the parity
 // baseline); --io-threads=N adds a dedicated background prefetch pool for
 // set-file reads (0 = synchronous).
+//
+// Profiling an imported workspace persists its profile next to the data
+// (sorted set files plus spider_profile.manifest): a rerun reuses every
+// set file and verdict whose fingerprints still verify and revalidates
+// only candidates whose columns changed since. --no-profile-cache runs
+// from scratch in a temp workspace instead (docs/CLI.md).
 
 #include <unistd.h>
 
@@ -171,7 +181,7 @@ int Usage() {
          "                           [--progress] [--json]\n"
          "  spider import <csv_dir> --workspace=DIR "
          "[--backend=memory|disk]\n"
-         "                          [--block-bytes=N]\n"
+         "                          [--block-bytes=N] [--append]\n"
          "  spider discover <csv_dir|workspace> [--approach=NAME] "
          "[--no-surrogate-filter] [--dot=FILE]\n"
          "  spider links <source_dir> <target_dir> [--strip-prefixes]\n"
@@ -179,6 +189,7 @@ int Usage() {
          "  spider approaches [--json]\n"
          "  spider serve <workspace_root> [--host=ADDR] [--port=N] "
          "[--threads=N]\n"
+         "               [--max-sessions=N]\n"
          "  spider version\n"
          "\nn-ary approaches take [--nary-base=NAME] [--max-arity=K]\n"
          "--kind=ucc|fd|afd runs dependency discovery (--error=E accepts "
@@ -209,6 +220,8 @@ struct Flags {
   double min_coverage = 1.0;  // links --min-coverage
   std::string host = "127.0.0.1";  // serve --host
   int port = 4280;                 // serve --port
+  int max_sessions = -1;  // serve --max-sessions; -1 = server default
+  bool append = false;    // import --append
   bool ok = true;
 };
 
@@ -246,6 +259,20 @@ Flags ParseFlags(int argc, char** argv, int first) {
         return flags;
       }
       flags.block_bytes = static_cast<int64_t>(parsed);
+    } else if (arg == "--append") {
+      flags.append = true;
+    } else if (arg.rfind("--max-sessions=", 0) == 0) {
+      const std::string value = arg.substr(15);
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed < 0) {
+        std::cerr << "--max-sessions must be a non-negative integer "
+                     "(0 = unlimited), got '"
+                  << value << "'\n";
+        flags.ok = false;
+        return flags;
+      }
+      flags.max_sessions = static_cast<int>(parsed);
     } else if (arg == "--no-surrogate-filter") {
       flags.surrogate_filter = false;
     } else if (arg == "--strip-prefixes") {
@@ -304,6 +331,11 @@ RunOptions MakeRunOptions(const Flags& flags) {
 struct LoadedCatalog {
   std::unique_ptr<Catalog> catalog;
   std::unique_ptr<TempDir> temp_workspace;
+  /// Non-empty when the catalog lives in a durable disk workspace the user
+  /// named: the profile (set files + spider_profile.manifest) persists
+  /// there across runs. Temp workspaces stay empty — persisting into a
+  /// directory that dies with the process buys nothing.
+  std::string workspace_dir;
 };
 
 DiskStoreOptions MakeDiskOptions(const Flags& flags) {
@@ -319,6 +351,7 @@ Result<LoadedCatalog> LoadCatalog(const std::string& dir, const Flags& flags) {
   LoadedCatalog loaded;
   if (IsDiskCatalogDir(dir)) {
     SPIDER_ASSIGN_OR_RETURN(loaded.catalog, OpenDiskCatalog(dir));
+    loaded.workspace_dir = dir;
     return loaded;
   }
   if (flags.backend == StorageBackend::kDisk) {
@@ -329,6 +362,7 @@ Result<LoadedCatalog> LoadCatalog(const std::string& dir, const Flags& flags) {
                 << " (delete it to reimport " << dir << ")\n";
       SPIDER_ASSIGN_OR_RETURN(loaded.catalog,
                               OpenDiskCatalog(flags.workspace));
+      loaded.workspace_dir = flags.workspace;
       return loaded;
     }
     std::filesystem::path workspace = flags.workspace;
@@ -336,6 +370,8 @@ Result<LoadedCatalog> LoadCatalog(const std::string& dir, const Flags& flags) {
       SPIDER_ASSIGN_OR_RETURN(loaded.temp_workspace,
                               TempDir::Make("spider-workspace"));
       workspace = loaded.temp_workspace->path();
+    } else {
+      loaded.workspace_dir = flags.workspace;
     }
     const std::string name =
         std::filesystem::path(dir).filename().string();
@@ -365,6 +401,27 @@ int RunImport(const Flags& flags) {
     if (flags.workspace.empty()) {
       std::cerr << "import --backend=disk requires --workspace=DIR\n";
       return 2;
+    }
+    if (flags.append) {
+      if (!IsDiskCatalogDir(flags.workspace)) {
+        std::cerr << "import --append needs an existing imported workspace, "
+                  << flags.workspace << " has no spider_store.manifest\n";
+        return 2;
+      }
+      auto writer =
+          DiskCatalogWriter::OpenForAppend(flags.workspace, MakeDiskOptions(flags));
+      if (!writer.ok()) return Fail(writer.status());
+      auto catalog = ImportCsvDirectory(dir, CsvOptions{}, **writer);
+      if (!catalog.ok()) return Fail(catalog.status());
+      std::cout << "appended into " << flags.workspace << ": now "
+                << (*catalog)->table_count() << " tables, "
+                << (*catalog)->attribute_count() << " attributes\n"
+                << "on-disk size: "
+                << FormatBytes((*catalog)->ApproximateByteSize()) << "  ("
+                << Stopwatch::FormatDuration(watch.ElapsedSeconds()) << ")\n"
+                << "profile it with: spider profile " << flags.workspace
+                << "\n";
+      return 0;
     }
     const std::string name = std::filesystem::path(dir).filename().string();
     auto writer =
@@ -408,7 +465,16 @@ int RunProfile(const Flags& flags) {
 
   if (flags.run.min_coverage >= 1.0) {
     InstallSigintHandler();
-    SpiderSession session(*catalog->catalog);
+    // A durable workspace profiles in place: sorted sets and the profile
+    // manifest land next to spider_store.manifest, so the next run (or a
+    // spiderd restart) reuses them. --no-profile-cache keeps the scratch
+    // temp-dir behavior.
+    SessionOptions session_options;
+    if (!catalog->workspace_dir.empty() && flags.run.profile_cache) {
+      session_options.work_dir = catalog->workspace_dir;
+      session_options.persist_profile = true;
+    }
+    SpiderSession session(*catalog->catalog, session_options);
     auto report = session.Run(MakeRunOptions(flags));
     if (flags.progress) std::cerr << "\n";
     if (!report.ok()) return Fail(report.status());
@@ -589,6 +655,7 @@ int RunServe(const Flags& flags) {
   for (const RunOptionKv& kv : flags.pairs) {
     if (kv.key == "threads") options.worker_threads = flags.run.threads;
   }
+  if (flags.max_sessions >= 0) options.max_sessions = flags.max_sessions;
   SpiderServer server(std::move(options));
   Status started = server.Start();
   if (!started.ok()) return Fail(started);

@@ -1,6 +1,7 @@
 // spiderd — the long-lived profiling daemon.
 //
 //   spiderd --root=DIR [--host=ADDR] [--port=N] [--threads=N]
+//           [--max-sessions=N]
 //
 // Serves the disk workspaces under --root over a small HTTP/JSON API
 // (docs/SERVER.md): POST /jobs enqueues import/profile runs on a worker
@@ -33,13 +34,15 @@ void HandleStopSignal(int /*signum*/) {
 
 int Usage() {
   std::cerr << "usage: spiderd --root=DIR [--host=ADDR] [--port=N] "
-               "[--threads=N]\n"
+               "[--threads=N] [--max-sessions=N]\n"
                "  --root=DIR     directory of disk workspaces to serve "
                "(required)\n"
                "  --host=ADDR    listen address (default 127.0.0.1)\n"
                "  --port=N       TCP port (default 4280; 0 = ephemeral)\n"
                "  --threads=N    job worker threads (default: hardware "
-               "concurrency)\n";
+               "concurrency)\n"
+               "  --max-sessions=N  open workspace sessions kept before LRU "
+               "eviction (default 64; 0 = unlimited)\n";
   return 2;
 }
 
@@ -73,6 +76,15 @@ int main(int argc, char** argv) {
       if (end == v || *end != '\0' || options.worker_threads < 0) {
         std::cerr << "--threads must be a non-negative integer, got '" << v
                   << "'\n";
+        return 2;
+      }
+    } else if (const char* v = value_of("--max-sessions=")) {
+      char* end = nullptr;
+      options.max_sessions = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0' || options.max_sessions < 0) {
+        std::cerr << "--max-sessions must be a non-negative integer "
+                     "(0 = unlimited), got '"
+                  << v << "'\n";
         return 2;
       }
     } else {
